@@ -1,0 +1,84 @@
+//! Property-based tests of the accelerator's memory system and simulator
+//! invariants.
+
+use fab_accel::memory::{bank_and_column, stage_pairs, Layout, TransformAccessReport};
+use fab_accel::workload::LayerSchedule;
+use fab_accel::{AcceleratorConfig, Simulator};
+use fab_nn::{ModelConfig, ModelKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn butterfly_layout_is_always_a_bank_permutation(log_n in 4u32..10, log_banks in 2u32..5) {
+        let n = 1usize << log_n;
+        let banks = 1usize << log_banks;
+        prop_assume!(banks <= n);
+        // Every storage column must contain exactly one element per bank.
+        for col in 0..n / banks {
+            let mut seen = vec![false; banks];
+            for idx in col * banks..(col + 1) * banks {
+                let (bank, _) = bank_and_column(Layout::Butterfly, idx, n, banks);
+                prop_assert!(!seen[bank]);
+                seen[bank] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_layout_never_stalls(log_n in 4u32..11, log_banks in 2u32..5) {
+        let n = 1usize << log_n;
+        let banks = 1usize << log_banks;
+        prop_assume!(banks <= n);
+        let report = TransformAccessReport::analyze(Layout::Butterfly, n, banks);
+        prop_assert!(report.is_conflict_free());
+    }
+
+    #[test]
+    fn stage_pairs_form_a_perfect_matching(log_n in 2u32..10, stage in 0usize..9) {
+        let n = 1usize << log_n;
+        prop_assume!((1usize << (stage + 1)) <= n);
+        let pairs = stage_pairs(n, stage);
+        prop_assert_eq!(pairs.len(), n / 2);
+        let mut seen = vec![false; n];
+        for (a, b) in pairs {
+            prop_assert_eq!(b - a, 1usize << stage);
+            prop_assert!(!seen[a] && !seen[b]);
+            seen[a] = true;
+            seen[b] = true;
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_parallelism(seq_pow in 5u32..9, bes in 1usize..4) {
+        let seq = 1usize << seq_pow;
+        let small_bes = 16 * bes;
+        let big_bes = small_bes * 2;
+        let config = ModelConfig::fabnet_base();
+        let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, seq);
+        let small = Simulator::new(AcceleratorConfig::vcu128_be120().with_bes(small_bes)).simulate(&schedule);
+        let big = Simulator::new(AcceleratorConfig::vcu128_be120().with_bes(big_bes)).simulate(&schedule);
+        prop_assert!(big.total_cycles <= small.total_cycles);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_bandwidth(bw_low in 6.0f64..40.0, extra in 10.0f64..200.0) {
+        let config = ModelConfig::fabnet_large();
+        let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, 512);
+        let base = AcceleratorConfig::vcu128_be120().with_bes(64);
+        let slow = Simulator::new(base.clone().with_bandwidth(bw_low)).simulate(&schedule);
+        let fast = Simulator::new(base.clone().with_bandwidth(bw_low + extra)).simulate(&schedule);
+        prop_assert!(fast.total_cycles <= slow.total_cycles);
+    }
+
+    #[test]
+    fn resource_estimates_are_monotone_in_design_size(bes_small in 4usize..60, delta in 1usize..60) {
+        use fab_accel::resources::estimate;
+        let small = estimate(&AcceleratorConfig::vcu128_be120().with_bes(bes_small));
+        let big = estimate(&AcceleratorConfig::vcu128_be120().with_bes(bes_small + delta));
+        prop_assert!(big.luts > small.luts);
+        prop_assert!(big.dsps > small.dsps);
+        prop_assert!(big.brams > small.brams);
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 17: FLOP and model-size reduction of FABNet over the Transformer and
+//! FNet. Prints the reproduced reduction factors, then benchmarks the
+//! reduction computation per LRA task.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_lra::LraTask;
+use fab_nn::{flops, ModelConfig, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    for row in fab_bench::fig17_compression() {
+        println!("{row}");
+    }
+    let fabnet = ModelConfig::fabnet_base();
+    let transformer = ModelConfig::bert_base();
+    let mut group = c.benchmark_group("fig17_compression");
+    group.sample_size(20);
+    for task in LraTask::ALL {
+        group.bench_function(format!("reduction_{}", task.name()), |b| {
+            b.iter(|| {
+                flops::flops_reduction(
+                    black_box(&fabnet),
+                    black_box(&transformer),
+                    ModelKind::Transformer,
+                    task.paper_seq_len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

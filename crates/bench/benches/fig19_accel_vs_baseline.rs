@@ -1,0 +1,35 @@
+//! Fig. 19: speedup breakdown of the algorithm (FABNet vs BERT on the MAC
+//! baseline) and the hardware (butterfly accelerator vs MAC baseline).
+//! Prints the reproduced breakdown, then benchmarks both simulators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_accel::workload::LayerSchedule;
+use fab_accel::{AcceleratorConfig, Simulator};
+use fab_baselines::MacBaseline;
+use fab_nn::{ModelConfig, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    for row in fab_bench::fig19_speedup_breakdown() {
+        println!("{row}");
+    }
+    let fab = ModelConfig::fabnet_base();
+    let bert = ModelConfig::bert_base();
+    let butterfly = Simulator::new(AcceleratorConfig::vcu128_be120());
+    let baseline = MacBaseline::vcu128_2048();
+    let mut group = c.benchmark_group("fig19_accel_vs_baseline");
+    group.sample_size(20);
+    for seq in [128usize, 512, 1024] {
+        let fab_sched = LayerSchedule::from_model(&fab, ModelKind::FabNet, seq);
+        let bert_sched = LayerSchedule::from_model(&bert, ModelKind::Transformer, seq);
+        group.bench_function(format!("butterfly_sim_fabnet_seq{seq}"), |b| {
+            b.iter(|| butterfly.simulate(black_box(&fab_sched)))
+        });
+        group.bench_function(format!("baseline_sim_bert_seq{seq}"), |b| {
+            b.iter(|| baseline.simulate(black_box(&bert_sched)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

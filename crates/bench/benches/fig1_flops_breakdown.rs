@@ -1,0 +1,25 @@
+//! Fig. 1: operation-count breakdown of attention vs. linear layers.
+//!
+//! Prints the reproduced figure rows, then benchmarks the analytic FLOPs
+//! model across sequence lengths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_nn::{flops, ModelConfig, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    for row in fab_bench::fig1_flops_percentage() {
+        println!("{row}");
+    }
+    let config = ModelConfig::bert_base();
+    let mut group = c.benchmark_group("fig1_flops_breakdown");
+    group.sample_size(20);
+    for seq in [128usize, 1024, 4096] {
+        group.bench_function(format!("bert_base_seq{seq}"), |b| {
+            b.iter(|| flops::flops_breakdown(black_box(&config), ModelKind::Transformer, black_box(seq)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 20: comparison of the FPGA designs against server GPUs and edge
+//! devices. Prints the reproduced speedups and energy-efficiency ratios, then
+//! benchmarks the device roofline evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_accel::workload::LayerSchedule;
+use fab_baselines::{DeviceKind, DeviceModel};
+use fab_nn::{ModelConfig, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    for row in fab_bench::fig20_device_comparison() {
+        println!("{row}");
+    }
+    let config = ModelConfig::fabnet_base();
+    let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, 1024);
+    let mut group = c.benchmark_group("fig20_device_comparison");
+    group.sample_size(20);
+    for kind in [DeviceKind::V100, DeviceKind::JetsonNano, DeviceKind::RaspberryPi4] {
+        let device = DeviceModel::new(kind);
+        group.bench_function(format!("{kind:?}_roofline_seq1024"), |b| {
+            b.iter(|| device.simulate(black_box(&schedule), 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

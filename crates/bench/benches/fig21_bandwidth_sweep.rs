@@ -1,0 +1,29 @@
+//! Fig. 21: latency sensitivity to off-chip memory bandwidth for designs with
+//! 16-128 Butterfly Engines. Prints the reproduced sweep, then benchmarks the
+//! simulator across bandwidth settings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_accel::workload::LayerSchedule;
+use fab_accel::{AcceleratorConfig, Simulator};
+use fab_nn::{ModelConfig, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    for row in fab_bench::fig21_bandwidth_sweep() {
+        println!("{row}");
+    }
+    let model = ModelConfig::fabnet_large();
+    let schedule = LayerSchedule::from_model(&model, ModelKind::FabNet, 1024);
+    let mut group = c.benchmark_group("fig21_bandwidth_sweep");
+    group.sample_size(20);
+    for bw in [12.0f64, 50.0, 200.0] {
+        let hw = AcceleratorConfig::vcu128_be120().with_bes(64).with_bandwidth(bw);
+        let sim = Simulator::new(hw);
+        group.bench_function(format!("be64_bw{bw}"), |b| {
+            b.iter(|| sim.simulate(black_box(&schedule)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the core computational kernels: FFT, butterfly linear
+//! transform (factorised vs dense), Fourier token mixing, and the butterfly
+//! memory-access analysis. These quantify the O(n log n) vs O(n^2) gap that
+//! underlies the paper's algorithmic savings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_accel::memory::{Layout, TransformAccessReport};
+use fab_butterfly::fft::fft_real;
+use fab_butterfly::{fourier_mix, ButterflyMatrix};
+use fab_tensor::Tensor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    // FFT of a 1024-point signal (the padded hidden size of FABNet-Base).
+    let signal: Vec<f32> = (0..1024).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    group.bench_function("fft_1024", |b| b.iter(|| fft_real(black_box(&signal))));
+
+    // Butterfly linear transform vs dense mat-vec at n = 1024.
+    let n = 1024;
+    let butterfly = ButterflyMatrix::random(n, &mut rng).unwrap();
+    let dense = butterfly.to_dense();
+    let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let x_row = Tensor::from_vec(x.clone(), &[1, n]).unwrap();
+    group.bench_function("butterfly_forward_1024", |b| b.iter(|| butterfly.forward(black_box(&x))));
+    group.bench_function("dense_matvec_1024", |b| {
+        b.iter(|| black_box(&x_row).matmul(black_box(&dense)))
+    });
+
+    // FNet-style Fourier mixing of a [256, 256] tile.
+    let tile = Tensor::from_vec(
+        (0..256 * 256).map(|i| ((i * 37 % 101) as f32) * 0.01).collect(),
+        &[256, 256],
+    )
+    .unwrap();
+    group.bench_function("fourier_mix_256x256", |b| b.iter(|| fourier_mix(black_box(&tile))));
+
+    // Bank-conflict analysis of the butterfly memory layout.
+    group.bench_function("memory_analysis_1024x16banks", |b| {
+        b.iter(|| TransformAccessReport::analyze(Layout::Butterfly, 1024, 16))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table V: comparison with the published SOTA attention accelerators under
+//! the 128-multiplier / 1 GHz normalisation. Prints the reproduced table,
+//! then benchmarks the normalised one-layer simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fab_accel::workload::LayerSchedule;
+use fab_accel::{AcceleratorConfig, Simulator};
+use fab_nn::{ModelConfig, ModelKind};
+
+fn bench(c: &mut Criterion) {
+    for row in fab_bench::table5_sota() {
+        println!("{row}");
+    }
+    for row in fab_bench::table6_power() {
+        println!("{row}");
+    }
+    for row in fab_bench::table7_resources() {
+        println!("{row}");
+    }
+    let model = ModelConfig {
+        hidden: 64,
+        ffn_ratio: 4,
+        num_layers: 1,
+        num_abfly: 0,
+        num_heads: 1,
+        vocab_size: 256,
+        max_seq: 1024,
+        num_classes: 10,
+    };
+    let schedule = LayerSchedule::from_model(&model, ModelKind::FabNet, 1024);
+    let sim = Simulator::new(AcceleratorConfig::vcu128_be40());
+    let mut group = c.benchmark_group("table5_sota_comparison");
+    group.sample_size(20);
+    group.bench_function("be40_one_layer_lra_image", |b| {
+        b.iter(|| sim.simulate(black_box(&schedule)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

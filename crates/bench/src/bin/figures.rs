@@ -1,0 +1,66 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin figures            # everything (quick training)
+//! cargo run --release -p fab-bench --bin figures -- --full  # full-size proxy training
+//! cargo run --release -p fab-bench --bin figures -- fig19 table5
+//! ```
+
+use fab_bench as bench;
+
+fn print_rows(rows: Vec<String>) {
+    for row in rows {
+        println!("{row}");
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.trim_start_matches('-'))
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| *s == name);
+
+    if want("fig1") {
+        print_rows(bench::fig1_flops_percentage());
+    }
+    if want("fig3") {
+        print_rows(bench::fig3_latency_breakdown());
+    }
+    if want("fig4") {
+        print_rows(bench::fig4_sparsity_taxonomy());
+    }
+    if want("table3") || want("fig16") {
+        print_rows(bench::table3_accuracy(!full));
+    }
+    if want("fig17") {
+        print_rows(bench::fig17_compression());
+    }
+    if want("fig18") {
+        print_rows(bench::fig18_codesign());
+    }
+    if want("fig19") {
+        print_rows(bench::fig19_speedup_breakdown());
+    }
+    if want("fig20") {
+        print_rows(bench::fig20_device_comparison());
+    }
+    if want("fig21") {
+        print_rows(bench::fig21_bandwidth_sweep());
+    }
+    if want("table5") {
+        print_rows(bench::table5_sota());
+    }
+    if want("table6") {
+        print_rows(bench::table6_power());
+    }
+    if want("table7") {
+        print_rows(bench::table7_resources());
+    }
+}

@@ -1,0 +1,455 @@
+//! Learnable butterfly factor matrices and the butterfly linear transform.
+//!
+//! A butterfly matrix of size `N = 2^L` is the product of `L` sparse butterfly
+//! factor matrices; factor `s` (with half-block size `2^s`) pairs elements at
+//! distance `2^s` inside blocks of size `2^{s+1}` and mixes each pair through
+//! a trainable 2×2 matrix (the paper's Section II-B). Multiplying a vector by
+//! the full butterfly matrix therefore costs `O(N log N)` instead of `O(N^2)`.
+
+use crate::{log2_exact, ButterflyError};
+use fab_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One butterfly factor (stage): a block-diagonal matrix of 2×2 blocks of
+/// diagonal matrices with half-block size `half`.
+///
+/// For pair index `p`, the paired element indices are
+/// `i1 = (p / half) * 2 * half + (p % half)` and `i2 = i1 + half`, and the
+/// stage computes
+///
+/// ```text
+/// out[i1] = w1[p] * in[i1] + w2[p] * in[i2]
+/// out[i2] = w3[p] * in[i1] + w4[p] * in[i2]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ButterflyStage {
+    half: usize,
+    w1: Vec<f32>,
+    w2: Vec<f32>,
+    w3: Vec<f32>,
+    w4: Vec<f32>,
+}
+
+impl ButterflyStage {
+    /// Creates an identity stage (`w1 = w4 = 1`, `w2 = w3 = 0`) for a
+    /// transform of size `n`.
+    pub fn identity(n: usize, half: usize) -> Self {
+        let pairs = n / 2;
+        Self {
+            half,
+            w1: vec![1.0; pairs],
+            w2: vec![0.0; pairs],
+            w3: vec![0.0; pairs],
+            w4: vec![1.0; pairs],
+        }
+    }
+
+    /// Half-block size (`2^s` for stage `s`).
+    pub fn half(&self) -> usize {
+        self.half
+    }
+
+    /// Number of butterfly pairs in this stage.
+    pub fn pairs(&self) -> usize {
+        self.w1.len()
+    }
+
+    /// Returns the `(i1, i2)` element indices paired by butterfly `p`.
+    pub fn pair_indices(&self, p: usize) -> (usize, usize) {
+        let block = p / self.half;
+        let offset = p % self.half;
+        let i1 = block * 2 * self.half + offset;
+        (i1, i1 + self.half)
+    }
+
+    /// Returns the four twiddle weights of pair `p` as `(w1, w2, w3, w4)`.
+    pub fn weights(&self, p: usize) -> (f32, f32, f32, f32) {
+        (self.w1[p], self.w2[p], self.w3[p], self.w4[p])
+    }
+
+    /// Applies the stage to a vector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != 2 * pairs`.
+    pub fn apply_in_place(&self, x: &mut [f32]) {
+        assert_eq!(x.len(), 2 * self.pairs(), "stage input length mismatch");
+        for p in 0..self.pairs() {
+            let (i1, i2) = self.pair_indices(p);
+            let a = x[i1];
+            let b = x[i2];
+            x[i1] = self.w1[p] * a + self.w2[p] * b;
+            x[i2] = self.w3[p] * a + self.w4[p] * b;
+        }
+    }
+}
+
+/// A trainable butterfly matrix of power-of-two size `n`, stored as its
+/// `log2(n)` sparse factors.
+///
+/// # Example
+///
+/// ```rust
+/// use fab_butterfly::ButterflyMatrix;
+/// let b = ButterflyMatrix::identity(8);
+/// let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// assert_eq!(b.forward(&x), x);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ButterflyMatrix {
+    n: usize,
+    stages: Vec<ButterflyStage>,
+}
+
+impl ButterflyMatrix {
+    /// Creates the identity butterfly matrix of size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ButterflyError::NotPowerOfTwo`] when `n` is not a power of
+    /// two greater than or equal to 2.
+    pub fn try_identity(n: usize) -> Result<Self, ButterflyError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(ButterflyError::NotPowerOfTwo { size: n });
+        }
+        let log_n = log2_exact(n);
+        let stages = (0..log_n).map(|s| ButterflyStage::identity(n, 1 << s)).collect();
+        Ok(Self { n, stages })
+    }
+
+    /// Creates the identity butterfly matrix of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two greater than or equal to 2.
+    pub fn identity(n: usize) -> Self {
+        Self::try_identity(n).expect("butterfly size must be a power of two")
+    }
+
+    /// Creates a random butterfly matrix whose expansion approximately
+    /// preserves activation scale (each 2×2 block is sampled near a rotation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ButterflyError::NotPowerOfTwo`] when `n` is invalid.
+    pub fn random(n: usize, rng: &mut StdRng) -> Result<Self, ButterflyError> {
+        let mut m = Self::try_identity(n)?;
+        for stage in &mut m.stages {
+            for p in 0..stage.pairs() {
+                // Sample close to an orthonormal 2x2 block: rotation plus noise.
+                let theta: f32 = rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI);
+                let noise = 0.05f32;
+                stage.w1[p] = theta.cos() + rng.gen_range(-noise..noise);
+                stage.w2[p] = -theta.sin() + rng.gen_range(-noise..noise);
+                stage.w3[p] = theta.sin() + rng.gen_range(-noise..noise);
+                stage.w4[p] = theta.cos() + rng.gen_range(-noise..noise);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of butterfly stages (`log2 n`).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The individual butterfly factors, ordered from smallest to largest
+    /// half-block size (application order).
+    pub fn stages(&self) -> &[ButterflyStage] {
+        &self.stages
+    }
+
+    /// Total number of trainable parameters: `2 n log2 n`.
+    pub fn num_params(&self) -> usize {
+        2 * self.n * self.num_stages()
+    }
+
+    /// Applies the butterfly matrix to a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.size()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n, "butterfly input length mismatch");
+        let mut v = x.to_vec();
+        for stage in &self.stages {
+            stage.apply_in_place(&mut v);
+        }
+        v
+    }
+
+    /// Applies the butterfly matrix to every row of a `[rows, n]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D with `n` columns.
+    pub fn forward_rows(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.n, "butterfly row width mismatch");
+        let rows = x.rows();
+        let mut out = Tensor::zeros(&[rows, self.n]);
+        for r in 0..rows {
+            let row: Vec<f32> = (0..self.n).map(|c| x.at(r, c)).collect();
+            let y = self.forward(&row);
+            for c in 0..self.n {
+                out.set(r, c, y[c]);
+            }
+        }
+        out
+    }
+
+    /// Applies the butterfly matrix, also returning the input of every stage
+    /// (needed by the backward pass).
+    pub fn forward_with_intermediates(&self, x: &[f32]) -> (Vec<f32>, Vec<Vec<f32>>) {
+        assert_eq!(x.len(), self.n, "butterfly input length mismatch");
+        let mut intermediates = Vec::with_capacity(self.stages.len());
+        let mut v = x.to_vec();
+        for stage in &self.stages {
+            intermediates.push(v.clone());
+            stage.apply_in_place(&mut v);
+        }
+        (v, intermediates)
+    }
+
+    /// Backward pass for one vector: given the gradient with respect to the
+    /// output, returns the gradient with respect to the input and the
+    /// gradient with respect to the weight tensor (same layout as
+    /// [`ButterflyMatrix::to_weight_tensor`]).
+    pub fn backward(&self, x: &[f32], grad_out: &[f32]) -> (Vec<f32>, Tensor) {
+        let (_, intermediates) = self.forward_with_intermediates(x);
+        let mut grad = grad_out.to_vec();
+        let mut grad_w = Tensor::zeros(&[self.num_stages(), 2 * self.n]);
+        let half_n = self.n / 2;
+        for (s, stage) in self.stages.iter().enumerate().rev() {
+            let input = &intermediates[s];
+            let mut grad_in = vec![0.0f32; self.n];
+            for p in 0..stage.pairs() {
+                let (i1, i2) = stage.pair_indices(p);
+                let (g1, g2) = (grad[i1], grad[i2]);
+                let (a, b) = (input[i1], input[i2]);
+                // Weight gradients.
+                let base = grad_w.at(s, p);
+                grad_w.set(s, p, base + g1 * a);
+                let v = grad_w.at(s, half_n + p) + g1 * b;
+                grad_w.set(s, half_n + p, v);
+                let v = grad_w.at(s, 2 * half_n + p) + g2 * a;
+                grad_w.set(s, 2 * half_n + p, v);
+                let v = grad_w.at(s, 3 * half_n + p) + g2 * b;
+                grad_w.set(s, 3 * half_n + p, v);
+                // Input gradients.
+                let (w1, w2, w3, w4) = stage.weights(p);
+                grad_in[i1] = w1 * g1 + w3 * g2;
+                grad_in[i2] = w2 * g1 + w4 * g2;
+            }
+            grad = grad_in;
+        }
+        (grad, grad_w)
+    }
+
+    /// Expands the butterfly factorisation into a dense `n × n` matrix `B`
+    /// such that `forward(x) = B x`.
+    pub fn to_dense(&self) -> Tensor {
+        let mut dense = Tensor::zeros(&[self.n, self.n]);
+        for j in 0..self.n {
+            let mut e = vec![0.0f32; self.n];
+            e[j] = 1.0;
+            let col = self.forward(&e);
+            for i in 0..self.n {
+                dense.set(i, j, col[i]);
+            }
+        }
+        dense
+    }
+
+    /// Serialises the weights to a `[log2 n, 2 n]` tensor. Row `s` stores
+    /// `[w1 | w2 | w3 | w4]`, each of length `n / 2`.
+    pub fn to_weight_tensor(&self) -> Tensor {
+        let half_n = self.n / 2;
+        let mut w = Tensor::zeros(&[self.num_stages(), 2 * self.n]);
+        for (s, stage) in self.stages.iter().enumerate() {
+            for p in 0..stage.pairs() {
+                w.set(s, p, stage.w1[p]);
+                w.set(s, half_n + p, stage.w2[p]);
+                w.set(s, 2 * half_n + p, stage.w3[p]);
+                w.set(s, 3 * half_n + p, stage.w4[p]);
+            }
+        }
+        w
+    }
+
+    /// Reconstructs a butterfly matrix from a `[log2 n, 2 n]` weight tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ButterflyError::WeightShapeMismatch`] when the tensor shape
+    /// does not correspond to a valid power-of-two butterfly layout, and
+    /// [`ButterflyError::NotPowerOfTwo`] when the implied size is invalid.
+    pub fn from_weight_tensor(w: &Tensor) -> Result<Self, ButterflyError> {
+        let shape = w.shape();
+        if shape.len() != 2 {
+            return Err(ButterflyError::WeightShapeMismatch {
+                expected: vec![0, 0],
+                got: shape.to_vec(),
+            });
+        }
+        let stages = shape[0];
+        let n = shape[1] / 2;
+        let valid = n >= 2 && n.is_power_of_two() && shape[1] == 2 * n && log2_exact(n.max(2)) == stages;
+        if !valid {
+            return Err(ButterflyError::WeightShapeMismatch {
+                expected: vec![stages, 2 * n],
+                got: shape.to_vec(),
+            });
+        }
+        let mut m = Self::try_identity(n)?;
+        let half_n = n / 2;
+        for (s, stage) in m.stages.iter_mut().enumerate() {
+            for p in 0..half_n {
+                stage.w1[p] = w.at(s, p);
+                stage.w2[p] = w.at(s, half_n + p);
+                stage.w3[p] = w.at(s, 2 * half_n + p);
+                stage.w4[p] = w.at(s, 3 * half_n + p);
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_forward_is_noop() {
+        let b = ButterflyMatrix::identity(16);
+        let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(b.forward(&x), x);
+    }
+
+    #[test]
+    fn invalid_sizes_are_rejected() {
+        assert!(ButterflyMatrix::try_identity(12).is_err());
+        assert!(ButterflyMatrix::try_identity(0).is_err());
+        assert!(ButterflyMatrix::try_identity(1).is_err());
+        assert!(ButterflyMatrix::try_identity(2).is_ok());
+    }
+
+    #[test]
+    fn parameter_count_is_2n_logn() {
+        let b = ButterflyMatrix::identity(64);
+        assert_eq!(b.num_params(), 2 * 64 * 6);
+    }
+
+    #[test]
+    fn forward_matches_dense_expansion() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = ButterflyMatrix::random(16, &mut rng).unwrap();
+        let dense = b.to_dense();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.17).sin()).collect();
+        let fast = b.forward(&x);
+        // dense * x (column-vector convention)
+        for i in 0..16 {
+            let slow: f32 = (0..16).map(|j| dense.at(i, j) * x[j]).sum();
+            assert!((slow - fast[i]).abs() < 1e-4, "row {i}: {slow} vs {}", fast[i]);
+        }
+    }
+
+    #[test]
+    fn dense_expansion_is_not_low_rank_trivial() {
+        // The butterfly product of log2(n) sparse factors should produce a
+        // dense matrix (global connectivity), not a block-diagonal one.
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = ButterflyMatrix::random(8, &mut rng).unwrap();
+        let dense = b.to_dense();
+        // Element coupling position 0 with position 7 must be reachable.
+        assert!(dense.at(7, 0).abs() > 1e-8 || dense.at(0, 7).abs() > 1e-8);
+    }
+
+    #[test]
+    fn weight_tensor_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = ButterflyMatrix::random(32, &mut rng).unwrap();
+        let w = b.to_weight_tensor();
+        assert_eq!(w.shape(), &[5, 64]);
+        let b2 = ButterflyMatrix::from_weight_tensor(&w).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn from_weight_tensor_rejects_bad_shapes() {
+        let w = Tensor::zeros(&[3, 10]);
+        assert!(ButterflyMatrix::from_weight_tensor(&w).is_err());
+        let w = Tensor::zeros(&[4, 16]); // implies n=8 but log2(8)=3 != 4
+        assert!(ButterflyMatrix::from_weight_tensor(&w).is_err());
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_dense_transpose() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let b = ButterflyMatrix::random(8, &mut rng).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.29).cos()).collect();
+        let g: Vec<f32> = (0..8).map(|i| (i as f32 * 0.53).sin()).collect();
+        let (grad_x, _) = b.backward(&x, &g);
+        let dense = b.to_dense();
+        for j in 0..8 {
+            let expected: f32 = (0..8).map(|i| dense.at(i, j) * g[i]).sum();
+            assert!((expected - grad_x[j]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_weight_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let b = ButterflyMatrix::random(8, &mut rng).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.41).sin()).collect();
+        let g = vec![1.0f32; 8]; // loss = sum of outputs
+        let (_, grad_w) = b.backward(&x, &g);
+        let w = b.to_weight_tensor();
+        let eps = 1e-3f32;
+        for s in 0..w.rows() {
+            for c in 0..w.cols() {
+                let mut wp = w.clone();
+                wp.set(s, c, w.at(s, c) + eps);
+                let mut wm = w.clone();
+                wm.set(s, c, w.at(s, c) - eps);
+                let fp: f32 = ButterflyMatrix::from_weight_tensor(&wp).unwrap().forward(&x).iter().sum();
+                let fm: f32 = ButterflyMatrix::from_weight_tensor(&wm).unwrap().forward(&x).iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = grad_w.at(s, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "stage {s} col {c}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_rows_applies_per_row() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = ButterflyMatrix::random(4, &mut rng).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0], &[2, 4]).unwrap();
+        let y = b.forward_rows(&x);
+        let r0 = b.forward(&[1.0, 0.0, 0.0, 0.0]);
+        let r1 = b.forward(&[0.0, 1.0, 0.0, 0.0]);
+        for c in 0..4 {
+            assert!((y.at(0, c) - r0[c]).abs() < 1e-6);
+            assert!((y.at(1, c) - r1[c]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stage_pairing_matches_fft_pattern() {
+        // Stage 0 pairs adjacent elements, the final stage pairs elements n/2 apart.
+        let b = ButterflyMatrix::identity(16);
+        assert_eq!(b.stages()[0].pair_indices(0), (0, 1));
+        assert_eq!(b.stages()[3].pair_indices(0), (0, 8));
+        assert_eq!(b.stages()[3].pair_indices(1), (1, 9));
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by butterfly and FFT constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ButterflyError {
+    /// The requested transform size is not a power of two (or is below 2).
+    NotPowerOfTwo {
+        /// The offending size.
+        size: usize,
+    },
+    /// The supplied weight tensor does not match the expected butterfly
+    /// parameter layout.
+    WeightShapeMismatch {
+        /// Expected shape `[stages, 2 * n]`.
+        expected: Vec<usize>,
+        /// Shape that was provided.
+        got: Vec<usize>,
+    },
+    /// The input length does not match the transform size.
+    InputLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Length that was provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ButterflyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ButterflyError::NotPowerOfTwo { size } => {
+                write!(f, "butterfly size {size} is not a power of two >= 2")
+            }
+            ButterflyError::WeightShapeMismatch { expected, got } => {
+                write!(f, "butterfly weight shape {got:?} does not match expected {expected:?}")
+            }
+            ButterflyError::InputLengthMismatch { expected, got } => {
+                write!(f, "input length {got} does not match transform size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ButterflyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ButterflyError::NotPowerOfTwo { size: 12 };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Autodiff integration: butterfly linear transform and Fourier mixing as
+//! differentiable tape operators.
+
+use crate::fourier::{fourier_mix, fourier_mix_backward};
+use crate::ButterflyMatrix;
+use fab_tensor::{Tape, Tensor, VarId};
+
+/// Records a butterfly linear transform `y = B(x)` on the tape, where the
+/// butterfly weights are a trainable `[log2 n, 2 n]` tensor variable and each
+/// row of `x` (shape `[rows, n]`) is transformed independently.
+///
+/// Gradients are computed directly on the factorised form — the dense `n × n`
+/// matrix is never materialised, matching the `O(n log n)` compute of the
+/// paper's butterfly layers.
+///
+/// # Panics
+///
+/// Panics when the weight variable does not have a valid butterfly layout or
+/// `x` does not have `n` columns.
+pub fn butterfly_linear_op(tape: &Tape, x: VarId, weights: VarId) -> VarId {
+    let wv = tape.value(weights);
+    let bfly = ButterflyMatrix::from_weight_tensor(&wv).expect("invalid butterfly weight tensor");
+    let xv = tape.value(x);
+    let value = bfly.forward_rows(&xv);
+    tape.push_custom(
+        value,
+        &[x, weights],
+        Box::new(move |g, parents, _| {
+            let xv = &parents[0];
+            let bfly = ButterflyMatrix::from_weight_tensor(&parents[1])
+                .expect("invalid butterfly weight tensor in backward");
+            let n = bfly.size();
+            let rows = xv.rows();
+            let mut grad_x = Tensor::zeros(&[rows, n]);
+            let mut grad_w = Tensor::zeros(parents[1].shape());
+            for r in 0..rows {
+                let row: Vec<f32> = (0..n).map(|c| xv.at(r, c)).collect();
+                let grow: Vec<f32> = (0..n).map(|c| g.at(r, c)).collect();
+                let (gx, gw) = bfly.backward(&row, &grow);
+                for c in 0..n {
+                    grad_x.set(r, c, gx[c]);
+                }
+                grad_w = grad_w.add(&gw);
+            }
+            vec![grad_x, grad_w]
+        }),
+    )
+}
+
+/// Records the FNet 2-D Fourier token-mixing transform on the tape.
+///
+/// The operation has no trainable parameters; its backward pass applies the
+/// same transform to the upstream gradient (the map is self-adjoint).
+pub fn fourier_mix_op(tape: &Tape, x: VarId) -> VarId {
+    let value = fourier_mix(&tape.value(x));
+    tape.push_custom(value, &[x], Box::new(|g, _, _| vec![fourier_mix_backward(g)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_tensor::check_gradient;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn butterfly_op_forward_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bfly = ButterflyMatrix::random(8, &mut rng).unwrap();
+        let tape = Tape::new();
+        let x = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.21).sin()).collect(), &[2, 8]).unwrap();
+        let xv = tape.leaf(x.clone());
+        let wv = tape.leaf(bfly.to_weight_tensor());
+        let y = butterfly_linear_op(&tape, xv, wv);
+        assert!(tape.value(y).allclose(&bfly.forward_rows(&x), 1e-5));
+    }
+
+    #[test]
+    fn butterfly_op_input_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let bfly = ButterflyMatrix::random(8, &mut rng).unwrap();
+        let w = bfly.to_weight_tensor();
+        let x = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.37).cos()).collect(), &[2, 8]).unwrap();
+        let ok = check_gradient(
+            |tape, xv| {
+                let wv = tape.leaf(w.clone());
+                let y = butterfly_linear_op(tape, xv, wv);
+                tape.sum(y)
+            },
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn butterfly_op_weight_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let bfly = ButterflyMatrix::random(4, &mut rng).unwrap();
+        let w = bfly.to_weight_tensor();
+        let x = Tensor::from_vec(vec![0.3, -0.8, 0.5, 1.2, -0.1, 0.4, 0.9, -0.6], &[2, 4]).unwrap();
+        let ok = check_gradient(
+            |tape, wv| {
+                let xv = tape.leaf(x.clone());
+                let y = butterfly_linear_op(tape, xv, wv);
+                tape.sum(y)
+            },
+            &w,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn fourier_op_gradient_checks() {
+        let x = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.11).sin()).collect(), &[8, 4]).unwrap();
+        let ok = check_gradient(
+            |tape, xv| {
+                let y = fourier_mix_op(tape, xv);
+                let w = tape.leaf(Tensor::from_vec(
+                    (0..32).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.5).collect(),
+                    &[8, 4],
+                ).unwrap());
+                let z = tape.mul(y, w);
+                tape.sum(z)
+            },
+            &x,
+            2e-2,
+        );
+        assert!(ok);
+    }
+}

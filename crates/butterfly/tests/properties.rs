@@ -1,0 +1,75 @@
+//! Property-based tests of the FFT and butterfly kernels.
+
+use fab_butterfly::fft::{dft_naive, fft, ifft};
+use fab_butterfly::{fourier_mix, ButterflyMatrix, Complex};
+use fab_tensor::Tensor;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_matches_naive_dft(x in complex_signal(32)) {
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrips_through_inverse(x in complex_signal(64)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn butterfly_forward_matches_dense_expansion(seed in 0u64..1000, xs in prop::collection::vec(-1.0f32..1.0, 16)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = ButterflyMatrix::random(16, &mut rng).unwrap();
+        let dense = b.to_dense();
+        let fast = b.forward(&xs);
+        for i in 0..16 {
+            let slow: f32 = (0..16).map(|j| dense.at(i, j) * xs[j]).sum();
+            prop_assert!((slow - fast[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn butterfly_weight_tensor_roundtrips(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = ButterflyMatrix::random(32, &mut rng).unwrap();
+        let restored = ButterflyMatrix::from_weight_tensor(&b.to_weight_tensor()).unwrap();
+        prop_assert_eq!(b, restored);
+    }
+
+    #[test]
+    fn butterfly_input_gradient_is_the_transpose_map(seed in 0u64..1000, g in prop::collection::vec(-1.0f32..1.0, 8)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = ButterflyMatrix::random(8, &mut rng).unwrap();
+        let x = vec![0.0f32; 8];
+        let (grad_x, _) = b.backward(&x, &g);
+        let dense = b.to_dense();
+        for j in 0..8 {
+            let expected: f32 = (0..8).map(|i| dense.at(i, j) * g[i]).sum();
+            prop_assert!((expected - grad_x[j]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fourier_mix_is_linear(a in prop::collection::vec(-1.0f32..1.0, 32), b in prop::collection::vec(-1.0f32..1.0, 32)) {
+        let ta = Tensor::from_vec(a.clone(), &[8, 4]).unwrap();
+        let tb = Tensor::from_vec(b.clone(), &[8, 4]).unwrap();
+        let lhs = fourier_mix(&ta.add(&tb));
+        let rhs = fourier_mix(&ta).add(&fourier_mix(&tb));
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+}

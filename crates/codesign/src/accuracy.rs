@@ -1,0 +1,191 @@
+//! Accuracy evaluation of candidate FABNet configurations.
+
+use fab_lra::{LraTask, TaskConfig};
+use fab_nn::{train_classifier, Model, ModelConfig, ModelKind, TrainOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Estimates the task accuracy of a candidate FABNet configuration.
+///
+/// The paper trains every candidate on the target LRA task; implementors can
+/// either do the same at reduced scale ([`TrainedAccuracy`]) or use a fast
+/// analytic surrogate ([`HeuristicAccuracy`]).
+pub trait AccuracyEstimator {
+    /// Returns the estimated accuracy in `[0, 1]` for `config`.
+    fn estimate(&self, config: &ModelConfig) -> f64;
+
+    /// Reference accuracy of the uncompressed vanilla Transformer on the same
+    /// task, used to express accuracy-loss constraints.
+    fn reference_accuracy(&self) -> f64;
+}
+
+/// A capacity-based surrogate accuracy model.
+///
+/// Accuracy rises with model capacity (hidden size, depth, FFN width) and
+/// saturates at the task's reference accuracy; ABfly blocks contribute a
+/// small bonus over pure-Fourier mixing, mirroring the trends of the paper's
+/// Fig. 16 and Table III (FABNet matches the Transformer once it is large
+/// enough, and attention helps slightly on some tasks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeuristicAccuracy {
+    reference: f64,
+    chance: f64,
+    /// Capacity (in units of `hidden * sqrt(layers)`) at which the model
+    /// reaches ~63% of the gap between chance and the reference accuracy.
+    capacity_scale: f64,
+    /// Additive bonus per ABfly block, saturating at the reference accuracy.
+    abfly_bonus: f64,
+}
+
+impl HeuristicAccuracy {
+    /// Surrogate calibrated to LRA-Text (Table III: Transformer 0.637).
+    pub fn lra_text() -> Self {
+        Self { reference: 0.637, chance: 0.5, capacity_scale: 120.0, abfly_bonus: 0.004 }
+    }
+
+    /// Surrogate calibrated to LRA-Image (Table III: Transformer 0.379).
+    pub fn lra_image() -> Self {
+        Self { reference: 0.379, chance: 0.1, capacity_scale: 220.0, abfly_bonus: 0.01 }
+    }
+
+    /// Surrogate for an arbitrary task with a given reference and chance accuracy.
+    pub fn with_reference(reference: f64, chance: f64) -> Self {
+        Self { reference, chance, capacity_scale: 150.0, abfly_bonus: 0.005 }
+    }
+}
+
+impl AccuracyEstimator for HeuristicAccuracy {
+    fn estimate(&self, config: &ModelConfig) -> f64 {
+        let capacity = config.hidden as f64
+            * (config.num_layers as f64).sqrt()
+            * (config.ffn_ratio as f64 / 4.0).sqrt();
+        let saturation = 1.0 - (-capacity / self.capacity_scale).exp();
+        let base = self.chance + (self.reference - self.chance) * saturation;
+        (base + self.abfly_bonus * config.num_abfly as f64).min(self.reference + 0.01)
+    }
+
+    fn reference_accuracy(&self) -> f64 {
+        self.reference
+    }
+}
+
+/// Accuracy evaluation by actually training the candidate on an LRA-proxy
+/// task at reduced scale (the faithful but slow path).
+#[derive(Debug, Clone)]
+pub struct TrainedAccuracy {
+    /// The proxy task to train on.
+    pub task: LraTask,
+    /// Sequence length used for the proxy.
+    pub seq_len: usize,
+    /// Number of training examples.
+    pub train_examples: usize,
+    /// Number of held-out examples.
+    pub test_examples: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Random seed for data generation and model initialisation.
+    pub seed: u64,
+    /// Reference accuracy measured for the dense Transformer at the same scale.
+    pub reference: f64,
+}
+
+impl TrainedAccuracy {
+    /// A configuration small enough for tests: short sequences, few examples.
+    pub fn tiny(task: LraTask, seed: u64) -> Self {
+        Self {
+            task,
+            seq_len: 32,
+            train_examples: 24,
+            test_examples: 16,
+            epochs: 2,
+            seed,
+            reference: 0.8,
+        }
+    }
+
+    /// Trains and evaluates one candidate, returning its held-out accuracy.
+    pub fn train_and_evaluate(&self, config: &ModelConfig) -> f64 {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let task_config = TaskConfig { seq_len: self.seq_len };
+        let (train, test) = self.task.generate_split(
+            &task_config,
+            self.train_examples,
+            self.test_examples,
+            &mut rng,
+        );
+        let mut model_config = config.clone();
+        model_config.vocab_size = self.task.vocab_size();
+        model_config.num_classes = self.task.num_classes();
+        model_config.max_seq = self.seq_len.max(model_config.max_seq.min(self.seq_len));
+        let model = Model::new(&model_config, ModelKind::FabNet, &mut rng);
+        let to_examples = |samples: &[fab_lra::Sample]| {
+            samples
+                .iter()
+                .map(|s| fab_nn::Example::new(s.tokens.clone(), s.label))
+                .collect::<Vec<_>>()
+        };
+        let report = train_classifier(
+            &model,
+            &to_examples(&train),
+            &to_examples(&test),
+            &TrainOptions { epochs: self.epochs, learning_rate: 2e-3, batch_size: 1 },
+        );
+        report.test_accuracy as f64
+    }
+}
+
+impl AccuracyEstimator for TrainedAccuracy {
+    fn estimate(&self, config: &ModelConfig) -> f64 {
+        self.train_and_evaluate(config)
+    }
+
+    fn reference_accuracy(&self) -> f64 {
+        self.reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_accuracy_increases_with_capacity() {
+        let est = HeuristicAccuracy::lra_text();
+        let small = ModelConfig { hidden: 64, num_layers: 1, ..ModelConfig::fabnet_base() };
+        let large = ModelConfig { hidden: 512, num_layers: 2, ..ModelConfig::fabnet_base() };
+        assert!(est.estimate(&large) > est.estimate(&small));
+        assert!(est.estimate(&large) <= est.reference_accuracy() + 0.02);
+    }
+
+    #[test]
+    fn heuristic_accuracy_stays_above_chance() {
+        let est = HeuristicAccuracy::lra_image();
+        let tiny = ModelConfig { hidden: 16, num_layers: 1, ..ModelConfig::tiny_for_tests() };
+        assert!(est.estimate(&tiny) >= 0.1);
+    }
+
+    #[test]
+    fn abfly_blocks_give_a_small_bonus() {
+        let est = HeuristicAccuracy::lra_image();
+        let without = ModelConfig { hidden: 256, num_layers: 2, num_abfly: 0, ..ModelConfig::fabnet_base() };
+        let with = ModelConfig { num_abfly: 1, ..without.clone() };
+        assert!(est.estimate(&with) > est.estimate(&without));
+    }
+
+    #[test]
+    fn trained_accuracy_runs_end_to_end_on_a_tiny_candidate() {
+        let est = TrainedAccuracy::tiny(LraTask::Text, 3);
+        let config = ModelConfig {
+            hidden: 16,
+            ffn_ratio: 2,
+            num_layers: 1,
+            num_abfly: 0,
+            num_heads: 2,
+            vocab_size: 32,
+            max_seq: 32,
+            num_classes: 2,
+        };
+        let acc = est.estimate(&config);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,208 @@
+//! The co-design sweep: enumerate, filter by resources, evaluate accuracy and
+//! latency in parallel, extract the Pareto front and pick the best design
+//! under an accuracy constraint (Fig. 15 and Fig. 18).
+
+use crate::accuracy::AccuracyEstimator;
+use crate::pareto::pareto_front_indices;
+use crate::space::{DesignPoint, DesignSpace};
+use fab_accel::workload::LayerSchedule;
+use fab_accel::{resources, Simulator};
+use fab_nn::ModelKind;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling a co-design run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodesignOptions {
+    /// Sequence length of the target task.
+    pub seq_len: usize,
+    /// Maximum tolerated accuracy loss relative to the estimator's reference
+    /// (the paper constrains this to 1% on LRA-Text, 0.5% elsewhere).
+    pub max_accuracy_loss: f64,
+    /// Number of worker threads for the sweep.
+    pub num_threads: usize,
+}
+
+impl Default for CodesignOptions {
+    fn default() -> Self {
+        Self { seq_len: 1024, max_accuracy_loss: 0.01, num_threads: 2 }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// The candidate configuration.
+    pub point: DesignPoint,
+    /// Estimated task accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Simulated end-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// DSPs required by the design.
+    pub dsps: u64,
+    /// BRAMs required by the design.
+    pub brams: u64,
+}
+
+/// The outcome of a co-design run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodesignResult {
+    /// Every feasible, evaluated design point.
+    pub points: Vec<EvaluatedPoint>,
+    /// Indices (into `points`) of the Pareto-optimal designs, sorted by latency.
+    pub pareto: Vec<usize>,
+    /// Index of the chosen design: the fastest Pareto point whose accuracy
+    /// loss is within the constraint, if any.
+    pub chosen: Option<usize>,
+    /// Number of raw grid points that were skipped for resource overflow.
+    pub infeasible: usize,
+    /// The reference accuracy the loss constraint is measured against.
+    pub reference_accuracy: f64,
+}
+
+impl CodesignResult {
+    /// The Pareto-optimal evaluated points, sorted by latency.
+    pub fn pareto_front(&self) -> Vec<&EvaluatedPoint> {
+        self.pareto.iter().map(|&i| &self.points[i]).collect()
+    }
+
+    /// The chosen design, if any satisfies the accuracy constraint.
+    pub fn chosen_point(&self) -> Option<&EvaluatedPoint> {
+        self.chosen.map(|i| &self.points[i])
+    }
+
+    /// The largest latency ratio between a design in the same accuracy band
+    /// as the chosen point and the chosen point itself — the paper's "up to
+    /// 130x faster than points in the same accuracy range" metric.
+    pub fn max_speedup_in_accuracy_band(&self, band: f64) -> Option<f64> {
+        let chosen = self.chosen_point()?;
+        self.points
+            .iter()
+            .filter(|p| (p.accuracy - chosen.accuracy).abs() <= band)
+            .map(|p| p.latency_ms / chosen.latency_ms)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Runs the co-design grid search.
+///
+/// Resource-infeasible designs are discarded; the remaining points are
+/// evaluated with `estimator` (accuracy) and the `fab-accel` simulator
+/// (latency) across `options.num_threads` worker threads.
+pub fn run_codesign<E: AccuracyEstimator + Sync>(
+    space: &DesignSpace,
+    estimator: &E,
+    options: &CodesignOptions,
+) -> CodesignResult {
+    let candidates = space.enumerate();
+    let feasible: Vec<DesignPoint> = candidates
+        .iter()
+        .filter(|p| resources::check_fits(&p.hardware).is_ok())
+        .cloned()
+        .collect();
+    let infeasible = candidates.len() - feasible.len();
+
+    let results: Mutex<Vec<EvaluatedPoint>> = Mutex::new(Vec::with_capacity(feasible.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let threads = options.num_threads.max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= feasible.len() {
+                    break;
+                }
+                let point = &feasible[idx];
+                let usage = resources::estimate(&point.hardware);
+                let accuracy = estimator.estimate(&point.model);
+                let schedule =
+                    LayerSchedule::from_model(&point.model, ModelKind::FabNet, options.seq_len);
+                let latency_ms =
+                    Simulator::new(point.hardware.clone()).simulate(&schedule).total_ms();
+                results.lock().push(EvaluatedPoint {
+                    point: point.clone(),
+                    accuracy,
+                    latency_ms,
+                    dsps: usage.dsps,
+                    brams: usage.brams,
+                });
+            });
+        }
+    })
+    .expect("co-design worker thread panicked");
+
+    let mut points = results.into_inner();
+    // Deterministic order regardless of thread interleaving.
+    points.sort_by(|a, b| {
+        a.latency_ms
+            .partial_cmp(&b.latency_ms)
+            .expect("finite latency")
+            .then(a.accuracy.partial_cmp(&b.accuracy).expect("finite accuracy"))
+            .then(a.dsps.cmp(&b.dsps))
+    });
+
+    let accuracy: Vec<f64> = points.iter().map(|p| p.accuracy).collect();
+    let latency: Vec<f64> = points.iter().map(|p| p.latency_ms).collect();
+    let pareto = pareto_front_indices(&accuracy, &latency);
+    let reference = estimator.reference_accuracy();
+    let chosen = pareto
+        .iter()
+        .copied()
+        .find(|&i| points[i].accuracy >= reference - options.max_accuracy_loss);
+    CodesignResult { points, pareto, chosen, infeasible, reference_accuracy: reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::HeuristicAccuracy;
+
+    #[test]
+    fn codesign_produces_a_pareto_front_and_a_choice() {
+        let space = DesignSpace::tiny_for_tests();
+        let options = CodesignOptions { seq_len: 256, max_accuracy_loss: 0.05, num_threads: 2 };
+        let result = run_codesign(&space, &HeuristicAccuracy::lra_text(), &options);
+        assert!(!result.points.is_empty());
+        assert!(!result.pareto.is_empty());
+        let front = result.pareto_front();
+        // The front must be sorted by latency and non-decreasing in accuracy.
+        for pair in front.windows(2) {
+            assert!(pair[0].latency_ms <= pair[1].latency_ms);
+            assert!(pair[0].accuracy <= pair[1].accuracy + 1e-9);
+        }
+        let chosen = result.chosen_point().expect("a design should satisfy a 5% loss budget");
+        assert!(chosen.accuracy >= result.reference_accuracy - 0.05);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let space = DesignSpace::tiny_for_tests();
+        let est = HeuristicAccuracy::lra_text();
+        let a = run_codesign(&space, &est, &CodesignOptions { seq_len: 128, max_accuracy_loss: 0.05, num_threads: 1 });
+        let b = run_codesign(&space, &est, &CodesignOptions { seq_len: 128, max_accuracy_loss: 0.05, num_threads: 4 });
+        assert_eq!(a.points.len(), b.points.len());
+        assert_eq!(a.pareto, b.pareto);
+        assert_eq!(a.chosen, b.chosen);
+    }
+
+    #[test]
+    fn tighter_accuracy_constraints_never_pick_faster_designs() {
+        let space = DesignSpace::tiny_for_tests();
+        let est = HeuristicAccuracy::lra_text();
+        let loose = run_codesign(&space, &est, &CodesignOptions { seq_len: 256, max_accuracy_loss: 0.10, num_threads: 2 });
+        let tight = run_codesign(&space, &est, &CodesignOptions { seq_len: 256, max_accuracy_loss: 0.01, num_threads: 2 });
+        if let (Some(l), Some(t)) = (loose.chosen_point(), tight.chosen_point()) {
+            assert!(t.latency_ms >= l.latency_ms);
+        }
+    }
+
+    #[test]
+    fn speedup_within_accuracy_band_is_reported() {
+        let space = DesignSpace::tiny_for_tests();
+        let est = HeuristicAccuracy::lra_text();
+        let result =
+            run_codesign(&space, &est, &CodesignOptions { seq_len: 512, max_accuracy_loss: 0.05, num_threads: 2 });
+        let speedup = result.max_speedup_in_accuracy_band(0.02);
+        assert!(speedup.unwrap_or(0.0) >= 1.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Encoder blocks: the vanilla Transformer block, the FNet block, and the
+//! paper's ABfly and FBfly blocks (Fig. 5).
+
+use crate::layers::{FeedForward, FourierMixing, LayerNorm, MultiHeadAttention};
+use crate::param::Bindings;
+use fab_tensor::{Tape, VarId};
+use rand::rngs::StdRng;
+
+/// A single encoder block mapping `[seq, hidden]` to `[seq, hidden]`.
+pub trait EncoderBlock {
+    /// Applies the block.
+    fn forward(&self, tape: &Tape, x: VarId, bindings: &mut Bindings) -> VarId;
+    /// Number of trainable scalars in the block.
+    fn num_params(&self) -> usize;
+    /// FLOPs of one forward pass over a `seq`-length input.
+    fn flops(&self, seq: usize) -> u64;
+    /// Short name used in schedules and reports.
+    fn name(&self) -> &'static str;
+    /// Whether the block contains a (dense-score) attention module, which the
+    /// accelerator must schedule on the Attention Processor.
+    fn uses_attention(&self) -> bool;
+}
+
+fn residual_ln(
+    tape: &Tape,
+    ln: &LayerNorm,
+    x: VarId,
+    fx: VarId,
+    bindings: &mut Bindings,
+) -> VarId {
+    let sum = tape.add(x, fx);
+    ln.forward(tape, sum, bindings)
+}
+
+/// The vanilla Transformer encoder block: dense multi-head attention followed
+/// by a dense FFN, each wrapped in shortcut addition and layer normalisation.
+pub struct TransformerBlock {
+    attn: MultiHeadAttention,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    hidden: usize,
+}
+
+impl TransformerBlock {
+    /// Creates a block with dense attention and a dense FFN.
+    pub fn new(name: &str, hidden: usize, heads: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+        Self {
+            attn: MultiHeadAttention::new_dense(&format!("{name}.attn"), hidden, heads, rng),
+            ffn: FeedForward::new_dense(&format!("{name}.ffn"), hidden, ffn_ratio, rng),
+            ln1: LayerNorm::new(&format!("{name}.ln1"), hidden),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), hidden),
+            hidden,
+        }
+    }
+}
+
+impl EncoderBlock for TransformerBlock {
+    fn forward(&self, tape: &Tape, x: VarId, bindings: &mut Bindings) -> VarId {
+        let a = self.attn.forward(tape, x, bindings);
+        let x = residual_ln(tape, &self.ln1, x, a, bindings);
+        let f = self.ffn.forward(tape, x, bindings);
+        residual_ln(tape, &self.ln2, x, f, bindings)
+    }
+
+    fn num_params(&self) -> usize {
+        self.attn.num_params() + self.ffn.num_params() + self.ln1.num_params() + self.ln2.num_params()
+    }
+
+    fn flops(&self, seq: usize) -> u64 {
+        self.attn.flops(seq)
+            + self.ffn.flops(seq)
+            + 2 * fab_butterfly::flops::layer_norm_flops(seq, self.hidden)
+    }
+
+    fn name(&self) -> &'static str {
+        "Transformer"
+    }
+
+    fn uses_attention(&self) -> bool {
+        true
+    }
+}
+
+/// The FNet encoder block: parameter-free Fourier token mixing followed by a
+/// dense FFN.
+pub struct FNetBlock {
+    fourier: FourierMixing,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    hidden: usize,
+}
+
+impl FNetBlock {
+    /// Creates a block with Fourier mixing and a dense FFN.
+    pub fn new(name: &str, hidden: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+        Self {
+            fourier: FourierMixing::new(),
+            ffn: FeedForward::new_dense(&format!("{name}.ffn"), hidden, ffn_ratio, rng),
+            ln1: LayerNorm::new(&format!("{name}.ln1"), hidden),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), hidden),
+            hidden,
+        }
+    }
+}
+
+impl EncoderBlock for FNetBlock {
+    fn forward(&self, tape: &Tape, x: VarId, bindings: &mut Bindings) -> VarId {
+        let m = self.fourier.forward(tape, x);
+        let x = residual_ln(tape, &self.ln1, x, m, bindings);
+        let f = self.ffn.forward(tape, x, bindings);
+        residual_ln(tape, &self.ln2, x, f, bindings)
+    }
+
+    fn num_params(&self) -> usize {
+        self.ffn.num_params() + self.ln1.num_params() + self.ln2.num_params()
+    }
+
+    fn flops(&self, seq: usize) -> u64 {
+        self.fourier.flops(seq, self.hidden)
+            + self.ffn.flops(seq)
+            + 2 * fab_butterfly::flops::layer_norm_flops(seq, self.hidden)
+    }
+
+    fn name(&self) -> &'static str {
+        "FNet"
+    }
+
+    fn uses_attention(&self) -> bool {
+        false
+    }
+}
+
+/// FABNet's ABfly block: butterfly-factorised Q/K/V/output projections around
+/// a vanilla attention core, followed by a butterfly FFN.
+pub struct ABflyBlock {
+    attn: MultiHeadAttention,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    hidden: usize,
+}
+
+impl ABflyBlock {
+    /// Creates an ABfly block.
+    pub fn new(name: &str, hidden: usize, heads: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+        Self {
+            attn: MultiHeadAttention::new_butterfly(&format!("{name}.attn"), hidden, heads, rng),
+            ffn: FeedForward::new_butterfly(&format!("{name}.ffn"), hidden, ffn_ratio, rng),
+            ln1: LayerNorm::new(&format!("{name}.ln1"), hidden),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), hidden),
+            hidden,
+        }
+    }
+}
+
+impl EncoderBlock for ABflyBlock {
+    fn forward(&self, tape: &Tape, x: VarId, bindings: &mut Bindings) -> VarId {
+        let a = self.attn.forward(tape, x, bindings);
+        let x = residual_ln(tape, &self.ln1, x, a, bindings);
+        let f = self.ffn.forward(tape, x, bindings);
+        residual_ln(tape, &self.ln2, x, f, bindings)
+    }
+
+    fn num_params(&self) -> usize {
+        self.attn.num_params() + self.ffn.num_params() + self.ln1.num_params() + self.ln2.num_params()
+    }
+
+    fn flops(&self, seq: usize) -> u64 {
+        self.attn.flops(seq)
+            + self.ffn.flops(seq)
+            + 2 * fab_butterfly::flops::layer_norm_flops(seq, self.hidden)
+    }
+
+    fn name(&self) -> &'static str {
+        "ABfly"
+    }
+
+    fn uses_attention(&self) -> bool {
+        true
+    }
+}
+
+/// FABNet's FBfly block: Fourier token mixing followed by a butterfly FFN —
+/// every multiply in the block follows the unified butterfly dataflow.
+pub struct FBflyBlock {
+    fourier: FourierMixing,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    hidden: usize,
+}
+
+impl FBflyBlock {
+    /// Creates an FBfly block.
+    pub fn new(name: &str, hidden: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+        Self {
+            fourier: FourierMixing::new(),
+            ffn: FeedForward::new_butterfly(&format!("{name}.ffn"), hidden, ffn_ratio, rng),
+            ln1: LayerNorm::new(&format!("{name}.ln1"), hidden),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), hidden),
+            hidden,
+        }
+    }
+}
+
+impl EncoderBlock for FBflyBlock {
+    fn forward(&self, tape: &Tape, x: VarId, bindings: &mut Bindings) -> VarId {
+        let m = self.fourier.forward(tape, x);
+        let x = residual_ln(tape, &self.ln1, x, m, bindings);
+        let f = self.ffn.forward(tape, x, bindings);
+        residual_ln(tape, &self.ln2, x, f, bindings)
+    }
+
+    fn num_params(&self) -> usize {
+        self.ffn.num_params() + self.ln1.num_params() + self.ln2.num_params()
+    }
+
+    fn flops(&self, seq: usize) -> u64 {
+        self.fourier.flops(seq, self.hidden)
+            + self.ffn.flops(seq)
+            + 2 * fab_butterfly::flops::layer_norm_flops(seq, self.hidden)
+    }
+
+    fn name(&self) -> &'static str {
+        "FBfly"
+    }
+
+    fn uses_attention(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn run_block(block: &dyn EncoderBlock, seq: usize, hidden: usize) -> Vec<usize> {
+        let tape = Tape::new();
+        let mut b = Bindings::new();
+        let x = tape.leaf(Tensor::ones(&[seq, hidden]));
+        let y = block.forward(&tape, x, &mut b);
+        tape.shape(y)
+    }
+
+    #[test]
+    fn all_blocks_preserve_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let blocks: Vec<Box<dyn EncoderBlock>> = vec![
+            Box::new(TransformerBlock::new("t", 8, 2, 2, &mut rng)),
+            Box::new(FNetBlock::new("f", 8, 2, &mut rng)),
+            Box::new(ABflyBlock::new("a", 8, 2, 2, &mut rng)),
+            Box::new(FBflyBlock::new("b", 8, 2, &mut rng)),
+        ];
+        for block in &blocks {
+            assert_eq!(run_block(block.as_ref(), 4, 8), vec![4, 8], "{}", block.name());
+        }
+    }
+
+    #[test]
+    fn butterfly_blocks_have_fewer_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dense = TransformerBlock::new("t", 64, 4, 4, &mut rng);
+        let bfly = ABflyBlock::new("a", 64, 4, 4, &mut rng);
+        assert!(dense.num_params() > 3 * bfly.num_params());
+        let fnet = FNetBlock::new("f", 64, 4, &mut rng);
+        let fbfly = FBflyBlock::new("b", 64, 4, &mut rng);
+        assert!(fnet.num_params() > 3 * fbfly.num_params());
+    }
+
+    #[test]
+    fn fbfly_is_cheapest_in_flops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = TransformerBlock::new("t", 64, 4, 4, &mut rng);
+        let a = ABflyBlock::new("a", 64, 4, 4, &mut rng);
+        let f = FBflyBlock::new("b", 64, 4, &mut rng);
+        let seq = 256;
+        assert!(t.flops(seq) > a.flops(seq));
+        assert!(a.flops(seq) > f.flops(seq));
+    }
+
+    #[test]
+    fn attention_flag_matches_block_type() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(TransformerBlock::new("t", 8, 2, 2, &mut rng).uses_attention());
+        assert!(ABflyBlock::new("a", 8, 2, 2, &mut rng).uses_attention());
+        assert!(!FNetBlock::new("f", 8, 2, &mut rng).uses_attention());
+        assert!(!FBflyBlock::new("b", 8, 2, &mut rng).uses_attention());
+    }
+}

@@ -1,0 +1,48 @@
+//! # fab-nn
+//!
+//! Neural-network layers, blocks and end-to-end models for the FABNet
+//! reproduction: the vanilla Transformer encoder, FNet, and FABNet itself
+//! (the paper's hybrid of FBfly and ABfly blocks), together with analytic
+//! FLOP/parameter models, optimisers and a small training loop.
+//!
+//! Everything is built on the [`fab_tensor`] autodiff tape and the
+//! [`fab_butterfly`] kernels, so a FABNet trained here exercises exactly the
+//! butterfly/FFT dataflow that the accelerator simulator (`fab-accel`)
+//! models in hardware.
+//!
+//! # Example
+//!
+//! ```rust
+//! use fab_nn::{ModelConfig, ModelKind, Model};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let config = ModelConfig::tiny_for_tests();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Model::new(&config, ModelKind::FabNet, &mut rng);
+//! let tokens = vec![1usize, 2, 3, 4, 5, 6, 7, 0];
+//! let logits = model.predict(&tokens);
+//! assert_eq!(logits.len(), config.num_classes);
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocks;
+mod config;
+pub mod flops;
+mod layers;
+mod models;
+mod optim;
+mod param;
+mod train;
+
+pub use blocks::{ABflyBlock, EncoderBlock, FBflyBlock, FNetBlock, TransformerBlock};
+pub use config::{ModelConfig, ModelKind};
+pub use flops::{FlopsBreakdown, ParamBreakdown};
+pub use layers::{
+    ButterflyLinear, ClassifierHead, DenseLinear, Embedding, FeedForward, FourierMixing,
+    LayerNorm, Linear, MultiHeadAttention,
+};
+pub use models::Model;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::{Bindings, Param};
+pub use train::{evaluate, train_classifier, Example, TrainOptions, TrainReport};

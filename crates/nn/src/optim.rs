@@ -1,0 +1,162 @@
+//! Gradient-descent optimisers operating on parameter bindings.
+
+use crate::param::Bindings;
+use fab_tensor::{Tape, Tensor};
+
+/// An optimiser that applies the gradients accumulated on a tape to the
+/// parameters bound during the corresponding forward pass.
+pub trait Optimizer {
+    /// Applies one update step. Must be called after `tape.backward(..)`.
+    fn step(&mut self, tape: &Tape, bindings: &Bindings);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, tape: &Tape, bindings: &Bindings) {
+        for (id, param) in bindings.iter() {
+            if let Some(grad) = tape.try_grad(*id) {
+                param.update(|t| *t = t.sub(&grad.scale(self.lr)));
+            }
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) with per-parameter first/second moment state.
+///
+/// Moment state is keyed by binding order, which is deterministic because
+/// every forward pass binds parameters in the same layer order.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step_count: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step_count: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, tape: &Tape, bindings: &Bindings) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (slot, (id, param)) in bindings.iter().enumerate() {
+            let Some(grad) = tape.try_grad(*id) else { continue };
+            if self.m.len() <= slot {
+                self.m.push(Tensor::zeros(grad.shape()));
+                self.v.push(Tensor::zeros(grad.shape()));
+            }
+            if self.m[slot].shape() != grad.shape() {
+                // The binding layout changed (e.g. a different model); reset state.
+                self.m[slot] = Tensor::zeros(grad.shape());
+                self.v[slot] = Tensor::zeros(grad.shape());
+            }
+            let m = self.m[slot].scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+            let v = self.v[slot].scale(self.beta2).add(&grad.mul(&grad).scale(1.0 - self.beta2));
+            self.m[slot] = m.clone();
+            self.v[slot] = v.clone();
+            let lr = self.lr;
+            let eps = self.eps;
+            param.update(|p| {
+                let update: Vec<f32> = m
+                    .as_slice()
+                    .iter()
+                    .zip(v.as_slice().iter())
+                    .map(|(&mi, &vi)| {
+                        let mhat = mi / bias1;
+                        let vhat = vi / bias2;
+                        lr * mhat / (vhat.sqrt() + eps)
+                    })
+                    .collect();
+                let update = Tensor::from_vec(update, p.shape()).expect("adam update shape");
+                *p = p.sub(&update);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use fab_tensor::Tensor;
+
+    fn quadratic_step<O: Optimizer>(opt: &mut O, param: &Param) -> f32 {
+        // Minimise f(w) = sum(w^2); gradient is 2w.
+        let tape = Tape::new();
+        let mut bindings = Bindings::new();
+        let w = param.bind(&tape, &mut bindings);
+        let sq = tape.mul(w, w);
+        let loss = tape.sum(sq);
+        tape.backward(loss);
+        opt.step(&tape, &bindings);
+        tape.value(loss).as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let param = Param::new("w", Tensor::from_vec(vec![1.0, -2.0, 3.0], &[1, 3]).unwrap());
+        let mut opt = Sgd::new(0.1);
+        let first = quadratic_step(&mut opt, &param);
+        for _ in 0..50 {
+            quadratic_step(&mut opt, &param);
+        }
+        let last = quadratic_step(&mut opt, &param);
+        assert!(last < first * 1e-3, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let param = Param::new("w", Tensor::from_vec(vec![1.0, -2.0, 3.0], &[1, 3]).unwrap());
+        let mut opt = Adam::new(0.05);
+        let first = quadratic_step(&mut opt, &param);
+        for _ in 0..200 {
+            quadratic_step(&mut opt, &param);
+        }
+        let last = quadratic_step(&mut opt, &param);
+        assert!(last < first * 1e-2, "loss {first} -> {last}");
+        assert_eq!(opt.steps(), 202);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn sgd_rejects_non_positive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,651 @@
+use crate::tensor::{gelu_grad_scalar, gelu_scalar};
+use crate::Tensor;
+use std::cell::RefCell;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Returns the position of this variable on its tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Backward function of a tape node.
+///
+/// Arguments are `(upstream_gradient, parent_values, node_value)` and the
+/// function must return one gradient tensor per parent, each with the same
+/// shape as the corresponding parent value.
+pub type BackwardFn = Box<dyn Fn(&Tensor, &[Tensor], &Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<usize>,
+    backward: Option<BackwardFn>,
+}
+
+/// A reverse-mode automatic differentiation tape.
+///
+/// Operations are recorded in forward order; [`Tape::backward`] walks the
+/// recording in reverse and accumulates gradients for every node, which can
+/// then be fetched with [`Tape::grad`].
+///
+/// Downstream crates can register custom differentiable operators (e.g. the
+/// butterfly linear transform) via [`Tape::push_custom`].
+///
+/// # Example
+///
+/// ```rust
+/// use fab_tensor::{Tape, Tensor};
+/// let tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_vec(vec![2.0], &[1, 1]).unwrap());
+/// let y = tape.mul(x, x);
+/// let loss = tape.sum(y);
+/// tape.backward(loss);
+/// assert!((tape.grad(x).as_slice()[0] - 4.0).abs() < 1e-6);
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+    grads: RefCell<Vec<Option<Tensor>>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: RefCell::new(Vec::new()), grads: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Returns `true` when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Records a leaf (input or parameter) value and returns its handle.
+    pub fn leaf(&self, value: Tensor) -> VarId {
+        self.push_node(value, Vec::new(), None)
+    }
+
+    /// Records a custom operation with an explicit backward function.
+    ///
+    /// `parents` lists the variables the value was computed from; `backward`
+    /// receives the upstream gradient, the parent values and the node value
+    /// and must return one gradient per parent.
+    pub fn push_custom(&self, value: Tensor, parents: &[VarId], backward: BackwardFn) -> VarId {
+        self.push_node(value, parents.iter().map(|p| p.0).collect(), Some(backward))
+    }
+
+    /// Returns a clone of the value held by `id`.
+    pub fn value(&self, id: VarId) -> Tensor {
+        self.nodes.borrow()[id.0].value.clone()
+    }
+
+    /// Returns the shape of the value held by `id`.
+    pub fn shape(&self, id: VarId) -> Vec<usize> {
+        self.nodes.borrow()[id.0].value.shape().to_vec()
+    }
+
+    /// Returns the gradient accumulated for `id` by the last [`Tape::backward`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward` has not been called or the node did not receive a
+    /// gradient (it does not influence the loss).
+    pub fn grad(&self, id: VarId) -> Tensor {
+        self.grads.borrow()[id.0]
+            .clone()
+            .unwrap_or_else(|| panic!("no gradient recorded for node {}", id.0))
+    }
+
+    /// Returns the gradient for `id` if one was accumulated.
+    pub fn try_grad(&self, id: VarId) -> Option<Tensor> {
+        self.grads.borrow().get(id.0).and_then(|g| g.clone())
+    }
+
+    /// Runs reverse-mode differentiation seeded at `loss` (gradient `1` for
+    /// every element of the loss value).
+    pub fn backward(&self, loss: VarId) {
+        let nodes = self.nodes.borrow();
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        let seed = Tensor::ones(nodes[loss.0].value.shape());
+        grads[loss.0] = Some(seed);
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].clone() else { continue };
+            let node = &nodes[idx];
+            let Some(backward) = &node.backward else { continue };
+            let parent_values: Vec<Tensor> =
+                node.parents.iter().map(|&p| nodes[p].value.clone()).collect();
+            let parent_grads = backward(&g, &parent_values, &node.value);
+            assert_eq!(
+                parent_grads.len(),
+                node.parents.len(),
+                "backward fn returned {} gradients for {} parents",
+                parent_grads.len(),
+                node.parents.len()
+            );
+            for (&p, pg) in node.parents.iter().zip(parent_grads.into_iter()) {
+                match &mut grads[p] {
+                    Some(existing) => *existing = existing.add(&pg),
+                    slot => *slot = Some(pg),
+                }
+            }
+        }
+        *self.grads.borrow_mut() = grads;
+    }
+
+    fn push_node(&self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> VarId {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, parents, backward });
+        VarId(nodes.len() - 1)
+    }
+
+    // ----- differentiable operations -------------------------------------
+
+    /// Element-wise addition.
+    pub fn add(&self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).add(&self.value(b));
+        self.push_custom(
+            value,
+            &[a, b],
+            Box::new(|g, _, _| vec![g.clone(), g.clone()]),
+        )
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).sub(&self.value(b));
+        self.push_custom(
+            value,
+            &[a, b],
+            Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]),
+        )
+    }
+
+    /// Element-wise multiplication.
+    pub fn mul(&self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).mul(&self.value(b));
+        self.push_custom(
+            value,
+            &[a, b],
+            Box::new(|g, parents, _| vec![g.mul(&parents[1]), g.mul(&parents[0])]),
+        )
+    }
+
+    /// Multiplication by a compile-time constant scalar.
+    pub fn scale(&self, a: VarId, c: f32) -> VarId {
+        let value = self.value(a).scale(c);
+        self.push_custom(value, &[a], Box::new(move |g, _, _| vec![g.scale(c)]))
+    }
+
+    /// Matrix multiplication of two 2-D variables.
+    pub fn matmul(&self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).matmul(&self.value(b));
+        self.push_custom(
+            value,
+            &[a, b],
+            Box::new(|g, parents, _| {
+                let da = g.matmul(&parents[1].transpose());
+                let db = parents[0].transpose().matmul(g);
+                vec![da, db]
+            }),
+        )
+    }
+
+    /// Transpose of a 2-D variable.
+    pub fn transpose(&self, a: VarId) -> VarId {
+        let value = self.value(a).transpose();
+        self.push_custom(value, &[a], Box::new(|g, _, _| vec![g.transpose()]))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self, a: VarId) -> VarId {
+        let value = self.value(a).softmax_rows();
+        self.push_custom(
+            value,
+            &[a],
+            Box::new(|g, _, y| {
+                let (m, n) = (y.rows(), y.cols());
+                let mut dx = Tensor::zeros(&[m, n]);
+                for i in 0..m {
+                    let dot: f32 = (0..n).map(|j| g.at(i, j) * y.at(i, j)).sum();
+                    for j in 0..n {
+                        dx.set(i, j, y.at(i, j) * (g.at(i, j) - dot));
+                    }
+                }
+                vec![dx]
+            }),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self, a: VarId) -> VarId {
+        let value = self.value(a).relu();
+        self.push_custom(
+            value,
+            &[a],
+            Box::new(|g, parents, _| {
+                vec![Tensor::from_vec(
+                    g.as_slice()
+                        .iter()
+                        .zip(parents[0].as_slice().iter())
+                        .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
+                        .collect(),
+                    g.shape(),
+                )
+                .expect("relu gradient shape")]
+            }),
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation).
+    pub fn gelu(&self, a: VarId) -> VarId {
+        let value = self.value(a).map(gelu_scalar);
+        self.push_custom(
+            value,
+            &[a],
+            Box::new(|g, parents, _| {
+                vec![Tensor::from_vec(
+                    g.as_slice()
+                        .iter()
+                        .zip(parents[0].as_slice().iter())
+                        .map(|(&gv, &xv)| gv * gelu_grad_scalar(xv))
+                        .collect(),
+                    g.shape(),
+                )
+                .expect("gelu gradient shape")]
+            }),
+        )
+    }
+
+    /// Row-wise layer normalization with learned `gamma` and `beta`.
+    pub fn layer_norm(&self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
+        let value = self.value(x).layer_norm_rows(&self.value(gamma), &self.value(beta), eps);
+        self.push_custom(
+            value,
+            &[x, gamma, beta],
+            Box::new(move |g, parents, _| {
+                let (xv, gammav) = (&parents[0], &parents[1]);
+                let (m, n) = (xv.rows(), xv.cols());
+                let mut dx = Tensor::zeros(&[m, n]);
+                let mut dgamma = Tensor::zeros(&[n]);
+                let mut dbeta = Tensor::zeros(&[n]);
+                for i in 0..m {
+                    let row: Vec<f32> = (0..n).map(|j| xv.at(i, j)).collect();
+                    let mean = row.iter().sum::<f32>() / n as f32;
+                    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv).collect();
+                    // Accumulate parameter gradients.
+                    for j in 0..n {
+                        dgamma.as_mut_slice()[j] += g.at(i, j) * xhat[j];
+                        dbeta.as_mut_slice()[j] += g.at(i, j);
+                    }
+                    // dL/dxhat = g * gamma
+                    let dxhat: Vec<f32> =
+                        (0..n).map(|j| g.at(i, j) * gammav.as_slice()[j]).collect();
+                    let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
+                    let mean_dxhat_xhat =
+                        dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / n as f32;
+                    for j in 0..n {
+                        dx.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
+                    }
+                }
+                vec![dx, dgamma, dbeta]
+            }),
+        )
+    }
+
+    /// Adds a `[cols]` or `[1, cols]` bias row to every row of a 2-D variable.
+    pub fn add_row_broadcast(&self, x: VarId, bias: VarId) -> VarId {
+        let value = self.value(x).add_row_broadcast(&self.value(bias));
+        self.push_custom(
+            value,
+            &[x, bias],
+            Box::new(|g, parents, _| {
+                let bias_shape = parents[1].shape().to_vec();
+                let (m, n) = (g.rows(), g.cols());
+                let mut db = vec![0.0f32; n];
+                for i in 0..m {
+                    for j in 0..n {
+                        db[j] += g.at(i, j);
+                    }
+                }
+                vec![
+                    g.clone(),
+                    Tensor::from_vec(db, &bias_shape).expect("bias gradient shape"),
+                ]
+            }),
+        )
+    }
+
+    /// Mean over rows of a 2-D variable, producing a `[1, cols]` value.
+    pub fn mean_pool_rows(&self, x: VarId) -> VarId {
+        let value = self.value(x).mean_rows();
+        self.push_custom(
+            value,
+            &[x],
+            Box::new(|g, parents, _| {
+                let (m, n) = (parents[0].rows(), parents[0].cols());
+                let mut dx = Tensor::zeros(&[m, n]);
+                for i in 0..m {
+                    for j in 0..n {
+                        dx.set(i, j, g.at(0, j) / m as f32);
+                    }
+                }
+                vec![dx]
+            }),
+        )
+    }
+
+    /// Extracts columns `[start, end)` of a 2-D variable.
+    pub fn slice_cols(&self, x: VarId, start: usize, end: usize) -> VarId {
+        let value = self.value(x).slice_cols(start, end);
+        self.push_custom(
+            value,
+            &[x],
+            Box::new(move |g, parents, _| {
+                let (m, n) = (parents[0].rows(), parents[0].cols());
+                let mut dx = Tensor::zeros(&[m, n]);
+                for i in 0..m {
+                    for j in start..end {
+                        dx.set(i, j, g.at(i, j - start));
+                    }
+                }
+                vec![dx]
+            }),
+        )
+    }
+
+    /// Concatenates 2-D variables along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty.
+    pub fn concat_cols(&self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "concat_cols requires at least one variable");
+        let values: Vec<Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = Tensor::concat_cols(&refs);
+        self.push_custom(
+            value,
+            parts,
+            Box::new(|g, parents, _| {
+                let mut out = Vec::with_capacity(parents.len());
+                let mut off = 0;
+                for p in parents {
+                    let w = p.cols();
+                    out.push(g.slice_cols(off, off + w));
+                    off += w;
+                }
+                out
+            }),
+        )
+    }
+
+    /// Sum of all elements, producing a `[1, 1]` value.
+    pub fn sum(&self, x: VarId) -> VarId {
+        let value = Tensor::from_vec(vec![self.value(x).sum()], &[1, 1]).expect("sum value");
+        self.push_custom(
+            value,
+            &[x],
+            Box::new(|g, parents, _| {
+                let s = g.as_slice()[0];
+                vec![Tensor::full(parents[0].shape(), s)]
+            }),
+        )
+    }
+
+    /// Mean of all elements, producing a `[1, 1]` value.
+    pub fn mean_all(&self, x: VarId) -> VarId {
+        let n = self.value(x).len() as f32;
+        let s = self.sum(x);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Mean cross-entropy between row logits and integer `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the number of logit rows or a
+    /// label is out of range.
+    pub fn cross_entropy(&self, logits: VarId, labels: &[usize]) -> VarId {
+        let lv = self.value(logits);
+        let (m, n) = (lv.rows(), lv.cols());
+        assert_eq!(labels.len(), m, "labels/rows mismatch");
+        for &l in labels {
+            assert!(l < n, "label {l} out of range for {n} classes");
+        }
+        let log_probs = lv.log_softmax_rows();
+        let loss: f32 =
+            -labels.iter().enumerate().map(|(i, &l)| log_probs.at(i, l)).sum::<f32>() / m as f32;
+        let labels_owned = labels.to_vec();
+        let value = Tensor::from_vec(vec![loss], &[1, 1]).expect("loss value");
+        self.push_custom(
+            value,
+            &[logits],
+            Box::new(move |g, parents, _| {
+                let scale = g.as_slice()[0];
+                let probs = parents[0].softmax_rows();
+                let (m, n) = (probs.rows(), probs.cols());
+                let mut dx = probs;
+                for (i, &l) in labels_owned.iter().enumerate() {
+                    let v = dx.at(i, l) - 1.0;
+                    dx.set(i, l, v);
+                }
+                let _ = n;
+                vec![dx.scale(scale / m as f32)]
+            }),
+        )
+    }
+
+    /// Gathers rows of an embedding `table` (shape `[vocab, dim]`) for the
+    /// given token `indices`, producing a `[indices.len(), dim]` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is outside the table.
+    pub fn embedding(&self, table: VarId, indices: &[usize]) -> VarId {
+        let tv = self.value(table);
+        let (vocab, dim) = (tv.rows(), tv.cols());
+        for &i in indices {
+            assert!(i < vocab, "token index {i} out of range for vocab {vocab}");
+        }
+        let mut out = Tensor::zeros(&[indices.len(), dim]);
+        for (r, &i) in indices.iter().enumerate() {
+            for c in 0..dim {
+                out.set(r, c, tv.at(i, c));
+            }
+        }
+        let indices_owned = indices.to_vec();
+        self.push_custom(
+            out,
+            &[table],
+            Box::new(move |g, parents, _| {
+                let (vocab, dim) = (parents[0].rows(), parents[0].cols());
+                let mut dt = Tensor::zeros(&[vocab, dim]);
+                for (r, &i) in indices_owned.iter().enumerate() {
+                    for c in 0..dim {
+                        let v = dt.at(i, c) + g.at(r, c);
+                        dt.set(i, c, v);
+                    }
+                }
+                vec![dt]
+            }),
+        )
+    }
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape").field("nodes", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_gradient;
+
+    fn t(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn square_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(t(vec![3.0], &[1, 1]));
+        let y = tape.mul(x, x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert!((tape.grad(x).as_slice()[0] - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let x = t(vec![0.5, -0.3, 0.8, 0.1, 0.2, -0.7], &[2, 3]);
+        let ok = check_gradient(
+            |tape, xv| {
+                let w = tape.leaf(t(vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.6], &[3, 2]));
+                let y = tape.matmul(xv, w);
+                tape.sum(y)
+            },
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_differences() {
+        let x = t(vec![0.5, -1.0, 2.0, 0.3, 0.1, -0.4], &[2, 3]);
+        let ok = check_gradient(
+            |tape, xv| {
+                let s = tape.softmax_rows(xv);
+                let w = tape.leaf(t(vec![1.0, 2.0, -1.0, 0.5, 1.5, -0.5], &[2, 3]));
+                let y = tape.mul(s, w);
+                tape.sum(y)
+            },
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn layer_norm_gradient_matches_finite_differences() {
+        let x = t(vec![0.5, -1.0, 2.0, 0.3, 0.7, -0.2, 1.1, 0.9], &[2, 4]);
+        let ok = check_gradient(
+            |tape, xv| {
+                let gamma = tape.leaf(t(vec![1.0, 0.5, 2.0, 1.5], &[4]));
+                let beta = tape.leaf(t(vec![0.1, -0.1, 0.2, 0.0], &[4]));
+                let y = tape.layer_norm(xv, gamma, beta, 1e-5);
+                let w = tape.leaf(t(vec![0.3, 0.9, -0.5, 0.2, 1.0, -1.0, 0.4, 0.6], &[2, 4]));
+                let z = tape.mul(y, w);
+                tape.sum(z)
+            },
+            &x,
+            2e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let x = t(vec![0.2, -0.5, 1.0, 0.7, 0.1, -0.3], &[2, 3]);
+        let ok = check_gradient(
+            |tape, xv| tape.cross_entropy(xv, &[2, 0]),
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_differences() {
+        let x = t(vec![-1.5, -0.3, 0.0, 0.4, 1.2, 2.5], &[2, 3]);
+        let ok = check_gradient(
+            |tape, xv| {
+                let y = tape.gelu(xv);
+                tape.sum(y)
+            },
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn slice_concat_gradients_roundtrip() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let ok = check_gradient(
+            |tape, xv| {
+                let a = tape.slice_cols(xv, 0, 1);
+                let b = tape.slice_cols(xv, 1, 3);
+                let back = tape.concat_cols(&[b, a]);
+                let w = tape.leaf(t(vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.6], &[2, 3]));
+                let y = tape.mul(back, w);
+                tape.sum(y)
+            },
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn embedding_gradient_is_scatter_add() {
+        let tape = Tape::new();
+        let table = tape.leaf(t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let emb = tape.embedding(table, &[0, 2, 0]);
+        let loss = tape.sum(emb);
+        tape.backward(loss);
+        let g = tape.grad(table);
+        // Token 0 appears twice, token 1 never, token 2 once.
+        assert_eq!(g.at(0, 0), 2.0);
+        assert_eq!(g.at(1, 0), 0.0);
+        assert_eq!(g.at(2, 1), 1.0);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_reuse() {
+        let tape = Tape::new();
+        let x = tape.leaf(t(vec![1.0, 2.0], &[1, 2]));
+        let y = tape.add(x, x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn unused_leaf_has_no_gradient() {
+        let tape = Tape::new();
+        let x = tape.leaf(t(vec![1.0], &[1, 1]));
+        let unused = tape.leaf(t(vec![5.0], &[1, 1]));
+        let loss = tape.sum(x);
+        tape.backward(loss);
+        assert!(tape.try_grad(unused).is_none());
+    }
+
+    #[test]
+    fn mean_pool_rows_gradient() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let ok = check_gradient(
+            |tape, xv| {
+                let p = tape.mean_pool_rows(xv);
+                let w = tape.leaf(t(vec![1.0, -2.0], &[1, 2]));
+                let y = tape.mul(p, w);
+                tape.sum(y)
+            },
+            &x,
+            1e-2,
+        );
+        assert!(ok);
+    }
+}

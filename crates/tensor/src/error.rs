@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible tensor constructors and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Number of elements required by the shape.
+        expected: usize,
+    },
+    /// Two tensors have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Left-hand-side shape.
+        lhs: Vec<usize>,
+        /// Right-hand-side shape.
+        rhs: Vec<usize>,
+    },
+    /// A shape with zero dimensions or a zero-sized dimension was supplied
+    /// where it is not allowed.
+    InvalidShape {
+        /// The offending shape.
+        shape: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::InvalidShape { shape } => write!(f, "invalid shape {shape:?}"),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = TensorError::LengthMismatch { len: 3, expected: 4 };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(|c: char| c.is_lowercase()));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

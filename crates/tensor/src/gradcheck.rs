@@ -1,0 +1,79 @@
+//! Numerical gradient checking used throughout the workspace's test suites.
+
+use crate::{Tape, Tensor, VarId};
+
+/// Verifies the analytic gradient of a scalar-valued function against central
+/// finite differences.
+///
+/// `f` receives a fresh [`Tape`] and the input variable and must return a
+/// scalar (`[1, 1]`) loss variable recorded on that tape. Returns `true` when
+/// every partial derivative agrees within `tol` (absolute or relative,
+/// whichever is looser).
+///
+/// # Example
+///
+/// ```rust
+/// use fab_tensor::{check_gradient, Tensor};
+/// let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+/// assert!(check_gradient(|tape, v| { let y = tape.mul(v, v); tape.sum(y) }, &x, 1e-2));
+/// ```
+pub fn check_gradient<F>(f: F, x: &Tensor, tol: f32) -> bool
+where
+    F: Fn(&Tape, VarId) -> VarId,
+{
+    // Analytic gradient.
+    let tape = Tape::new();
+    let xv = tape.leaf(x.clone());
+    let loss = f(&tape, xv);
+    assert_eq!(tape.value(loss).len(), 1, "check_gradient requires a scalar loss");
+    tape.backward(loss);
+    let analytic = tape.grad(xv);
+
+    // Central finite differences.
+    let eps = 1e-3f32;
+    let mut ok = true;
+    for i in 0..x.len() {
+        let mut plus = x.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = x.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let lp = eval_scalar(&f, &plus);
+        let lm = eval_scalar(&f, &minus);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        if (a - numeric).abs() / denom > tol {
+            eprintln!("gradient mismatch at {i}: analytic {a} vs numeric {numeric}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn eval_scalar<F>(f: &F, x: &Tensor) -> f32
+where
+    F: Fn(&Tape, VarId) -> VarId,
+{
+    let tape = Tape::new();
+    let xv = tape.leaf(x.clone());
+    let loss = f(&tape, xv);
+    tape.value(loss).as_slice()[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_correct_gradients() {
+        let x = Tensor::from_vec(vec![0.5, -0.25, 2.0], &[1, 3]).unwrap();
+        assert!(check_gradient(
+            |tape, v| {
+                let y = tape.mul(v, v);
+                tape.sum(y)
+            },
+            &x,
+            1e-2
+        ));
+    }
+}

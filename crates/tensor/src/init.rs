@@ -1,0 +1,80 @@
+//! Deterministic, seeded weight-initialisation helpers.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a tensor with entries uniform in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics when `shape` is empty or `low >= high`.
+pub fn uniform(rng: &mut StdRng, shape: &[usize], low: f32, high: f32) -> Tensor {
+    assert!(low < high, "uniform requires low < high");
+    let volume: usize = shape.iter().product();
+    let data: Vec<f32> = (0..volume).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(data, shape).expect("uniform init shape")
+}
+
+/// Samples a tensor with i.i.d. normal entries (Box–Muller).
+///
+/// # Panics
+///
+/// Panics when `shape` is empty or `std` is not positive.
+pub fn normal(rng: &mut StdRng, shape: &[usize], mean: f32, std: f32) -> Tensor {
+    assert!(std > 0.0, "normal requires a positive std");
+    let volume: usize = shape.iter().product();
+    let data: Vec<f32> = (0..volume)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(1e-7f32..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        })
+        .collect();
+    Tensor::from_vec(data, shape).expect("normal init shape")
+}
+
+/// Kaiming-uniform initialisation for a `[fan_in, fan_out]` weight matrix.
+///
+/// # Panics
+///
+/// Panics when `fan_in` is zero.
+pub fn kaiming_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
+    assert!(fan_in > 0, "kaiming_uniform requires fan_in > 0");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(rng, &[fan_in, fan_out], -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds_and_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = uniform(&mut rng, &[4, 4], -0.5, 0.5);
+        assert!(a.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = uniform(&mut rng2, &[4, 4], -0.5, 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = normal(&mut rng, &[100, 100], 0.0, 1.0);
+        let mean = a.mean();
+        let var = a.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / a.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = kaiming_uniform(&mut rng, 1024, 8);
+        assert!(wide.as_slice().iter().all(|&x| x.abs() < 0.08));
+    }
+}

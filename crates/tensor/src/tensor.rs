@@ -1,0 +1,637 @@
+use crate::TensorError;
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// Most neural-network operations in this workspace act on 2-D tensors
+/// (matrices) shaped `[rows, cols]`; 1-D tensors are supported for biases and
+/// labels. The type is intentionally simple: it owns its storage, is cheap to
+/// clone only when necessary, and validates shapes eagerly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal the product of `shape`, and [`TensorError::InvalidShape`] when
+    /// the shape is empty.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        if shape.is_empty() {
+            return Err(TensorError::InvalidShape { shape: shape.to_vec() });
+        }
+        let volume: usize = shape.iter().product();
+        if volume != data.len() {
+            return Err(TensorError::LengthMismatch { len: data.len(), expected: volume });
+        }
+        Ok(Self { shape: shape.to_vec(), data })
+    }
+
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let volume = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; volume] }
+    }
+
+    /// Creates a tensor filled with ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let volume = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![value; volume] }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Returns the shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Returns the number of rows, treating 1-D tensors as a single row.
+    pub fn rows(&self) -> usize {
+        if self.shape.len() == 1 {
+            1
+        } else {
+            self.shape[0]
+        }
+    }
+
+    /// Returns the number of columns, treating 1-D tensors as a single row.
+    pub fn cols(&self) -> usize {
+        if self.shape.len() == 1 {
+            self.shape[0]
+        } else {
+            self.shape[1]
+        }
+    }
+
+    /// Returns the total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a view of the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns a mutable view of the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its underlying storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns element `(r, c)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "Tensor::at requires a 2-D tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index ({r},{c}) out of bounds");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Sets element `(r, c)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert_eq!(self.shape.len(), 2, "Tensor::set requires a 2-D tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index ({r},{c}) out of bounds");
+        self.data[r * self.shape[1] + c] = v;
+    }
+
+    /// Reshapes the tensor without copying data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the new shape has a
+    /// different volume.
+    pub fn reshape(mut self, shape: &[usize]) -> Result<Self, TensorError> {
+        let volume: usize = shape.iter().product();
+        if volume != self.data.len() || shape.is_empty() {
+            return Err(TensorError::LengthMismatch { len: self.data.len(), expected: volume });
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Matrix multiplication `self × rhs` for 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row.iter()) {
+                    *d += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Returns the transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x + c)
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Adds a `[1, cols]` (or 1-D `[cols]`) row vector to every row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts differ.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "add_row_broadcast requires a 2-D tensor");
+        let n = self.shape[1];
+        assert_eq!(row.len(), n, "broadcast row length {} != cols {}", row.len(), n);
+        let mut out = self.clone();
+        for r in 0..self.shape[0] {
+            for c in 0..n {
+                out.data[r * n + c] += row.data[c];
+            }
+        }
+        out
+    }
+
+    /// Row-wise numerically-stable softmax of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "softmax_rows requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for j in 0..n {
+                let e = (row[j] - max).exp();
+                out[i * n + j] = e;
+                sum += e;
+            }
+            for j in 0..n {
+                out[i * n + j] /= sum;
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Row-wise log-softmax of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "log_softmax_rows requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            for j in 0..n {
+                out[i * n + j] = row[j] - max - log_sum;
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Row-wise layer normalization with learned `gamma`/`beta` of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D or parameter lengths differ from `cols`.
+    pub fn layer_norm_rows(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "layer_norm_rows requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(gamma.len(), n, "gamma length mismatch");
+        assert_eq!(beta.len(), n, "beta length mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for j in 0..n {
+                out[i * n + j] = gamma.data[j] * (row[j] - mean) * inv + beta.data[j];
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by BERT).
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(!self.data.is_empty(), "mean of empty tensor");
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Mean over rows of a 2-D tensor, producing a `[1, cols]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn mean_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "mean_rows requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += self.data[i * n + j];
+            }
+        }
+        for v in &mut out {
+            *v /= m as f32;
+        }
+        Tensor { shape: vec![1, n], data: out }
+    }
+
+    /// Index of the maximum element of each row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2, "argmax_rows requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert!(n > 0, "argmax_rows requires at least one column");
+        (0..m)
+            .map(|i| {
+                let row = &self.data[i * n..(i + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Extracts columns `[start, end)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is invalid for the tensor.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "slice_cols requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert!(start < end && end <= n, "invalid column range {start}..{end} for {n} cols");
+        let w = end - start;
+        let mut out = vec![0.0f32; m * w];
+        for i in 0..m {
+            out[i * w..(i + 1) * w].copy_from_slice(&self.data[i * n + start..i * n + end]);
+        }
+        Tensor { shape: vec![m, w], data: out }
+    }
+
+    /// Extracts rows `[start, end)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is invalid for the tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "slice_rows requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert!(start < end && end <= m, "invalid row range {start}..{end} for {m} rows");
+        Tensor { shape: vec![end - start, n], data: self.data[start * n..end * n].to_vec() }
+    }
+
+    /// Concatenates 2-D tensors along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols requires at least one tensor");
+        let m = parts[0].shape[0];
+        for p in parts {
+            assert_eq!(p.shape.len(), 2, "concat_cols requires 2-D tensors");
+            assert_eq!(p.shape[0], m, "concat_cols row count mismatch");
+        }
+        let total: usize = parts.iter().map(|p| p.shape[1]).sum();
+        let mut out = vec![0.0f32; m * total];
+        for i in 0..m {
+            let mut off = 0;
+            for p in parts {
+                let n = p.shape[1];
+                out[i * total + off..i * total + off + n].copy_from_slice(&p.data[i * n..(i + 1) * n]);
+                off += n;
+            }
+        }
+        Tensor { shape: vec![m, total], data: out }
+    }
+
+    /// Frobenius norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Returns `true` when every element of `self` is within `tol` of the
+    /// corresponding element of `other` and shapes match.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    fn zip_with<F: Fn(f32, f32) -> f32>(&self, rhs: &Tensor, op: &'static str, f: F) -> Tensor {
+        assert_eq!(
+            self.shape, rhs.shape,
+            "shape mismatch in {op}: {:?} vs {:?}",
+            self.shape, rhs.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[1])
+    }
+}
+
+/// The tanh-approximated GELU used by BERT-style models.
+pub(crate) fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_scalar`] with respect to its input.
+pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+        assert!(Tensor::from_vec(vec![], &[]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let i = Tensor::eye(4);
+        assert!(a.matmul(&i).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = a.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = (0..3).map(|j| s.at(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = a.add_scalar(100.0);
+        assert!(a.softmax_rows().allclose(&b.softmax_rows(), 1e-5));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = Tensor::from_vec(vec![0.3, -1.2, 2.0, 0.7], &[2, 2]).unwrap();
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows().map(|x| x.ln());
+        assert!(ls.allclose(&s, 1e-5));
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 4]).unwrap();
+        let gamma = Tensor::ones(&[4]);
+        let beta = Tensor::zeros(&[4]);
+        let out = a.layer_norm_rows(&gamma, &beta, 1e-5);
+        for i in 0..2 {
+            let mean: f32 = (0..4).map(|j| out.at(i, j)).sum::<f32>() / 4.0;
+            let var: f32 = (0..4).map(|j| (out.at(i, j) - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mean_rows_and_argmax() {
+        let a = Tensor::from_vec(vec![1.0, 5.0, 3.0, 3.0], &[2, 2]).unwrap();
+        let m = a.mean_rows();
+        assert_eq!(m.shape(), &[1, 2]);
+        assert!((m.at(0, 0) - 2.0).abs() < 1e-6);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let left = a.slice_cols(0, 2);
+        let right = a.slice_cols(2, 4);
+        let back = Tensor::concat_cols(&[&left, &right]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn slice_rows_extracts_contiguous_block() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]).unwrap();
+        let mid = a.slice_rows(1, 3);
+        assert_eq!(mid.shape(), &[2, 3]);
+        assert_eq!(mid.at(0, 0), 3.0);
+    }
+
+    #[test]
+    fn relu_and_gelu_basic_properties() {
+        let a = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[1, 3]).unwrap();
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 2.0]);
+        let g = a.gelu();
+        assert!(g.at(0, 0) < 0.0 && g.at(0, 0) > -0.2);
+        assert!((g.at(0, 2) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let out = a.add_row_broadcast(&b);
+        assert_eq!(out.at(1, 2), 3.0);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let t = Tensor::zeros(&[1]);
+        assert!(!format!("{t}").is_empty());
+        assert!(!format!("{t:?}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_panics_on_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

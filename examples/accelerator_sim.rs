@@ -1,0 +1,54 @@
+//! Accelerator deep-dive: inspect the butterfly memory system, cross-validate
+//! the functional datapath against the reference kernels, and sweep the
+//! off-chip bandwidth (the paper's Fig. 21 experiment).
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use fabnet::accel::functional::cross_validate_butterfly;
+use fabnet::accel::memory::{Layout, TransformAccessReport};
+use fabnet::butterfly::ButterflyMatrix;
+use fabnet::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. Bank-conflict analysis of the butterfly memory system (Figs. 8-10).
+    println!("== Butterfly memory system: bank conflicts per layout (n=1024, 16 banks) ==");
+    for layout in [Layout::RowMajor, Layout::ColumnMajor, Layout::Butterfly] {
+        let report = TransformAccessReport::analyze(layout, 1024, 16);
+        println!(
+            "  {:?}: {:5} fetch cycles, {:4} conflicts, conflict-free = {}",
+            layout,
+            report.total_cycles(),
+            report.total_conflicts(),
+            report.is_conflict_free()
+        );
+    }
+
+    // 2. Functional cross-validation of the adaptable butterfly unit
+    //    (the paper's Appendix C methodology).
+    let mut rng = StdRng::seed_from_u64(2022);
+    let matrix = ButterflyMatrix::random(256, &mut rng).expect("power-of-two size");
+    let x: Vec<f32> = (0..256).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let cv = cross_validate_butterfly(&matrix, &x, 16);
+    println!("\n== Functional cross-validation (256-point butterfly, 16 banks) ==");
+    println!("  max abs error vs reference: {:.2e}", cv.max_abs_error);
+    println!("  memory conflict-free      : {}", cv.memory_conflict_free);
+
+    // 3. Bandwidth sweep for FABNet-Large (Fig. 21).
+    println!("\n== Off-chip bandwidth sweep, FABNet-Large (Fig. 21) ==");
+    let model = ModelConfig::fabnet_large();
+    for &seq in &[128usize, 1024, 4096] {
+        println!("  sequence length {seq}:");
+        let schedule = LayerSchedule::from_model(&model, ModelKind::FabNet, seq);
+        for &bes in &[16usize, 32, 64, 96, 128] {
+            let mut line = format!("    {bes:>3} BEs:");
+            for &bw in &[6.0f64, 12.0, 25.0, 50.0, 100.0, 200.0] {
+                let hw = AcceleratorConfig::vcu128_be120().with_bes(bes).with_bandwidth(bw);
+                let report = Simulator::new(hw).simulate(&schedule);
+                line.push_str(&format!(" {:8.2}ms", report.total_ms()));
+            }
+            println!("{line}   (bandwidth 6/12/25/50/100/200 GB/s)");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build FABNet, count its savings, and simulate it on the
+//! adaptable butterfly accelerator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fabnet::nn::flops;
+use fabnet::prelude::*;
+
+fn main() {
+    // 1. The three model families the paper compares.
+    let fabnet = ModelConfig::fabnet_base();
+    let transformer = ModelConfig::bert_base();
+    let seq = 1024;
+
+    let fab = flops::flops_breakdown(&fabnet, ModelKind::FabNet, seq);
+    let dense = flops::flops_breakdown(&transformer, ModelKind::Transformer, seq);
+    println!("== Algorithm: FABNet vs vanilla Transformer (seq {seq}) ==");
+    println!("  Transformer GFLOPs : {:8.2}", dense.total() as f64 / 1e9);
+    println!("  FABNet GFLOPs      : {:8.2}", fab.total() as f64 / 1e9);
+    println!("  FLOP reduction     : {:8.1}x", dense.total() as f64 / fab.total() as f64);
+    let fab_params = flops::param_breakdown(&fabnet, ModelKind::FabNet).total_without_embedding();
+    let dense_params =
+        flops::param_breakdown(&transformer, ModelKind::Transformer).total_without_embedding();
+    println!("  Model-size reduction: {:7.1}x", dense_params as f64 / fab_params as f64);
+
+    // 2. The hardware: the paper's 120-BE VCU128 design.
+    let hw = AcceleratorConfig::vcu128_be120();
+    println!("\n== Hardware: adaptable butterfly accelerator ==");
+    println!("  Butterfly engines  : {}", hw.num_be);
+    println!("  Multipliers        : {}", hw.num_multipliers());
+    let usage = fabnet::accel::resources::estimate(&hw);
+    let power = fabnet::accel::power::estimate(&hw);
+    println!("  DSPs / BRAMs       : {} / {}", usage.dsps, usage.brams);
+    println!("  Power              : {:.2} W", power.total());
+
+    // 3. Simulate FABNet-Base end to end for several sequence lengths.
+    println!("\n== Simulated end-to-end latency (FABNet-Base) ==");
+    let sim = Simulator::new(hw);
+    for seq in [128usize, 256, 512, 1024] {
+        let schedule = LayerSchedule::from_model(&fabnet, ModelKind::FabNet, seq);
+        let report = sim.simulate(&schedule);
+        println!(
+            "  seq {seq:>5}: {:8.3} ms   ({:6.1} GOP/s achieved, {:4.1}% ops memory-bound)",
+            report.total_ms(),
+            report.achieved_gops(),
+            100.0 * report.memory_bound_fraction()
+        );
+    }
+
+    // 4. Train a tiny FABNet on an LRA-proxy task and check it learns.
+    println!("\n== Tiny FABNet trained on the LRA-Text proxy ==");
+    let tiny = ModelConfig {
+        hidden: 32,
+        ffn_ratio: 2,
+        num_layers: 2,
+        num_abfly: 0,
+        num_heads: 2,
+        vocab_size: 32,
+        max_seq: 64,
+        num_classes: 2,
+    };
+    let pipeline = TrainingPipeline::new(LraTask::Text, 64, 7).with_examples(60, 30).with_epochs(4);
+    let trained = pipeline.run(&tiny, ModelKind::FabNet);
+    println!("  final train loss   : {:.4}", trained.report.final_loss());
+    println!("  held-out accuracy  : {:.2}", trained.report.test_accuracy);
+    let eval = trained.simulate(&AcceleratorConfig::vcu128_fabnet());
+    println!("  simulated latency  : {:.4} ms on the 64-BE co-designed accelerator", eval.latency_ms);
+}

@@ -1,0 +1,93 @@
+//! Scaling study across platforms: compare the butterfly accelerator against
+//! the baseline MAC accelerator, server GPUs and edge devices for FABNet-Base
+//! and FABNet-Large across sequence lengths (the paper's Fig. 19 / Fig. 20
+//! experiments in one place).
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use fabnet::baselines::sota::{comparison_table, paper_this_work};
+use fabnet::prelude::*;
+
+fn main() {
+    let seqs = [128usize, 256, 512, 1024];
+
+    // 1. Algorithm + hardware speedup over the baseline MAC design (Fig. 19).
+    println!("== Speedup breakdown over the 2048-multiplier MAC baseline (Fig. 19) ==");
+    let baseline = MacBaseline::vcu128_2048();
+    let butterfly = Simulator::new(AcceleratorConfig::vcu128_be120());
+    for (name, config) in [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())] {
+        let bert = if name == "Base" { ModelConfig::bert_base() } else { ModelConfig::bert_large() };
+        for &seq in &seqs {
+            let bert_sched = LayerSchedule::from_model(&bert, ModelKind::Transformer, seq);
+            let fab_sched = LayerSchedule::from_model(&config, ModelKind::FabNet, seq);
+            let t_bert_baseline = baseline.simulate(&bert_sched).total_seconds();
+            let t_fab_baseline = baseline.simulate(&fab_sched).total_seconds();
+            let t_fab_butterfly = butterfly.simulate(&fab_sched).total_seconds();
+            println!(
+                "  {name:<5} seq {seq:>4}: algorithm {:4.1}x, hardware {:5.1}x, combined {:6.1}x",
+                t_bert_baseline / t_fab_baseline,
+                t_fab_baseline / t_fab_butterfly,
+                t_bert_baseline / t_fab_butterfly
+            );
+        }
+    }
+
+    // 2. Server scenario: VCU128 vs V100 / TITAN Xp (Fig. 20a).
+    println!("\n== Server scenario: VCU128 (120 BEs) vs GPUs (Fig. 20a) ==");
+    let vcu = Simulator::new(AcceleratorConfig::vcu128_be120());
+    let fpga_power = fabnet::accel::power::estimate(vcu.config()).total();
+    for (name, config) in [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())] {
+        for &seq in &seqs {
+            let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, seq);
+            let fpga = vcu.simulate(&schedule);
+            for gpu_kind in [DeviceKind::V100, DeviceKind::TitanXp] {
+                let gpu = DeviceModel::new(gpu_kind);
+                let gpu_latency = gpu.simulate(&schedule, 2);
+                let speedup = gpu_latency / fpga.total_seconds();
+                let fpga_eff = fpga.achieved_gops() / fpga_power;
+                let gpu_eff = gpu.gops_per_watt(schedule.total_flops(), gpu_latency);
+                println!(
+                    "  {name:<5} seq {seq:>4} vs {:<16}: {speedup:5.1}x faster, {:5.1}x more energy-efficient",
+                    gpu.name,
+                    fpga_eff / gpu_eff
+                );
+            }
+        }
+    }
+
+    // 3. Edge scenario: Zynq 7045 vs Jetson Nano / Raspberry Pi 4 (Fig. 20b).
+    println!("\n== Edge scenario: Zynq 7045 (512 multipliers) vs edge devices (Fig. 20b) ==");
+    let zynq = Simulator::new(AcceleratorConfig::zynq7045_edge());
+    let zynq_power = fabnet::accel::power::estimate(zynq.config()).total();
+    let edge_model = ModelConfig::fabnet_base();
+    for &seq in &seqs {
+        let schedule = LayerSchedule::from_model(&edge_model, ModelKind::FabNet, seq);
+        let fpga = zynq.simulate(&schedule);
+        for kind in [DeviceKind::JetsonNano, DeviceKind::RaspberryPi4] {
+            let dev = DeviceModel::new(kind);
+            let dev_latency = dev.simulate(&schedule, 2);
+            println!(
+                "  Base seq {seq:>4} vs {:<16}: {:6.1}x faster, {:6.1}x more energy-efficient",
+                dev.name,
+                dev_latency / fpga.total_seconds(),
+                (fpga.achieved_gops() / zynq_power) / dev.gops_per_watt(schedule.total_flops(), dev_latency)
+            );
+        }
+    }
+
+    // 4. SOTA accelerator comparison (Table V) using the normalised BE-40 design.
+    println!("\n== SOTA accelerator comparison under the 128-multiplier budget (Table V) ==");
+    let be40 = Simulator::new(AcceleratorConfig::vcu128_be40());
+    let one_layer = ModelConfig { num_layers: 1, num_abfly: 0, hidden: 64, ffn_ratio: 4, ..ModelConfig::fabnet_base() };
+    let schedule = LayerSchedule::from_model(&one_layer, ModelKind::FabNet, 1024);
+    let ours = be40.simulate(&schedule);
+    let our_power = fabnet::accel::power::estimate(be40.config()).total();
+    println!("  paper reports {:.1} ms at {:.2} W; reproduced {:.2} ms at {:.2} W",
+        paper_this_work().latency_ms, paper_this_work().power_w, ours.total_ms(), our_power);
+    for row in comparison_table(ours.total_ms(), our_power) {
+        println!(
+            "  {:<28} latency {:7.2} ms  throughput {:8.1} pred/s  power {:6.2} W  energy {:6.2} pred/J  speedup {:6.1}x",
+            row.name, row.latency_ms, row.throughput, row.power_w, row.energy_eff, row.speedup_of_this_work
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end integration tests spanning the whole stack: LRA-proxy data →
+//! FABNet training (`fab-lra` + `fab-nn`) → accelerator simulation
+//! (`fab-accel`) → comparison against baselines (`fab-baselines`).
+
+use fabnet::nn::flops;
+use fabnet::prelude::*;
+
+fn tiny_config() -> ModelConfig {
+    ModelConfig {
+        hidden: 16,
+        ffn_ratio: 2,
+        num_layers: 1,
+        num_abfly: 0,
+        num_heads: 2,
+        vocab_size: 32,
+        max_seq: 32,
+        num_classes: 2,
+    }
+}
+
+#[test]
+fn fabnet_learns_the_text_proxy_and_runs_on_the_accelerator() {
+    let pipeline = TrainingPipeline::new(LraTask::Text, 32, 42).with_examples(40, 20).with_epochs(5);
+    let trained = pipeline.run(&tiny_config(), ModelKind::FabNet);
+    assert!(
+        trained.report.test_accuracy >= 0.6,
+        "FABNet should beat chance on the text proxy, got {}",
+        trained.report.test_accuracy
+    );
+    let eval = trained.simulate(&AcceleratorConfig::vcu128_fabnet());
+    assert!(eval.latency_ms > 0.0 && eval.latency_ms < 10.0);
+    assert!(eval.power_w > 5.0 && eval.power_w < 20.0);
+}
+
+#[test]
+fn fabnet_fnet_and_transformer_all_train_on_the_retrieval_proxy() {
+    let pipeline =
+        TrainingPipeline::new(LraTask::Retrieval, 32, 9).with_examples(24, 12).with_epochs(2);
+    for kind in [ModelKind::FabNet, ModelKind::FNet, ModelKind::Transformer] {
+        let trained = pipeline.run(&tiny_config(), kind);
+        assert!(
+            trained.report.final_loss().is_finite(),
+            "{kind:?} training diverged"
+        );
+        assert!(trained.report.test_accuracy >= 0.0 && trained.report.test_accuracy <= 1.0);
+    }
+}
+
+#[test]
+fn every_lra_proxy_task_feeds_the_full_pipeline() {
+    for task in LraTask::ALL {
+        let mut config = tiny_config();
+        config.vocab_size = task.vocab_size();
+        config.num_classes = task.num_classes();
+        let pipeline = TrainingPipeline::new(task, 32, 1).with_examples(6, 4).with_epochs(1);
+        let trained = pipeline.run(&config, ModelKind::FabNet);
+        assert!(trained.report.final_loss().is_finite(), "{} diverged", task.name());
+        let eval = trained.simulate(&AcceleratorConfig::vcu128_fabnet());
+        assert!(eval.latency_ms > 0.0, "{} produced a zero-latency schedule", task.name());
+    }
+}
+
+#[test]
+fn paper_headline_flop_and_param_reductions_hold() {
+    // Abstract: 10-66x fewer FLOPs and 2-22x fewer parameters than the
+    // vanilla Transformer across the LRA tasks (sequence lengths 1K-4K).
+    let fabnet = ModelConfig::fabnet_base();
+    let transformer = ModelConfig::bert_base();
+    for task in LraTask::ALL {
+        let seq = task.paper_seq_len();
+        let flop_reduction =
+            flops::flops_reduction(&fabnet, &transformer, ModelKind::Transformer, seq);
+        assert!(
+            flop_reduction > 8.0,
+            "{}: FLOP reduction {flop_reduction} below the paper's range",
+            task.name()
+        );
+    }
+    let param_reduction = flops::param_reduction(&fabnet, &transformer, ModelKind::Transformer);
+    assert!(param_reduction > 2.0, "parameter reduction {param_reduction}");
+}
+
+#[test]
+fn butterfly_accelerator_beats_every_baseline_platform_on_fabnet() {
+    // The qualitative claim behind Figs. 19-20: on FABNet workloads the
+    // butterfly accelerator is faster than the MAC baseline with the same
+    // memory system and faster than the edge CPU/GPU models.
+    let config = ModelConfig::fabnet_base();
+    let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, 256);
+    let butterfly = Simulator::new(AcceleratorConfig::vcu128_be120()).simulate(&schedule);
+    let baseline = MacBaseline::vcu128_2048().simulate(&schedule);
+    assert!(baseline.total_seconds() > butterfly.total_seconds());
+    for kind in [DeviceKind::JetsonNano, DeviceKind::RaspberryPi4] {
+        let device = DeviceModel::new(kind);
+        assert!(
+            device.simulate(&schedule, 2) > butterfly.total_seconds(),
+            "{:?} should be slower than the accelerator",
+            kind
+        );
+    }
+}
