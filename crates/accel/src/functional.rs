@@ -44,8 +44,8 @@ pub fn execute_butterfly_linear_rows(matrix: &ButterflyMatrix, x: &Tensor) -> Te
     for r in 0..rows {
         let row: Vec<f32> = (0..n).map(|c| x.at(r, c)).collect();
         let y = execute_butterfly_linear(matrix, &row);
-        for c in 0..n {
-            out.set(r, c, y[c]);
+        for (c, &v) in y.iter().enumerate() {
+            out.set(r, c, v);
         }
     }
     out
@@ -102,14 +102,15 @@ impl CrossValidation {
 /// Cross-validates the functional butterfly-linear path against the
 /// `fab-butterfly` reference for a given transform and input, also checking
 /// that the banked butterfly memory serves every stage without conflicts.
-pub fn cross_validate_butterfly(matrix: &ButterflyMatrix, x: &[f32], banks: usize) -> CrossValidation {
+pub fn cross_validate_butterfly(
+    matrix: &ButterflyMatrix,
+    x: &[f32],
+    banks: usize,
+) -> CrossValidation {
     let functional = execute_butterfly_linear(matrix, x);
     let reference = matrix.forward(x);
-    let max_abs_error = functional
-        .iter()
-        .zip(reference.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_abs_error =
+        functional.iter().zip(reference.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     let memory = TransformAccessReport::analyze(Layout::Butterfly, matrix.size(), banks);
     CrossValidation { max_abs_error, memory_conflict_free: memory.is_conflict_free() }
 }
@@ -145,8 +146,9 @@ mod tests {
     fn fft_mode_matches_reference_fft() {
         let mut rng = StdRng::seed_from_u64(33);
         for &n in &[8usize, 64, 256] {
-            let x: Vec<Complex> =
-                (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let x: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
             let functional = execute_fft(&x);
             let reference = fft(&x);
             let max_err = functional

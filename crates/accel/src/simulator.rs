@@ -186,9 +186,9 @@ impl Simulator {
                     prev_projection_cycles = latency;
                 }
                 match op {
-                    LayerOp::ButterflyLinear { .. } | LayerOp::Fft2d { .. } | LayerOp::DenseLinear { .. } => {
-                        butterfly_cycles += latency
-                    }
+                    LayerOp::ButterflyLinear { .. }
+                    | LayerOp::Fft2d { .. }
+                    | LayerOp::DenseLinear { .. } => butterfly_cycles += latency,
                     LayerOp::AttentionCore { .. } => attention_cycles += latency,
                     LayerOp::PostProcess { .. } => postprocess_cycles += latency,
                 }
@@ -224,9 +224,7 @@ impl Simulator {
     ) -> (u64, usize) {
         let num_be = self.config.num_be as u64;
         match *op {
-            LayerOp::ButterflyLinear { rows, n } => {
-                (be.cycles(rows, n).div_ceil(num_be), rows)
-            }
+            LayerOp::ButterflyLinear { rows, n } => (be.cycles(rows, n).div_ceil(num_be), rows),
             LayerOp::Fft2d { seq, hidden } => {
                 // One FFT along the hidden dimension per row plus one along the
                 // sequence dimension per column; each BU completes one complex
@@ -277,8 +275,10 @@ mod tests {
     #[test]
     fn more_butterfly_engines_reduce_latency() {
         let schedule = fabnet_schedule(1024);
-        let small = Simulator::new(AcceleratorConfig::vcu128_be120().with_bes(16)).simulate(&schedule);
-        let big = Simulator::new(AcceleratorConfig::vcu128_be120().with_bes(128)).simulate(&schedule);
+        let small =
+            Simulator::new(AcceleratorConfig::vcu128_be120().with_bes(16)).simulate(&schedule);
+        let big =
+            Simulator::new(AcceleratorConfig::vcu128_be120().with_bes(128)).simulate(&schedule);
         assert!(small.total_cycles > big.total_cycles);
     }
 

@@ -180,7 +180,11 @@ impl LatencyBreakdown {
 ///
 /// Compute-bound components scale with their FLOPs; the "other" category adds
 /// the per-op overheads and the activation traffic of the norm/residual ops.
-pub fn latency_breakdown(device: &DeviceModel, config: &ModelConfig, seq: usize) -> LatencyBreakdown {
+pub fn latency_breakdown(
+    device: &DeviceModel,
+    config: &ModelConfig,
+    seq: usize,
+) -> LatencyBreakdown {
     let flops: FlopsBreakdown = fab_nn::flops::flops_breakdown(config, ModelKind::Transformer, seq);
     let schedule = LayerSchedule::from_model(config, ModelKind::Transformer, seq);
     // Traffic estimates: attention reads/writes Q, K, V and the score matrix;

@@ -46,13 +46,55 @@ impl SotaAccelerator {
 pub fn sota_catalogue() -> Vec<SotaAccelerator> {
     use Technology::*;
     vec![
-        SotaAccelerator { name: "A3", venue: "HPCA'20", technology: Asic(40), latency_ms: 56.0, power_w: 1.217 },
-        SotaAccelerator { name: "SpAtten", venue: "HPCA'21", technology: Asic(40), latency_ms: 48.8, power_w: 1.060 },
-        SotaAccelerator { name: "Sanger", venue: "MICRO'21", technology: Asic(55), latency_ms: 45.2, power_w: 0.801 },
-        SotaAccelerator { name: "Energon", venue: "TCAD'21", technology: Asic(45), latency_ms: 44.2, power_w: 2.633 },
-        SotaAccelerator { name: "ELSA", venue: "ISCA'21", technology: Asic(40), latency_ms: 34.7, power_w: 0.976 },
-        SotaAccelerator { name: "DOTA", venue: "ASPLOS'22", technology: Asic(22), latency_ms: 34.1, power_w: 0.858 },
-        SotaAccelerator { name: "FTRANS", venue: "ISLPED'20", technology: Fpga(16), latency_ms: 61.6, power_w: 25.130 },
+        SotaAccelerator {
+            name: "A3",
+            venue: "HPCA'20",
+            technology: Asic(40),
+            latency_ms: 56.0,
+            power_w: 1.217,
+        },
+        SotaAccelerator {
+            name: "SpAtten",
+            venue: "HPCA'21",
+            technology: Asic(40),
+            latency_ms: 48.8,
+            power_w: 1.060,
+        },
+        SotaAccelerator {
+            name: "Sanger",
+            venue: "MICRO'21",
+            technology: Asic(55),
+            latency_ms: 45.2,
+            power_w: 0.801,
+        },
+        SotaAccelerator {
+            name: "Energon",
+            venue: "TCAD'21",
+            technology: Asic(45),
+            latency_ms: 44.2,
+            power_w: 2.633,
+        },
+        SotaAccelerator {
+            name: "ELSA",
+            venue: "ISCA'21",
+            technology: Asic(40),
+            latency_ms: 34.7,
+            power_w: 0.976,
+        },
+        SotaAccelerator {
+            name: "DOTA",
+            venue: "ASPLOS'22",
+            technology: Asic(22),
+            latency_ms: 34.1,
+            power_w: 0.858,
+        },
+        SotaAccelerator {
+            name: "FTRANS",
+            venue: "ISLPED'20",
+            technology: Fpga(16),
+            latency_ms: 61.6,
+            power_w: 25.130,
+        },
     ]
 }
 

@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for seq in [128usize, 1024, 4096] {
         group.bench_function(format!("bert_base_seq{seq}"), |b| {
-            b.iter(|| flops::flops_breakdown(black_box(&config), ModelKind::Transformer, black_box(seq)))
+            b.iter(|| {
+                flops::flops_breakdown(black_box(&config), ModelKind::Transformer, black_box(seq))
+            })
         });
     }
     group.finish();

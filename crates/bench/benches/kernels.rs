@@ -44,6 +44,91 @@ fn bench(c: &mut Criterion) {
     });
 
     group.finish();
+
+    bench_matmul_serial_vs_parallel(c, &mut rng);
+    bench_butterfly_rows_serial_vs_parallel(c, &mut rng);
+    bench_dense_vs_butterfly(c, &mut rng);
+}
+
+/// PR-1: the blocked+parallel matmul against the naive serial seed kernel,
+/// across sizes from cache-resident to memory-bound.
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion, rng: &mut StdRng) {
+    let mut group = c.benchmark_group("matmul_serial_vs_parallel");
+    group.sample_size(10);
+    for n in [64usize, 128, 256, 512, 1024] {
+        let a = random_tensor(rng, &[n, n]);
+        let b = random_tensor(rng, &[n, n]);
+        group.bench_function(format!("reference_{n}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_reference(black_box(&b)))
+        });
+        group.bench_function(format!("blocked_parallel_{n}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+/// PR-1: row-batched butterfly forward/backward against the per-row path.
+fn bench_butterfly_rows_serial_vs_parallel(c: &mut Criterion, rng: &mut StdRng) {
+    let mut group = c.benchmark_group("butterfly_rows");
+    group.sample_size(10);
+    for (rows, n) in [(64usize, 256usize), (256, 512), (256, 1024)] {
+        let bfly = ButterflyMatrix::random(n, rng).unwrap();
+        let x = random_tensor(rng, &[rows, n]);
+        let g = random_tensor(rng, &[rows, n]);
+        group.bench_function(format!("forward_per_row_{rows}x{n}"), |bch| {
+            bch.iter(|| {
+                // The seed's per-row path: gather, transform, scatter.
+                let mut out = Tensor::zeros(&[rows, n]);
+                for r in 0..rows {
+                    let row: Vec<f32> = (0..n).map(|c| x.at(r, c)).collect();
+                    let y = bfly.forward(black_box(&row));
+                    for (cc, v) in y.into_iter().enumerate() {
+                        out.set(r, cc, v);
+                    }
+                }
+                out
+            })
+        });
+        group.bench_function(format!("forward_rows_batched_{rows}x{n}"), |bch| {
+            bch.iter(|| bfly.forward_rows(black_box(&x)))
+        });
+        group.bench_function(format!("backward_rows_batched_{rows}x{n}"), |bch| {
+            bch.iter(|| bfly.backward_rows(black_box(&x), black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+/// The paper's core claim at kernel level: O(n log n) butterfly vs O(n^2)
+/// dense linear maps over a whole activation batch, up to n = 4096.
+fn bench_dense_vs_butterfly(c: &mut Criterion, rng: &mut StdRng) {
+    let mut group = c.benchmark_group("dense_vs_butterfly");
+    group.sample_size(10);
+    let rows = 64usize;
+    for n in [256usize, 1024, 4096] {
+        let bfly = ButterflyMatrix::random(n, rng).unwrap();
+        let x = random_tensor(rng, &[rows, n]);
+        group.bench_function(format!("butterfly_rows_{rows}x{n}"), |bch| {
+            bch.iter(|| bfly.forward_rows(black_box(&x)))
+        });
+        // Dense weights at n = 4096 are 64 MB; sample the matmul only up to
+        // 1024 to keep the bench runtime sane, the asymptotics are visible
+        // well before that.
+        if n <= 1024 {
+            let dense = random_tensor(rng, &[n, n]);
+            group.bench_function(format!("dense_rows_{rows}x{n}"), |bch| {
+                bch.iter(|| black_box(&x).matmul(black_box(&dense)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn random_tensor(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let volume: usize = shape.iter().product();
+    Tensor::from_vec((0..volume).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), shape)
+        .expect("random tensor shape")
 }
 
 criterion_group!(benches, bench);

@@ -20,12 +20,9 @@ fn print_rows(rows: Vec<String>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.trim_start_matches('-'))
-        .collect();
-    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| *s == name);
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.trim_start_matches('-')).collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     if want("fig1") {
         print_rows(bench::fig1_flops_percentage());

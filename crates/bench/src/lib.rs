@@ -17,8 +17,11 @@ use fabnet::prelude::*;
 /// Fig. 1: FLOPs percentage of attention vs. linear layers across sequence
 /// lengths for BERT-Base/Large-shaped Transformers.
 pub fn fig1_flops_percentage() -> Vec<String> {
-    let mut rows = vec!["Fig.1  FLOPs share of attention vs linear layers (vanilla Transformer)".to_string()];
-    for (name, config) in [("BERT-Base", ModelConfig::bert_base()), ("BERT-Large", ModelConfig::bert_large())] {
+    let mut rows =
+        vec!["Fig.1  FLOPs share of attention vs linear layers (vanilla Transformer)".to_string()];
+    for (name, config) in
+        [("BERT-Base", ModelConfig::bert_base()), ("BERT-Large", ModelConfig::bert_large())]
+    {
         for seq in [128usize, 256, 512, 1024, 2048, 4096] {
             let b = flops::flops_breakdown(&config, ModelKind::Transformer, seq);
             rows.push(format!(
@@ -35,7 +38,8 @@ pub fn fig1_flops_percentage() -> Vec<String> {
 /// CPU roofline models.
 pub fn fig3_latency_breakdown() -> Vec<String> {
     let mut rows =
-        vec!["Fig.3  Execution-time breakdown of BERT-Large (attention / linear / other)".to_string()];
+        vec!["Fig.3  Execution-time breakdown of BERT-Large (attention / linear / other)"
+            .to_string()];
     let config = ModelConfig::bert_large();
     for kind in [DeviceKind::V100, DeviceKind::XeonGold6154] {
         let device = DeviceModel::new(kind);
@@ -50,7 +54,10 @@ pub fn fig3_latency_breakdown() -> Vec<String> {
             ));
         }
     }
-    rows.push("  paper: linear dominates (68-79%) at seq 256; attention dominates at seq 2048".to_string());
+    rows.push(
+        "  paper: linear dominates (68-79%) at seq 256; attention dominates at seq 2048"
+            .to_string(),
+    );
     rows
 }
 
@@ -208,7 +215,9 @@ pub fn fig20_device_comparison() -> Vec<String> {
     let server_power = fabnet::accel::power::estimate(server.config()).total();
     let edge = Simulator::new(AcceleratorConfig::zynq7045_edge());
     let edge_power = fabnet::accel::power::estimate(edge.config()).total();
-    for (name, config) in [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())] {
+    for (name, config) in
+        [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())]
+    {
         for seq in [128usize, 256, 512, 1024] {
             let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, seq);
             let f_server = server.simulate(&schedule);
@@ -297,7 +306,12 @@ pub fn table5_sota() -> Vec<String> {
     for row in sota::comparison_table(ours.total_ms(), power) {
         rows.push(format!(
             "  {:<28} {:7.2} ms  {:8.2} pred/s  {:6.2} W  {:7.2} pred/J  speedup {:6.1}x",
-            row.name, row.latency_ms, row.throughput, row.power_w, row.energy_eff, row.speedup_of_this_work
+            row.name,
+            row.latency_ms,
+            row.throughput,
+            row.power_w,
+            row.energy_eff,
+            row.speedup_of_this_work
         ));
     }
     rows
@@ -305,7 +319,8 @@ pub fn table5_sota() -> Vec<String> {
 
 /// Table VI: power breakdown of the BE-40 and BE-120 designs.
 pub fn table6_power() -> Vec<String> {
-    let mut rows = vec!["Table VI  Power breakdown on VCU128 (paper values in parentheses)".to_string()];
+    let mut rows =
+        vec!["Table VI  Power breakdown on VCU128 (paper values in parentheses)".to_string()];
     let paper = [
         ("BE-40", AcceleratorConfig::vcu128_be40(), [2.668, 2.381, 0.338, 5.325, 3.368]),
         ("BE-120", AcceleratorConfig::vcu128_be120(), [6.882, 7.732, 1.437, 6.142, 3.665]),
@@ -322,7 +337,8 @@ pub fn table6_power() -> Vec<String> {
 
 /// Table VII: resource usage of the BE-40 and BE-120 designs.
 pub fn table7_resources() -> Vec<String> {
-    let mut rows = vec!["Table VII  Resource usage on VCU128 (paper values in parentheses)".to_string()];
+    let mut rows =
+        vec!["Table VII  Resource usage on VCU128 (paper values in parentheses)".to_string()];
     let paper = [
         ("BE-40", AcceleratorConfig::vcu128_be40(), [358_609u64, 536_810, 640, 338]),
         ("BE-120", AcceleratorConfig::vcu128_be120(), [1_034_610, 1_648_695, 2_880, 978]),
@@ -354,7 +370,12 @@ pub fn fig4_sparsity_taxonomy() -> Vec<String> {
     for v in variant_catalogue() {
         rows.push(format!(
             "  {:<22} patterns {:?} attention={} ffn={} unified={} codesign={}",
-            v.name, v.patterns, v.sparsifies_attention, v.sparsifies_ffn, v.unified_sparsity, v.hardware_codesign
+            v.name,
+            v.patterns,
+            v.sparsifies_attention,
+            v.sparsifies_ffn,
+            v.unified_sparsity,
+            v.hardware_codesign
         ));
     }
     rows

@@ -10,6 +10,36 @@ use crate::{log2_exact, ButterflyError};
 use fab_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Row-batched butterfly kernels below this many total elements run serially;
+/// the rayon shim spawns OS threads per call, which only pays off for real work.
+const PAR_MIN_ELEMS: usize = 1 << 14;
+/// Target elements per parallel row chunk.
+const CHUNK_ELEMS: usize = 1 << 13;
+
+/// Reusable scratch for repeated butterfly backward passes: holds every
+/// per-stage activation plus two ping-pong gradient buffers, so a backward
+/// pass performs **zero** heap allocation (the seed cloned the activation
+/// vector once per stage, ~`log2 n` allocations per row).
+#[derive(Debug, Clone)]
+pub struct ButterflyScratch {
+    /// `(stages + 1) × n` flat buffer; slot `s` holds the input of stage `s`,
+    /// slot `stages` the transform output.
+    states: Vec<f32>,
+    /// Gradient ping-pong buffers, `n` elements each.
+    grad: Vec<f32>,
+    grad_tmp: Vec<f32>,
+    n: usize,
+}
+
+impl ButterflyScratch {
+    /// Allocates scratch for a butterfly of size `n` (power of two).
+    pub fn new(n: usize) -> Self {
+        let stages = log2_exact(n);
+        Self { states: vec![0.0; (stages + 1) * n], grad: vec![0.0; n], grad_tmp: vec![0.0; n], n }
+    }
+}
 
 /// One butterfly factor (stage): a block-diagonal matrix of 2×2 blocks of
 /// diagonal matrices with half-block size `half`.
@@ -70,17 +100,54 @@ impl ButterflyStage {
 
     /// Applies the stage to a vector in place.
     ///
+    /// Walks the blocks with `split_at_mut` slices instead of computing
+    /// `pair_indices` per pair, so the inner loop is branch- and
+    /// division-free.
+    ///
     /// # Panics
     ///
     /// Panics when `x.len() != 2 * pairs`.
     pub fn apply_in_place(&self, x: &mut [f32]) {
         assert_eq!(x.len(), 2 * self.pairs(), "stage input length mismatch");
-        for p in 0..self.pairs() {
-            let (i1, i2) = self.pair_indices(p);
-            let a = x[i1];
-            let b = x[i2];
-            x[i1] = self.w1[p] * a + self.w2[p] * b;
-            x[i2] = self.w3[p] * a + self.w4[p] * b;
+        let half = self.half;
+        let mut p = 0;
+        for block in x.chunks_mut(2 * half) {
+            let (lo, hi) = block.split_at_mut(half);
+            let (w1, w2) = (&self.w1[p..p + half], &self.w2[p..p + half]);
+            let (w3, w4) = (&self.w3[p..p + half], &self.w4[p..p + half]);
+            for (i, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let a = *l;
+                let b = *h;
+                *l = w1[i] * a + w2[i] * b;
+                *h = w3[i] * a + w4[i] * b;
+            }
+            p += half;
+        }
+    }
+
+    /// Applies the stage out of place: reads `src`, writes every element of
+    /// `dst` exactly once. Used by the allocation-free batched forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ from `2 * pairs`.
+    pub fn apply_into(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), 2 * self.pairs(), "stage input length mismatch");
+        assert_eq!(dst.len(), src.len(), "stage output length mismatch");
+        let half = self.half;
+        let mut p = 0;
+        for (sblock, dblock) in src.chunks(2 * half).zip(dst.chunks_mut(2 * half)) {
+            let (slo, shi) = sblock.split_at(half);
+            let (dlo, dhi) = dblock.split_at_mut(half);
+            let (w1, w2) = (&self.w1[p..p + half], &self.w2[p..p + half]);
+            let (w3, w4) = (&self.w3[p..p + half], &self.w4[p..p + half]);
+            for (i, ((&a, &b), (l, h))) in
+                slo.iter().zip(shi.iter()).zip(dlo.iter_mut().zip(dhi.iter_mut())).enumerate()
+            {
+                *l = w1[i] * a + w2[i] * b;
+                *h = w3[i] * a + w4[i] * b;
+            }
+            p += half;
         }
     }
 }
@@ -186,34 +253,59 @@ impl ButterflyMatrix {
 
     /// Applies the butterfly matrix to every row of a `[rows, n]` tensor.
     ///
+    /// The whole batch is transformed through the per-stage in-place kernel
+    /// with rayon fanning the rows out in parallel chunks — a single buffer
+    /// copy up front and no further allocation, in contrast to the seed's
+    /// per-row gather/`forward`/scatter loop.
+    ///
     /// # Panics
     ///
     /// Panics when the tensor is not 2-D with `n` columns.
     pub fn forward_rows(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.cols(), self.n, "butterfly row width mismatch");
         let rows = x.rows();
-        let mut out = Tensor::zeros(&[rows, self.n]);
-        for r in 0..rows {
-            let row: Vec<f32> = (0..self.n).map(|c| x.at(r, c)).collect();
-            let y = self.forward(&row);
-            for c in 0..self.n {
-                out.set(r, c, y[c]);
+        let n = self.n;
+        let mut data = x.as_slice().to_vec();
+        let transform_rows = |chunk: &mut [f32]| {
+            for row in chunk.chunks_mut(n) {
+                for stage in &self.stages {
+                    stage.apply_in_place(row);
+                }
             }
+        };
+        if data.len() < PAR_MIN_ELEMS {
+            transform_rows(&mut data);
+        } else {
+            let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+            data.par_chunks_mut(rows_per_chunk * n).for_each(transform_rows);
         }
-        out
+        Tensor::from_vec(data, &[rows, n]).expect("forward_rows shape")
+    }
+
+    /// Runs the forward pass, recording the input of every stage into the
+    /// flat `states` buffer of `scratch` (slot `s` holds the input of stage
+    /// `s`; the final slot holds the output).
+    fn forward_stages_into(&self, x: &[f32], states: &mut [f32]) {
+        let n = self.n;
+        debug_assert_eq!(states.len(), (self.stages.len() + 1) * n);
+        states[..n].copy_from_slice(x);
+        for (s, stage) in self.stages.iter().enumerate() {
+            let (src, rest) = states[s * n..].split_at_mut(n);
+            stage.apply_into(src, &mut rest[..n]);
+        }
     }
 
     /// Applies the butterfly matrix, also returning the input of every stage
     /// (needed by the backward pass).
     pub fn forward_with_intermediates(&self, x: &[f32]) -> (Vec<f32>, Vec<Vec<f32>>) {
         assert_eq!(x.len(), self.n, "butterfly input length mismatch");
-        let mut intermediates = Vec::with_capacity(self.stages.len());
-        let mut v = x.to_vec();
-        for stage in &self.stages {
-            intermediates.push(v.clone());
-            stage.apply_in_place(&mut v);
-        }
-        (v, intermediates)
+        let mut scratch = ButterflyScratch::new(self.n);
+        self.forward_stages_into(x, &mut scratch.states);
+        let n = self.n;
+        let stages = self.stages.len();
+        let intermediates =
+            (0..stages).map(|s| scratch.states[s * n..(s + 1) * n].to_vec()).collect();
+        (scratch.states[stages * n..].to_vec(), intermediates)
     }
 
     /// Backward pass for one vector: given the gradient with respect to the
@@ -221,34 +313,116 @@ impl ButterflyMatrix {
     /// gradient with respect to the weight tensor (same layout as
     /// [`ButterflyMatrix::to_weight_tensor`]).
     pub fn backward(&self, x: &[f32], grad_out: &[f32]) -> (Vec<f32>, Tensor) {
-        let (_, intermediates) = self.forward_with_intermediates(x);
-        let mut grad = grad_out.to_vec();
+        let mut scratch = ButterflyScratch::new(self.n);
         let mut grad_w = Tensor::zeros(&[self.num_stages(), 2 * self.n]);
-        let half_n = self.n / 2;
+        self.backward_with_scratch(x, grad_out, &mut scratch, grad_w.as_mut_slice());
+        (scratch.grad.clone(), grad_w)
+    }
+
+    /// Allocation-free backward pass for one vector.
+    ///
+    /// On return `scratch.grad` holds the input gradient and the weight
+    /// gradients have been **accumulated** (`+=`) into `grad_w`, which must
+    /// have the `[log2 n, 2 n]` layout of [`ButterflyMatrix::to_weight_tensor`]
+    /// flattened row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x`, `grad_out`, `scratch` or `grad_w` have the wrong size.
+    pub fn backward_with_scratch(
+        &self,
+        x: &[f32],
+        grad_out: &[f32],
+        scratch: &mut ButterflyScratch,
+        grad_w: &mut [f32],
+    ) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "butterfly input length mismatch");
+        assert_eq!(grad_out.len(), n, "butterfly gradient length mismatch");
+        assert_eq!(scratch.n, n, "scratch size mismatch");
+        assert_eq!(grad_w.len(), self.num_stages() * 2 * n, "weight gradient length mismatch");
+        self.forward_stages_into(x, &mut scratch.states);
+        scratch.grad.copy_from_slice(grad_out);
+        let half_n = n / 2;
         for (s, stage) in self.stages.iter().enumerate().rev() {
-            let input = &intermediates[s];
-            let mut grad_in = vec![0.0f32; self.n];
-            for p in 0..stage.pairs() {
-                let (i1, i2) = stage.pair_indices(p);
-                let (g1, g2) = (grad[i1], grad[i2]);
-                let (a, b) = (input[i1], input[i2]);
-                // Weight gradients.
-                let base = grad_w.at(s, p);
-                grad_w.set(s, p, base + g1 * a);
-                let v = grad_w.at(s, half_n + p) + g1 * b;
-                grad_w.set(s, half_n + p, v);
-                let v = grad_w.at(s, 2 * half_n + p) + g2 * a;
-                grad_w.set(s, 2 * half_n + p, v);
-                let v = grad_w.at(s, 3 * half_n + p) + g2 * b;
-                grad_w.set(s, 3 * half_n + p, v);
-                // Input gradients.
-                let (w1, w2, w3, w4) = stage.weights(p);
-                grad_in[i1] = w1 * g1 + w3 * g2;
-                grad_in[i2] = w2 * g1 + w4 * g2;
+            let input = &scratch.states[s * n..(s + 1) * n];
+            let gw = &mut grad_w[s * 2 * n..(s + 1) * 2 * n];
+            let half = stage.half;
+            let grad = &scratch.grad;
+            let grad_in = &mut scratch.grad_tmp;
+            let mut p = 0;
+            for block_start in (0..n).step_by(2 * half) {
+                for off in 0..half {
+                    let (i1, i2) = (block_start + off, block_start + off + half);
+                    let (g1, g2) = (grad[i1], grad[i2]);
+                    let (a, b) = (input[i1], input[i2]);
+                    let pi = p + off;
+                    // Weight gradients, laid out [w1 | w2 | w3 | w4].
+                    gw[pi] += g1 * a;
+                    gw[half_n + pi] += g1 * b;
+                    gw[2 * half_n + pi] += g2 * a;
+                    gw[3 * half_n + pi] += g2 * b;
+                    // Input gradients (the transposed 2x2 block).
+                    let (w1, w2, w3, w4) = (stage.w1[pi], stage.w2[pi], stage.w3[pi], stage.w4[pi]);
+                    grad_in[i1] = w1 * g1 + w3 * g2;
+                    grad_in[i2] = w2 * g1 + w4 * g2;
+                }
+                p += half;
             }
-            grad = grad_in;
+            std::mem::swap(&mut scratch.grad, &mut scratch.grad_tmp);
         }
-        (grad, grad_w)
+    }
+
+    /// Batched backward pass over every row of `x` (shape `[rows, n]`) given
+    /// the output gradients `grad_out` (same shape).
+    ///
+    /// Returns `(grad_x, grad_w)` where `grad_x` has the shape of `x` and
+    /// `grad_w` the `[log2 n, 2 n]` weight layout, summed over rows. Rows are
+    /// processed in parallel chunks, each chunk reusing one
+    /// [`ButterflyScratch`] and accumulating into a chunk-local weight
+    /// gradient that is reduced at the end — so the per-row inner loop never
+    /// touches the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes do not match the butterfly size.
+    pub fn backward_rows(&self, x: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor) {
+        let n = self.n;
+        assert_eq!(x.cols(), n, "butterfly row width mismatch");
+        assert_eq!(grad_out.shape(), x.shape(), "gradient shape mismatch");
+        let rows = x.rows();
+        let gw_len = self.num_stages() * 2 * n;
+        let mut grad_x = vec![0.0f32; rows * n];
+        let process_chunk = |r0: usize, chunk: &mut [f32]| -> Vec<f32> {
+            let mut scratch = ButterflyScratch::new(n);
+            let mut gw = vec![0.0f32; gw_len];
+            for (i, grow) in chunk.chunks_mut(n).enumerate() {
+                let r = r0 + i;
+                let xrow = &x.as_slice()[r * n..(r + 1) * n];
+                let gorow = &grad_out.as_slice()[r * n..(r + 1) * n];
+                self.backward_with_scratch(xrow, gorow, &mut scratch, &mut gw);
+                grow.copy_from_slice(&scratch.grad);
+            }
+            gw
+        };
+        let partials: Vec<Vec<f32>> = if rows * n < PAR_MIN_ELEMS {
+            vec![process_chunk(0, &mut grad_x)]
+        } else {
+            let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+            grad_x
+                .par_chunks_mut(rows_per_chunk * n)
+                .enumerate()
+                .map(|(c, chunk)| process_chunk(c * rows_per_chunk, chunk))
+                .collect()
+        };
+        let mut grad_w = Tensor::zeros(&[self.num_stages(), 2 * n]);
+        let gw = grad_w.as_mut_slice();
+        for partial in &partials {
+            for (d, &v) in gw.iter_mut().zip(partial.iter()) {
+                *d += v;
+            }
+        }
+        (Tensor::from_vec(grad_x, &[rows, n]).expect("backward_rows grad shape"), grad_w)
     }
 
     /// Expands the butterfly factorisation into a dense `n × n` matrix `B`
@@ -259,8 +433,8 @@ impl ButterflyMatrix {
             let mut e = vec![0.0f32; self.n];
             e[j] = 1.0;
             let col = self.forward(&e);
-            for i in 0..self.n {
-                dense.set(i, j, col[i]);
+            for (i, &v) in col.iter().enumerate() {
+                dense.set(i, j, v);
             }
         }
         dense
@@ -299,7 +473,8 @@ impl ButterflyMatrix {
         }
         let stages = shape[0];
         let n = shape[1] / 2;
-        let valid = n >= 2 && n.is_power_of_two() && shape[1] == 2 * n && log2_exact(n.max(2)) == stages;
+        let valid =
+            n >= 2 && n.is_power_of_two() && shape[1] == 2 * n && log2_exact(n.max(2)) == stages;
         if !valid {
             return Err(ButterflyError::WeightShapeMismatch {
                 expected: vec![stages, 2 * n],
@@ -354,9 +529,9 @@ mod tests {
         let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.17).sin()).collect();
         let fast = b.forward(&x);
         // dense * x (column-vector convention)
-        for i in 0..16 {
+        for (i, &f) in fast.iter().enumerate() {
             let slow: f32 = (0..16).map(|j| dense.at(i, j) * x[j]).sum();
-            assert!((slow - fast[i]).abs() < 1e-4, "row {i}: {slow} vs {}", fast[i]);
+            assert!((slow - f).abs() < 1e-4, "row {i}: {slow} vs {f}");
         }
     }
 
@@ -397,9 +572,9 @@ mod tests {
         let g: Vec<f32> = (0..8).map(|i| (i as f32 * 0.53).sin()).collect();
         let (grad_x, _) = b.backward(&x, &g);
         let dense = b.to_dense();
-        for j in 0..8 {
+        for (j, &gx) in grad_x.iter().enumerate() {
             let expected: f32 = (0..8).map(|i| dense.at(i, j) * g[i]).sum();
-            assert!((expected - grad_x[j]).abs() < 1e-4);
+            assert!((expected - gx).abs() < 1e-4);
         }
     }
 
@@ -418,8 +593,10 @@ mod tests {
                 wp.set(s, c, w.at(s, c) + eps);
                 let mut wm = w.clone();
                 wm.set(s, c, w.at(s, c) - eps);
-                let fp: f32 = ButterflyMatrix::from_weight_tensor(&wp).unwrap().forward(&x).iter().sum();
-                let fm: f32 = ButterflyMatrix::from_weight_tensor(&wm).unwrap().forward(&x).iter().sum();
+                let fp: f32 =
+                    ButterflyMatrix::from_weight_tensor(&wp).unwrap().forward(&x).iter().sum();
+                let fm: f32 =
+                    ButterflyMatrix::from_weight_tensor(&wm).unwrap().forward(&x).iter().sum();
                 let numeric = (fp - fm) / (2.0 * eps);
                 let analytic = grad_w.at(s, c);
                 assert!(

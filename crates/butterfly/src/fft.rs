@@ -7,6 +7,11 @@
 //! the paper.
 
 use crate::{log2_exact, Complex};
+use rayon::prelude::*;
+
+/// 2-D transforms below this many complex elements run serially; the rayon
+/// shim spawns OS threads per call, which only pays off for real work.
+const PAR_MIN_ELEMS: usize = 1 << 13;
 
 /// Returns the bit-reversal permutation of `0..n`.
 ///
@@ -28,47 +33,108 @@ pub fn bit_reverse_permutation(n: usize) -> Vec<usize> {
         .collect()
 }
 
+/// A precomputed radix-2 FFT execution plan for one transform size.
+///
+/// Holds the bit-reversal permutation and the per-stage forward twiddle
+/// factors, so repeated transforms of the same size (every row of a batch,
+/// every column of a 2-D transform) pay the trigonometry exactly once — the
+/// seed's `fft_in_place` recomputed `e^{iθ}` for every (block, k) pair of
+/// every call.
+///
+/// # Example
+///
+/// ```rust
+/// use fab_butterfly::fft::FftPlan;
+/// use fab_butterfly::Complex;
+/// let plan = FftPlan::new(8);
+/// let mut data = vec![Complex::one(); 8];
+/// plan.execute(&mut data, false);
+/// assert!((data[0].re - 8.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    perm: Vec<usize>,
+    /// Forward twiddles, stage-major: stage with half-size `2^s` occupies
+    /// `2^s` entries starting at offset `2^s - 1` (total `n - 1`).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two greater than or equal to 2.
+    pub fn new(n: usize) -> Self {
+        let _ = log2_exact(n);
+        let perm = bit_reverse_permutation(n);
+        let mut twiddles = Vec::with_capacity(n - 1);
+        let mut half = 1usize;
+        while half < n {
+            let step = -std::f32::consts::PI / half as f32;
+            twiddles.extend((0..half).map(|k| Complex::from_polar(step * k as f32)));
+            half *= 2;
+        }
+        Self { n, perm, twiddles }
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Executes the (inverse) transform in place, including the `1/n`
+    /// normalisation for the inverse direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` differs from the plan size.
+    pub fn execute(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "FFT plan size mismatch");
+        // Bit-reversal reordering.
+        for (i, &j) in self.perm.iter().enumerate() {
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly stages: half = 1, 2, 4, ... n/2.
+        let mut half = 1usize;
+        while half < n {
+            let stage_tw = &self.twiddles[half - 1..2 * half - 1];
+            for block in data.chunks_mut(2 * half) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((l, h), &tw) in lo.iter_mut().zip(hi.iter_mut()).zip(stage_tw.iter()) {
+                    let w = if inverse { tw.conj() } else { tw };
+                    let a = *l;
+                    let b = *h * w;
+                    *l = a + b;
+                    *h = a - b;
+                }
+            }
+            half *= 2;
+        }
+        if inverse {
+            let inv = 1.0 / n as f32;
+            for v in data.iter_mut() {
+                *v = *v * inv;
+            }
+        }
+    }
+}
+
 /// In-place iterative radix-2 FFT (decimation in time).
 ///
 /// When `inverse` is true the inverse transform is computed, including the
-/// `1/n` normalisation.
+/// `1/n` normalisation. Builds a throwaway [`FftPlan`]; callers transforming
+/// many same-sized vectors should build the plan once themselves.
 ///
 /// # Panics
 ///
 /// Panics when the length of `data` is not a power of two.
 pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    let _ = log2_exact(n);
-    // Bit-reversal reordering.
-    let perm = bit_reverse_permutation(n);
-    for i in 0..n {
-        let j = perm[i];
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-    // Butterfly stages: half = 1, 2, 4, ... n/2.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut half = 1usize;
-    while half < n {
-        let step = 2.0 * std::f32::consts::PI / (2.0 * half as f32) * sign;
-        for block in (0..n).step_by(2 * half) {
-            for k in 0..half {
-                let w = Complex::from_polar(step * k as f32);
-                let a = data[block + k];
-                let b = data[block + k + half] * w;
-                data[block + k] = a + b;
-                data[block + k + half] = a - b;
-            }
-        }
-        half *= 2;
-    }
-    if inverse {
-        let inv = 1.0 / n as f32;
-        for v in data.iter_mut() {
-            *v = *v * inv;
-        }
-    }
+    FftPlan::new(data.len()).execute(data, inverse);
 }
 
 /// Forward FFT of a complex slice, returning a new vector.
@@ -136,24 +202,50 @@ pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
 /// Panics when `x.len() != seq * hidden` or a dimension is not a power of two.
 pub fn fft2_real(x: &[f32], seq: usize, hidden: usize) -> Vec<f32> {
     assert_eq!(x.len(), seq * hidden, "fft2_real input length mismatch");
+    let parallel = seq * hidden >= PAR_MIN_ELEMS;
+    let row_plan = FftPlan::new(hidden);
     let mut grid: Vec<Complex> = x.iter().map(|&v| Complex::from(v)).collect();
-    // FFT along the hidden dimension (each row).
-    for r in 0..seq {
-        let row = &mut grid[r * hidden..(r + 1) * hidden];
-        fft_in_place(row, false);
-    }
-    // FFT along the sequence dimension (each column).
-    let mut col = vec![Complex::zero(); seq];
-    for c in 0..hidden {
-        for r in 0..seq {
-            col[r] = grid[r * hidden + c];
-        }
-        fft_in_place(&mut col, false);
-        for r in 0..seq {
-            grid[r * hidden + c] = col[r];
+    // FFT along the hidden dimension (each row), rows fanned out in parallel.
+    if parallel {
+        grid.par_chunks_mut(hidden).for_each(|row| row_plan.execute(row, false));
+    } else {
+        for row in grid.chunks_mut(hidden) {
+            row_plan.execute(row, false);
         }
     }
+    // FFT along the sequence dimension: transpose so columns become
+    // contiguous rows (cache-friendly and parallelisable across the hidden
+    // dimension), transform, and transpose back.
+    let col_plan = FftPlan::new(seq);
+    let mut t = transpose_grid(&grid, seq, hidden);
+    if parallel {
+        t.par_chunks_mut(seq).for_each(|col| col_plan.execute(col, false));
+    } else {
+        for col in t.chunks_mut(seq) {
+            col_plan.execute(col, false);
+        }
+    }
+    let grid = transpose_grid(&t, hidden, seq);
     grid.iter().map(|v| v.re).collect()
+}
+
+/// Out-of-place transpose of a row-major `[rows, cols]` complex grid.
+fn transpose_grid(grid: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    const TILE: usize = 32;
+    let mut out = vec![Complex::zero(); grid.len()];
+    for ii in (0..rows).step_by(TILE) {
+        let ib = TILE.min(rows - ii);
+        for jj in (0..cols).step_by(TILE) {
+            let jb = TILE.min(cols - jj);
+            for di in 0..ib {
+                let src = &grid[(ii + di) * cols + jj..(ii + di) * cols + jj + jb];
+                for (dj, &v) in src.iter().enumerate() {
+                    out[(jj + dj) * rows + ii + di] = v;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -179,8 +271,9 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft() {
-        let x: Vec<Complex> =
-            (0..16).map(|i| Complex::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos())).collect();
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
         let fast = fft(&x);
         let slow = dft_naive(&x);
         for (a, b) in fast.iter().zip(slow.iter()) {
@@ -190,7 +283,8 @@ mod tests {
 
     #[test]
     fn ifft_roundtrip() {
-        let x: Vec<Complex> = (0..32).map(|i| Complex::new(i as f32 * 0.1, -(i as f32) * 0.05)).collect();
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new(i as f32 * 0.1, -(i as f32) * 0.05)).collect();
         let back = ifft(&fft(&x));
         for (a, b) in x.iter().zip(back.iter()) {
             assert!(close(a.re, b.re) && close(a.im, b.im));
@@ -209,8 +303,9 @@ mod tests {
     #[test]
     fn fft_of_pure_tone_has_single_bin() {
         let n = 32;
-        let x: Vec<f32> =
-            (0..n).map(|i| (2.0 * std::f32::consts::PI * 4.0 * i as f32 / n as f32).cos()).collect();
+        let x: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * 4.0 * i as f32 / n as f32).cos())
+            .collect();
         let y = fft_real(&x);
         let mags: Vec<f32> = y.iter().map(|v| v.abs()).collect();
         // Energy concentrated in bins 4 and n-4.

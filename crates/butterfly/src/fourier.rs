@@ -19,18 +19,19 @@ pub fn fourier_mix(x: &Tensor) -> Tensor {
     assert_eq!(x.shape().len(), 2, "fourier_mix requires a 2-D tensor");
     let (seq, hid) = (x.rows(), x.cols());
     let (pseq, phid) = (next_pow2(seq), next_pow2(hid));
+    if (pseq, phid) == (seq, hid) {
+        // Already power-of-two sized: transform without the padding copies.
+        let mixed = fft2_real(x.as_slice(), seq, hid);
+        return Tensor::from_vec(mixed, &[seq, hid]).expect("fourier_mix shape");
+    }
     let mut padded = vec![0.0f32; pseq * phid];
-    for r in 0..seq {
-        for c in 0..hid {
-            padded[r * phid + c] = x.at(r, c);
-        }
+    for (prow, row) in padded.chunks_mut(phid).zip(x.as_slice().chunks(hid)) {
+        prow[..hid].copy_from_slice(row);
     }
     let mixed = fft2_real(&padded, pseq, phid);
     let mut out = Tensor::zeros(&[seq, hid]);
-    for r in 0..seq {
-        for c in 0..hid {
-            out.set(r, c, mixed[r * phid + c]);
-        }
+    for (orow, mrow) in out.as_mut_slice().chunks_mut(hid).zip(mixed.chunks(phid)) {
+        orow.copy_from_slice(&mrow[..hid]);
     }
     out
 }
@@ -60,8 +61,10 @@ mod tests {
 
     #[test]
     fn linear_in_input() {
-        let a = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.3).sin()).collect(), &[8, 4]).unwrap();
-        let b = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.7).cos()).collect(), &[8, 4]).unwrap();
+        let a =
+            Tensor::from_vec((0..32).map(|i| (i as f32 * 0.3).sin()).collect(), &[8, 4]).unwrap();
+        let b =
+            Tensor::from_vec((0..32).map(|i| (i as f32 * 0.7).cos()).collect(), &[8, 4]).unwrap();
         let lhs = fourier_mix(&a.add(&b));
         let rhs = fourier_mix(&a).add(&fourier_mix(&b));
         assert!(lhs.allclose(&rhs, 1e-3));
@@ -70,8 +73,10 @@ mod tests {
     #[test]
     fn adjoint_identity_holds() {
         // <F(x), y> == <x, F(y)> since Re(DFT2) is symmetric.
-        let x = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.13).sin()).collect(), &[8, 4]).unwrap();
-        let y = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.37).cos()).collect(), &[8, 4]).unwrap();
+        let x =
+            Tensor::from_vec((0..32).map(|i| (i as f32 * 0.13).sin()).collect(), &[8, 4]).unwrap();
+        let y =
+            Tensor::from_vec((0..32).map(|i| (i as f32 * 0.37).cos()).collect(), &[8, 4]).unwrap();
         let fx = fourier_mix(&x);
         let fy = fourier_mix_backward(&y);
         let lhs: f32 = fx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();

@@ -3,7 +3,7 @@
 
 use crate::fourier::{fourier_mix, fourier_mix_backward};
 use crate::ButterflyMatrix;
-use fab_tensor::{Tape, Tensor, VarId};
+use fab_tensor::{Tape, VarId};
 
 /// Records a butterfly linear transform `y = B(x)` on the tape, where the
 /// butterfly weights are a trainable `[log2 n, 2 n]` tensor variable and each
@@ -26,22 +26,11 @@ pub fn butterfly_linear_op(tape: &Tape, x: VarId, weights: VarId) -> VarId {
         value,
         &[x, weights],
         Box::new(move |g, parents, _| {
-            let xv = &parents[0];
             let bfly = ButterflyMatrix::from_weight_tensor(&parents[1])
                 .expect("invalid butterfly weight tensor in backward");
-            let n = bfly.size();
-            let rows = xv.rows();
-            let mut grad_x = Tensor::zeros(&[rows, n]);
-            let mut grad_w = Tensor::zeros(parents[1].shape());
-            for r in 0..rows {
-                let row: Vec<f32> = (0..n).map(|c| xv.at(r, c)).collect();
-                let grow: Vec<f32> = (0..n).map(|c| g.at(r, c)).collect();
-                let (gx, gw) = bfly.backward(&row, &grow);
-                for c in 0..n {
-                    grad_x.set(r, c, gx[c]);
-                }
-                grad_w = grad_w.add(&gw);
-            }
+            // Batched, row-parallel backward: never falls back to the
+            // per-vector path or materialises per-row gradient tensors.
+            let (grad_x, grad_w) = bfly.backward_rows(&parents[0], g);
             vec![grad_x, grad_w]
         }),
     )
@@ -59,7 +48,7 @@ pub fn fourier_mix_op(tape: &Tape, x: VarId) -> VarId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fab_tensor::check_gradient;
+    use fab_tensor::{check_gradient, Tensor};
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
@@ -67,7 +56,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let bfly = ButterflyMatrix::random(8, &mut rng).unwrap();
         let tape = Tape::new();
-        let x = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.21).sin()).collect(), &[2, 8]).unwrap();
+        let x =
+            Tensor::from_vec((0..16).map(|i| (i as f32 * 0.21).sin()).collect(), &[2, 8]).unwrap();
         let xv = tape.leaf(x.clone());
         let wv = tape.leaf(bfly.to_weight_tensor());
         let y = butterfly_linear_op(&tape, xv, wv);
@@ -79,7 +69,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let bfly = ButterflyMatrix::random(8, &mut rng).unwrap();
         let w = bfly.to_weight_tensor();
-        let x = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.37).cos()).collect(), &[2, 8]).unwrap();
+        let x =
+            Tensor::from_vec((0..16).map(|i| (i as f32 * 0.37).cos()).collect(), &[2, 8]).unwrap();
         let ok = check_gradient(
             |tape, xv| {
                 let wv = tape.leaf(w.clone());
@@ -112,14 +103,18 @@ mod tests {
 
     #[test]
     fn fourier_op_gradient_checks() {
-        let x = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.11).sin()).collect(), &[8, 4]).unwrap();
+        let x =
+            Tensor::from_vec((0..32).map(|i| (i as f32 * 0.11).sin()).collect(), &[8, 4]).unwrap();
         let ok = check_gradient(
             |tape, xv| {
                 let y = fourier_mix_op(tape, xv);
-                let w = tape.leaf(Tensor::from_vec(
-                    (0..32).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.5).collect(),
-                    &[8, 4],
-                ).unwrap());
+                let w = tape.leaf(
+                    Tensor::from_vec(
+                        (0..32).map(|i| ((i * 7 % 13) as f32) * 0.1 - 0.5).collect(),
+                        &[8, 4],
+                    )
+                    .unwrap(),
+                );
                 let z = tape.mul(y, w);
                 tape.sum(z)
             },

@@ -99,17 +99,17 @@ impl SparsityPattern {
             SparsityPattern::LowRank => {
                 let rank = ((n as f64 * density).ceil() as usize).max(1);
                 // A rank-r factorisation touches r full rows and r full columns.
-                for i in 0..n {
-                    for j in 0..n {
-                        mask[i][j] = i < rank || j < rank;
+                for (i, row) in mask.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        *cell = i < rank || j < rank;
                     }
                 }
             }
             SparsityPattern::SlidingWindow => {
                 let w = ((n as f64 * density / 2.0).ceil() as usize).max(1);
-                for i in 0..n {
-                    for j in 0..n {
-                        mask[i][j] = i.abs_diff(j) <= w;
+                for (i, row) in mask.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        *cell = i.abs_diff(j) <= w;
                     }
                 }
             }
@@ -133,7 +133,9 @@ impl SparsityPattern {
                 for (i, row) in mask.iter_mut().enumerate() {
                     for (j, cell) in row.iter_mut().enumerate() {
                         state ^= (i as u64).wrapping_mul(0x100000001B3) ^ (j as u64) << 17;
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         let sample = (state >> 33) as f64 / (1u64 << 31) as f64;
                         *cell = sample < density;
                     }
@@ -142,9 +144,9 @@ impl SparsityPattern {
             SparsityPattern::BlockWise => {
                 let blocks = (1.0 / density).round().max(1.0) as usize;
                 let bs = (n / blocks).max(1);
-                for i in 0..n {
-                    for j in 0..n {
-                        mask[i][j] = i / bs == j / bs;
+                for (i, row) in mask.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        *cell = i / bs == j / bs;
                     }
                 }
             }
@@ -182,16 +184,86 @@ pub struct VariantSpec {
 pub fn variant_catalogue() -> Vec<VariantSpec> {
     use SparsityPattern::*;
     vec![
-        VariantSpec { name: "Performer/Linformer", patterns: vec![LowRank], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "Reformer", patterns: vec![BlockWise], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "Sparse Sinkhorn", patterns: vec![BlockWise, Random], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "Longformer", patterns: vec![SlidingWindow, LowRank], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "BigBird", patterns: vec![Random, SlidingWindow, LowRank], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "FNet", patterns: vec![Butterfly], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "Kaleidoscope", patterns: vec![Butterfly], sparsifies_attention: false, sparsifies_ffn: true, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "Sparse Transformer", patterns: vec![LowRank, Butterfly, SlidingWindow], sparsifies_attention: true, sparsifies_ffn: false, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "Pixelfly/Monarch", patterns: vec![Butterfly, BlockWise, LowRank], sparsifies_attention: true, sparsifies_ffn: true, unified_sparsity: false, hardware_codesign: false },
-        VariantSpec { name: "FABNet (this work)", patterns: vec![Butterfly], sparsifies_attention: true, sparsifies_ffn: true, unified_sparsity: true, hardware_codesign: true },
+        VariantSpec {
+            name: "Performer/Linformer",
+            patterns: vec![LowRank],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "Reformer",
+            patterns: vec![BlockWise],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "Sparse Sinkhorn",
+            patterns: vec![BlockWise, Random],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "Longformer",
+            patterns: vec![SlidingWindow, LowRank],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "BigBird",
+            patterns: vec![Random, SlidingWindow, LowRank],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "FNet",
+            patterns: vec![Butterfly],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "Kaleidoscope",
+            patterns: vec![Butterfly],
+            sparsifies_attention: false,
+            sparsifies_ffn: true,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "Sparse Transformer",
+            patterns: vec![LowRank, Butterfly, SlidingWindow],
+            sparsifies_attention: true,
+            sparsifies_ffn: false,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "Pixelfly/Monarch",
+            patterns: vec![Butterfly, BlockWise, LowRank],
+            sparsifies_attention: true,
+            sparsifies_ffn: true,
+            unified_sparsity: false,
+            hardware_codesign: false,
+        },
+        VariantSpec {
+            name: "FABNet (this work)",
+            patterns: vec![Butterfly],
+            sparsifies_attention: true,
+            sparsifies_ffn: true,
+            unified_sparsity: true,
+            hardware_codesign: true,
+        },
     ]
 }
 

@@ -37,9 +37,9 @@ proptest! {
         let b = ButterflyMatrix::random(16, &mut rng).unwrap();
         let dense = b.to_dense();
         let fast = b.forward(&xs);
-        for i in 0..16 {
+        for (i, &f) in fast.iter().enumerate() {
             let slow: f32 = (0..16).map(|j| dense.at(i, j) * xs[j]).sum();
-            prop_assert!((slow - fast[i]).abs() < 1e-3);
+            prop_assert!((slow - f).abs() < 1e-3);
         }
     }
 
@@ -58,9 +58,9 @@ proptest! {
         let x = vec![0.0f32; 8];
         let (grad_x, _) = b.backward(&x, &g);
         let dense = b.to_dense();
-        for j in 0..8 {
+        for (j, &gx) in grad_x.iter().enumerate() {
             let expected: f32 = (0..8).map(|i| dense.at(i, j) * g[i]).sum();
-            prop_assert!((expected - grad_x[j]).abs() < 1e-3);
+            prop_assert!((expected - gx).abs() < 1e-3);
         }
     }
 

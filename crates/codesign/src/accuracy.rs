@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn abfly_blocks_give_a_small_bonus() {
         let est = HeuristicAccuracy::lra_image();
-        let without = ModelConfig { hidden: 256, num_layers: 2, num_abfly: 0, ..ModelConfig::fabnet_base() };
+        let without =
+            ModelConfig { hidden: 256, num_layers: 2, num_abfly: 0, ..ModelConfig::fabnet_base() };
         let with = ModelConfig { num_abfly: 1, ..without.clone() };
         assert!(est.estimate(&with) > est.estimate(&without));
     }

@@ -136,8 +136,11 @@ impl DesignSpace {
                                         hardware.num_bu = num_bu;
                                         hardware.device = self.device.clone();
                                         if has_ap {
-                                            hardware =
-                                                hardware.with_attention_units(model.num_heads, pqk, psv);
+                                            hardware = hardware.with_attention_units(
+                                                model.num_heads,
+                                                pqk,
+                                                psv,
+                                            );
                                         }
                                         points.push(DesignPoint { model, hardware });
                                     }

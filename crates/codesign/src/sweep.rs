@@ -8,8 +8,8 @@ use crate::space::{DesignPoint, DesignSpace};
 use fab_accel::workload::LayerSchedule;
 use fab_accel::{resources, Simulator};
 use fab_nn::ModelKind;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Options controlling a co-design run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,19 +95,16 @@ pub fn run_codesign<E: AccuracyEstimator + Sync>(
     options: &CodesignOptions,
 ) -> CodesignResult {
     let candidates = space.enumerate();
-    let feasible: Vec<DesignPoint> = candidates
-        .iter()
-        .filter(|p| resources::check_fits(&p.hardware).is_ok())
-        .cloned()
-        .collect();
+    let feasible: Vec<DesignPoint> =
+        candidates.iter().filter(|p| resources::check_fits(&p.hardware).is_ok()).cloned().collect();
     let infeasible = candidates.len() - feasible.len();
 
     let results: Mutex<Vec<EvaluatedPoint>> = Mutex::new(Vec::with_capacity(feasible.len()));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let threads = options.num_threads.max(1);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= feasible.len() {
                     break;
@@ -119,7 +116,7 @@ pub fn run_codesign<E: AccuracyEstimator + Sync>(
                     LayerSchedule::from_model(&point.model, ModelKind::FabNet, options.seq_len);
                 let latency_ms =
                     Simulator::new(point.hardware.clone()).simulate(&schedule).total_ms();
-                results.lock().push(EvaluatedPoint {
+                results.lock().expect("results mutex poisoned").push(EvaluatedPoint {
                     point: point.clone(),
                     accuracy,
                     latency_ms,
@@ -128,10 +125,9 @@ pub fn run_codesign<E: AccuracyEstimator + Sync>(
                 });
             });
         }
-    })
-    .expect("co-design worker thread panicked");
+    });
 
-    let mut points = results.into_inner();
+    let mut points = results.into_inner().expect("results mutex poisoned");
     // Deterministic order regardless of thread interleaving.
     points.sort_by(|a, b| {
         a.latency_ms
@@ -178,8 +174,16 @@ mod tests {
     fn results_are_deterministic_across_thread_counts() {
         let space = DesignSpace::tiny_for_tests();
         let est = HeuristicAccuracy::lra_text();
-        let a = run_codesign(&space, &est, &CodesignOptions { seq_len: 128, max_accuracy_loss: 0.05, num_threads: 1 });
-        let b = run_codesign(&space, &est, &CodesignOptions { seq_len: 128, max_accuracy_loss: 0.05, num_threads: 4 });
+        let a = run_codesign(
+            &space,
+            &est,
+            &CodesignOptions { seq_len: 128, max_accuracy_loss: 0.05, num_threads: 1 },
+        );
+        let b = run_codesign(
+            &space,
+            &est,
+            &CodesignOptions { seq_len: 128, max_accuracy_loss: 0.05, num_threads: 4 },
+        );
         assert_eq!(a.points.len(), b.points.len());
         assert_eq!(a.pareto, b.pareto);
         assert_eq!(a.chosen, b.chosen);
@@ -189,8 +193,16 @@ mod tests {
     fn tighter_accuracy_constraints_never_pick_faster_designs() {
         let space = DesignSpace::tiny_for_tests();
         let est = HeuristicAccuracy::lra_text();
-        let loose = run_codesign(&space, &est, &CodesignOptions { seq_len: 256, max_accuracy_loss: 0.10, num_threads: 2 });
-        let tight = run_codesign(&space, &est, &CodesignOptions { seq_len: 256, max_accuracy_loss: 0.01, num_threads: 2 });
+        let loose = run_codesign(
+            &space,
+            &est,
+            &CodesignOptions { seq_len: 256, max_accuracy_loss: 0.10, num_threads: 2 },
+        );
+        let tight = run_codesign(
+            &space,
+            &est,
+            &CodesignOptions { seq_len: 256, max_accuracy_loss: 0.01, num_threads: 2 },
+        );
         if let (Some(l), Some(t)) = (loose.chosen_point(), tight.chosen_point()) {
             assert!(t.latency_ms >= l.latency_ms);
         }
@@ -200,8 +212,11 @@ mod tests {
     fn speedup_within_accuracy_band_is_reported() {
         let space = DesignSpace::tiny_for_tests();
         let est = HeuristicAccuracy::lra_text();
-        let result =
-            run_codesign(&space, &est, &CodesignOptions { seq_len: 512, max_accuracy_loss: 0.05, num_threads: 2 });
+        let result = run_codesign(
+            &space,
+            &est,
+            &CodesignOptions { seq_len: 512, max_accuracy_loss: 0.05, num_threads: 2 },
+        );
         let speedup = result.max_speedup_in_accuracy_band(0.02);
         assert!(speedup.unwrap_or(0.0) >= 1.0);
     }

@@ -4,7 +4,9 @@
 use fab_accel::workload::LayerSchedule;
 use fab_accel::{power, resources, AcceleratorConfig, LatencyReport, Simulator};
 use fab_lra::{LraTask, TaskConfig};
-use fab_nn::{evaluate, train_classifier, Example, Model, ModelConfig, ModelKind, TrainOptions, TrainReport};
+use fab_nn::{
+    evaluate, train_classifier, Example, Model, ModelConfig, ModelKind, TrainOptions, TrainReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -101,11 +103,7 @@ impl TrainingPipeline {
             &model,
             &train,
             &test,
-            &TrainOptions {
-                epochs: self.epochs,
-                learning_rate: self.learning_rate,
-                batch_size: 1,
-            },
+            &TrainOptions { epochs: self.epochs, learning_rate: self.learning_rate, batch_size: 1 },
         );
         TrainedFabNet { config, kind, model, report, seq_len: self.seq_len }
     }

@@ -33,7 +33,13 @@ mod retrieval;
 mod text;
 
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Below this many samples, generation stays on the calling thread — the
+/// rayon shim spawns OS threads per call, which only pays off for real work.
+const PAR_MIN_SAMPLES: usize = 64;
 
 /// One labelled sequence sample.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,21 +137,33 @@ impl LraTask {
 
     /// Generates `n` labelled samples.
     ///
+    /// Each sample is produced from its own child RNG (seeded sequentially
+    /// from `rng`), so generation is deterministic for a given seed *and*
+    /// large batches can be built in parallel across rayon workers.
+    ///
     /// # Panics
     ///
     /// Panics when `config.seq_len` is too small for the task (each task
     /// needs at least 16 tokens).
     pub fn generate(self, config: &TaskConfig, n: usize, rng: &mut StdRng) -> Vec<Sample> {
         assert!(config.seq_len >= 16, "LRA proxy tasks need seq_len >= 16");
-        (0..n)
-            .map(|i| match self {
-                LraTask::ListOps => listops::sample(config.seq_len, rng),
-                LraTask::Text => text::sample(config.seq_len, i, rng),
-                LraTask::Retrieval => retrieval::sample(config.seq_len, i, rng),
-                LraTask::Image => image::sample(config.seq_len, i, rng),
-                LraTask::Pathfinder => pathfinder::sample(config.seq_len, i, rng),
-            })
-            .collect()
+        let seeds: Vec<u64> = (0..n).map(|_| rng.gen_range(0..u64::MAX)).collect();
+        let seq_len = config.seq_len;
+        let make = |(i, seed): (usize, u64)| {
+            let mut sample_rng = StdRng::seed_from_u64(seed);
+            match self {
+                LraTask::ListOps => listops::sample(seq_len, &mut sample_rng),
+                LraTask::Text => text::sample(seq_len, i, &mut sample_rng),
+                LraTask::Retrieval => retrieval::sample(seq_len, i, &mut sample_rng),
+                LraTask::Image => image::sample(seq_len, i, &mut sample_rng),
+                LraTask::Pathfinder => pathfinder::sample(seq_len, i, &mut sample_rng),
+            }
+        };
+        if n < PAR_MIN_SAMPLES {
+            seeds.into_iter().enumerate().map(make).collect()
+        } else {
+            seeds.into_iter().enumerate().collect::<Vec<_>>().into_par_iter().map(make).collect()
+        }
     }
 
     /// Generates a train/test split with `n_train` and `n_test` samples.

@@ -28,7 +28,7 @@ fn gen_node(depth: usize, rng: &mut StdRng) -> Node {
     if depth == 0 || rng.gen_bool(0.6) {
         Node::Digit(rng.gen_range(0..10))
     } else {
-        let op = *[OP_MAX, OP_MIN, OP_MED].get(rng.gen_range(0..3)).expect("op index");
+        let op = *[OP_MAX, OP_MIN, OP_MED].get(rng.gen_range(0usize..3)).expect("op index");
         let arity = rng.gen_range(2..=4);
         let children = (0..arity).map(|_| gen_node(depth - 1, rng)).collect();
         Node::Expr(op, children)
@@ -68,7 +68,7 @@ fn serialize(node: &Node, out: &mut Vec<usize>) {
 pub fn sample(seq_len: usize, rng: &mut StdRng) -> Sample {
     loop {
         let root = Node::Expr(
-            *[OP_MAX, OP_MIN, OP_MED].get(rng.gen_range(0..3)).expect("op index"),
+            *[OP_MAX, OP_MIN, OP_MED].get(rng.gen_range(0usize..3)).expect("op index"),
             (0..rng.gen_range(2..=4)).map(|_| gen_node(1, rng)).collect(),
         );
         let mut tokens = Vec::new();
@@ -91,14 +91,21 @@ mod tests {
         // [MAX 3 [MIN 7 2] 5] = max(3, min(7,2), 5) = 5
         let expr = Node::Expr(
             OP_MAX,
-            vec![Node::Digit(3), Node::Expr(OP_MIN, vec![Node::Digit(7), Node::Digit(2)]), Node::Digit(5)],
+            vec![
+                Node::Digit(3),
+                Node::Expr(OP_MIN, vec![Node::Digit(7), Node::Digit(2)]),
+                Node::Digit(5),
+            ],
         );
         assert_eq!(eval(&expr), 5);
     }
 
     #[test]
     fn median_of_even_list_takes_upper_middle() {
-        let expr = Node::Expr(OP_MED, vec![Node::Digit(1), Node::Digit(9), Node::Digit(4), Node::Digit(6)]);
+        let expr = Node::Expr(
+            OP_MED,
+            vec![Node::Digit(1), Node::Digit(9), Node::Digit(4), Node::Digit(6)],
+        );
         assert_eq!(eval(&expr), 6);
     }
 

@@ -17,7 +17,8 @@ const NUM_KEYS: usize = 8;
 pub fn sample(seq_len: usize, index: usize, rng: &mut StdRng) -> Sample {
     let label = index % 2;
     let half = seq_len / 2;
-    let mut tokens: Vec<usize> = (0..seq_len).map(|_| rng.gen_range(KEY_BASE + NUM_KEYS..VOCAB)).collect();
+    let mut tokens: Vec<usize> =
+        (0..seq_len).map(|_| rng.gen_range(KEY_BASE + NUM_KEYS..VOCAB)).collect();
     tokens[half] = SEP;
     let key1 = KEY_BASE + rng.gen_range(0..NUM_KEYS);
     let key2 = if label == 1 {

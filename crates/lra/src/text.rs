@@ -19,7 +19,7 @@ pub fn sample(seq_len: usize, index: usize, rng: &mut StdRng) -> Sample {
     let label = index % 2;
     let mut tokens: Vec<usize> = (0..seq_len).map(|_| rng.gen_range(4..VOCAB)).collect();
     // The majority marker wins by a clear margin scattered across the sequence.
-    let major = seq_len / 8 + rng.gen_range(1..=2);
+    let major = seq_len / 8 + rng.gen_range(1usize..=2);
     let minor = rng.gen_range(0..seq_len / 16 + 1);
     let (major_tok, minor_tok) =
         if label == 1 { (MARKER_A, MARKER_B) } else { (MARKER_B, MARKER_A) };

@@ -1,5 +1,10 @@
 //! Encoder blocks: the vanilla Transformer block, the FNet block, and the
 //! paper's ABfly and FBfly blocks (Fig. 5).
+//!
+//! Blocks compose the batched layers of [`crate::layers`]; a block forward
+//! records one tape node per fused batch operation (projection, mixing,
+//! normalisation), so both the forward and the backward sweep execute on the
+//! row-parallel kernels of `fab-tensor` / `fab-butterfly`.
 
 use crate::layers::{FeedForward, FourierMixing, LayerNorm, MultiHeadAttention};
 use crate::param::Bindings;
@@ -21,13 +26,7 @@ pub trait EncoderBlock {
     fn uses_attention(&self) -> bool;
 }
 
-fn residual_ln(
-    tape: &Tape,
-    ln: &LayerNorm,
-    x: VarId,
-    fx: VarId,
-    bindings: &mut Bindings,
-) -> VarId {
+fn residual_ln(tape: &Tape, ln: &LayerNorm, x: VarId, fx: VarId, bindings: &mut Bindings) -> VarId {
     let sum = tape.add(x, fx);
     ln.forward(tape, sum, bindings)
 }
@@ -44,7 +43,13 @@ pub struct TransformerBlock {
 
 impl TransformerBlock {
     /// Creates a block with dense attention and a dense FFN.
-    pub fn new(name: &str, hidden: usize, heads: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        name: &str,
+        hidden: usize,
+        heads: usize,
+        ffn_ratio: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Self {
             attn: MultiHeadAttention::new_dense(&format!("{name}.attn"), hidden, heads, rng),
             ffn: FeedForward::new_dense(&format!("{name}.ffn"), hidden, ffn_ratio, rng),
@@ -64,7 +69,10 @@ impl EncoderBlock for TransformerBlock {
     }
 
     fn num_params(&self) -> usize {
-        self.attn.num_params() + self.ffn.num_params() + self.ln1.num_params() + self.ln2.num_params()
+        self.attn.num_params()
+            + self.ffn.num_params()
+            + self.ln1.num_params()
+            + self.ln2.num_params()
     }
 
     fn flops(&self, seq: usize) -> u64 {
@@ -144,7 +152,13 @@ pub struct ABflyBlock {
 
 impl ABflyBlock {
     /// Creates an ABfly block.
-    pub fn new(name: &str, hidden: usize, heads: usize, ffn_ratio: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        name: &str,
+        hidden: usize,
+        heads: usize,
+        ffn_ratio: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Self {
             attn: MultiHeadAttention::new_butterfly(&format!("{name}.attn"), hidden, heads, rng),
             ffn: FeedForward::new_butterfly(&format!("{name}.ffn"), hidden, ffn_ratio, rng),
@@ -164,7 +178,10 @@ impl EncoderBlock for ABflyBlock {
     }
 
     fn num_params(&self) -> usize {
-        self.attn.num_params() + self.ffn.num_params() + self.ln1.num_params() + self.ln2.num_params()
+        self.attn.num_params()
+            + self.ffn.num_params()
+            + self.ln1.num_params()
+            + self.ln2.num_params()
     }
 
     fn flops(&self, seq: usize) -> u64 {

@@ -154,7 +154,7 @@ impl ModelConfig {
         if self.hidden == 0 || self.num_layers == 0 {
             return Err("hidden size and layer count must be positive".into());
         }
-        if self.hidden % self.num_heads != 0 {
+        if !self.hidden.is_multiple_of(self.num_heads) {
             return Err(format!(
                 "hidden size {} is not divisible by {} heads",
                 self.hidden, self.num_heads

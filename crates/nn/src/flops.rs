@@ -208,7 +208,13 @@ mod tests {
             // Block-level FLOPs exclude the residual-add "other" term counted here.
             let diff = analytic.total() as i64 - model.flops(seq) as i64;
             let slack = (2 * config.num_layers * seq * config.hidden) as i64;
-            assert!(diff.abs() <= slack, "kind {:?}: {} vs {}", kind, analytic.total(), model.flops(seq));
+            assert!(
+                diff.abs() <= slack,
+                "kind {:?}: {} vs {}",
+                kind,
+                analytic.total(),
+                model.flops(seq)
+            );
         }
     }
 

@@ -1,10 +1,17 @@
 //! Individual neural-network layers: dense and butterfly linear maps,
 //! multi-head attention, feed-forward networks, Fourier mixing, layer
 //! normalisation, embeddings and the classification head.
+//!
+//! Every layer operates on whole `[rows, features]` activation batches and
+//! rides the PR-1 parallel compute core end to end: [`DenseLinear`] lowers to
+//! the cache-blocked row-band-parallel `Tensor::matmul`, [`ButterflyLinear`]
+//! to the batched `ButterflyMatrix::forward_rows` / `backward_rows` kernels,
+//! and [`FourierMixing`] to the plan-cached parallel 2-D FFT — no layer falls
+//! back to a per-vector path.
 
 use crate::param::{Bindings, Param};
-use fab_butterfly::{butterfly_linear_op, fourier_mix_op, next_pow2, ButterflyMatrix};
 use fab_butterfly::flops as bflops;
+use fab_butterfly::{butterfly_linear_op, fourier_mix_op, next_pow2, ButterflyMatrix};
 use fab_tensor::{kaiming_uniform, normal, Tape, Tensor, VarId};
 use rand::rngs::StdRng;
 
@@ -213,7 +220,8 @@ impl MultiHeadAttention {
 
     /// FLOPs of the projections plus the attention core for a `seq`-length input.
     pub fn flops(&self, seq: usize) -> u64 {
-        let proj = self.wq.flops(seq) + self.wk.flops(seq) + self.wv.flops(seq) + self.wo.flops(seq);
+        let proj =
+            self.wq.flops(seq) + self.wk.flops(seq) + self.wv.flops(seq) + self.wo.flops(seq);
         proj + bflops::attention_core_flops(seq, self.dim)
     }
 
@@ -333,7 +341,10 @@ impl Embedding {
     pub fn new(name: &str, vocab: usize, max_seq: usize, hidden: usize, rng: &mut StdRng) -> Self {
         Self {
             tokens: Param::new(format!("{name}.tok"), normal(rng, &[vocab, hidden], 0.0, 0.02)),
-            positions: Param::new(format!("{name}.pos"), normal(rng, &[max_seq, hidden], 0.0, 0.02)),
+            positions: Param::new(
+                format!("{name}.pos"),
+                normal(rng, &[max_seq, hidden], 0.0, 0.02),
+            ),
             hidden,
         }
     }

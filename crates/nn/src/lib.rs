@@ -39,8 +39,8 @@ pub use blocks::{ABflyBlock, EncoderBlock, FBflyBlock, FNetBlock, TransformerBlo
 pub use config::{ModelConfig, ModelKind};
 pub use flops::{FlopsBreakdown, ParamBreakdown};
 pub use layers::{
-    ButterflyLinear, ClassifierHead, DenseLinear, Embedding, FeedForward, FourierMixing,
-    LayerNorm, Linear, MultiHeadAttention,
+    ButterflyLinear, ClassifierHead, DenseLinear, Embedding, FeedForward, FourierMixing, LayerNorm,
+    Linear, MultiHeadAttention,
 };
 pub use models::Model;
 pub use optim::{Adam, Optimizer, Sgd};

@@ -236,7 +236,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let model = Model::new(&tiny(), ModelKind::FNet, &mut rng);
         let tokens = vec![0usize; tiny().max_seq + 1];
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict(&tokens)));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict(&tokens)));
         assert!(result.is_err());
     }
 

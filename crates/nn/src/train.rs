@@ -59,10 +59,7 @@ pub fn evaluate(model: &Model, examples: &[Example]) -> f32 {
     if examples.is_empty() {
         return 0.0;
     }
-    let correct = examples
-        .iter()
-        .filter(|ex| model.predict_class(&ex.tokens) == ex.label)
-        .count();
+    let correct = examples.iter().filter(|ex| model.predict_class(&ex.tokens) == ex.label).count();
     correct as f32 / examples.len() as f32
 }
 

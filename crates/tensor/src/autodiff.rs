@@ -130,7 +130,7 @@ impl Tape {
                 parent_grads.len(),
                 node.parents.len()
             );
-            for (&p, pg) in node.parents.iter().zip(parent_grads.into_iter()) {
+            for (&p, pg) in node.parents.iter().zip(parent_grads) {
                 match &mut grads[p] {
                     Some(existing) => *existing = existing.add(&pg),
                     slot => *slot = Some(pg),
@@ -151,21 +151,13 @@ impl Tape {
     /// Element-wise addition.
     pub fn add(&self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).add(&self.value(b));
-        self.push_custom(
-            value,
-            &[a, b],
-            Box::new(|g, _, _| vec![g.clone(), g.clone()]),
-        )
+        self.push_custom(value, &[a, b], Box::new(|g, _, _| vec![g.clone(), g.clone()]))
     }
 
     /// Element-wise subtraction.
     pub fn sub(&self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).sub(&self.value(b));
-        self.push_custom(
-            value,
-            &[a, b],
-            Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]),
-        )
+        self.push_custom(value, &[a, b], Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]))
     }
 
     /// Element-wise multiplication.
@@ -213,10 +205,12 @@ impl Tape {
             Box::new(|g, _, y| {
                 let (m, n) = (y.rows(), y.cols());
                 let mut dx = Tensor::zeros(&[m, n]);
-                for i in 0..m {
-                    let dot: f32 = (0..n).map(|j| g.at(i, j) * y.at(i, j)).sum();
-                    for j in 0..n {
-                        dx.set(i, j, y.at(i, j) * (g.at(i, j) - dot));
+                let rows = dx.as_mut_slice().chunks_mut(n);
+                for ((dxr, gr), yr) in rows.zip(g.as_slice().chunks(n)).zip(y.as_slice().chunks(n))
+                {
+                    let dot: f32 = gr.iter().zip(yr.iter()).map(|(&gv, &yv)| gv * yv).sum();
+                    for ((d, &gv), &yv) in dxr.iter_mut().zip(gr.iter()).zip(yr.iter()) {
+                        *d = yv * (gv - dot);
                     }
                 }
                 vec![dx]
@@ -276,25 +270,40 @@ impl Tape {
                 let mut dx = Tensor::zeros(&[m, n]);
                 let mut dgamma = Tensor::zeros(&[n]);
                 let mut dbeta = Tensor::zeros(&[n]);
-                for i in 0..m {
-                    let row: Vec<f32> = (0..n).map(|j| xv.at(i, j)).collect();
+                let gamma = gammav.as_slice();
+                // Per-row scratch reused across the batch.
+                let mut xhat = vec![0.0f32; n];
+                let mut dxhat = vec![0.0f32; n];
+                let dx_rows = dx.as_mut_slice().chunks_mut(n);
+                for ((dxr, row), gr) in
+                    dx_rows.zip(xv.as_slice().chunks(n)).zip(g.as_slice().chunks(n))
+                {
                     let mean = row.iter().sum::<f32>() / n as f32;
                     let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
                     let inv = 1.0 / (var + eps).sqrt();
-                    let xhat: Vec<f32> = row.iter().map(|&v| (v - mean) * inv).collect();
+                    for (h, &v) in xhat.iter_mut().zip(row.iter()) {
+                        *h = (v - mean) * inv;
+                    }
                     // Accumulate parameter gradients.
-                    for j in 0..n {
-                        dgamma.as_mut_slice()[j] += g.at(i, j) * xhat[j];
-                        dbeta.as_mut_slice()[j] += g.at(i, j);
+                    for (((dg, db), &gv), &h) in dgamma
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(dbeta.as_mut_slice().iter_mut())
+                        .zip(gr.iter())
+                        .zip(xhat.iter())
+                    {
+                        *dg += gv * h;
+                        *db += gv;
                     }
                     // dL/dxhat = g * gamma
-                    let dxhat: Vec<f32> =
-                        (0..n).map(|j| g.at(i, j) * gammav.as_slice()[j]).collect();
+                    for ((dh, &gv), &gm) in dxhat.iter_mut().zip(gr.iter()).zip(gamma.iter()) {
+                        *dh = gv * gm;
+                    }
                     let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
                     let mean_dxhat_xhat =
                         dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / n as f32;
-                    for j in 0..n {
-                        dx.set(i, j, inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat));
+                    for ((d, &dh), &h) in dxr.iter_mut().zip(dxhat.iter()).zip(xhat.iter()) {
+                        *d = inv * (dh - mean_dxhat - h * mean_dxhat_xhat);
                     }
                 }
                 vec![dx, dgamma, dbeta]
@@ -310,17 +319,14 @@ impl Tape {
             &[x, bias],
             Box::new(|g, parents, _| {
                 let bias_shape = parents[1].shape().to_vec();
-                let (m, n) = (g.rows(), g.cols());
+                let n = g.cols();
                 let mut db = vec![0.0f32; n];
-                for i in 0..m {
-                    for j in 0..n {
-                        db[j] += g.at(i, j);
+                for gr in g.as_slice().chunks(n) {
+                    for (d, &gv) in db.iter_mut().zip(gr.iter()) {
+                        *d += gv;
                     }
                 }
-                vec![
-                    g.clone(),
-                    Tensor::from_vec(db, &bias_shape).expect("bias gradient shape"),
-                ]
+                vec![g.clone(), Tensor::from_vec(db, &bias_shape).expect("bias gradient shape")]
             }),
         )
     }
@@ -334,9 +340,10 @@ impl Tape {
             Box::new(|g, parents, _| {
                 let (m, n) = (parents[0].rows(), parents[0].cols());
                 let mut dx = Tensor::zeros(&[m, n]);
-                for i in 0..m {
-                    for j in 0..n {
-                        dx.set(i, j, g.at(0, j) / m as f32);
+                let scale = 1.0 / m as f32;
+                for dxr in dx.as_mut_slice().chunks_mut(n) {
+                    for (d, &gv) in dxr.iter_mut().zip(g.as_slice().iter()) {
+                        *d = gv * scale;
                     }
                 }
                 vec![dx]
@@ -353,10 +360,9 @@ impl Tape {
             Box::new(move |g, parents, _| {
                 let (m, n) = (parents[0].rows(), parents[0].cols());
                 let mut dx = Tensor::zeros(&[m, n]);
-                for i in 0..m {
-                    for j in start..end {
-                        dx.set(i, j, g.at(i, j - start));
-                    }
+                let w = end - start;
+                for (dxr, gr) in dx.as_mut_slice().chunks_mut(n).zip(g.as_slice().chunks(w)) {
+                    dxr[start..end].copy_from_slice(gr);
                 }
                 vec![dx]
             }),
@@ -458,10 +464,8 @@ impl Tape {
             assert!(i < vocab, "token index {i} out of range for vocab {vocab}");
         }
         let mut out = Tensor::zeros(&[indices.len(), dim]);
-        for (r, &i) in indices.iter().enumerate() {
-            for c in 0..dim {
-                out.set(r, c, tv.at(i, c));
-            }
+        for (orow, &i) in out.as_mut_slice().chunks_mut(dim).zip(indices.iter()) {
+            orow.copy_from_slice(&tv.as_slice()[i * dim..(i + 1) * dim]);
         }
         let indices_owned = indices.to_vec();
         self.push_custom(
@@ -470,10 +474,10 @@ impl Tape {
             Box::new(move |g, parents, _| {
                 let (vocab, dim) = (parents[0].rows(), parents[0].cols());
                 let mut dt = Tensor::zeros(&[vocab, dim]);
-                for (r, &i) in indices_owned.iter().enumerate() {
-                    for c in 0..dim {
-                        let v = dt.at(i, c) + g.at(r, c);
-                        dt.set(i, c, v);
+                for (gr, &i) in g.as_slice().chunks(dim).zip(indices_owned.iter()) {
+                    let trow = &mut dt.as_mut_slice()[i * dim..(i + 1) * dim];
+                    for (d, &gv) in trow.iter_mut().zip(gr.iter()) {
+                        *d += gv;
                     }
                 }
                 vec![dt]
@@ -559,11 +563,7 @@ mod tests {
     #[test]
     fn cross_entropy_gradient_matches_finite_differences() {
         let x = t(vec![0.2, -0.5, 1.0, 0.7, 0.1, -0.3], &[2, 3]);
-        let ok = check_gradient(
-            |tape, xv| tape.cross_entropy(xv, &[2, 0]),
-            &x,
-            1e-2,
-        );
+        let ok = check_gradient(|tape, xv| tape.cross_entropy(xv, &[2, 0]), &x, 1e-2);
         assert!(ok);
     }
 

@@ -65,8 +65,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = normal(&mut rng, &[100, 100], 0.0, 1.0);
         let mean = a.mean();
-        let var = a.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / a.len() as f32;
+        let var =
+            a.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / a.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -1,5 +1,51 @@
 use crate::TensorError;
+use rayon::prelude::*;
 use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Compute-core tuning parameters.
+//
+// The hot kernels below are cache-blocked and parallelised over row bands
+// with rayon. The constants are chosen for typical L1/L2 sizes (32 KiB /
+// 256 KiB-1 MiB) and `f32` storage; they only affect performance, never
+// results — every blocked/parallel kernel is bit-compatible with its serial
+// reference (see `matmul_reference` and the parallel-consistency tests).
+// ---------------------------------------------------------------------------
+
+/// Rows of the output handled by one parallel task in `matmul`.
+const MATMUL_BAND_ROWS: usize = 64;
+/// Depth (`k`) block: how many lhs columns / rhs rows are swept per pass.
+const MATMUL_KC: usize = 128;
+/// Column (`j`) block: output/rhs columns touched per inner sweep, keeping
+/// the active rhs panel (`MATMUL_KC x MATMUL_NC x 4 B = 256 KiB`) L2-resident
+/// and the active output segment L1-resident.
+const MATMUL_NC: usize = 512;
+/// Tile edge for the blocked transpose.
+const TRANSPOSE_TILE: usize = 32;
+/// Tensors smaller than this many elements are processed serially: the rayon
+/// shim spawns OS threads per call, which only pays off for real work.
+const PAR_MIN_ELEMS: usize = 1 << 14;
+/// Target elements per parallel chunk for row-wise and element-wise kernels.
+const CHUNK_ELEMS: usize = 1 << 13;
+
+/// Splits `out` into row-aligned chunks and applies `f` to each chunk, in
+/// parallel when the tensor is large enough to amortise thread spawns.
+///
+/// `f` receives `(first_row_of_chunk, chunk)` where every chunk holds a whole
+/// number of `n`-element rows.
+fn for_each_row_band(out: &mut [f32], n: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    debug_assert!(n > 0 && out.len().is_multiple_of(n));
+    let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+    if out.len() < PAR_MIN_ELEMS {
+        for (c, chunk) in out.chunks_mut(rows_per_chunk * n).enumerate() {
+            f(c * rows_per_chunk, chunk);
+        }
+    } else {
+        out.par_chunks_mut(rows_per_chunk * n)
+            .enumerate()
+            .for_each(|(c, chunk)| f(c * rows_per_chunk, chunk));
+    }
+}
 
 /// A dense, row-major, `f32` tensor.
 ///
@@ -159,10 +205,101 @@ impl Tensor {
 
     /// Matrix multiplication `self × rhs` for 2-D tensors.
     ///
+    /// The kernel is cache-blocked (`i`-`k`-`j` loop order with
+    /// [`MATMUL_KC`]×[`MATMUL_NC`] rhs panels) and parallelised over
+    /// [`MATMUL_BAND_ROWS`]-row output bands. Per output element the
+    /// accumulation order is identical to [`Tensor::matmul_reference`], so
+    /// the two kernels produce bit-identical results.
+    ///
     /// # Panics
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let band = |i0: usize, dst: &mut [f32]| {
+            for kk in (0..k).step_by(MATMUL_KC) {
+                let kb = MATMUL_KC.min(k - kk);
+                for jj in (0..n).step_by(MATMUL_NC) {
+                    let jb = MATMUL_NC.min(n - jj);
+                    for (i, drow) in dst.chunks_mut(n).enumerate() {
+                        let arow = &self.data[(i0 + i) * k + kk..(i0 + i) * k + kk + kb];
+                        let dseg = &mut drow[jj..jj + jb];
+                        // 4-way unroll over the depth dimension: the output
+                        // segment is loaded/stored once per four rhs rows.
+                        // The per-element adds stay in ascending-p order, and
+                        // groups containing any zero lhs element fall back to
+                        // the scalar loop with its per-term zero skip, so
+                        // results remain bit-identical to `matmul_reference`
+                        // even when the rhs holds non-finite values (where
+                        // `0.0 * inf` would otherwise inject NaN).
+                        let kb4 = kb & !3;
+                        for pg in (0..kb4).step_by(4) {
+                            let (a0, a1, a2, a3) =
+                                (arow[pg], arow[pg + 1], arow[pg + 2], arow[pg + 3]);
+                            if a0 == 0.0 || a1 == 0.0 || a2 == 0.0 || a3 == 0.0 {
+                                for (p, &a) in arow.iter().enumerate().skip(pg).take(4) {
+                                    if a == 0.0 {
+                                        continue;
+                                    }
+                                    let base = (kk + p) * n + jj;
+                                    let bseg = &rhs.data[base..base + jb];
+                                    for (d, &b) in dseg.iter_mut().zip(bseg.iter()) {
+                                        *d += a * b;
+                                    }
+                                }
+                                continue;
+                            }
+                            let base = (kk + pg) * n + jj;
+                            let b0 = &rhs.data[base..base + jb];
+                            let b1 = &rhs.data[base + n..base + n + jb];
+                            let b2 = &rhs.data[base + 2 * n..base + 2 * n + jb];
+                            let b3 = &rhs.data[base + 3 * n..base + 3 * n + jb];
+                            for ((((d, &v0), &v1), &v2), &v3) in
+                                dseg.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                            {
+                                *d += a0 * v0;
+                                *d += a1 * v1;
+                                *d += a2 * v2;
+                                *d += a3 * v3;
+                            }
+                        }
+                        for (p, &a) in arow.iter().enumerate().skip(kb4) {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let bseg = &rhs.data[(kk + p) * n + jj..(kk + p) * n + jj + jb];
+                            for (d, &b) in dseg.iter_mut().zip(bseg.iter()) {
+                                *d += a * b;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        // 2·m·k·n flops: only fan the bands out when there is real work.
+        if m * k * n < (1 << 16) {
+            band(0, &mut out);
+        } else {
+            out.par_chunks_mut(MATMUL_BAND_ROWS * n)
+                .enumerate()
+                .for_each(|(c, chunk)| band(c * MATMUL_BAND_ROWS, chunk));
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// The seed's naive triple-loop matmul, kept as the ground-truth oracle
+    /// for the blocked/parallel kernel (tests assert bit-compatibility) and
+    /// as the serial baseline for the PR-1 benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_reference(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -187,6 +324,10 @@ impl Tensor {
 
     /// Returns the transpose of a 2-D tensor.
     ///
+    /// Works in [`TRANSPOSE_TILE`]² tiles so both the read and the write side
+    /// stay cache-resident, with the tile rows fanned out in parallel for
+    /// large matrices.
+    ///
     /// # Panics
     ///
     /// Panics when the tensor is not 2-D.
@@ -194,10 +335,24 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+        let tile_band = |j0: usize, dst: &mut [f32]| {
+            // `dst` holds whole output rows, i.e. input columns starting at j0.
+            for ii in (0..m).step_by(TRANSPOSE_TILE) {
+                let ib = TRANSPOSE_TILE.min(m - ii);
+                for (dj, drow) in dst.chunks_mut(m).enumerate() {
+                    let j = j0 + dj;
+                    for (di, d) in drow[ii..ii + ib].iter_mut().enumerate() {
+                        *d = self.data[(ii + di) * n + j];
+                    }
+                }
             }
+        };
+        if m * n < PAR_MIN_ELEMS {
+            tile_band(0, &mut out);
+        } else {
+            out.par_chunks_mut(TRANSPOSE_TILE * m)
+                .enumerate()
+                .for_each(|(c, chunk)| tile_band(c * TRANSPOSE_TILE, chunk));
         }
         Tensor { shape: vec![n, m], data: out }
     }
@@ -240,8 +395,24 @@ impl Tensor {
     }
 
     /// Applies `f` element-wise, returning a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    ///
+    /// Large tensors are processed in parallel chunks; `f` must therefore be
+    /// [`Sync`] (pure element-wise closures always are).
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        if out.len() < PAR_MIN_ELEMS {
+            for (d, &x) in out.iter_mut().zip(self.data.iter()) {
+                *d = f(x);
+            }
+        } else {
+            out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
+                let src = &self.data[c * CHUNK_ELEMS..c * CHUNK_ELEMS + chunk.len()];
+                for (d, &x) in chunk.iter_mut().zip(src.iter()) {
+                    *d = f(x);
+                }
+            });
+        }
+        Tensor { shape: self.shape.clone(), data: out }
     }
 
     /// Adds a `[1, cols]` (or 1-D `[cols]`) row vector to every row of a 2-D tensor.
@@ -254,11 +425,13 @@ impl Tensor {
         let n = self.shape[1];
         assert_eq!(row.len(), n, "broadcast row length {} != cols {}", row.len(), n);
         let mut out = self.clone();
-        for r in 0..self.shape[0] {
-            for c in 0..n {
-                out.data[r * n + c] += row.data[c];
+        for_each_row_band(&mut out.data, n, |_, chunk| {
+            for orow in chunk.chunks_mut(n) {
+                for (d, &b) in orow.iter_mut().zip(row.data.iter()) {
+                    *d += b;
+                }
             }
-        }
+        });
         out
     }
 
@@ -271,19 +444,22 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "softmax_rows requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for j in 0..n {
-                let e = (row[j] - max).exp();
-                out[i * n + j] = e;
-                sum += e;
+        for_each_row_band(&mut out, n, |r0, chunk| {
+            for (i, orow) in chunk.chunks_mut(n).enumerate() {
+                let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (d, &x) in orow.iter_mut().zip(row.iter()) {
+                    let e = (x - max).exp();
+                    *d = e;
+                    sum += e;
+                }
+                let inv = 1.0 / sum;
+                for d in orow.iter_mut() {
+                    *d *= inv;
+                }
             }
-            for j in 0..n {
-                out[i * n + j] /= sum;
-            }
-        }
+        });
         Tensor { shape: vec![m, n], data: out }
     }
 
@@ -296,14 +472,16 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "log_softmax_rows requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-            for j in 0..n {
-                out[i * n + j] = row[j] - max - log_sum;
+        for_each_row_band(&mut out, n, |r0, chunk| {
+            for (i, orow) in chunk.chunks_mut(n).enumerate() {
+                let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+                for (d, &x) in orow.iter_mut().zip(row.iter()) {
+                    *d = x - max - log_sum;
+                }
             }
-        }
+        });
         Tensor { shape: vec![m, n], data: out }
     }
 
@@ -318,15 +496,17 @@ impl Tensor {
         assert_eq!(gamma.len(), n, "gamma length mismatch");
         assert_eq!(beta.len(), n, "beta length mismatch");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let mean = row.iter().sum::<f32>() / n as f32;
-            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for j in 0..n {
-                out[i * n + j] = gamma.data[j] * (row[j] - mean) * inv + beta.data[j];
+        for_each_row_band(&mut out, n, |r0, chunk| {
+            for (i, orow) in chunk.chunks_mut(n).enumerate() {
+                let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
+                let mean = row.iter().sum::<f32>() / n as f32;
+                let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for (j, (d, &x)) in orow.iter_mut().zip(row.iter()).enumerate() {
+                    *d = gamma.data[j] * (x - mean) * inv + beta.data[j];
+                }
             }
-        }
+        });
         Tensor { shape: vec![m, n], data: out }
     }
 
@@ -364,9 +544,9 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "mean_rows requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
+        for row in self.data.chunks(n) {
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
             }
         }
         for v in &mut out {
@@ -389,7 +569,10 @@ impl Tensor {
                 let row = &self.data[i * n..(i + 1) * n];
                 row.iter()
                     .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc })
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |acc, (j, &v)| if v > acc.1 { (j, v) } else { acc },
+                    )
                     .0
             })
             .collect()
@@ -442,7 +625,8 @@ impl Tensor {
             let mut off = 0;
             for p in parts {
                 let n = p.shape[1];
-                out[i * total + off..i * total + off + n].copy_from_slice(&p.data[i * n..(i + 1) * n]);
+                out[i * total + off..i * total + off + n]
+                    .copy_from_slice(&p.data[i * n..(i + 1) * n]);
                 off += n;
             }
         }
@@ -461,16 +645,33 @@ impl Tensor {
             && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
     }
 
-    fn zip_with<F: Fn(f32, f32) -> f32>(&self, rhs: &Tensor, op: &'static str, f: F) -> Tensor {
+    fn zip_with<F: Fn(f32, f32) -> f32 + Sync>(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: F,
+    ) -> Tensor {
         assert_eq!(
             self.shape, rhs.shape,
             "shape mismatch in {op}: {:?} vs {:?}",
             self.shape, rhs.shape
         );
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        let mut out = vec![0.0f32; self.data.len()];
+        if out.len() < PAR_MIN_ELEMS {
+            for ((d, &a), &b) in out.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+                *d = f(a, b);
+            }
+        } else {
+            out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
+                let start = c * CHUNK_ELEMS;
+                let lhs = &self.data[start..start + chunk.len()];
+                let rhv = &rhs.data[start..start + chunk.len()];
+                for ((d, &a), &b) in chunk.iter_mut().zip(lhs.iter()).zip(rhv.iter()) {
+                    *d = f(a, b);
+                }
+            });
         }
+        Tensor { shape: self.shape.clone(), data: out }
     }
 }
 

@@ -1,0 +1,114 @@
+//! PR-1 property tests: the blocked/parallel tensor kernels must agree with
+//! the serial seed reference across awkward (odd, non-power-of-two) shapes
+//! and across worker-thread counts, including `RAYON_NUM_THREADS=1`.
+
+use fab_tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises tests that mutate `RAYON_NUM_THREADS`, which is process-global.
+static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn filled(shape: &[usize], salt: usize) -> Tensor {
+    let volume: usize = shape.iter().product();
+    Tensor::from_vec(
+        (0..volume).map(|i| (((i * 31 + salt * 17) % 997) as f32) * 0.013 - 6.3).collect(),
+        shape,
+    )
+    .expect("valid shape")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference(m in 1usize..48, k in 1usize..70, n in 1usize..50) {
+        let a = filled(&[m, k], 1);
+        let b = filled(&[k, n], 2);
+        let fast = a.matmul(&b);
+        let slow = a.matmul_reference(&b);
+        prop_assert!(fast == slow, "blocked matmul diverged at {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn rowwise_kernels_are_partition_invariant(m in 1usize..40, n in 1usize..40) {
+        // Computing the whole batch at once must give the same bits as
+        // computing each row on its own — which is exactly what the parallel
+        // chunking relies on.
+        let x = filled(&[m, n], 3);
+        let soft = x.softmax_rows();
+        let gamma = filled(&[n], 4);
+        let beta = filled(&[n], 5);
+        let ln = x.layer_norm_rows(&gamma, &beta, 1e-5);
+        for r in 0..m {
+            let row = x.slice_rows(r, r + 1);
+            prop_assert!(soft.slice_rows(r, r + 1) == row.softmax_rows());
+            prop_assert!(ln.slice_rows(r, r + 1) == row.layer_norm_rows(&gamma, &beta, 1e-5));
+        }
+    }
+
+    #[test]
+    fn transpose_involution_holds_for_odd_shapes(m in 1usize..90, n in 1usize..90) {
+        let a = filled(&[m, n], 6);
+        prop_assert!(a.transpose().transpose() == a);
+    }
+}
+
+#[test]
+fn large_kernels_cross_the_parallel_threshold_and_stay_exact() {
+    // 300 x 257 x 129 is odd-shaped and big enough (m*k*n ≈ 10M flops,
+    // m*n > 16k elements) to take the parallel band path.
+    let a = filled(&[300, 257], 7);
+    let b = filled(&[257, 129], 8);
+    assert!(a.matmul(&b) == a.matmul_reference(&b));
+
+    let x = filled(&[301, 129], 9);
+    let soft = x.softmax_rows();
+    for r in (0..301).step_by(37) {
+        assert!(soft.slice_rows(r, r + 1) == x.slice_rows(r, r + 1).softmax_rows());
+    }
+    assert!(x.transpose().transpose() == x);
+}
+
+#[test]
+fn zero_lhs_elements_skip_non_finite_rhs_rows_like_the_reference() {
+    // A zero lhs element sharing a 4-wide unroll group with nonzero ones must
+    // still skip its rhs row entirely: `0.0 * inf` would inject NaN where the
+    // reference (which skips zero terms) stays finite.
+    let a = Tensor::from_vec(vec![0.0, 1.0, 1.0, 1.0, 2.0, 3.0], &[1, 6]).expect("lhs");
+    let mut b_data = vec![1.0f32; 6 * 4];
+    b_data[0] = f32::INFINITY;
+    b_data[1] = f32::NAN;
+    let b = Tensor::from_vec(b_data, &[6, 4]).expect("rhs");
+    let fast = a.matmul(&b);
+    let slow = a.matmul_reference(&b);
+    assert!(fast.as_slice().iter().all(|v| v.is_finite()), "blocked kernel injected NaN/inf");
+    assert!(fast == slow, "zero-skip semantics diverged from the reference");
+}
+
+#[test]
+fn kernels_match_reference_with_a_single_rayon_thread() {
+    let _guard = THREAD_ENV_LOCK.lock().expect("env lock");
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let a = filled(&[130, 127], 10);
+    let b = filled(&[127, 140], 11);
+    let serial = a.matmul(&b);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let parallel = a.matmul(&b);
+    assert!(serial == parallel, "thread count changed matmul results");
+    assert!(serial == a.matmul_reference(&b));
+}
+
+#[test]
+fn kernels_match_reference_with_many_rayon_threads() {
+    let _guard = THREAD_ENV_LOCK.lock().expect("env lock");
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    let x = filled(&[257, 65], 12);
+    let many = x.softmax_rows();
+    let gamma = filled(&[65], 13);
+    let beta = filled(&[65], 14);
+    let ln_many = x.layer_norm_rows(&gamma, &beta, 1e-5);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert!(many == x.softmax_rows());
+    assert!(ln_many == x.layer_norm_rows(&gamma, &beta, 1e-5));
+}

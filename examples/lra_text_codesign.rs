@@ -56,7 +56,10 @@ fn main() {
         chosen.dsps,
         chosen.brams
     );
-    println!("  Simulated latency: {:.3} ms, estimated accuracy {:.3}", chosen.latency_ms, chosen.accuracy);
+    println!(
+        "  Simulated latency: {:.3} ms, estimated accuracy {:.3}",
+        chosen.latency_ms, chosen.accuracy
+    );
     if let Some(speedup) = result.max_speedup_in_accuracy_band(0.02) {
         println!("  Up to {speedup:.0}x faster than designs in the same accuracy band");
     }

@@ -64,5 +64,8 @@ fn main() {
     println!("  final train loss   : {:.4}", trained.report.final_loss());
     println!("  held-out accuracy  : {:.2}", trained.report.test_accuracy);
     let eval = trained.simulate(&AcceleratorConfig::vcu128_fabnet());
-    println!("  simulated latency  : {:.4} ms on the 64-BE co-designed accelerator", eval.latency_ms);
+    println!(
+        "  simulated latency  : {:.4} ms on the 64-BE co-designed accelerator",
+        eval.latency_ms
+    );
 }

@@ -15,8 +15,11 @@ fn main() {
     println!("== Speedup breakdown over the 2048-multiplier MAC baseline (Fig. 19) ==");
     let baseline = MacBaseline::vcu128_2048();
     let butterfly = Simulator::new(AcceleratorConfig::vcu128_be120());
-    for (name, config) in [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())] {
-        let bert = if name == "Base" { ModelConfig::bert_base() } else { ModelConfig::bert_large() };
+    for (name, config) in
+        [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())]
+    {
+        let bert =
+            if name == "Base" { ModelConfig::bert_base() } else { ModelConfig::bert_large() };
         for &seq in &seqs {
             let bert_sched = LayerSchedule::from_model(&bert, ModelKind::Transformer, seq);
             let fab_sched = LayerSchedule::from_model(&config, ModelKind::FabNet, seq);
@@ -36,7 +39,9 @@ fn main() {
     println!("\n== Server scenario: VCU128 (120 BEs) vs GPUs (Fig. 20a) ==");
     let vcu = Simulator::new(AcceleratorConfig::vcu128_be120());
     let fpga_power = fabnet::accel::power::estimate(vcu.config()).total();
-    for (name, config) in [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())] {
+    for (name, config) in
+        [("Base", ModelConfig::fabnet_base()), ("Large", ModelConfig::fabnet_large())]
+    {
         for &seq in &seqs {
             let schedule = LayerSchedule::from_model(&config, ModelKind::FabNet, seq);
             let fpga = vcu.simulate(&schedule);
@@ -70,7 +75,8 @@ fn main() {
                 "  Base seq {seq:>4} vs {:<16}: {:6.1}x faster, {:6.1}x more energy-efficient",
                 dev.name,
                 dev_latency / fpga.total_seconds(),
-                (fpga.achieved_gops() / zynq_power) / dev.gops_per_watt(schedule.total_flops(), dev_latency)
+                (fpga.achieved_gops() / zynq_power)
+                    / dev.gops_per_watt(schedule.total_flops(), dev_latency)
             );
         }
     }
@@ -78,12 +84,23 @@ fn main() {
     // 4. SOTA accelerator comparison (Table V) using the normalised BE-40 design.
     println!("\n== SOTA accelerator comparison under the 128-multiplier budget (Table V) ==");
     let be40 = Simulator::new(AcceleratorConfig::vcu128_be40());
-    let one_layer = ModelConfig { num_layers: 1, num_abfly: 0, hidden: 64, ffn_ratio: 4, ..ModelConfig::fabnet_base() };
+    let one_layer = ModelConfig {
+        num_layers: 1,
+        num_abfly: 0,
+        hidden: 64,
+        ffn_ratio: 4,
+        ..ModelConfig::fabnet_base()
+    };
     let schedule = LayerSchedule::from_model(&one_layer, ModelKind::FabNet, 1024);
     let ours = be40.simulate(&schedule);
     let our_power = fabnet::accel::power::estimate(be40.config()).total();
-    println!("  paper reports {:.1} ms at {:.2} W; reproduced {:.2} ms at {:.2} W",
-        paper_this_work().latency_ms, paper_this_work().power_w, ours.total_ms(), our_power);
+    println!(
+        "  paper reports {:.1} ms at {:.2} W; reproduced {:.2} ms at {:.2} W",
+        paper_this_work().latency_ms,
+        paper_this_work().power_w,
+        ours.total_ms(),
+        our_power
+    );
     for row in comparison_table(ours.total_ms(), our_power) {
         println!(
             "  {:<28} latency {:7.2} ms  throughput {:8.1} pred/s  power {:6.2} W  energy {:6.2} pred/J  speedup {:6.1}x",

@@ -20,7 +20,8 @@ fn tiny_config() -> ModelConfig {
 
 #[test]
 fn fabnet_learns_the_text_proxy_and_runs_on_the_accelerator() {
-    let pipeline = TrainingPipeline::new(LraTask::Text, 32, 42).with_examples(40, 20).with_epochs(5);
+    let pipeline =
+        TrainingPipeline::new(LraTask::Text, 32, 42).with_examples(40, 20).with_epochs(5);
     let trained = pipeline.run(&tiny_config(), ModelKind::FabNet);
     assert!(
         trained.report.test_accuracy >= 0.6,
@@ -38,10 +39,7 @@ fn fabnet_fnet_and_transformer_all_train_on_the_retrieval_proxy() {
         TrainingPipeline::new(LraTask::Retrieval, 32, 9).with_examples(24, 12).with_epochs(2);
     for kind in [ModelKind::FabNet, ModelKind::FNet, ModelKind::Transformer] {
         let trained = pipeline.run(&tiny_config(), kind);
-        assert!(
-            trained.report.final_loss().is_finite(),
-            "{kind:?} training diverged"
-        );
+        assert!(trained.report.final_loss().is_finite(), "{kind:?} training diverged");
         assert!(trained.report.test_accuracy >= 0.0 && trained.report.test_accuracy <= 1.0);
     }
 }

@@ -46,8 +46,9 @@ fn fft_mode_agrees_with_the_fourier_mixing_layer() {
     // layer used by FNet/FABNet.
     let mut rng = StdRng::seed_from_u64(9);
     let n = 128;
-    let x: Vec<Complex> =
-        (0..n).map(|_| Complex::new(rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0))).collect();
+    let x: Vec<Complex> = (0..n)
+        .map(|_| Complex::new(rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)))
+        .collect();
     let hw = execute_fft(&x);
     let sw = fft(&x);
     for (a, b) in hw.iter().zip(sw.iter()) {
@@ -72,7 +73,9 @@ fn butterfly_memory_layout_is_conflict_free_for_model_sized_transforms() {
             let report = TransformAccessReport::analyze(Layout::Butterfly, n, banks);
             assert!(report.is_conflict_free(), "n={n} banks={banks}");
             // And the naive layouts are not, which is what motivates the S2P design.
-            assert!(!TransformAccessReport::analyze(Layout::ColumnMajor, n, banks).is_conflict_free());
+            assert!(
+                !TransformAccessReport::analyze(Layout::ColumnMajor, n, banks).is_conflict_free()
+            );
         }
     }
 }

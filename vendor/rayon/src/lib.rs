@@ -1,0 +1,223 @@
+//! Offline shim for the subset of `rayon` used by the fab compute core.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides a
+//! source-compatible implementation of the parallel-iterator idioms the
+//! workspace kernels use — `par_chunks` / `par_chunks_mut` on slices,
+//! `into_par_iter` on ranges, and `enumerate` / `for_each` / `map` /
+//! `collect` on the resulting iterators — on top of `std::thread::scope`.
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel call
+//! splits its items into at most [`current_num_threads`] contiguous blocks
+//! and runs one OS thread per block. That is the right shape for the
+//! row-banded kernels in `fab-tensor` / `fab-butterfly`, whose work per item
+//! is uniform. `RAYON_NUM_THREADS=1` (or a single-core machine) degrades to a
+//! plain serial loop on the calling thread with zero thread spawns, which the
+//! property tests rely on for bit-exact serial/parallel comparisons.
+
+/// Number of worker threads parallel calls may use: `RAYON_NUM_THREADS` when
+/// set to a positive integer, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Runs `f` over `items`, in parallel when more than one thread is available,
+/// returning the outputs in input order.
+fn run<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous blocks of near-equal size.
+    let mut blocks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let total = items.len();
+    let mut iter = items.into_iter();
+    for t in 0..threads {
+        let take = (total * (t + 1)) / threads - (total * t) / threads;
+        blocks.push(iter.by_ref().take(take).collect());
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| scope.spawn(move || block.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::with_capacity(total);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly materialised parallel iterator over `items`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs every item with its index, mirroring `ParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run(self.items, &f);
+    }
+
+    /// Lazily maps every item through `f`; consume with [`ParMap::collect`],
+    /// [`ParMap::sum`], or [`ParMap::reduce`].
+    pub fn map<O, F>(self, f: F) -> ParMap<I, O, F>
+    where
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        ParMap { items: self.items, f, _out: std::marker::PhantomData }
+    }
+
+    /// Number of items the iterator will yield.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`]: a parallel map pending consumption.
+pub struct ParMap<I, O, F> {
+    items: Vec<I>,
+    f: F,
+    _out: std::marker::PhantomData<O>,
+}
+
+impl<I, O, F> ParMap<I, O, F>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    /// Evaluates the map in parallel and collects the outputs in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        run(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Evaluates the map in parallel and folds the outputs with `combine`,
+    /// starting from `identity`.
+    pub fn reduce<ID, C>(self, identity: ID, combine: C) -> O
+    where
+        ID: Fn() -> O,
+        C: Fn(O, O) -> O,
+    {
+        run(self.items, &self.f).into_iter().fold(identity(), combine)
+    }
+
+    /// Evaluates the map in parallel and sums the outputs.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        run(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into chunks of at most `chunk_size` items.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into disjoint mutable chunks of at most `chunk_size` items.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The type of item the parallel iterator yields.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` consumer expects in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        (0..1000usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let total: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, 4950);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Exposes `Serialize` / `Deserialize` in both the macro namespace (no-op
+//! derives from the local `serde_derive` shim) and the type namespace (empty
+//! marker traits), which is exactly the surface the workspace consumes via
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

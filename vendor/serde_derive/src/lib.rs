@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! config/report structs — nothing serialises through serde at runtime (JSON
+//! artifacts are written by hand) — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
