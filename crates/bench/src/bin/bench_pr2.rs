@@ -1,0 +1,282 @@
+//! PR-2 serving load test: replays synthetic LRA traffic (open-loop
+//! Poisson-ish arrivals, mixed sequence lengths across Text / ListOps /
+//! Retrieval) against the dynamic-batching `fab-serve` runtime and compares
+//! it with the serial one-request-at-a-time `Model::predict` baseline.
+//! Writes `BENCH_PR2.json` and exits non-zero when the server fails the
+//! throughput or correctness gate.
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin bench_pr2 -- [--smoke]
+//!     [--requests N] [--min-speedup X] [--arrival-mult X]
+//! ```
+//!
+//! `--smoke` runs a small request count for CI; `--min-speedup 1.0` makes CI
+//! fail on any throughput regression vs. the serial baseline.
+
+use fab_lra::{LraTask, TaskConfig};
+use fab_nn::{Model, ModelConfig, ModelKind};
+use fab_serve::{InferenceSession, PendingPrediction, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// CLI options (hand-parsed; the container has no argument-parsing crate).
+struct Options {
+    requests: usize,
+    min_speedup: f64,
+    arrival_mult: f64,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Self {
+        // The default arrival rate sits well past the server's saturation
+        // point: the load test measures the batcher's sustained throughput,
+        // not the generator's pacing.
+        let mut opts = Self { requests: 0, min_speedup: 0.0, arrival_mult: 16.0, smoke: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("invalid {name}: {e}"))
+            };
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--requests" => opts.requests = value("--requests") as usize,
+                "--min-speedup" => opts.min_speedup = value("--min-speedup"),
+                "--arrival-mult" => opts.arrival_mult = value("--arrival-mult"),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        if opts.requests == 0 {
+            opts.requests = if opts.smoke { 96 } else { 480 };
+        }
+        opts
+    }
+}
+
+/// The synthetic traffic mix: `(task, sequence length)` per stream, chosen
+/// to spread requests across the 16 / 32 / 64 length buckets (power-of-two
+/// lengths, as the paper's LRA configurations use).
+const TRAFFIC: [(LraTask, usize); 3] =
+    [(LraTask::Text, 64), (LraTask::ListOps, 32), (LraTask::Retrieval, 16)];
+
+fn main() {
+    let opts = Options::parse();
+    let mut rng = StdRng::seed_from_u64(20220702);
+
+    // A FABNet big enough that batching matters, small enough for CI.
+    let vocab = TRAFFIC.iter().map(|(t, _)| t.vocab_size()).max().expect("traffic");
+    let config = ModelConfig {
+        hidden: 64,
+        ffn_ratio: 4,
+        num_layers: 2,
+        num_abfly: 1,
+        num_heads: 4,
+        vocab_size: vocab,
+        max_seq: 128,
+        num_classes: 10,
+    };
+    let model = Model::new(&config, ModelKind::FabNet, &mut rng);
+
+    // Interleave the three traffic streams into one arrival order.
+    let requests = build_traffic(opts.requests, &mut rng);
+    println!(
+        "bench_pr2: {} requests ({} streams: {:?}), FABNet hidden {} x {} layers",
+        requests.len(),
+        TRAFFIC.len(),
+        TRAFFIC.map(|(t, l)| format!("{}@{l}", t.name())),
+        config.hidden,
+        config.num_layers
+    );
+
+    // Warm both paths (first-call page faults, lazy allocations).
+    let session = InferenceSession::new(&model);
+    for tokens in requests.iter().take(3) {
+        let _ = model.predict(tokens);
+        let _ = session.logits(tokens);
+    }
+
+    // --- Serial baseline: one tape-based predict per request. -------------
+    // Best-of-2 passes, like bench_pr1: the single shared core of this host
+    // is noisy, and both phases deserve their best run.
+    let mut serial_logits = Vec::new();
+    let mut serial_lat_us: Vec<u64> = Vec::new();
+    let mut serial_s = f64::INFINITY;
+    for _ in 0..2 {
+        let mut logits = Vec::with_capacity(requests.len());
+        let mut lat = Vec::with_capacity(requests.len());
+        let t0 = Instant::now();
+        for tokens in &requests {
+            let r0 = Instant::now();
+            logits.push(model.predict(tokens));
+            lat.push(r0.elapsed().as_micros() as u64);
+        }
+        let s = t0.elapsed().as_secs_f64();
+        if s < serial_s {
+            serial_s = s;
+            serial_logits = logits;
+            serial_lat_us = lat;
+        }
+    }
+    let serial_rps = requests.len() as f64 / serial_s;
+    serial_lat_us.sort_unstable();
+    println!(
+        "serial   : {serial_rps:8.1} req/s  p50 {}us  p99 {}us",
+        exact_percentile(&serial_lat_us, 0.50),
+        exact_percentile(&serial_lat_us, 0.99)
+    );
+
+    // --- Dynamic-batching server under open-loop Poisson arrivals. --------
+    // Exponential inter-arrival times at `arrival_mult` x the serial rate,
+    // so the queue saturates and batching has material to work with.
+    // Best-of-2 runs against a fresh server each time.
+    let lambda_rps = opts.arrival_mult * serial_rps;
+    let arrivals = poisson_arrivals(requests.len(), lambda_rps, &mut rng);
+    let mut served: Vec<Vec<f32>> = Vec::new();
+    let mut server_s = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..2 {
+        let serve_config = ServeConfig {
+            max_batch: 16,
+            max_wait_us: 300,
+            queue_capacity: requests.len().max(64),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(InferenceSession::new(&model), serve_config);
+        let handle = server.handle();
+        let t0 = Instant::now();
+        let mut pending: Vec<PendingPrediction> = Vec::with_capacity(requests.len());
+        for (tokens, &at) in requests.iter().zip(arrivals.iter()) {
+            let mut now = t0.elapsed();
+            while now < at {
+                std::thread::sleep((at - now).min(Duration::from_micros(200)));
+                now = t0.elapsed();
+            }
+            pending.push(handle.submit(tokens.clone()).expect("queue sized for the full load"));
+        }
+        let logits: Vec<Vec<f32>> =
+            pending.into_iter().map(|p| p.wait().expect("request served").logits).collect();
+        let s = t0.elapsed().as_secs_f64();
+        if s < server_s {
+            server_s = s;
+            served = logits;
+            stats = Some(server.stats());
+        }
+        server.shutdown();
+    }
+    let stats = stats.expect("at least one server run");
+    let server_rps = requests.len() as f64 / server_s;
+    println!(
+        "server   : {server_rps:8.1} req/s  p50 {}us  p99 {}us  (occupancy {:.2}, {} workers)",
+        stats.latency.p50_us, stats.latency.p99_us, stats.mean_batch_occupancy, stats.workers
+    );
+
+    // --- Correctness and throughput gates. ---------------------------------
+    let max_diff = serial_logits
+        .iter()
+        .zip(served.iter())
+        .flat_map(|(a, b)| a.iter().zip(b.iter()))
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    let speedup = server_rps / serial_rps;
+    println!("speedup  : {speedup:.2}x   max |serial - served| logit diff: {max_diff:.3e}");
+
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"smoke\": {},\n  \"requests\": {},\n  \"worker_threads\": {},\n  \
+         \"model\": {{\"kind\": \"FABNet\", \"hidden\": {}, \"layers\": {}, \"max_seq\": {}}},\n  \
+         \"traffic\": {:?},\n  \"arrival_mult\": {},\n  \
+         \"serial\": {{\"throughput_rps\": {:.2}, \"p50_us\": {}, \"p99_us\": {}}},\n  \
+         \"server\": {{\"throughput_rps\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+         \"max_batch\": 16, \"max_wait_us\": 300, \"mean_batch_occupancy\": {:.3}, \
+         \"max_batch_observed\": {}, \"batches\": {}, \"workers\": {}, \"rejected\": {}}},\n  \
+         \"speedup\": {:.3},\n  \"max_abs_logit_diff\": {:.4e},\n  \"min_speedup_required\": {}\n}}\n",
+        opts.smoke,
+        requests.len(),
+        rayon::current_num_threads(),
+        config.hidden,
+        config.num_layers,
+        config.max_seq,
+        TRAFFIC.map(|(t, l)| format!("{}@{l}", t.name())),
+        opts.arrival_mult,
+        serial_rps,
+        exact_percentile(&serial_lat_us, 0.50),
+        exact_percentile(&serial_lat_us, 0.99),
+        server_rps,
+        stats.latency.p50_us,
+        stats.latency.p95_us,
+        stats.latency.p99_us,
+        stats.mean_batch_occupancy,
+        stats.max_batch_observed,
+        stats.batches,
+        stats.workers,
+        stats.rejected,
+        speedup,
+        max_diff,
+        opts.min_speedup,
+    );
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
+
+    if max_diff > 1e-5 {
+        eprintln!("FAIL: served logits diverged from the serial baseline by {max_diff}");
+        std::process::exit(1);
+    }
+    if speedup < opts.min_speedup {
+        eprintln!(
+            "FAIL: server throughput regression: {speedup:.2}x < required {:.2}x",
+            opts.min_speedup
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Interleaves `n` requests round-robin across the three traffic streams,
+/// each generated by the seeded LRA proxy for its task.
+fn build_traffic(n: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let per_stream = n.div_ceil(TRAFFIC.len());
+    let streams: Vec<Vec<Vec<usize>>> = TRAFFIC
+        .iter()
+        .map(|&(task, seq_len)| {
+            task.generate(&TaskConfig { seq_len }, per_stream, rng)
+                .into_iter()
+                .map(|s| s.tokens)
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    'outer: for i in 0..per_stream {
+        for stream in &streams {
+            if out.len() == n {
+                break 'outer;
+            }
+            out.push(stream[i].clone());
+        }
+    }
+    out
+}
+
+/// Open-loop arrival offsets with exponential inter-arrival times at
+/// `lambda_rps` requests/second (the seeded-rand shim stands in for a
+/// Poisson process).
+fn poisson_arrivals(n: usize, lambda_rps: f64, rng: &mut StdRng) -> Vec<Duration> {
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-9f32..1.0f32) as f64;
+            t += -u.ln() / lambda_rps;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Exact percentile of a sorted latency list (nearest-rank).
+fn exact_percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}

@@ -102,7 +102,10 @@ impl ButterflyStage {
     ///
     /// Walks the blocks with `split_at_mut` slices instead of computing
     /// `pair_indices` per pair, so the inner loop is branch- and
-    /// division-free.
+    /// division-free. The first two stages (`half` of 1 and 2), whose
+    /// blocks are too small to amortise per-block slicing, use dedicated
+    /// unrolled loops — the arithmetic per pair is identical, so results
+    /// are bit-equal to the generic path.
     ///
     /// # Panics
     ///
@@ -110,18 +113,44 @@ impl ButterflyStage {
     pub fn apply_in_place(&self, x: &mut [f32]) {
         assert_eq!(x.len(), 2 * self.pairs(), "stage input length mismatch");
         let half = self.half;
-        let mut p = 0;
-        for block in x.chunks_mut(2 * half) {
-            let (lo, hi) = block.split_at_mut(half);
-            let (w1, w2) = (&self.w1[p..p + half], &self.w2[p..p + half]);
-            let (w3, w4) = (&self.w3[p..p + half], &self.w4[p..p + half]);
-            for (i, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
-                let a = *l;
-                let b = *h;
-                *l = w1[i] * a + w2[i] * b;
-                *h = w3[i] * a + w4[i] * b;
+        match half {
+            1 => {
+                for (p, pair) in x.chunks_exact_mut(2).enumerate() {
+                    let (a, b) = (pair[0], pair[1]);
+                    pair[0] = self.w1[p] * a + self.w2[p] * b;
+                    pair[1] = self.w3[p] * a + self.w4[p] * b;
+                }
             }
-            p += half;
+            2 => {
+                for (block, quad) in x.chunks_exact_mut(4).enumerate() {
+                    let p = 2 * block;
+                    let (a0, b0) = (quad[0], quad[2]);
+                    let (a1, b1) = (quad[1], quad[3]);
+                    quad[0] = self.w1[p] * a0 + self.w2[p] * b0;
+                    quad[2] = self.w3[p] * a0 + self.w4[p] * b0;
+                    quad[1] = self.w1[p + 1] * a1 + self.w2[p + 1] * b1;
+                    quad[3] = self.w3[p + 1] * a1 + self.w4[p + 1] * b1;
+                }
+            }
+            _ => {
+                let mut p = 0;
+                for block in x.chunks_mut(2 * half) {
+                    let (lo, hi) = block.split_at_mut(half);
+                    let ws = self.w1[p..p + half]
+                        .iter()
+                        .zip(&self.w2[p..p + half])
+                        .zip(self.w3[p..p + half].iter().zip(&self.w4[p..p + half]));
+                    for ((l, h), ((&w1, &w2), (&w3, &w4))) in
+                        lo.iter_mut().zip(hi.iter_mut()).zip(ws)
+                    {
+                        let a = *l;
+                        let b = *h;
+                        *l = w1 * a + w2 * b;
+                        *h = w3 * a + w4 * b;
+                    }
+                    p += half;
+                }
+            }
         }
     }
 
@@ -280,6 +309,43 @@ impl ButterflyMatrix {
             data.par_chunks_mut(rows_per_chunk * n).for_each(transform_rows);
         }
         Tensor::from_vec(data, &[rows, n]).expect("forward_rows shape")
+    }
+
+    /// Applies the butterfly matrix to every row of a `[rows, d_in]` tensor
+    /// whose rows are first zero-padded on the right to the transform size
+    /// `n` — fusing the `concat_cols(x, zeros)` a caller would otherwise
+    /// materialise into the batch copy [`ButterflyMatrix::forward_rows`]
+    /// performs anyway. Results are bit-identical to padding explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D or has more than `n` columns.
+    pub fn forward_rows_padded(&self, x: &Tensor) -> Tensor {
+        let d_in = x.cols();
+        let n = self.n;
+        assert!(d_in <= n, "butterfly pad width {d_in} exceeds transform size {n}");
+        if d_in == n {
+            return self.forward_rows(x);
+        }
+        let rows = x.rows();
+        let mut data = vec![0.0f32; rows * n];
+        for (drow, srow) in data.chunks_mut(n).zip(x.as_slice().chunks(d_in)) {
+            drow[..d_in].copy_from_slice(srow);
+        }
+        let transform_rows = |chunk: &mut [f32]| {
+            for row in chunk.chunks_mut(n) {
+                for stage in &self.stages {
+                    stage.apply_in_place(row);
+                }
+            }
+        };
+        if data.len() < PAR_MIN_ELEMS {
+            transform_rows(&mut data);
+        } else {
+            let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+            data.par_chunks_mut(rows_per_chunk * n).for_each(transform_rows);
+        }
+        Tensor::from_vec(data, &[rows, n]).expect("forward_rows_padded shape")
     }
 
     /// Runs the forward pass, recording the input of every stage into the

@@ -191,6 +191,28 @@ pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
         .collect()
 }
 
+thread_local! {
+    /// Per-thread memo of the plans `fft2_real` uses, keyed by transform
+    /// size. Serving and training sweep the same few sequence/hidden sizes
+    /// over and over; caching makes the twiddle trigonometry a one-time
+    /// cost per thread instead of a per-call one.
+    static PLAN_CACHE: std::cell::RefCell<Vec<std::rc::Rc<FftPlan>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Returns the per-thread cached plan of size `n`, building it on first use.
+fn cached_plan(n: usize) -> std::rc::Rc<FftPlan> {
+    PLAN_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(plan) = cache.iter().find(|p| p.size() == n) {
+            return std::rc::Rc::clone(plan);
+        }
+        let plan = std::rc::Rc::new(FftPlan::new(n));
+        cache.push(std::rc::Rc::clone(&plan));
+        plan
+    })
+}
+
 /// The real part of the 2-D discrete Fourier transform used by FNet and by
 /// FABNet's FBfly block: a 1-D FFT along the hidden dimension followed by a
 /// 1-D FFT along the sequence dimension, keeping only the real component.
@@ -203,10 +225,11 @@ pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
 pub fn fft2_real(x: &[f32], seq: usize, hidden: usize) -> Vec<f32> {
     assert_eq!(x.len(), seq * hidden, "fft2_real input length mismatch");
     let parallel = seq * hidden >= PAR_MIN_ELEMS;
-    let row_plan = FftPlan::new(hidden);
+    let row_plan = cached_plan(hidden);
     let mut grid: Vec<Complex> = x.iter().map(|&v| Complex::from(v)).collect();
     // FFT along the hidden dimension (each row), rows fanned out in parallel.
     if parallel {
+        let row_plan = &*row_plan;
         grid.par_chunks_mut(hidden).for_each(|row| row_plan.execute(row, false));
     } else {
         for row in grid.chunks_mut(hidden) {
@@ -216,9 +239,10 @@ pub fn fft2_real(x: &[f32], seq: usize, hidden: usize) -> Vec<f32> {
     // FFT along the sequence dimension: transpose so columns become
     // contiguous rows (cache-friendly and parallelisable across the hidden
     // dimension), transform, and transpose back.
-    let col_plan = FftPlan::new(seq);
+    let col_plan = cached_plan(seq);
     let mut t = transpose_grid(&grid, seq, hidden);
     if parallel {
+        let col_plan = &*col_plan;
         t.par_chunks_mut(seq).for_each(|col| col_plan.execute(col, false));
     } else {
         for col in t.chunks_mut(seq) {

@@ -22,7 +22,8 @@ pub fn butterfly_linear_op(tape: &Tape, x: VarId, weights: VarId) -> VarId {
     let bfly = ButterflyMatrix::from_weight_tensor(&wv).expect("invalid butterfly weight tensor");
     let xv = tape.value(x);
     let value = bfly.forward_rows(&xv);
-    tape.push_custom(
+    tape.push_custom_named(
+        "butterfly_linear",
         value,
         &[x, weights],
         Box::new(move |g, parents, _| {
@@ -42,7 +43,12 @@ pub fn butterfly_linear_op(tape: &Tape, x: VarId, weights: VarId) -> VarId {
 /// same transform to the upstream gradient (the map is self-adjoint).
 pub fn fourier_mix_op(tape: &Tape, x: VarId) -> VarId {
     let value = fourier_mix(&tape.value(x));
-    tape.push_custom(value, &[x], Box::new(|g, _, _| vec![fourier_mix_backward(g)]))
+    tape.push_custom_named(
+        "fourier_mix",
+        value,
+        &[x],
+        Box::new(|g, _, _| vec![fourier_mix_backward(g)]),
+    )
 }
 
 #[cfg(test)]

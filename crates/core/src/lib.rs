@@ -17,6 +17,7 @@
 //! | [`accel`] | `fab-accel` | the butterfly accelerator simulator + resource/power models |
 //! | [`baselines`] | `fab-baselines` | MAC baseline, CPU/GPU rooflines, SOTA accelerators |
 //! | [`codesign`] | `fab-codesign` | joint design-space exploration |
+//! | [`serve`] | `fab-serve` | dynamic-batching inference runtime + serving metrics |
 //!
 //! # Quick start
 //!
@@ -41,6 +42,7 @@ pub use fab_butterfly as butterfly;
 pub use fab_codesign as codesign;
 pub use fab_lra as lra;
 pub use fab_nn as nn;
+pub use fab_serve as serve;
 pub use fab_tensor as tensor;
 
 pub mod pipeline;
@@ -53,7 +55,10 @@ pub mod prelude {
     pub use fab_baselines::{DeviceKind, DeviceModel, MacBaseline};
     pub use fab_codesign::{CodesignOptions, DesignSpace, HeuristicAccuracy, TrainedAccuracy};
     pub use fab_lra::{LraTask, TaskConfig};
-    pub use fab_nn::{Model, ModelConfig, ModelKind, TrainOptions};
+    pub use fab_nn::{FrozenModel, Model, ModelConfig, ModelKind, TrainOptions};
+    pub use fab_serve::{
+        InferenceSession, Prediction, ServeConfig, ServeError, Server, ServerHandle, ServerStats,
+    };
 }
 
 #[cfg(test)]

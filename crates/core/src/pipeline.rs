@@ -136,6 +136,19 @@ impl TrainedFabNet {
         LayerSchedule::from_model(&self.config, self.kind, seq_len)
     }
 
+    /// Freezes the trained weights into a tape-free
+    /// [`InferenceSession`](fab_serve::InferenceSession) ready to be served
+    /// by a dynamic-batching [`Server`](fab_serve::Server).
+    pub fn into_session(self) -> fab_serve::InferenceSession {
+        fab_serve::InferenceSession::new(&self.model)
+    }
+
+    /// Freezes the trained weights and starts a dynamic-batching server
+    /// over them.
+    pub fn serve(self, config: fab_serve::ServeConfig) -> fab_serve::Server {
+        fab_serve::Server::start(self.into_session(), config)
+    }
+
     /// Simulates this model on `hardware` at its training sequence length.
     ///
     /// # Panics
@@ -205,6 +218,26 @@ mod tests {
         assert!(eval.latency_ms > 0.0);
         assert!(eval.energy_per_prediction_j > 0.0);
         assert_eq!(eval.dsps, 1024);
+    }
+
+    #[test]
+    fn into_session_serves_the_trained_model() {
+        let pipeline =
+            TrainingPipeline::new(LraTask::Text, 32, 3).with_examples(8, 4).with_epochs(1);
+        let trained = pipeline.run(&tiny_config(), ModelKind::FabNet);
+        let tokens: Vec<usize> = (1..20).collect();
+        let reference = trained.model.predict(&tokens);
+        let server = trained.serve(fab_serve::ServeConfig::default());
+        let prediction = server.handle().infer(tokens).expect("request served");
+        // The serving session defaults to the fast-math kernels: logits are
+        // within the 1e-5 serving budget of the tape path, not bit-equal.
+        let max_diff = reference
+            .iter()
+            .zip(prediction.logits.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff <= 1e-5, "served logits diverged by {max_diff}");
+        server.shutdown();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! normalisation), so both the forward and the backward sweep execute on the
 //! row-parallel kernels of `fab-tensor` / `fab-butterfly`.
 
+use crate::frozen::{FrozenBlock, FrozenMixing};
 use crate::layers::{FeedForward, FourierMixing, LayerNorm, MultiHeadAttention};
 use crate::param::Bindings;
 use fab_tensor::{Tape, VarId};
@@ -24,6 +25,9 @@ pub trait EncoderBlock {
     /// Whether the block contains a (dense-score) attention module, which the
     /// accelerator must schedule on the Attention Processor.
     fn uses_attention(&self) -> bool;
+    /// Snapshots the block's current weights into its tape-free frozen form
+    /// (see [`crate::FrozenModel`]).
+    fn freeze(&self) -> FrozenBlock;
 }
 
 fn residual_ln(tape: &Tape, ln: &LayerNorm, x: VarId, fx: VarId, bindings: &mut Bindings) -> VarId {
@@ -88,6 +92,15 @@ impl EncoderBlock for TransformerBlock {
     fn uses_attention(&self) -> bool {
         true
     }
+
+    fn freeze(&self) -> FrozenBlock {
+        FrozenBlock {
+            mixing: FrozenMixing::Attention(Box::new(self.attn.freeze())),
+            ffn: self.ffn.freeze(),
+            ln1: self.ln1.freeze(),
+            ln2: self.ln2.freeze(),
+        }
+    }
 }
 
 /// The FNet encoder block: parameter-free Fourier token mixing followed by a
@@ -137,6 +150,15 @@ impl EncoderBlock for FNetBlock {
 
     fn uses_attention(&self) -> bool {
         false
+    }
+
+    fn freeze(&self) -> FrozenBlock {
+        FrozenBlock {
+            mixing: FrozenMixing::Fourier,
+            ffn: self.ffn.freeze(),
+            ln1: self.ln1.freeze(),
+            ln2: self.ln2.freeze(),
+        }
     }
 }
 
@@ -197,6 +219,15 @@ impl EncoderBlock for ABflyBlock {
     fn uses_attention(&self) -> bool {
         true
     }
+
+    fn freeze(&self) -> FrozenBlock {
+        FrozenBlock {
+            mixing: FrozenMixing::Attention(Box::new(self.attn.freeze())),
+            ffn: self.ffn.freeze(),
+            ln1: self.ln1.freeze(),
+            ln2: self.ln2.freeze(),
+        }
+    }
 }
 
 /// FABNet's FBfly block: Fourier token mixing followed by a butterfly FFN —
@@ -246,6 +277,15 @@ impl EncoderBlock for FBflyBlock {
 
     fn uses_attention(&self) -> bool {
         false
+    }
+
+    fn freeze(&self) -> FrozenBlock {
+        FrozenBlock {
+            mixing: FrozenMixing::Fourier,
+            ffn: self.ffn.freeze(),
+            ln1: self.ln1.freeze(),
+            ln2: self.ln2.freeze(),
+        }
     }
 }
 

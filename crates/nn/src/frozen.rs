@@ -1,0 +1,638 @@
+//! Tape-free frozen inference: a trained [`crate::Model`] snapshotted into
+//! plain weight tensors with a batched, allocation-lean forward path.
+//!
+//! The training path records every operation on the autodiff [`Tape`], which
+//! clones activations into graph nodes and keeps backward closures alive —
+//! exactly the bookkeeping a serving runtime must not pay per request.
+//! [`Model::freeze`](crate::Model::freeze) copies the current parameter
+//! values out of their `Rc<RefCell<_>>` cells into a [`FrozenModel`]: an
+//! immutable, `Send + Sync` snapshot whose forward pass calls the PR-1
+//! batched kernels (`Tensor::matmul`, `ButterflyMatrix::forward_rows`,
+//! `fourier_mix`, the row-parallel softmax/layer-norm) directly.
+//!
+//! # Batched execution and exactness
+//!
+//! [`FrozenModel::forward_batch`] packs `B` sequences, padded to a common
+//! `pad_to` length, into one `[B * pad_to, hidden]` activation tensor. All
+//! row-wise work — projections (dense and butterfly), FFNs, layer norms,
+//! GELU, biases — runs fused over the whole batch, which is where dynamic
+//! batching earns its throughput. The token-mixing operators (the attention
+//! core and the 2-D Fourier mix), which couple rows *within* one sequence,
+//! run per example on that example's true-length row segment; padding rows
+//! are never mixed into real rows. Because every kernel invoked here is
+//! bit-compatible with its serial reference and computes each output row
+//! independently of the surrounding batch, the logits produced for a request
+//! are **bit-identical** to the single-request tape path regardless of batch
+//! composition, padding, or worker-thread count.
+//!
+//! [`FrozenModel::with_fast_math`] additionally swaps GELU (and the
+//! attention score scaling order) for the serving-grade
+//! [`fab_tensor::fastmath`] kernels: logits then differ from the tape path
+//! by at most ~1e-6 but remain deterministic and bit-invariant to batch
+//! composition — batching never changes a fast-math answer either.
+
+use crate::config::{ModelConfig, ModelKind};
+use fab_butterfly::{fourier_mix, ButterflyMatrix};
+use fab_tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many activation elements the per-example mixing loop stays on
+/// the calling thread; the rayon shim spawns OS threads per call, which only
+/// pays off for real work.
+const PAR_MIN_ELEMS: usize = 1 << 14;
+
+/// A frozen (inference-only) linear map: the tape-free counterpart of the
+/// [`crate::Linear`] layer implementations.
+#[derive(Debug, Clone)]
+pub enum FrozenLinear {
+    /// Dense `y = x W + b`.
+    Dense {
+        /// `[d_in, d_out]` weight matrix.
+        w: Tensor,
+        /// `[d_out]` bias.
+        b: Tensor,
+    },
+    /// Butterfly-factorised map with zero-padding to the power-of-two
+    /// transform size and truncation back to `d_out`, exactly as in
+    /// [`crate::ButterflyLinear`].
+    Butterfly {
+        /// The factorised butterfly matrix of size `n`.
+        bfly: ButterflyMatrix,
+        /// `[d_out]` bias.
+        b: Tensor,
+        /// Input feature dimension (before padding).
+        d_in: usize,
+        /// Output feature dimension (after truncation).
+        d_out: usize,
+    },
+}
+
+impl FrozenLinear {
+    /// Applies the map to a `[rows, d_in]` tensor, returning `[rows, d_out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` does not have `d_in` columns.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            FrozenLinear::Dense { w, b } => x.matmul(w).add_row_broadcast(b),
+            FrozenLinear::Butterfly { bfly, b, d_in, d_out } => {
+                assert_eq!(x.cols(), *d_in, "frozen butterfly input width mismatch");
+                // Zero-padding to the transform size is fused into the
+                // butterfly's batch copy (bit-identical to concat + forward).
+                let y = bfly.forward_rows_padded(x);
+                let trimmed = if *d_out < bfly.size() { y.slice_cols(0, *d_out) } else { y };
+                trimmed.add_row_broadcast(b)
+            }
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn d_out(&self) -> usize {
+        match self {
+            FrozenLinear::Dense { w, .. } => w.cols(),
+            FrozenLinear::Butterfly { d_out, .. } => *d_out,
+        }
+    }
+}
+
+/// Frozen layer normalisation (learned scale/shift, fixed epsilon).
+#[derive(Debug, Clone)]
+pub struct FrozenLayerNorm {
+    pub(crate) gamma: Tensor,
+    pub(crate) beta: Tensor,
+    pub(crate) eps: f32,
+}
+
+impl FrozenLayerNorm {
+    /// Normalises each row of `x`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.layer_norm_rows(&self.gamma, &self.beta, self.eps)
+    }
+
+    /// Fused residual shortcut: normalises each row of `x + fx`
+    /// (bit-identical to `forward(&x.add(fx))`, one pass).
+    pub fn forward_residual(&self, x: &Tensor, fx: &Tensor) -> Tensor {
+        x.add_layer_norm_rows(fx, &self.gamma, &self.beta, self.eps)
+    }
+}
+
+/// Frozen two-layer feed-forward network with GELU activation.
+#[derive(Debug, Clone)]
+pub struct FrozenFeedForward {
+    pub(crate) lin1: FrozenLinear,
+    pub(crate) lin2: FrozenLinear,
+}
+
+impl FrozenFeedForward {
+    /// Applies `lin2(gelu(lin1(x)))` over a whole `[rows, hidden]` batch;
+    /// `fast_math` selects the serving-grade GELU kernel (absolute error
+    /// ≤ 1e-6, see [`fab_tensor::fastmath`]).
+    pub fn forward(&self, x: &Tensor, fast_math: bool) -> Tensor {
+        let h = self.lin1.forward(x);
+        let a = if fast_math { h.gelu_fastmath() } else { h.gelu() };
+        self.lin2.forward(&a)
+    }
+}
+
+/// Frozen multi-head self-attention.
+#[derive(Debug, Clone)]
+pub struct FrozenAttention {
+    pub(crate) wq: FrozenLinear,
+    pub(crate) wk: FrozenLinear,
+    pub(crate) wv: FrozenLinear,
+    pub(crate) wo: FrozenLinear,
+    pub(crate) dim: usize,
+    pub(crate) num_heads: usize,
+}
+
+impl FrozenAttention {
+    /// Applies self-attention to a flat `[B * pad_to, dim]` batch.
+    ///
+    /// The four projections run fused over the whole batch; the
+    /// `softmax(QKᵀ)·V` core runs per example on its true-length segment, so
+    /// padding rows never contribute attention mass.
+    fn forward_batch(
+        &self,
+        x: &Tensor,
+        pad_to: usize,
+        lengths: &[usize],
+        fast_math: bool,
+    ) -> Tensor {
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        // Fast-math mode pre-scales Q once (`(c·q)·kᵀ` instead of
+        // `c·(q·kᵀ)`): same value up to rounding, but the scaling pass runs
+        // over `[rows, dim]` instead of every `[len, len]` score matrix.
+        let q = if fast_math {
+            let head_scale = 1.0 / ((self.dim / self.num_heads) as f32).sqrt();
+            q.scale(head_scale)
+        } else {
+            q
+        };
+        let dim = self.dim;
+        let head_dim = dim / self.num_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut mixed = vec![0.0f32; x.len()];
+        let core = |i: usize, chunk: &mut [f32]| {
+            let len = lengths[i];
+            let start = i * pad_to;
+            let (qi, ki, vi) = (
+                q.slice_rows(start, start + len),
+                k.slice_rows(start, start + len),
+                v.slice_rows(start, start + len),
+            );
+            // One transpose of K per example; head `h`'s transposed slice is
+            // then a contiguous row range of `kt`, with exactly the values
+            // `slice_cols(kh).transpose()` would produce — the per-head
+            // matmul stays bit-identical to the tape path's.
+            let kt = ki.transpose();
+            for h in 0..self.num_heads {
+                let (lo, hi) = (h * head_dim, (h + 1) * head_dim);
+                let qh = qi.slice_cols(lo, hi);
+                let kh_t = kt.slice_rows(lo, hi);
+                let vh = vi.slice_cols(lo, hi);
+                let raw = qh.matmul(&kh_t);
+                let scores = if fast_math { raw } else { raw.scale(scale) };
+                let head = scores.softmax_rows().matmul(&vh);
+                // Scatter the head's columns straight into the per-example
+                // output chunk — the values a concat_cols would place there.
+                for (r, hrow) in head.as_slice().chunks(head_dim).enumerate() {
+                    chunk[r * dim + lo..r * dim + hi].copy_from_slice(hrow);
+                }
+            }
+        };
+        run_per_example(&mut mixed, pad_to * dim, core);
+        let mixed = Tensor::from_vec(mixed, &[x.rows(), dim]).expect("attention batch shape");
+        self.wo.forward(&mixed)
+    }
+}
+
+/// The token-mixing half of a frozen encoder block.
+#[derive(Debug, Clone)]
+pub enum FrozenMixing {
+    /// Multi-head self-attention (Transformer / ABfly blocks).
+    Attention(Box<FrozenAttention>),
+    /// Parameter-free 2-D Fourier mixing (FNet / FBfly blocks).
+    Fourier,
+}
+
+/// One frozen encoder block: token mixing and an FFN, each wrapped in a
+/// residual shortcut plus layer normalisation.
+#[derive(Debug, Clone)]
+pub struct FrozenBlock {
+    pub(crate) mixing: FrozenMixing,
+    pub(crate) ffn: FrozenFeedForward,
+    pub(crate) ln1: FrozenLayerNorm,
+    pub(crate) ln2: FrozenLayerNorm,
+}
+
+impl FrozenBlock {
+    /// Applies the block to a flat `[B * pad_to, hidden]` batch.
+    fn forward_batch(
+        &self,
+        x: &Tensor,
+        pad_to: usize,
+        lengths: &[usize],
+        fast_math: bool,
+    ) -> Tensor {
+        let m = match &self.mixing {
+            FrozenMixing::Attention(a) => a.forward_batch(x, pad_to, lengths, fast_math),
+            FrozenMixing::Fourier => fourier_batch(x, pad_to, lengths),
+        };
+        let x = self.ln1.forward_residual(x, &m);
+        let f = self.ffn.forward(&x, fast_math);
+        self.ln2.forward_residual(&x, &f)
+    }
+}
+
+/// Per-example 2-D Fourier mixing over true-length segments; padding rows of
+/// the output stay zero (they re-enter only via the residual shortcut).
+fn fourier_batch(x: &Tensor, pad_to: usize, lengths: &[usize]) -> Tensor {
+    let hidden = x.cols();
+    let mut mixed = vec![0.0f32; x.len()];
+    let mix = |i: usize, chunk: &mut [f32]| {
+        let len = lengths[i];
+        let start = i * pad_to;
+        let xi = Tensor::from_vec(
+            x.as_slice()[start * hidden..(start + len) * hidden].to_vec(),
+            &[len, hidden],
+        )
+        .expect("fourier segment shape");
+        let yi = fourier_mix(&xi);
+        chunk[..len * hidden].copy_from_slice(yi.as_slice());
+    };
+    run_per_example(&mut mixed, pad_to * hidden, mix);
+    Tensor::from_vec(mixed, &[x.rows(), hidden]).expect("fourier batch shape")
+}
+
+/// Runs `f(example_index, example_chunk)` over the per-example chunks of
+/// `out`, in parallel when the batch is large enough to amortise thread
+/// spawns. Each example is computed independently, so results do not depend
+/// on the thread count.
+fn run_per_example(out: &mut [f32], chunk_elems: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    if out.len() < PAR_MIN_ELEMS || out.len() <= chunk_elems {
+        for (i, chunk) in out.chunks_mut(chunk_elems).enumerate() {
+            f(i, chunk);
+        }
+    } else {
+        out.par_chunks_mut(chunk_elems).enumerate().for_each(|(i, chunk)| f(i, chunk));
+    }
+}
+
+/// An immutable, `Send + Sync` inference snapshot of a trained model.
+///
+/// Produced by [`Model::freeze`](crate::Model::freeze); see the
+/// [module docs](self) for the execution model and exactness guarantees.
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    pub(crate) config: ModelConfig,
+    pub(crate) kind: ModelKind,
+    pub(crate) tok_table: Tensor,
+    pub(crate) pos_table: Tensor,
+    pub(crate) blocks: Vec<FrozenBlock>,
+    pub(crate) head: FrozenLinear,
+    pub(crate) fast_math: bool,
+}
+
+impl FrozenModel {
+    /// The configuration of the model this snapshot was frozen from.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Selects the transcendental kernels: `false` (the
+    /// [`Model::freeze`](crate::Model::freeze) default) uses the exact
+    /// `libm`-based GELU/softmax, keeping logits bit-identical to
+    /// [`Model::predict`](crate::Model::predict); `true` switches to the
+    /// serving-grade [`fab_tensor::fastmath`] kernels, trading ≤ ~1e-6 of
+    /// logit accuracy for substantially cheaper softmax/GELU. Either way
+    /// the forward stays deterministic and bit-invariant to batch
+    /// composition, padding and thread count.
+    pub fn with_fast_math(mut self, fast_math: bool) -> Self {
+        self.fast_math = fast_math;
+        self
+    }
+
+    /// Whether the serving-grade fast-math kernels are enabled.
+    pub fn fast_math(&self) -> bool {
+        self.fast_math
+    }
+
+    /// Which architecture the snapshot instantiates.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.head.d_out()
+    }
+
+    /// Maximum supported sequence length.
+    pub fn max_seq(&self) -> usize {
+        self.config.max_seq
+    }
+
+    /// Runs the encoder over a padded batch, returning the final
+    /// `[B * pad_to, hidden]` hidden states (padding rows hold well-defined
+    /// but meaningless values).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is empty, `pad_to` exceeds `max_seq`, a sequence
+    /// is empty or longer than `pad_to`, or a token id is out of vocabulary.
+    pub fn forward_batch<S: AsRef<[usize]>>(&self, batch: &[S], pad_to: usize) -> Tensor {
+        let lengths: Vec<usize> = batch.iter().map(|s| s.as_ref().len()).collect();
+        let x = self.embed_batch(batch, pad_to);
+        self.run_blocks(x, pad_to, &lengths)
+    }
+
+    /// [`FrozenModel::forward_batch`] over a caller-managed flat token
+    /// buffer: `tokens_padded` holds `lengths.len() * pad_to` token ids,
+    /// example `i` occupying slots `[i * pad_to, i * pad_to + lengths[i])`
+    /// with arbitrary in-vocabulary filler (conventionally 0) in the padding
+    /// slots. Serving workers reuse one such buffer across batches instead
+    /// of re-collecting sequences per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer length is not `lengths.len() * pad_to`, a
+    /// length is zero or exceeds `pad_to`, `pad_to` exceeds `max_seq`, or a
+    /// token id is out of vocabulary.
+    pub fn forward_batch_flat(
+        &self,
+        tokens_padded: &[usize],
+        lengths: &[usize],
+        pad_to: usize,
+    ) -> Tensor {
+        let x = self.embed_flat(tokens_padded, lengths, pad_to);
+        self.run_blocks(x, pad_to, lengths)
+    }
+
+    /// Runs the encoder block stack over an embedded flat batch.
+    fn run_blocks(&self, mut x: Tensor, pad_to: usize, lengths: &[usize]) -> Tensor {
+        for block in &self.blocks {
+            x = block.forward_batch(&x, pad_to, lengths, self.fast_math);
+        }
+        x
+    }
+
+    /// Returns per-example class logits for a padded batch.
+    ///
+    /// Each example's logits are bit-identical to what
+    /// [`Model::predict`](crate::Model::predict) returns for that sequence
+    /// alone, independent of batch composition and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`FrozenModel::forward_batch`].
+    pub fn logits_batch<S: AsRef<[usize]>>(&self, batch: &[S], pad_to: usize) -> Vec<Vec<f32>> {
+        let lengths: Vec<usize> = batch.iter().map(|s| s.as_ref().len()).collect();
+        let x = self.embed_batch(batch, pad_to);
+        let x = self.run_blocks(x, pad_to, &lengths);
+        self.pool_and_head(&x, &lengths, pad_to)
+    }
+
+    /// [`FrozenModel::logits_batch`] over a caller-managed flat token buffer
+    /// (see [`FrozenModel::forward_batch_flat`] for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`FrozenModel::forward_batch_flat`].
+    pub fn logits_batch_flat(
+        &self,
+        tokens_padded: &[usize],
+        lengths: &[usize],
+        pad_to: usize,
+    ) -> Vec<Vec<f32>> {
+        let x = self.forward_batch_flat(tokens_padded, lengths, pad_to);
+        self.pool_and_head(&x, lengths, pad_to)
+    }
+
+    /// Mean-pools each example over its true-length rows (same accumulation
+    /// order as `Tensor::mean_rows`), then runs the classifier head over the
+    /// pooled `[B, hidden]` batch in one fused matmul.
+    fn pool_and_head(&self, x: &Tensor, lengths: &[usize], pad_to: usize) -> Vec<Vec<f32>> {
+        let hidden = self.config.hidden;
+        let mut pooled = vec![0.0f32; lengths.len() * hidden];
+        for (i, &len) in lengths.iter().enumerate() {
+            let dst = &mut pooled[i * hidden..(i + 1) * hidden];
+            for row in x.as_slice()[i * pad_to * hidden..].chunks(hidden).take(len) {
+                for (d, &v) in dst.iter_mut().zip(row.iter()) {
+                    *d += v;
+                }
+            }
+            for d in dst.iter_mut() {
+                *d /= len as f32;
+            }
+        }
+        let pooled =
+            Tensor::from_vec(pooled, &[lengths.len(), hidden]).expect("pooled batch shape");
+        let logits = self.head.forward(&pooled);
+        let classes = logits.cols();
+        logits.as_slice().chunks(classes).map(|row| row.to_vec()).collect()
+    }
+
+    /// Class logits for a single sequence (tape-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tokens` is empty or longer than `max_seq`.
+    pub fn logits(&self, tokens: &[usize]) -> Vec<f32> {
+        self.logits_batch(&[tokens], tokens.len()).pop().expect("one logits row")
+    }
+
+    /// Predicted class for a single sequence (tape-free).
+    pub fn predict_class(&self, tokens: &[usize]) -> usize {
+        argmax(&self.logits(tokens))
+    }
+
+    /// Fused token + positional embedding gather for a padded batch.
+    fn embed_batch<S: AsRef<[usize]>>(&self, batch: &[S], pad_to: usize) -> Tensor {
+        assert!(!batch.is_empty(), "cannot run a frozen model on an empty batch");
+        assert!(
+            pad_to >= 1 && pad_to <= self.config.max_seq,
+            "pad_to {pad_to} outside 1..={}",
+            self.config.max_seq
+        );
+        let hidden = self.config.hidden;
+        let vocab = self.config.vocab_size;
+        let tok = self.tok_table.as_slice();
+        let pos = self.pos_table.as_slice();
+        let mut x = vec![0.0f32; batch.len() * pad_to * hidden];
+        for (s, ex) in batch.iter().zip(x.chunks_mut(pad_to * hidden)) {
+            let tokens = s.as_ref();
+            assert!(!tokens.is_empty(), "cannot run a frozen model on an empty sequence");
+            assert!(
+                tokens.len() <= pad_to,
+                "sequence length {} exceeds pad_to {pad_to}",
+                tokens.len()
+            );
+            for (j, row) in ex.chunks_mut(hidden).enumerate() {
+                // Padding rows embed token 0; they are sliced away before any
+                // token mixing and never influence real rows.
+                let id = tokens.get(j).copied().unwrap_or(0);
+                assert!(id < vocab, "token index {id} out of range for vocab {vocab}");
+                let trow = &tok[id * hidden..(id + 1) * hidden];
+                let prow = &pos[j * hidden..(j + 1) * hidden];
+                for ((d, &t), &p) in row.iter_mut().zip(trow.iter()).zip(prow.iter()) {
+                    *d = t + p;
+                }
+            }
+        }
+        Tensor::from_vec(x, &[batch.len() * pad_to, hidden]).expect("embedding batch shape")
+    }
+
+    /// Fused token + positional embedding gather over a flat padded token
+    /// buffer (see [`FrozenModel::forward_batch_flat`] for the layout).
+    fn embed_flat(&self, tokens_padded: &[usize], lengths: &[usize], pad_to: usize) -> Tensor {
+        assert!(!lengths.is_empty(), "cannot run a frozen model on an empty batch");
+        assert!(
+            pad_to >= 1 && pad_to <= self.config.max_seq,
+            "pad_to {pad_to} outside 1..={}",
+            self.config.max_seq
+        );
+        assert_eq!(
+            tokens_padded.len(),
+            lengths.len() * pad_to,
+            "flat token buffer length mismatch"
+        );
+        for &len in lengths {
+            assert!(len >= 1 && len <= pad_to, "sequence length {len} outside 1..={pad_to}");
+        }
+        let hidden = self.config.hidden;
+        let vocab = self.config.vocab_size;
+        let tok = self.tok_table.as_slice();
+        let pos = self.pos_table.as_slice();
+        let mut x = vec![0.0f32; tokens_padded.len() * hidden];
+        for (ex, ids) in x.chunks_mut(pad_to * hidden).zip(tokens_padded.chunks(pad_to)) {
+            for ((j, row), &id) in ex.chunks_mut(hidden).enumerate().zip(ids.iter()) {
+                assert!(id < vocab, "token index {id} out of range for vocab {vocab}");
+                let trow = &tok[id * hidden..(id + 1) * hidden];
+                let prow = &pos[j * hidden..(j + 1) * hidden];
+                for ((d, &t), &p) in row.iter_mut().zip(trow.iter()).zip(prow.iter()) {
+                    *d = t + p;
+                }
+            }
+        }
+        Tensor::from_vec(x, &[tokens_padded.len(), hidden]).expect("embedding batch shape")
+    }
+}
+
+/// Index of the largest logit, matching the tie-breaking (first maximum
+/// wins) of [`Model::predict_class`](crate::Model::predict_class). Exposed
+/// so serving layers classify exactly the way the model does.
+pub fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .fold((0usize, f32::NEG_INFINITY), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc })
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, ModelConfig, ModelKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> ModelConfig {
+        ModelConfig::tiny_for_tests()
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn frozen_model_is_send_and_sync() {
+        assert_send_sync::<FrozenModel>();
+    }
+
+    #[test]
+    fn frozen_single_logits_match_tape_predict_bit_for_bit() {
+        for (seed, kind) in
+            [(1, ModelKind::FabNet), (2, ModelKind::FNet), (3, ModelKind::Transformer)]
+        {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = Model::new(&tiny(), kind, &mut rng);
+            let frozen = model.freeze();
+            let tokens = vec![1usize, 5, 2, 7, 3, 0, 4];
+            assert_eq!(model.predict(&tokens), frozen.logits(&tokens), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn batched_logits_match_single_requests_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = Model::new(&tiny(), ModelKind::FabNet, &mut rng);
+        let frozen = model.freeze();
+        let batch: Vec<Vec<usize>> =
+            vec![vec![1, 2, 3], vec![4, 5, 6, 7, 0, 2, 3, 1], vec![2; 5], vec![7, 7]];
+        let pad_to = 8;
+        let batched = frozen.logits_batch(&batch, pad_to);
+        for (tokens, got) in batch.iter().zip(batched.iter()) {
+            assert_eq!(&model.predict(tokens), got, "tokens {tokens:?}");
+        }
+    }
+
+    #[test]
+    fn flat_buffer_path_matches_sequence_path() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let model = Model::new(&tiny(), ModelKind::FabNet, &mut rng);
+        let frozen = model.freeze();
+        let batch: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![4, 5, 6, 7, 0], vec![2; 6]];
+        let pad_to = 6;
+        let lengths: Vec<usize> = batch.iter().map(Vec::len).collect();
+        let mut flat = vec![0usize; batch.len() * pad_to];
+        for (dst, src) in flat.chunks_mut(pad_to).zip(batch.iter()) {
+            dst[..src.len()].copy_from_slice(src);
+        }
+        assert_eq!(
+            frozen.logits_batch(&batch, pad_to),
+            frozen.logits_batch_flat(&flat, &lengths, pad_to)
+        );
+    }
+
+    #[test]
+    fn padding_length_does_not_change_logits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = Model::new(&tiny(), ModelKind::FabNet, &mut rng);
+        let frozen = model.freeze();
+        let batch = vec![vec![1usize, 2, 3, 4, 5]];
+        let a = frozen.logits_batch(&batch, 5);
+        let b = frozen.logits_batch(&batch, 8);
+        let c = frozen.logits_batch(&batch, tiny().max_seq);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn forward_batch_shape_is_flat_padded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Model::new(&tiny(), ModelKind::FNet, &mut rng);
+        let frozen = model.freeze();
+        let batch = vec![vec![1usize, 2], vec![3usize, 4, 5]];
+        let x = frozen.forward_batch(&batch, 4);
+        assert_eq!(x.shape(), &[2 * 4, tiny().hidden]);
+    }
+
+    #[test]
+    fn rejects_invalid_batches() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = Model::new(&tiny(), ModelKind::FNet, &mut rng);
+        let frozen = model.freeze();
+        let too_long = vec![vec![0usize; tiny().max_seq + 1]];
+        for f in [
+            Box::new(|| frozen.logits_batch(&too_long, tiny().max_seq + 1))
+                as Box<dyn Fn() -> Vec<Vec<f32>>>,
+            Box::new(|| frozen.logits_batch(&[Vec::<usize>::new()], 4)),
+            Box::new(|| frozen.logits_batch(&Vec::<Vec<usize>>::new(), 4)),
+        ] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            assert!(result.is_err());
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! and [`FourierMixing`] to the plan-cached parallel 2-D FFT — no layer falls
 //! back to a per-vector path.
 
+use crate::frozen::{FrozenAttention, FrozenFeedForward, FrozenLayerNorm, FrozenLinear};
 use crate::param::{Bindings, Param};
 use fab_butterfly::flops as bflops;
 use fab_butterfly::{butterfly_linear_op, fourier_mix_op, next_pow2, ButterflyMatrix};
@@ -30,6 +31,8 @@ pub trait Linear {
     fn num_params(&self) -> usize;
     /// FLOPs for a forward pass over `rows` rows.
     fn flops(&self, rows: usize) -> u64;
+    /// Snapshots the current weights into a tape-free [`FrozenLinear`].
+    fn freeze(&self) -> FrozenLinear;
 }
 
 /// A dense (fully-connected) linear layer `y = x W + b`.
@@ -75,6 +78,10 @@ impl Linear for DenseLinear {
 
     fn flops(&self, rows: usize) -> u64 {
         bflops::dense_linear_flops(rows, self.d_in, self.d_out)
+    }
+
+    fn freeze(&self) -> FrozenLinear {
+        FrozenLinear::Dense { w: self.w.value(), b: self.b.value() }
     }
 }
 
@@ -145,6 +152,16 @@ impl Linear for ButterflyLinear {
 
     fn flops(&self, rows: usize) -> u64 {
         bflops::butterfly_linear_flops(rows, self.n)
+    }
+
+    fn freeze(&self) -> FrozenLinear {
+        FrozenLinear::Butterfly {
+            bfly: ButterflyMatrix::from_weight_tensor(&self.w.value())
+                .expect("trained butterfly weights keep their layout"),
+            b: self.b.value(),
+            d_in: self.d_in,
+            d_out: self.d_out,
+        }
     }
 }
 
@@ -234,6 +251,18 @@ impl MultiHeadAttention {
     pub fn num_heads(&self) -> usize {
         self.num_heads
     }
+
+    /// Snapshots the four projections into a tape-free [`FrozenAttention`].
+    pub fn freeze(&self) -> FrozenAttention {
+        FrozenAttention {
+            wq: self.wq.freeze(),
+            wk: self.wk.freeze(),
+            wv: self.wv.freeze(),
+            wo: self.wo.freeze(),
+            dim: self.dim,
+            num_heads: self.num_heads,
+        }
+    }
 }
 
 /// A two-layer feed-forward network with GELU activation.
@@ -274,6 +303,11 @@ impl FeedForward {
     /// FLOPs for a `seq`-length input.
     pub fn flops(&self, seq: usize) -> u64 {
         self.lin1.flops(seq) + self.lin2.flops(seq)
+    }
+
+    /// Snapshots both layers into a tape-free [`FrozenFeedForward`].
+    pub fn freeze(&self) -> FrozenFeedForward {
+        FrozenFeedForward { lin1: self.lin1.freeze(), lin2: self.lin2.freeze() }
     }
 }
 
@@ -327,6 +361,11 @@ impl LayerNorm {
     pub fn num_params(&self) -> usize {
         self.gamma.len() + self.beta.len()
     }
+
+    /// Snapshots scale/shift into a tape-free [`FrozenLayerNorm`].
+    pub fn freeze(&self) -> FrozenLayerNorm {
+        FrozenLayerNorm { gamma: self.gamma.value(), beta: self.beta.value(), eps: self.eps }
+    }
 }
 
 /// Token + learned positional embedding.
@@ -372,6 +411,11 @@ impl Embedding {
     pub fn hidden(&self) -> usize {
         self.hidden
     }
+
+    /// Snapshots the `(token, position)` tables for the frozen path.
+    pub(crate) fn freeze_tables(&self) -> (Tensor, Tensor) {
+        (self.tokens.value(), self.positions.value())
+    }
 }
 
 /// Mean-pooling classification head.
@@ -394,6 +438,11 @@ impl ClassifierHead {
     /// Number of trainable scalars.
     pub fn num_params(&self) -> usize {
         self.lin.num_params()
+    }
+
+    /// Snapshots the projection into a tape-free [`FrozenLinear`].
+    pub fn freeze(&self) -> FrozenLinear {
+        self.lin.freeze()
     }
 }
 

@@ -29,6 +29,7 @@
 mod blocks;
 mod config;
 pub mod flops;
+pub mod frozen;
 mod layers;
 mod models;
 mod optim;
@@ -38,6 +39,10 @@ mod train;
 pub use blocks::{ABflyBlock, EncoderBlock, FBflyBlock, FNetBlock, TransformerBlock};
 pub use config::{ModelConfig, ModelKind};
 pub use flops::{FlopsBreakdown, ParamBreakdown};
+pub use frozen::{
+    argmax, FrozenAttention, FrozenBlock, FrozenFeedForward, FrozenLayerNorm, FrozenLinear,
+    FrozenMixing, FrozenModel,
+};
 pub use layers::{
     ButterflyLinear, ClassifierHead, DenseLinear, Embedding, FeedForward, FourierMixing, LayerNorm,
     Linear, MultiHeadAttention,

@@ -2,10 +2,17 @@
 
 use crate::blocks::{ABflyBlock, EncoderBlock, FBflyBlock, FNetBlock, TransformerBlock};
 use crate::config::{ModelConfig, ModelKind};
+use crate::frozen::FrozenModel;
 use crate::layers::{ClassifierHead, Embedding};
 use crate::param::Bindings;
 use fab_tensor::{Tape, Tensor, VarId};
 use rand::rngs::StdRng;
+use rayon::prelude::*;
+
+/// Below this many examples, batch prediction stays on the calling thread;
+/// the rayon shim spawns OS threads per call, which only pays off when there
+/// are several forward passes to fan out.
+pub(crate) const PAR_MIN_EXAMPLES: usize = 4;
 
 /// A sequence-classification model assembled from encoder blocks according to
 /// a [`ModelConfig`] and [`ModelKind`].
@@ -142,9 +149,34 @@ impl Model {
         self.blocks.iter().map(|b| b.flops(seq)).sum()
     }
 
+    /// Snapshots the current parameter values into an immutable, `Send +
+    /// Sync`, tape-free [`FrozenModel`] for inference (see the
+    /// [`crate::frozen`] module docs for the exactness guarantees).
+    pub fn freeze(&self) -> FrozenModel {
+        let (tok_table, pos_table) = self.embedding.freeze_tables();
+        FrozenModel {
+            config: self.config.clone(),
+            kind: self.kind,
+            tok_table,
+            pos_table,
+            blocks: self.blocks.iter().map(|b| b.freeze()).collect(),
+            head: self.head.freeze(),
+            fast_math: false,
+        }
+    }
+
     /// Returns per-example logits for a batch of sequences.
+    ///
+    /// The model is frozen once and the examples fan out across rayon
+    /// workers; each example's logits are bit-identical to
+    /// [`Model::predict`] on that sequence (the tape and frozen paths run
+    /// the same kernels in the same order).
     pub fn predict_batch(&self, batch: &[Vec<usize>]) -> Vec<Vec<f32>> {
-        batch.iter().map(|tokens| self.predict(tokens)).collect()
+        if batch.len() < PAR_MIN_EXAMPLES {
+            return batch.iter().map(|tokens| self.predict(tokens)).collect();
+        }
+        let frozen = self.freeze();
+        (0..batch.len()).into_par_iter().map(|i| frozen.logits(&batch[i])).collect()
     }
 
     /// Returns a short human-readable description of the block stack, e.g.

@@ -1,7 +1,8 @@
 //! A small training loop for sequence-classification models.
 
-use crate::models::Model;
+use crate::models::{Model, PAR_MIN_EXAMPLES};
 use crate::optim::{Adam, Optimizer};
+use rayon::prelude::*;
 
 /// A single labelled training example.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,11 +56,24 @@ impl TrainReport {
 }
 
 /// Classification accuracy of `model` on `examples`.
+///
+/// The model is frozen once (tape-free snapshot) and the examples are
+/// evaluated in parallel across rayon workers; predictions are bit-identical
+/// to the serial per-example tape path, so the reported accuracy does not
+/// depend on the thread count.
 pub fn evaluate(model: &Model, examples: &[Example]) -> f32 {
     if examples.is_empty() {
         return 0.0;
     }
-    let correct = examples.iter().filter(|ex| model.predict_class(&ex.tokens) == ex.label).count();
+    let correct: usize = if examples.len() < PAR_MIN_EXAMPLES {
+        examples.iter().filter(|ex| model.predict_class(&ex.tokens) == ex.label).count()
+    } else {
+        let frozen = model.freeze();
+        (0..examples.len())
+            .into_par_iter()
+            .map(|i| usize::from(frozen.predict_class(&examples[i].tokens) == examples[i].label))
+            .sum()
+    };
     correct as f32 / examples.len() as f32
 }
 

@@ -1,0 +1,56 @@
+//! # fab-serve
+//!
+//! The serving subsystem of the FABNet reproduction: a dynamic-batching
+//! inference runtime that turns the PR-1 parallel kernels into sustained
+//! request throughput.
+//!
+//! Three pieces compose the runtime:
+//!
+//! - [`InferenceSession`] — a trained model frozen into a tape-free,
+//!   `Send + Sync` forward path ([`fab_nn::FrozenModel`]) shared by all
+//!   workers, each of which stages batches through its own reusable
+//!   [`SessionScratch`] buffers.
+//! - [`Server`] — a bounded MPSC request queue with admission control,
+//!   drained into sequence-length-bucketed micro-batches (padded to the
+//!   longest sequence in the batch by default, to the bucket boundary with
+//!   `pad_to_bucket_boundary`) by a pool of std-thread workers; knobs live
+//!   in [`ServeConfig`] (`max_batch`, `max_wait_us`, `queue_capacity`,
+//!   `num_workers`, `buckets`).
+//! - [`ServerStats`] — aggregate metrics (throughput, p50/p95/p99 latency
+//!   histograms, queue depth, batch occupancy) plus per-request metrics on
+//!   every [`Prediction`].
+//!
+//! Batching never changes results: whatever batch a request rides in, its
+//! logits are bit-identical to the same session answering it alone (see
+//! [`fab_nn::frozen`] for why). Relative to the tape path,
+//! [`InferenceSession::exact`] is bit-identical to `Model::predict`, while
+//! the default [`InferenceSession::new`] enables the serving-grade
+//! fast-math kernels and stays within ~1e-6 of it.
+//!
+//! # Example
+//!
+//! ```rust
+//! use fab_nn::{Model, ModelConfig, ModelKind};
+//! use fab_serve::{InferenceSession, ServeConfig, Server};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Model::new(&ModelConfig::tiny_for_tests(), ModelKind::FabNet, &mut rng);
+//! // `InferenceSession::exact` is bit-identical to `model.predict`;
+//! // `InferenceSession::new` enables the ~1e-6 fast-math serving kernels.
+//! let server = Server::start(InferenceSession::exact(&model), ServeConfig::default());
+//! let handle = server.handle();
+//! let prediction = handle.infer(vec![1, 2, 3, 4]).unwrap();
+//! assert_eq!(prediction.logits, model.predict(&[1, 2, 3, 4]));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod server;
+mod session;
+
+pub use metrics::{HistogramSummary, LatencyHistogram, ServerStats};
+pub use server::{PendingPrediction, Prediction, ServeConfig, ServeError, Server, ServerHandle};
+pub use session::{InferenceSession, SessionScratch};

@@ -1,0 +1,283 @@
+//! Serving metrics: lock-free counters and log-scaled latency histograms,
+//! snapshotted into a [`ServerStats`] report.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two histogram buckets; bucket `i > 0` covers latencies
+/// in `[2^(i-1), 2^i)` microseconds, bucket 0 holds sub-microsecond samples.
+/// 40 buckets span up to ~6 days, far beyond any request lifetime.
+const HIST_BUCKETS: usize = 40;
+
+/// A concurrent latency histogram with power-of-two microsecond buckets.
+///
+/// Recording is a single relaxed atomic increment; quantiles are estimated
+/// from the bucket boundaries, so a reported percentile is accurate to
+/// within its bucket (a factor-of-two band) and clamped to the observed
+/// maximum.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = ((u64::BITS - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) in microseconds: the upper
+    /// boundary of the bucket containing the target rank, clamped to the
+    /// observed maximum. Returns 0 when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum >= target {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots count, mean, p50/p95/p99 and max.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+            },
+            p50_us: self.quantile_us(0.50),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time summary of one latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median (bucket-resolution estimate, clamped to the observed max).
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Largest recorded sample.
+    pub max_us: u64,
+}
+
+/// The shared metric registry updated by the queue and the workers.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub(crate) started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_examples: AtomicU64,
+    pub(crate) max_batch_observed: AtomicU64,
+    pub(crate) peak_queue_depth: AtomicU64,
+    /// End-to-end latency: submit → response sent.
+    pub(crate) latency: LatencyHistogram,
+    /// Time spent waiting in the queue before batch formation.
+    pub(crate) queue_wait: LatencyHistogram,
+    /// Model time per dispatched batch.
+    pub(crate) service: LatencyHistogram,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_examples: AtomicU64::new(0),
+            max_batch_observed: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            service: LatencyHistogram::new(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> ServerStats {
+        let elapsed_s = self.started.elapsed().as_secs_f64();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_examples.load(Ordering::Relaxed);
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            batches,
+            mean_batch_occupancy: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            max_batch_observed: self.max_batch_observed.load(Ordering::Relaxed),
+            throughput_rps: if elapsed_s > 0.0 { completed as f64 / elapsed_s } else { 0.0 },
+            elapsed_s,
+            workers,
+            latency: self.latency.summary(),
+            queue_wait: self.queue_wait.summary(),
+            service: self.service.summary(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's aggregate metrics.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed (responses sent).
+    pub completed: u64,
+    /// Requests rejected by admission control (queue full).
+    pub rejected: u64,
+    /// Requests dropped because their batch's forward pass failed.
+    pub failed: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Batches dispatched to inference sessions.
+    pub batches: u64,
+    /// Mean examples per dispatched batch.
+    pub mean_batch_occupancy: f64,
+    /// Largest batch dispatched.
+    pub max_batch_observed: u64,
+    /// Completed requests per second since the server started.
+    pub throughput_rps: f64,
+    /// Seconds since the server started.
+    pub elapsed_s: f64,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// End-to-end request latency (submit → response).
+    pub latency: HistogramSummary,
+    /// Queue-wait component of the latency.
+    pub queue_wait: HistogramSummary,
+    /// Per-batch model service time.
+    pub service: HistogramSummary,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests : {} completed, {} rejected, {} failed, {} queued (peak {})",
+            self.completed, self.rejected, self.failed, self.queue_depth, self.peak_queue_depth
+        )?;
+        writeln!(
+            f,
+            "batches  : {} dispatched, {:.2} mean occupancy (max {}), {} workers",
+            self.batches, self.mean_batch_occupancy, self.max_batch_observed, self.workers
+        )?;
+        writeln!(f, "rate     : {:.1} req/s over {:.2}s", self.throughput_rps, self.elapsed_s)?;
+        writeln!(
+            f,
+            "latency  : p50 {}us  p95 {}us  p99 {}us  max {}us",
+            self.latency.p50_us, self.latency.p95_us, self.latency.p99_us, self.latency.max_us
+        )?;
+        write!(
+            f,
+            "queueing : p50 {}us  p99 {}us   service/batch: p50 {}us  p99 {}us",
+            self.queue_wait.p50_us,
+            self.queue_wait.p99_us,
+            self.service.p50_us,
+            self.service.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bounded_by_max() {
+        let h = LatencyHistogram::new();
+        for us in [3u64, 9, 17, 120, 900, 5_000, 70_000] {
+            h.record(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert_eq!(s.max_us, 70_000);
+    }
+
+    #[test]
+    fn single_sample_percentiles_equal_the_sample() {
+        let h = LatencyHistogram::new();
+        h.record(1000);
+        let s = h.summary();
+        assert_eq!(s.p50_us, 1000.min(s.max_us));
+        assert_eq!(s.p99_us, s.p50_us);
+    }
+
+    #[test]
+    fn bucket_estimate_is_within_a_factor_of_two() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1500);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((1024..=2047).contains(&p50) || p50 == 1500, "p50 {p50}");
+    }
+}

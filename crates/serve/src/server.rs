@@ -1,0 +1,635 @@
+//! The dynamic-batching server: a bounded MPSC request queue drained into
+//! sequence-length-bucketed batches by a pool of std-thread workers.
+//!
+//! ```text
+//!  clients ──submit──▶ bounded queue (admission control, per-bucket FIFO)
+//!                          │  drain ≤ max_batch, wait ≤ max_wait_us
+//!                          ▼
+//!                length-bucketed micro-batch (padded to the longest
+//!                sequence in the batch; bucket boundary = upper bound)
+//!                          │
+//!                          ▼
+//!        worker pool ──▶ InferenceSession::logits_batch ──▶ responses
+//! ```
+//!
+//! Batching policy: a worker first dispatches any bucket already holding a
+//! full `max_batch` (oldest head first among those); otherwise it picks the
+//! bucket whose head request is oldest (global FIFO across buckets) and
+//! dispatches it once that head has waited `max_wait_us` or the server is
+//! shutting down. An idle server therefore adds at most `max_wait_us` of
+//! batching delay, a saturated one runs full batches back to back, and a
+//! full batch never waits behind a stale request in another bucket.
+
+use crate::metrics::{Metrics, ServerStats};
+use crate::session::{InferenceSession, SessionScratch};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Knobs of the dynamic micro-batcher.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest number of requests fused into one batch.
+    pub max_batch: usize,
+    /// Longest time the oldest queued request may wait for its batch to
+    /// fill before being dispatched anyway, in microseconds.
+    pub max_wait_us: u64,
+    /// Admission-control bound: requests beyond this many queued are
+    /// rejected with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Number of worker threads (0 = one per available core, capped at 4).
+    pub num_workers: usize,
+    /// Ascending sequence-length bucket boundaries; a request joins the
+    /// first bucket whose boundary covers its length. Empty = derive
+    /// doubling boundaries from the session's `max_seq` (16, 32, …,
+    /// max_seq).
+    pub buckets: Vec<usize>,
+    /// When `true`, every batch is padded all the way to its bucket
+    /// boundary (uniform shapes, e.g. for shape-specialised backends). The
+    /// default `false` pads only to the longest sequence in the batch —
+    /// the boundary stays the upper bound, but stragglers cost less.
+    pub pad_to_bucket_boundary: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_wait_us: 500,
+            queue_capacity: 1024,
+            num_workers: 0,
+            buckets: Vec::new(),
+            pad_to_bucket_boundary: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolves defaults against a session: fills in worker count and
+    /// derives bucket boundaries when unset.
+    fn resolved(mut self, max_seq: usize) -> Self {
+        assert!(self.max_batch >= 1, "max_batch must be at least 1");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be at least 1");
+        if self.num_workers == 0 {
+            self.num_workers =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+        }
+        if self.buckets.is_empty() {
+            let mut b = 16usize;
+            while b < max_seq {
+                self.buckets.push(b);
+                b *= 2;
+            }
+            self.buckets.push(max_seq);
+        }
+        self.buckets.sort_unstable();
+        self.buckets.dedup();
+        assert!(
+            *self.buckets.last().expect("at least one bucket") <= max_seq,
+            "bucket boundary beyond the session's max_seq {max_seq}"
+        );
+        self
+    }
+}
+
+/// Why the server could not take or finish a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the queue is full.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+    /// The sequence is longer than the largest configured bucket.
+    SequenceTooLong {
+        /// Length of the rejected sequence.
+        len: usize,
+        /// Largest acceptable length.
+        max: usize,
+    },
+    /// The sequence is empty.
+    EmptySequence,
+    /// A token id is outside the model's vocabulary.
+    InvalidToken {
+        /// The offending token id.
+        id: usize,
+        /// Vocabulary size of the served model.
+        vocab: usize,
+    },
+    /// The server was shut down (or a worker failed) before this request
+    /// could be served.
+    ServerStopped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "queue full ({depth} requests pending); retry later")
+            }
+            ServeError::SequenceTooLong { len, max } => {
+                write!(f, "sequence length {len} exceeds the largest bucket {max}")
+            }
+            ServeError::EmptySequence => write!(f, "cannot serve an empty sequence"),
+            ServeError::InvalidToken { id, vocab } => {
+                write!(f, "token id {id} outside the model vocabulary of {vocab}")
+            }
+            ServeError::ServerStopped => {
+                write!(f, "server shut down or failed before serving the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A completed prediction with its per-request serving metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Class logits.
+    pub logits: Vec<f32>,
+    /// Argmax class.
+    pub class: usize,
+    /// Time spent queued before batch formation, in microseconds.
+    pub queue_wait_us: u64,
+    /// Model time of the batch this request rode in, in microseconds.
+    pub service_us: u64,
+    /// Number of requests in that batch.
+    pub batch_size: usize,
+    /// Bucket boundary the batch was padded to.
+    pub padded_len: usize,
+}
+
+/// One queued request.
+struct Request {
+    tokens: Vec<usize>,
+    enqueued: Instant,
+    resp: mpsc::Sender<Prediction>,
+}
+
+/// Mutex-guarded queue state (the MPSC channel core).
+struct QueueState {
+    /// Per-bucket FIFO queues, aligned with the resolved bucket boundaries.
+    queues: Vec<VecDeque<Request>>,
+    /// Total requests across all buckets.
+    depth: usize,
+    /// Set once by [`Server::shutdown`]; workers drain and exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work: Condvar,
+    config: ServeConfig,
+    session: Arc<InferenceSession>,
+    metrics: Metrics,
+}
+
+/// The dynamic-batching inference server.
+///
+/// Start one with [`Server::start`], hand [`ServerHandle`]s (cheap clones)
+/// to client threads, and read aggregate [`ServerStats`] at any time.
+/// Dropping the server shuts it down gracefully: queued requests are
+/// drained, then the workers exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker pool and returns the running server.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is invalid (zero `max_batch`/`queue_capacity`,
+    /// or a bucket boundary beyond the session's `max_seq`).
+    pub fn start(session: InferenceSession, config: ServeConfig) -> Self {
+        let config = config.resolved(session.max_seq());
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queues: (0..config.buckets.len()).map(|_| VecDeque::new()).collect(),
+                depth: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            config: config.clone(),
+            session: Arc::new(session),
+            metrics: Metrics::new(),
+        });
+        let workers = (0..config.num_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fab-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Returns a cloneable handle clients use to submit requests.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The resolved configuration (defaults filled in).
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Snapshots the aggregate serving metrics.
+    pub fn stats(&self) -> ServerStats {
+        let depth = self.shared.state.lock().expect("serve queue poisoned").depth;
+        self.shared.metrics.snapshot(depth, self.shared.config.num_workers)
+    }
+
+    /// Drains the queue, stops the workers and waits for them to exit.
+    /// Requests submitted after this call are rejected with
+    /// [`ServeError::ServerStopped`].
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.state.lock().expect("serve queue poisoned").shutdown = true;
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A cheap, cloneable, `Send` handle for submitting inference requests.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Enqueues a request without blocking for its completion.
+    ///
+    /// Admission control applies immediately: a full queue rejects with
+    /// [`ServeError::Overloaded`] rather than blocking the producer —
+    /// backpressure surfaces at the edge instead of growing the queue
+    /// without bound.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptySequence`], [`ServeError::SequenceTooLong`],
+    /// [`ServeError::Overloaded`], or [`ServeError::ServerStopped`].
+    pub fn submit(&self, tokens: Vec<usize>) -> Result<PendingPrediction, ServeError> {
+        if tokens.is_empty() {
+            return Err(ServeError::EmptySequence);
+        }
+        let buckets = &self.shared.config.buckets;
+        let max = *buckets.last().expect("at least one bucket");
+        if tokens.len() > max {
+            return Err(ServeError::SequenceTooLong { len: tokens.len(), max });
+        }
+        let vocab = self.shared.session.vocab_size();
+        if let Some(&id) = tokens.iter().find(|&&id| id >= vocab) {
+            return Err(ServeError::InvalidToken { id, vocab });
+        }
+        let bucket = buckets
+            .iter()
+            .position(|&b| tokens.len() <= b)
+            .expect("length is covered by the last bucket");
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            if st.shutdown {
+                return Err(ServeError::ServerStopped);
+            }
+            if st.depth >= self.shared.config.queue_capacity {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { depth: st.depth });
+            }
+            st.queues[bucket].push_back(Request { tokens, enqueued: Instant::now(), resp: tx });
+            st.depth += 1;
+            self.shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.peak_queue_depth.fetch_max(st.depth as u64, Ordering::Relaxed);
+        }
+        self.shared.work.notify_all();
+        Ok(PendingPrediction { rx })
+    }
+
+    /// Submits a request and blocks until its prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerHandle::submit`], plus [`ServeError::ServerStopped`]
+    /// when the server shuts down before responding.
+    pub fn infer(&self, tokens: Vec<usize>) -> Result<Prediction, ServeError> {
+        self.submit(tokens)?.wait()
+    }
+
+    /// Snapshots the aggregate serving metrics.
+    pub fn stats(&self) -> ServerStats {
+        let depth = self.shared.state.lock().expect("serve queue poisoned").depth;
+        self.shared.metrics.snapshot(depth, self.shared.config.num_workers)
+    }
+}
+
+/// A submitted request whose prediction has not arrived yet.
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ServerStopped`] when the server shut down before
+    /// serving this request.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ServerStopped)
+    }
+}
+
+/// A batch drained from the queue, ready for one session call.
+struct DrainedBatch {
+    requests: Vec<Request>,
+    padded_len: usize,
+}
+
+/// The worker loop: form a batch (blocking on the condvar while the queue
+/// is empty or the head batch is still filling), run the session, respond.
+fn worker_loop(shared: &Shared) {
+    let mut scratch = SessionScratch::with_capacity(
+        shared.config.max_batch,
+        *shared.config.buckets.last().expect("at least one bucket"),
+    );
+    while let Some(batch) = next_batch(shared) {
+        run_batch(shared, batch, &mut scratch);
+    }
+}
+
+/// Blocks until a batch is ready (returning it) or shutdown completes with
+/// an empty queue (returning `None`).
+fn next_batch(shared: &Shared) -> Option<DrainedBatch> {
+    let max_batch = shared.config.max_batch;
+    let max_wait = Duration::from_micros(shared.config.max_wait_us);
+    let mut st = shared.state.lock().expect("serve queue poisoned");
+    loop {
+        if st.depth == 0 {
+            if st.shutdown {
+                return None;
+            }
+            st = shared.work.wait(st).expect("serve queue poisoned");
+            continue;
+        }
+        // Prefer a bucket that can already dispatch a full batch (oldest
+        // head first among those) — a full batch must never wait behind a
+        // lone stale request in another bucket. With no full bucket, fall
+        // back to the bucket whose head has waited longest (global FIFO)
+        // and dispatch it once its deadline expires.
+        let heads =
+            || st.queues.iter().enumerate().filter_map(|(b, q)| q.front().map(|r| (b, r.enqueued)));
+        let full_bucket =
+            heads().filter(|&(b, _)| st.queues[b].len() >= max_batch).min_by_key(|&(_, e)| e);
+        let (bucket, enqueued, is_full) = match full_bucket {
+            Some((b, e)) => (b, e, true),
+            None => {
+                let (b, e) =
+                    heads().min_by_key(|&(_, e)| e).expect("depth > 0 implies a non-empty bucket");
+                (b, e, false)
+            }
+        };
+        let waited = enqueued.elapsed();
+        let ready = st.shutdown || is_full || waited >= max_wait;
+        if !ready {
+            let (guard, _) =
+                shared.work.wait_timeout(st, max_wait - waited).expect("serve queue poisoned");
+            st = guard;
+            continue;
+        }
+        let take = st.queues[bucket].len().min(max_batch);
+        let requests: Vec<Request> = st.queues[bucket].drain(..take).collect();
+        st.depth -= requests.len();
+        let padded_len = if shared.config.pad_to_bucket_boundary {
+            shared.config.buckets[bucket]
+        } else {
+            requests.iter().map(|r| r.tokens.len()).max().expect("non-empty batch")
+        };
+        return Some(DrainedBatch { requests, padded_len });
+    }
+}
+
+/// Runs one drained batch through the session and fulfils its requests.
+///
+/// A panicking forward pass (which admission-time validation should make
+/// impossible) fails only its own batch: the requests' response senders are
+/// dropped, so waiting clients observe [`ServeError::ServerStopped`] instead
+/// of blocking forever, and the worker stays alive for the next batch.
+fn run_batch(shared: &Shared, batch: DrainedBatch, scratch: &mut SessionScratch) {
+    let t0 = Instant::now();
+    let refs: Vec<&[usize]> = batch.requests.iter().map(|r| r.tokens.as_slice()).collect();
+    let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.session.logits_batch(&refs, batch.padded_len, scratch)
+    }));
+    drop(refs);
+    let logits = match forward {
+        Ok(logits) => logits,
+        Err(_) => {
+            shared.metrics.failed.fetch_add(batch.requests.len() as u64, Ordering::Relaxed);
+            return;
+        }
+    };
+    let service_us = t0.elapsed().as_micros() as u64;
+    let n = batch.requests.len();
+    let m = &shared.metrics;
+    m.batches.fetch_add(1, Ordering::Relaxed);
+    m.batched_examples.fetch_add(n as u64, Ordering::Relaxed);
+    m.max_batch_observed.fetch_max(n as u64, Ordering::Relaxed);
+    m.service.record(service_us);
+    for (req, lg) in batch.requests.into_iter().zip(logits) {
+        let queue_wait_us = t0.duration_since(req.enqueued).as_micros() as u64;
+        m.queue_wait.record(queue_wait_us);
+        m.latency.record(req.enqueued.elapsed().as_micros() as u64);
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        let class = fab_nn::argmax(&lg);
+        // The client may have dropped its receiver; that is not an error.
+        let _ = req.resp.send(Prediction {
+            logits: lg,
+            class,
+            queue_wait_us,
+            service_us,
+            batch_size: n,
+            padded_len: batch.padded_len,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_nn::{Model, ModelConfig, ModelKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// An exact (bit-identical to the tape path) session, so tests can
+    /// compare served logits with `Model::predict` by equality.
+    fn tiny_session() -> (Model, InferenceSession) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Model::new(&ModelConfig::tiny_for_tests(), ModelKind::FabNet, &mut rng);
+        let session = InferenceSession::exact(&model);
+        (model, session)
+    }
+
+    #[test]
+    fn served_logits_match_direct_predict() {
+        let (model, session) = tiny_session();
+        let server = Server::start(session, ServeConfig::default());
+        let handle = server.handle();
+        let tokens = vec![1usize, 2, 3, 4, 5];
+        let p = handle.infer(tokens.clone()).expect("request served");
+        assert_eq!(p.logits, model.predict(&tokens));
+        assert_eq!(p.class, model.predict_class(&tokens));
+        assert!(p.batch_size >= 1);
+        assert!(p.padded_len >= tokens.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_up_front() {
+        let (_model, session) = tiny_session();
+        let max_seq = session.max_seq();
+        let server = Server::start(session, ServeConfig::default());
+        let handle = server.handle();
+        assert_eq!(handle.infer(vec![]), Err(ServeError::EmptySequence));
+        assert_eq!(
+            handle.infer(vec![0; max_seq + 1]),
+            Err(ServeError::SequenceTooLong { len: max_seq + 1, max: max_seq })
+        );
+        let vocab = server.shared.session.vocab_size();
+        assert_eq!(
+            handle.infer(vec![0, vocab + 3]),
+            Err(ServeError::InvalidToken { id: vocab + 3, vocab })
+        );
+        assert_eq!(server.stats().completed, 0);
+    }
+
+    #[test]
+    fn requests_coalesce_into_batches() {
+        let (_model, session) = tiny_session();
+        let config = ServeConfig {
+            max_batch: 8,
+            max_wait_us: 200_000,
+            num_workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        let pending: Vec<_> =
+            (0..8).map(|i| handle.submit(vec![1, 2, 3, (i % 4) + 1]).unwrap()).collect();
+        let sizes: Vec<usize> = pending.into_iter().map(|p| p.wait().unwrap().batch_size).collect();
+        // All 8 requests land in the same bucket; the batch dispatches as
+        // soon as it is full, well before the 200ms deadline, so at least
+        // the last-served requests rode a multi-request batch.
+        assert!(*sizes.iter().max().unwrap() > 1, "no batching happened: {sizes:?}");
+        let stats = server.stats();
+        assert_eq!(stats.completed, 8);
+        assert!(stats.mean_batch_occupancy > 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let (_model, session) = tiny_session();
+        // One worker stuck behind a long max_wait with a tiny queue.
+        let config = ServeConfig {
+            max_batch: 16,
+            max_wait_us: 300_000,
+            queue_capacity: 2,
+            num_workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        let mut pending = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..6 {
+            match handle.submit(vec![1, 2, 3]) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected > 0, "expected admission control to kick in");
+        for p in pending {
+            p.wait().unwrap();
+        }
+        assert_eq!(server.stats().rejected, rejected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_batch_is_not_blocked_by_a_stale_request_in_another_bucket() {
+        let (_model, session) = tiny_session();
+        let config = ServeConfig {
+            max_batch: 8,
+            max_wait_us: 2_000_000, // 2s deadline: hitting it would be obvious
+            num_workers: 1,
+            buckets: vec![4, 16],
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        // A lone short request parks in the 4-bucket...
+        let stale = handle.submit(vec![1, 2, 3]).unwrap();
+        // ...then a full batch lands in the 16-bucket.
+        let t0 = Instant::now();
+        let full: Vec<_> = (0..8).map(|_| handle.submit(vec![2; 10]).unwrap()).collect();
+        for p in full {
+            p.wait().unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "full batch waited {:?} behind a stale request in another bucket",
+            t0.elapsed()
+        );
+        server.shutdown();
+        stale.wait().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let (_model, session) = tiny_session();
+        let config = ServeConfig { max_wait_us: 100_000, num_workers: 1, ..ServeConfig::default() };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        let pending: Vec<_> = (0..5).map(|_| handle.submit(vec![2, 3, 4]).unwrap()).collect();
+        server.shutdown();
+        for p in pending {
+            p.wait().expect("queued request served during graceful shutdown");
+        }
+        assert_eq!(handle.infer(vec![1, 2]), Err(ServeError::ServerStopped));
+    }
+
+    #[test]
+    fn mixed_lengths_land_in_matching_buckets() {
+        let (model, session) = tiny_session();
+        let server = Server::start(session, ServeConfig::default());
+        let handle = server.handle();
+        let short = handle.infer(vec![1; 3]).unwrap();
+        let long = handle.infer(vec![1; 16]).unwrap();
+        assert!(short.padded_len >= 3 && short.padded_len <= 16);
+        assert_eq!(long.padded_len, 16);
+        assert_eq!(short.logits, model.predict(&[1; 3]));
+        assert_eq!(long.logits, model.predict(&[1; 16]));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,190 @@
+//! Preallocated inference sessions: a frozen model plus per-worker reusable
+//! scratch buffers.
+
+use fab_nn::{FrozenModel, Model};
+
+/// A tape-free inference session around a [`FrozenModel`].
+///
+/// The session is immutable and `Send + Sync`: one session is shared by
+/// every worker of a [`crate::Server`], while each worker owns a private
+/// [`SessionScratch`] whose staging buffers are reused across batches. The
+/// forward path never touches the autodiff tape — it runs the PR-1 batched
+/// kernels (blocked matmul, `ButterflyMatrix::forward_rows`, the plan-cached
+/// FFT) directly, and its logits are bit-identical to
+/// [`Model::predict`](fab_nn::Model::predict) for every request regardless
+/// of batch composition (see [`fab_nn::frozen`]).
+#[derive(Debug, Clone)]
+pub struct InferenceSession {
+    model: FrozenModel,
+}
+
+impl InferenceSession {
+    /// Freezes `model`'s current weights into a new session with the
+    /// serving-grade fast-math kernels enabled: logits stay within ~1e-6 of
+    /// [`Model::predict`](fab_nn::Model::predict) (see
+    /// [`fab_tensor::fastmath`]) and remain bit-invariant to batch
+    /// composition and thread count. Use [`InferenceSession::exact`] for
+    /// bit-identity with the tape path.
+    pub fn new(model: &Model) -> Self {
+        Self { model: model.freeze().with_fast_math(true) }
+    }
+
+    /// Freezes `model` with the exact `libm` kernels: logits are
+    /// bit-identical to [`Model::predict`](fab_nn::Model::predict), at
+    /// roughly 40% lower single-core throughput than [`InferenceSession::new`].
+    pub fn exact(model: &Model) -> Self {
+        Self { model: model.freeze() }
+    }
+
+    /// Wraps an already-frozen model (honouring its fast-math setting).
+    pub fn from_frozen(model: FrozenModel) -> Self {
+        Self { model }
+    }
+
+    /// The underlying frozen model.
+    pub fn model(&self) -> &FrozenModel {
+        &self.model
+    }
+
+    /// Maximum sequence length the session accepts.
+    pub fn max_seq(&self) -> usize {
+        self.model.max_seq()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    /// Vocabulary size of the served model; token ids must stay below it.
+    pub fn vocab_size(&self) -> usize {
+        self.model.config().vocab_size
+    }
+
+    /// Class logits for one sequence (tape-free, unbatched).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tokens` is empty, longer than `max_seq`, or contains an
+    /// out-of-vocabulary id.
+    pub fn logits(&self, tokens: &[usize]) -> Vec<f32> {
+        self.model.logits(tokens)
+    }
+
+    /// Predicted class for one sequence (tape-free, unbatched).
+    pub fn predict_class(&self, tokens: &[usize]) -> usize {
+        self.model.predict_class(tokens)
+    }
+
+    /// Per-example logits for a batch padded to `pad_to`, staging the token
+    /// ids through `scratch`'s reusable flat buffer (no per-request
+    /// collection, no buffer growth once warmed up).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is empty, a sequence is empty or longer than
+    /// `pad_to`, `pad_to` exceeds `max_seq`, or a token id is out of
+    /// vocabulary.
+    pub fn logits_batch(
+        &self,
+        batch: &[&[usize]],
+        pad_to: usize,
+        scratch: &mut SessionScratch,
+    ) -> Vec<Vec<f32>> {
+        scratch.stage(batch, pad_to);
+        self.model.logits_batch_flat(&scratch.tokens, &scratch.lengths, pad_to)
+    }
+}
+
+/// Reusable per-worker staging buffers for batched inference.
+///
+/// Holds the flat padded token buffer and the per-example length list that
+/// [`InferenceSession::logits_batch`] feeds to the frozen model; capacity is
+/// retained across batches, so a warmed-up worker stages each new batch
+/// without heap growth.
+#[derive(Debug, Default, Clone)]
+pub struct SessionScratch {
+    tokens: Vec<usize>,
+    lengths: Vec<usize>,
+}
+
+impl SessionScratch {
+    /// Creates empty scratch (buffers grow to steady-state on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates scratch preallocated for `max_batch` sequences of `pad_to`
+    /// tokens.
+    pub fn with_capacity(max_batch: usize, pad_to: usize) -> Self {
+        Self {
+            tokens: Vec::with_capacity(max_batch * pad_to),
+            lengths: Vec::with_capacity(max_batch),
+        }
+    }
+
+    /// Writes `batch` into the flat padded layout expected by
+    /// [`fab_nn::FrozenModel::logits_batch_flat`] (padding slots hold 0).
+    fn stage(&mut self, batch: &[&[usize]], pad_to: usize) {
+        self.tokens.clear();
+        self.tokens.resize(batch.len() * pad_to, 0);
+        self.lengths.clear();
+        for (dst, src) in self.tokens.chunks_mut(pad_to).zip(batch.iter()) {
+            let take = src.len().min(pad_to);
+            dst[..take].copy_from_slice(&src[..take]);
+            self.lengths.push(src.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fab_nn::{ModelConfig, ModelKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn session() -> (Model, InferenceSession) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let model = Model::new(&ModelConfig::tiny_for_tests(), ModelKind::FabNet, &mut rng);
+        let session = InferenceSession::new(&model);
+        (model, session)
+    }
+
+    #[test]
+    fn exact_session_logits_match_tape_predict_bit_for_bit() {
+        let (model, _) = session();
+        let session = InferenceSession::exact(&model);
+        let tokens = vec![1usize, 4, 2, 9, 3];
+        assert_eq!(model.predict(&tokens), session.logits(&tokens));
+        assert_eq!(model.predict_class(&tokens), session.predict_class(&tokens));
+    }
+
+    #[test]
+    fn fast_math_session_stays_within_the_logit_budget() {
+        let (model, session) = session();
+        assert!(session.model().fast_math());
+        let tokens = vec![1usize, 4, 2, 9, 3, 8, 7];
+        let exact = model.predict(&tokens);
+        let fast = session.logits(&tokens);
+        let max_diff =
+            exact.iter().zip(fast.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(max_diff <= 1e-5, "fast-math logits diverged by {max_diff}");
+    }
+
+    #[test]
+    fn scratch_is_reused_across_batches() {
+        let (_model, session) = session();
+        let mut scratch = SessionScratch::with_capacity(4, 8);
+        let a: Vec<&[usize]> = vec![&[1, 2, 3], &[4, 5]];
+        let b: Vec<&[usize]> = vec![&[6, 7, 8, 9]];
+        let first = session.logits_batch(&a, 8, &mut scratch);
+        let cap = (scratch.tokens.capacity(), scratch.lengths.capacity());
+        let second = session.logits_batch(&b, 8, &mut scratch);
+        assert_eq!((scratch.tokens.capacity(), scratch.lengths.capacity()), cap);
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 1);
+        assert_eq!(first[0], session.logits(&[1, 2, 3]));
+        assert_eq!(second[0], session.logits(&[6, 7, 8, 9]));
+    }
+}

@@ -1,0 +1,157 @@
+//! PR-2 batcher property tests: logits served through the dynamic batcher
+//! (bucketed, padded, fused batches) must match the single-request tape path
+//! bit-for-bit at `RAYON_NUM_THREADS=1` and to 1e-5 at any thread count,
+//! across odd batch sizes and mixed sequence lengths.
+
+use fab_nn::{Model, ModelConfig, ModelKind};
+use fab_serve::{InferenceSession, ServeConfig, Server};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Serialises tests that mutate `RAYON_NUM_THREADS`, which is process-global.
+static THREAD_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn model_for(seed: u64, kind: ModelKind) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Model::new(&ModelConfig::tiny_for_tests(), kind, &mut rng)
+}
+
+fn mixed_batch(rng: &mut StdRng, n: usize, vocab: usize, max_len: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=max_len);
+            (0..len).map(|_| rng.gen_range(0..vocab)).collect()
+        })
+        .collect()
+}
+
+/// Submits every sequence through the server (async, so the batcher can
+/// coalesce them) and returns the per-request logits in submission order.
+fn serve_all(
+    model: &Model,
+    exact: bool,
+    config: ServeConfig,
+    batch: &[Vec<usize>],
+) -> Vec<Vec<f32>> {
+    let session = if exact { InferenceSession::exact(model) } else { InferenceSession::new(model) };
+    let server = Server::start(session, config);
+    let handle = server.handle();
+    let pending: Vec<_> =
+        batch.iter().map(|tokens| handle.submit(tokens.clone()).expect("accepted")).collect();
+    let logits: Vec<Vec<f32>> =
+        pending.into_iter().map(|p| p.wait().expect("served").logits).collect();
+    let stats = server.stats();
+    assert_eq!(stats.completed as usize, batch.len());
+    server.shutdown();
+    logits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn served_batches_match_single_requests_bit_for_bit_serial(
+        batch_size in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let _guard = THREAD_ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let kind = if seed % 2 == 0 { ModelKind::FabNet } else { ModelKind::FNet };
+        let model = model_for(seed, kind);
+        let config = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbadc0de);
+        let batch = mixed_batch(&mut rng, batch_size, config.vocab_size, config.max_seq);
+        let serve_config = ServeConfig {
+            max_batch: 5, // odd vs the batch sizes: forces partial batches
+            max_wait_us: 2_000,
+            num_workers: 2,
+            ..ServeConfig::default()
+        };
+        let served = serve_all(&model, true, serve_config, &batch);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        for (tokens, got) in batch.iter().zip(served.iter()) {
+            let reference = model.predict(tokens);
+            prop_assert!(
+                &reference == got,
+                "serial served logits diverged for len {}: {reference:?} vs {got:?}",
+                tokens.len()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_math_batches_match_fast_math_single_requests_bit_for_bit(
+        batch_size in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        // Batching invariance of the default (fast-math) serving session:
+        // whatever batch a request rides in, its logits equal the same
+        // session's single-request answer exactly.
+        let model = model_for(seed, ModelKind::FabNet);
+        let config = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let batch = mixed_batch(&mut rng, batch_size, config.vocab_size, config.max_seq);
+        let serve_config =
+            ServeConfig { max_batch: 5, max_wait_us: 2_000, ..ServeConfig::default() };
+        let served = serve_all(&model, false, serve_config, &batch);
+        let session = InferenceSession::new(&model);
+        for (tokens, got) in batch.iter().zip(served.iter()) {
+            let single = session.logits(tokens);
+            prop_assert!(
+                &single == got,
+                "fast-math batching changed logits for len {}",
+                tokens.len()
+            );
+        }
+    }
+
+    #[test]
+    fn served_batches_match_single_requests_at_default_threads(
+        batch_size in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let kind = if seed % 2 == 0 { ModelKind::FabNet } else { ModelKind::Transformer };
+        let model = model_for(seed, kind);
+        let config = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31) + 7);
+        let batch = mixed_batch(&mut rng, batch_size, config.vocab_size, config.max_seq);
+        let serve_config =
+            ServeConfig { max_batch: 7, max_wait_us: 1_000, ..ServeConfig::default() };
+        let served = serve_all(&model, false, serve_config, &batch);
+        for (tokens, got) in batch.iter().zip(served.iter()) {
+            let reference = model.predict(tokens);
+            prop_assert!(reference.len() == got.len());
+            let max_diff = reference
+                .iter()
+                .zip(got.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            prop_assert!(
+                max_diff <= 1e-5,
+                "served logits diverged by {max_diff} for len {}",
+                tokens.len()
+            );
+        }
+    }
+}
+
+/// Direct (serverless) check of the bucketed/padded fused path: every pad
+/// length that a bucket could choose yields bit-identical logits.
+#[test]
+fn fused_batch_is_pad_invariant_and_bit_exact() {
+    let _guard = THREAD_ENV_LOCK.lock().unwrap();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let model = model_for(41, ModelKind::FabNet);
+    let frozen = model.freeze();
+    let config = ModelConfig::tiny_for_tests();
+    let mut rng = StdRng::seed_from_u64(99);
+    let batch = mixed_batch(&mut rng, 7, config.vocab_size, 9);
+    let max_len = batch.iter().map(Vec::len).max().unwrap();
+    let reference: Vec<Vec<f32>> = batch.iter().map(|t| model.predict(t)).collect();
+    for pad_to in max_len..=config.max_seq {
+        assert_eq!(frozen.logits_batch(&batch, pad_to), reference, "pad_to {pad_to}");
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}

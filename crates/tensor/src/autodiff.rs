@@ -24,6 +24,9 @@ struct Node {
     value: Tensor,
     parents: Vec<usize>,
     backward: Option<BackwardFn>,
+    /// Short name of the operation that produced this node, used in
+    /// diagnostics (e.g. the [`Tape::grad`] panic message).
+    op: &'static str,
 }
 
 /// A reverse-mode automatic differentiation tape.
@@ -70,16 +73,37 @@ impl Tape {
 
     /// Records a leaf (input or parameter) value and returns its handle.
     pub fn leaf(&self, value: Tensor) -> VarId {
-        self.push_node(value, Vec::new(), None)
+        self.push_node(value, Vec::new(), None, "leaf")
     }
 
     /// Records a custom operation with an explicit backward function.
     ///
     /// `parents` lists the variables the value was computed from; `backward`
     /// receives the upstream gradient, the parent values and the node value
-    /// and must return one gradient per parent.
+    /// and must return one gradient per parent. The node is named `"custom"`
+    /// in diagnostics; use [`Tape::push_custom_named`] to attach a
+    /// descriptive operation name.
     pub fn push_custom(&self, value: Tensor, parents: &[VarId], backward: BackwardFn) -> VarId {
-        self.push_node(value, parents.iter().map(|p| p.0).collect(), Some(backward))
+        self.push_custom_named("custom", value, parents, backward)
+    }
+
+    /// Records a custom operation like [`Tape::push_custom`], tagging the
+    /// node with `op` so diagnostics (e.g. the [`Tape::grad`] panic) can name
+    /// the operation that produced it.
+    pub fn push_custom_named(
+        &self,
+        op: &'static str,
+        value: Tensor,
+        parents: &[VarId],
+        backward: BackwardFn,
+    ) -> VarId {
+        self.push_node(value, parents.iter().map(|p| p.0).collect(), Some(backward), op)
+    }
+
+    /// The name of the operation that produced `id` (`"leaf"` for leaves,
+    /// `"custom"` for unnamed custom operations).
+    pub fn op_name(&self, id: VarId) -> &'static str {
+        self.nodes.borrow()[id.0].op
     }
 
     /// Returns a clone of the value held by `id`.
@@ -96,12 +120,24 @@ impl Tape {
     ///
     /// # Panics
     ///
-    /// Panics if `backward` has not been called or the node did not receive a
-    /// gradient (it does not influence the loss).
+    /// Panics when no gradient is available for `id`, naming the operation
+    /// that produced the node. This happens when
+    ///
+    /// - [`Tape::backward`] has not been called yet, or
+    /// - the node does not influence the differentiated loss (it was
+    ///   recorded after the loss, or no computation path connects it to the
+    ///   loss — e.g. an unused parameter leaf).
+    ///
+    /// Use [`Tape::try_grad`] for a non-panicking variant.
     pub fn grad(&self, id: VarId) -> Tensor {
-        self.grads.borrow()[id.0]
-            .clone()
-            .unwrap_or_else(|| panic!("no gradient recorded for node {}", id.0))
+        self.grads.borrow()[id.0].clone().unwrap_or_else(|| {
+            panic!(
+                "no gradient recorded for node {} (op `{}`): either Tape::backward was not \
+                 called, or the node does not influence the differentiated loss",
+                id.0,
+                self.op_name(id)
+            )
+        })
     }
 
     /// Returns the gradient for `id` if one was accumulated.
@@ -140,9 +176,15 @@ impl Tape {
         *self.grads.borrow_mut() = grads;
     }
 
-    fn push_node(&self, value: Tensor, parents: Vec<usize>, backward: Option<BackwardFn>) -> VarId {
+    fn push_node(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        op: &'static str,
+    ) -> VarId {
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value, parents, backward });
+        nodes.push(Node { value, parents, backward, op });
         VarId(nodes.len() - 1)
     }
 
@@ -151,19 +193,30 @@ impl Tape {
     /// Element-wise addition.
     pub fn add(&self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).add(&self.value(b));
-        self.push_custom(value, &[a, b], Box::new(|g, _, _| vec![g.clone(), g.clone()]))
+        self.push_custom_named(
+            "add",
+            value,
+            &[a, b],
+            Box::new(|g, _, _| vec![g.clone(), g.clone()]),
+        )
     }
 
     /// Element-wise subtraction.
     pub fn sub(&self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).sub(&self.value(b));
-        self.push_custom(value, &[a, b], Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]))
+        self.push_custom_named(
+            "sub",
+            value,
+            &[a, b],
+            Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]),
+        )
     }
 
     /// Element-wise multiplication.
     pub fn mul(&self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).mul(&self.value(b));
-        self.push_custom(
+        self.push_custom_named(
+            "mul",
             value,
             &[a, b],
             Box::new(|g, parents, _| vec![g.mul(&parents[1]), g.mul(&parents[0])]),
@@ -173,13 +226,14 @@ impl Tape {
     /// Multiplication by a compile-time constant scalar.
     pub fn scale(&self, a: VarId, c: f32) -> VarId {
         let value = self.value(a).scale(c);
-        self.push_custom(value, &[a], Box::new(move |g, _, _| vec![g.scale(c)]))
+        self.push_custom_named("scale", value, &[a], Box::new(move |g, _, _| vec![g.scale(c)]))
     }
 
     /// Matrix multiplication of two 2-D variables.
     pub fn matmul(&self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).matmul(&self.value(b));
-        self.push_custom(
+        self.push_custom_named(
+            "matmul",
             value,
             &[a, b],
             Box::new(|g, parents, _| {
@@ -193,13 +247,14 @@ impl Tape {
     /// Transpose of a 2-D variable.
     pub fn transpose(&self, a: VarId) -> VarId {
         let value = self.value(a).transpose();
-        self.push_custom(value, &[a], Box::new(|g, _, _| vec![g.transpose()]))
+        self.push_custom_named("transpose", value, &[a], Box::new(|g, _, _| vec![g.transpose()]))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self, a: VarId) -> VarId {
         let value = self.value(a).softmax_rows();
-        self.push_custom(
+        self.push_custom_named(
+            "softmax_rows",
             value,
             &[a],
             Box::new(|g, _, y| {
@@ -221,7 +276,8 @@ impl Tape {
     /// Rectified linear unit.
     pub fn relu(&self, a: VarId) -> VarId {
         let value = self.value(a).relu();
-        self.push_custom(
+        self.push_custom_named(
+            "relu",
             value,
             &[a],
             Box::new(|g, parents, _| {
@@ -241,7 +297,8 @@ impl Tape {
     /// Gaussian error linear unit (tanh approximation).
     pub fn gelu(&self, a: VarId) -> VarId {
         let value = self.value(a).map(gelu_scalar);
-        self.push_custom(
+        self.push_custom_named(
+            "gelu",
             value,
             &[a],
             Box::new(|g, parents, _| {
@@ -261,7 +318,8 @@ impl Tape {
     /// Row-wise layer normalization with learned `gamma` and `beta`.
     pub fn layer_norm(&self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
         let value = self.value(x).layer_norm_rows(&self.value(gamma), &self.value(beta), eps);
-        self.push_custom(
+        self.push_custom_named(
+            "layer_norm",
             value,
             &[x, gamma, beta],
             Box::new(move |g, parents, _| {
@@ -314,7 +372,8 @@ impl Tape {
     /// Adds a `[cols]` or `[1, cols]` bias row to every row of a 2-D variable.
     pub fn add_row_broadcast(&self, x: VarId, bias: VarId) -> VarId {
         let value = self.value(x).add_row_broadcast(&self.value(bias));
-        self.push_custom(
+        self.push_custom_named(
+            "add_row_broadcast",
             value,
             &[x, bias],
             Box::new(|g, parents, _| {
@@ -334,7 +393,8 @@ impl Tape {
     /// Mean over rows of a 2-D variable, producing a `[1, cols]` value.
     pub fn mean_pool_rows(&self, x: VarId) -> VarId {
         let value = self.value(x).mean_rows();
-        self.push_custom(
+        self.push_custom_named(
+            "mean_pool_rows",
             value,
             &[x],
             Box::new(|g, parents, _| {
@@ -354,7 +414,8 @@ impl Tape {
     /// Extracts columns `[start, end)` of a 2-D variable.
     pub fn slice_cols(&self, x: VarId, start: usize, end: usize) -> VarId {
         let value = self.value(x).slice_cols(start, end);
-        self.push_custom(
+        self.push_custom_named(
+            "slice_cols",
             value,
             &[x],
             Box::new(move |g, parents, _| {
@@ -379,7 +440,8 @@ impl Tape {
         let values: Vec<Tensor> = parts.iter().map(|&p| self.value(p)).collect();
         let refs: Vec<&Tensor> = values.iter().collect();
         let value = Tensor::concat_cols(&refs);
-        self.push_custom(
+        self.push_custom_named(
+            "concat_cols",
             value,
             parts,
             Box::new(|g, parents, _| {
@@ -398,7 +460,8 @@ impl Tape {
     /// Sum of all elements, producing a `[1, 1]` value.
     pub fn sum(&self, x: VarId) -> VarId {
         let value = Tensor::from_vec(vec![self.value(x).sum()], &[1, 1]).expect("sum value");
-        self.push_custom(
+        self.push_custom_named(
+            "sum",
             value,
             &[x],
             Box::new(|g, parents, _| {
@@ -433,7 +496,8 @@ impl Tape {
             -labels.iter().enumerate().map(|(i, &l)| log_probs.at(i, l)).sum::<f32>() / m as f32;
         let labels_owned = labels.to_vec();
         let value = Tensor::from_vec(vec![loss], &[1, 1]).expect("loss value");
-        self.push_custom(
+        self.push_custom_named(
+            "cross_entropy",
             value,
             &[logits],
             Box::new(move |g, parents, _| {
@@ -468,7 +532,8 @@ impl Tape {
             orow.copy_from_slice(&tv.as_slice()[i * dim..(i + 1) * dim]);
         }
         let indices_owned = indices.to_vec();
-        self.push_custom(
+        self.push_custom_named(
+            "embedding",
             out,
             &[table],
             Box::new(move |g, parents, _| {
@@ -631,6 +696,22 @@ mod tests {
         let loss = tape.sum(x);
         tape.backward(loss);
         assert!(tape.try_grad(unused).is_none());
+    }
+
+    #[test]
+    fn missing_gradient_panic_names_the_op() {
+        let tape = Tape::new();
+        let x = tape.leaf(t(vec![1.0, 2.0], &[1, 2]));
+        let y = tape.mul(x, x);
+        let unused = tape.relu(x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.op_name(unused), "relu");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tape.grad(unused)))
+            .expect_err("grad of an unused node must panic");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("op `relu`"), "panic message should name the op: {msg}");
+        assert!(msg.contains("does not influence"), "panic message should explain: {msg}");
     }
 
     #[test]

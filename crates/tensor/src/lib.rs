@@ -32,6 +32,7 @@
 
 mod autodiff;
 mod error;
+pub mod fastmath;
 mod gradcheck;
 mod init;
 mod tensor;

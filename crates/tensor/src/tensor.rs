@@ -485,6 +485,47 @@ impl Tensor {
         Tensor { shape: vec![m, n], data: out }
     }
 
+    /// Fused `(self + rhs)` followed by row-wise layer normalisation: the
+    /// residual-shortcut pattern of every encoder block. One pass, one
+    /// output allocation; each element goes through exactly the same `a + b`
+    /// then normalise arithmetic as `self.add(rhs).layer_norm_rows(...)`,
+    /// so results are bit-identical to the unfused pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ, the tensors are not 2-D, or parameter
+    /// lengths differ from `cols`.
+    pub fn add_layer_norm_rows(
+        &self,
+        rhs: &Tensor,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+    ) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "add_layer_norm_rows requires 2-D tensors");
+        assert_eq!(self.shape, rhs.shape, "shape mismatch in add_layer_norm_rows");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(gamma.len(), n, "gamma length mismatch");
+        assert_eq!(beta.len(), n, "beta length mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for_each_row_band(&mut out, n, |r0, chunk| {
+            for (i, orow) in chunk.chunks_mut(n).enumerate() {
+                let a = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
+                let b = &rhs.data[(r0 + i) * n..(r0 + i + 1) * n];
+                for ((d, &x), &y) in orow.iter_mut().zip(a.iter()).zip(b.iter()) {
+                    *d = x + y;
+                }
+                let mean = orow.iter().sum::<f32>() / n as f32;
+                let var = orow.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for (j, d) in orow.iter_mut().enumerate() {
+                    *d = gamma.data[j] * (*d - mean) * inv + beta.data[j];
+                }
+            }
+        });
+        Tensor { shape: vec![m, n], data: out }
+    }
+
     /// Row-wise layer normalization with learned `gamma`/`beta` of length `cols`.
     ///
     /// # Panics
@@ -518,6 +559,14 @@ impl Tensor {
     /// Gaussian error linear unit (tanh approximation, as used by BERT).
     pub fn gelu(&self) -> Tensor {
         self.map(gelu_scalar)
+    }
+
+    /// GELU on the serving-grade fast-math kernel
+    /// ([`crate::fastmath::gelu_fast`], absolute error ≤ 1e-6 vs
+    /// [`Tensor::gelu`]). Used by frozen inference sessions; the autodiff
+    /// tape always records the exact variant.
+    pub fn gelu_fastmath(&self) -> Tensor {
+        self.map(crate::fastmath::gelu_fast)
     }
 
     /// Sum of all elements.
