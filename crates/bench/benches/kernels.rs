@@ -48,6 +48,76 @@ fn bench(c: &mut Criterion) {
     bench_matmul_serial_vs_parallel(c, &mut rng);
     bench_butterfly_rows_serial_vs_parallel(c, &mut rng);
     bench_dense_vs_butterfly(c, &mut rng);
+    bench_backward_kernels(c, &mut rng);
+    bench_train_step(c, &mut rng);
+}
+
+/// PR-3: the backward kernels of the training path — the specialized
+/// small-half butterfly backward against the seed's generic loop, and the
+/// dense matmul-gradient pair at the same sizes for contrast — from
+/// cache-resident to memory-bound transforms.
+fn bench_backward_kernels(c: &mut Criterion, rng: &mut StdRng) {
+    let mut group = c.benchmark_group("backward_kernels");
+    group.sample_size(10);
+    let rows = 128usize;
+    for n in [64usize, 256, 1024] {
+        let bfly = ButterflyMatrix::random(n, rng).unwrap();
+        let x = random_tensor(rng, &[rows, n]);
+        let g = random_tensor(rng, &[rows, n]);
+        group.bench_function(format!("butterfly_backward_reference_{rows}x{n}"), |bch| {
+            bch.iter(|| bfly.backward_rows_reference(black_box(&x), black_box(&g)))
+        });
+        group.bench_function(format!("butterfly_backward_specialized_{rows}x{n}"), |bch| {
+            bch.iter(|| bfly.backward_rows(black_box(&x), black_box(&g)))
+        });
+        // Dense gradients (dX = g Wᵀ, dW = xᵀ g) at the same size.
+        let w = random_tensor(rng, &[n, n]);
+        group.bench_function(format!("dense_backward_{rows}x{n}"), |bch| {
+            bch.iter(|| {
+                let dx = black_box(&g).matmul(&black_box(&w).transpose());
+                let dw = black_box(&x).transpose().matmul(black_box(&g));
+                (dx, dw)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// PR-3: full training steps — reused arena tape + fused AdamW against the
+/// seed loop (fresh tape, reference backward, reference Adam) — for a dense
+/// Transformer and a butterfly FABNet.
+fn bench_train_step(c: &mut Criterion, rng: &mut StdRng) {
+    use fab_nn::{Adam, FusedAdamW, Model, ModelConfig, ModelKind, Optimizer, TrainStep};
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let config = ModelConfig {
+        hidden: 64,
+        ffn_ratio: 4,
+        num_layers: 2,
+        num_abfly: 1,
+        num_heads: 4,
+        vocab_size: 64,
+        max_seq: 64,
+        num_classes: 10,
+    };
+    let tokens: Vec<usize> = (0..64).map(|i| (i * 7 + 1) % 64).collect();
+    for kind in [ModelKind::Transformer, ModelKind::FabNet] {
+        let model = Model::new(&config, kind, rng);
+        let mut reference_opt = Adam::new(1e-3);
+        group.bench_function(format!("{}_reference_step", kind.name()), |bch| {
+            bch.iter(|| {
+                let (tape, loss, bindings) = model.loss(black_box(&tokens), 3);
+                tape.backward_reference(loss);
+                reference_opt.step(&tape, &bindings);
+                tape.value_scalar(loss)
+            })
+        });
+        let mut step = TrainStep::new(FusedAdamW::new(1e-3));
+        group.bench_function(format!("{}_fused_step", kind.name()), |bch| {
+            bch.iter(|| step.step(&model, black_box(&tokens), 3))
+        });
+    }
+    group.finish();
 }
 
 /// PR-1: the blocked+parallel matmul against the naive serial seed kernel,

@@ -129,6 +129,24 @@ fn main() {
         exact_percentile(&serial_lat_us, 0.99)
     );
 
+    // --- Session-serial baseline: tape-free frozen forward, one at a time. -
+    // Separates the serving runtime's queueing/batching overhead from the
+    // model compute: `server / session_serial` is the batcher's efficiency,
+    // `server / serial` its end-to-end advantage over the tape path. Since
+    // PR 3 made the tape path nearly as fast as the frozen one, a
+    // single-core host shows the server near breakeven — its wins (worker
+    // parallelism, amortising per-request overhead) need multiple cores.
+    let mut session_s = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        for tokens in &requests {
+            let _ = session.logits(tokens);
+        }
+        session_s = session_s.min(t0.elapsed().as_secs_f64());
+    }
+    let session_rps = requests.len() as f64 / session_s;
+    println!("session  : {session_rps:8.1} req/s  (tape-free serial floor)");
+
     // --- Dynamic-batching server under open-loop Poisson arrivals. --------
     // Exponential inter-arrival times at `arrival_mult` x the serial rate,
     // so the queue saturates and batching has material to work with.
@@ -189,10 +207,12 @@ fn main() {
          \"model\": {{\"kind\": \"FABNet\", \"hidden\": {}, \"layers\": {}, \"max_seq\": {}}},\n  \
          \"traffic\": {:?},\n  \"arrival_mult\": {},\n  \
          \"serial\": {{\"throughput_rps\": {:.2}, \"p50_us\": {}, \"p99_us\": {}}},\n  \
+         \"session_serial\": {{\"throughput_rps\": {:.2}}},\n  \
          \"server\": {{\"throughput_rps\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
          \"max_batch\": 16, \"max_wait_us\": 300, \"mean_batch_occupancy\": {:.3}, \
          \"max_batch_observed\": {}, \"batches\": {}, \"workers\": {}, \"rejected\": {}}},\n  \
-         \"speedup\": {:.3},\n  \"max_abs_logit_diff\": {:.4e},\n  \"min_speedup_required\": {}\n}}\n",
+         \"speedup\": {:.3},\n  \"speedup_vs_session\": {:.3},\n  \
+         \"max_abs_logit_diff\": {:.4e},\n  \"min_speedup_required\": {}\n}}\n",
         opts.smoke,
         requests.len(),
         rayon::current_num_threads(),
@@ -204,6 +224,7 @@ fn main() {
         serial_rps,
         exact_percentile(&serial_lat_us, 0.50),
         exact_percentile(&serial_lat_us, 0.99),
+        session_rps,
         server_rps,
         stats.latency.p50_us,
         stats.latency.p95_us,
@@ -214,6 +235,7 @@ fn main() {
         stats.workers,
         stats.rejected,
         speedup,
+        server_rps / session_rps,
         max_diff,
         opts.min_speedup,
     );

@@ -30,6 +30,10 @@ pub struct ButterflyScratch {
     /// Gradient ping-pong buffers, `n` elements each.
     grad: Vec<f32>,
     grad_tmp: Vec<f32>,
+    /// Chunk-local weight-gradient accumulator (`log2 n · 2 n`), used by the
+    /// single-worker batched backward so it needs no per-call allocation
+    /// while keeping the parallel path's exact chunk summation order.
+    gw_partial: Vec<f32>,
     n: usize,
 }
 
@@ -37,7 +41,13 @@ impl ButterflyScratch {
     /// Allocates scratch for a butterfly of size `n` (power of two).
     pub fn new(n: usize) -> Self {
         let stages = log2_exact(n);
-        Self { states: vec![0.0; (stages + 1) * n], grad: vec![0.0; n], grad_tmp: vec![0.0; n], n }
+        Self {
+            states: vec![0.0; (stages + 1) * n],
+            grad: vec![0.0; n],
+            grad_tmp: vec![0.0; n],
+            gw_partial: vec![0.0; stages * 2 * n],
+            n,
+        }
     }
 }
 
@@ -155,12 +165,75 @@ impl ButterflyStage {
     }
 
     /// Applies the stage out of place: reads `src`, writes every element of
-    /// `dst` exactly once. Used by the allocation-free batched forward.
+    /// `dst` exactly once. Used by the allocation-free batched forward and
+    /// the backward pass's activation recompute.
+    ///
+    /// Mirrors [`ButterflyStage::apply_in_place`]'s structure: the first two
+    /// stages (`half` of 1 and 2) use dedicated unrolled loops with the
+    /// identical per-pair arithmetic, so results are bit-equal to the
+    /// generic path.
     ///
     /// # Panics
     ///
     /// Panics when the slice lengths differ from `2 * pairs`.
     pub fn apply_into(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), 2 * self.pairs(), "stage input length mismatch");
+        assert_eq!(dst.len(), src.len(), "stage output length mismatch");
+        let half = self.half;
+        match half {
+            1 => {
+                let ws = self.w1.iter().zip(&self.w2).zip(self.w3.iter().zip(&self.w4));
+                for ((spair, dpair), ((w1, w2), (w3, w4))) in
+                    src.chunks_exact(2).zip(dst.chunks_exact_mut(2)).zip(ws)
+                {
+                    let (a, b) = (spair[0], spair[1]);
+                    dpair[0] = w1 * a + w2 * b;
+                    dpair[1] = w3 * a + w4 * b;
+                }
+            }
+            2 => {
+                let ws = self
+                    .w1
+                    .chunks_exact(2)
+                    .zip(self.w2.chunks_exact(2))
+                    .zip(self.w3.chunks_exact(2).zip(self.w4.chunks_exact(2)));
+                for ((squad, dquad), ((w1, w2), (w3, w4))) in
+                    src.chunks_exact(4).zip(dst.chunks_exact_mut(4)).zip(ws)
+                {
+                    let (a0, b0) = (squad[0], squad[2]);
+                    let (a1, b1) = (squad[1], squad[3]);
+                    dquad[0] = w1[0] * a0 + w2[0] * b0;
+                    dquad[2] = w3[0] * a0 + w4[0] * b0;
+                    dquad[1] = w1[1] * a1 + w2[1] * b1;
+                    dquad[3] = w3[1] * a1 + w4[1] * b1;
+                }
+            }
+            _ => {
+                let mut p = 0;
+                for (sblock, dblock) in src.chunks(2 * half).zip(dst.chunks_mut(2 * half)) {
+                    let (slo, shi) = sblock.split_at(half);
+                    let (dlo, dhi) = dblock.split_at_mut(half);
+                    let ws = self.w1[p..p + half]
+                        .iter()
+                        .zip(&self.w2[p..p + half])
+                        .zip(self.w3[p..p + half].iter().zip(&self.w4[p..p + half]));
+                    for (((&a, &b), (l, h)), ((w1, w2), (w3, w4))) in
+                        slo.iter().zip(shi.iter()).zip(dlo.iter_mut().zip(dhi.iter_mut())).zip(ws)
+                    {
+                        *l = w1 * a + w2 * b;
+                        *h = w3 * a + w4 * b;
+                    }
+                    p += half;
+                }
+            }
+        }
+    }
+
+    /// The seed's generic out-of-place stage application, kept verbatim as
+    /// part of the reference backward path (the pre-PR backward recomputed
+    /// activations through exactly this loop). Bit-identical to
+    /// [`ButterflyStage::apply_into`].
+    fn apply_into_reference(&self, src: &[f32], dst: &mut [f32]) {
         assert_eq!(src.len(), 2 * self.pairs(), "stage input length mismatch");
         assert_eq!(dst.len(), src.len(), "stage output length mismatch");
         let half = self.half;
@@ -177,6 +250,124 @@ impl ButterflyStage {
                 *h = w3[i] * a + w4[i] * b;
             }
             p += half;
+        }
+    }
+
+    /// Backward pass through this stage: given the stage `input` and the
+    /// upstream gradient `grad` (both length `2 · pairs`), writes the input
+    /// gradient into `grad_in` and **accumulates** the weight gradients into
+    /// `gw` (laid out `[w1 | w2 | w3 | w4]`, each of length `pairs`).
+    ///
+    /// Mirrors [`ButterflyStage::apply_in_place`]'s structure: the first two
+    /// stages use dedicated unrolled loops, larger half-blocks walk
+    /// `split_at` slices so the inner loop is branch- and division-free. The
+    /// arithmetic per pair is identical to the seed's generic backward loop,
+    /// so results are bit-equal to
+    /// [`ButterflyStage::backward_into_reference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when any slice length mismatches.
+    pub fn backward_into(&self, input: &[f32], grad: &[f32], grad_in: &mut [f32], gw: &mut [f32]) {
+        let pairs = self.pairs();
+        assert_eq!(input.len(), 2 * pairs, "stage input length mismatch");
+        assert_eq!(grad.len(), 2 * pairs, "stage gradient length mismatch");
+        assert_eq!(grad_in.len(), 2 * pairs, "stage input-gradient length mismatch");
+        assert_eq!(gw.len(), 4 * pairs, "stage weight-gradient length mismatch");
+        let (gw1, rest) = gw.split_at_mut(pairs);
+        let (gw2, rest) = rest.split_at_mut(pairs);
+        let (gw3, gw4) = rest.split_at_mut(pairs);
+        let half = self.half;
+        match half {
+            1 => {
+                let ws = self.w1.iter().zip(&self.w2).zip(self.w3.iter().zip(&self.w4));
+                let gws =
+                    gw1.iter_mut().zip(gw2.iter_mut()).zip(gw3.iter_mut().zip(gw4.iter_mut()));
+                for ((((pair_in, pair_g), pair_o), ((w1, w2), (w3, w4))), ((d1, d2), (d3, d4))) in
+                    input
+                        .chunks_exact(2)
+                        .zip(grad.chunks_exact(2))
+                        .zip(grad_in.chunks_exact_mut(2))
+                        .zip(ws)
+                        .zip(gws)
+                {
+                    let (a, b) = (pair_in[0], pair_in[1]);
+                    let (g1, g2) = (pair_g[0], pair_g[1]);
+                    *d1 += g1 * a;
+                    *d2 += g1 * b;
+                    *d3 += g2 * a;
+                    *d4 += g2 * b;
+                    pair_o[0] = w1 * g1 + w3 * g2;
+                    pair_o[1] = w2 * g1 + w4 * g2;
+                }
+            }
+            2 => {
+                let ws = self
+                    .w1
+                    .chunks_exact(2)
+                    .zip(self.w2.chunks_exact(2))
+                    .zip(self.w3.chunks_exact(2).zip(self.w4.chunks_exact(2)));
+                let gws = gw1
+                    .chunks_exact_mut(2)
+                    .zip(gw2.chunks_exact_mut(2))
+                    .zip(gw3.chunks_exact_mut(2).zip(gw4.chunks_exact_mut(2)));
+                for ((((quad_in, quad_g), quad_o), ((w1, w2), (w3, w4))), ((d1, d2), (d3, d4))) in
+                    input
+                        .chunks_exact(4)
+                        .zip(grad.chunks_exact(4))
+                        .zip(grad_in.chunks_exact_mut(4))
+                        .zip(ws)
+                        .zip(gws)
+                {
+                    for lane in 0..2 {
+                        let (a, b) = (quad_in[lane], quad_in[lane + 2]);
+                        let (g1, g2) = (quad_g[lane], quad_g[lane + 2]);
+                        d1[lane] += g1 * a;
+                        d2[lane] += g1 * b;
+                        d3[lane] += g2 * a;
+                        d4[lane] += g2 * b;
+                        quad_o[lane] = w1[lane] * g1 + w3[lane] * g2;
+                        quad_o[lane + 2] = w2[lane] * g1 + w4[lane] * g2;
+                    }
+                }
+            }
+            _ => {
+                let mut p = 0;
+                for ((iblock, gblock), oblock) in input
+                    .chunks(2 * half)
+                    .zip(grad.chunks(2 * half))
+                    .zip(grad_in.chunks_mut(2 * half))
+                {
+                    let (ilo, ihi) = iblock.split_at(half);
+                    let (glo, ghi) = gblock.split_at(half);
+                    let (olo, ohi) = oblock.split_at_mut(half);
+                    let ws = self.w1[p..p + half]
+                        .iter()
+                        .zip(&self.w2[p..p + half])
+                        .zip(self.w3[p..p + half].iter().zip(&self.w4[p..p + half]));
+                    let gws = gw1[p..p + half]
+                        .iter_mut()
+                        .zip(gw2[p..p + half].iter_mut())
+                        .zip(gw3[p..p + half].iter_mut().zip(gw4[p..p + half].iter_mut()));
+                    for (((((&a, &b), (&g1, &g2)), (l, h)), ((w1, w2), (w3, w4))), dws) in ilo
+                        .iter()
+                        .zip(ihi.iter())
+                        .zip(glo.iter().zip(ghi.iter()))
+                        .zip(olo.iter_mut().zip(ohi.iter_mut()))
+                        .zip(ws)
+                        .zip(gws)
+                    {
+                        let ((d1, d2), (d3, d4)) = dws;
+                        *d1 += g1 * a;
+                        *d2 += g1 * b;
+                        *d3 += g2 * a;
+                        *d4 += g2 * b;
+                        *l = w1 * g1 + w3 * g2;
+                        *h = w2 * g1 + w4 * g2;
+                    }
+                    p += half;
+                }
+            }
         }
     }
 }
@@ -348,6 +539,117 @@ impl ButterflyMatrix {
         Tensor::from_vec(data, &[rows, n]).expect("forward_rows_padded shape")
     }
 
+    /// [`ButterflyMatrix::forward_rows`] writing into `out` (resized in
+    /// place; no allocation once `out`'s capacity suffices). Bit-identical
+    /// to `forward_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D with `n` columns.
+    pub fn forward_rows_into(&self, x: &Tensor, out: &mut Tensor) {
+        assert_eq!(x.cols(), self.n, "butterfly row width mismatch");
+        let rows = x.rows();
+        let n = self.n;
+        out.resize_to(&[rows, n]);
+        let data = out.as_mut_slice();
+        data.copy_from_slice(x.as_slice());
+        let transform_rows = |chunk: &mut [f32]| {
+            for row in chunk.chunks_mut(n) {
+                for stage in &self.stages {
+                    stage.apply_in_place(row);
+                }
+            }
+        };
+        if data.len() < PAR_MIN_ELEMS {
+            transform_rows(data);
+        } else {
+            let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+            data.par_chunks_mut(rows_per_chunk * n).for_each(transform_rows);
+        }
+    }
+
+    /// Fused pad + transform + truncate over rows, writing into `out`: rows
+    /// of `x` (`[rows, d_in]`, `d_in <= n`) are implicitly zero-padded,
+    /// transformed, and only the first `d_out` output columns are kept. This
+    /// collapses the `concat → butterfly → slice` chain of the padded
+    /// butterfly layer into one kernel; results are bit-identical to the
+    /// unfused chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d_in` or `d_out` exceed the transform size.
+    pub fn forward_rows_padded_trunc_into(&self, x: &Tensor, d_out: usize, out: &mut Tensor) {
+        let n = self.n;
+        let d_in = x.cols();
+        assert!(d_in <= n, "butterfly pad width {d_in} exceeds transform size {n}");
+        assert!(d_out <= n, "butterfly output width {d_out} exceeds transform size {n}");
+        let rows = x.rows();
+        out.resize_to(&[rows, d_out]);
+        let run_rows = |r0: usize, chunk: &mut [f32], row_buf: &mut [f32]| {
+            for (i, orow) in chunk.chunks_mut(d_out).enumerate() {
+                let r = r0 + i;
+                row_buf[..d_in].copy_from_slice(&x.as_slice()[r * d_in..(r + 1) * d_in]);
+                row_buf[d_in..].fill(0.0);
+                for stage in &self.stages {
+                    stage.apply_in_place(row_buf);
+                }
+                orow.copy_from_slice(&row_buf[..d_out]);
+            }
+        };
+        let data = out.as_mut_slice();
+        if rows * n < PAR_MIN_ELEMS {
+            with_tls_scratch(n, |scratch| run_rows(0, data, &mut scratch.grad));
+        } else {
+            let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+            data.par_chunks_mut(rows_per_chunk * d_out).enumerate().for_each(|(c, chunk)| {
+                let mut row_buf = vec![0.0f32; n];
+                run_rows(c * rows_per_chunk, chunk, &mut row_buf);
+            });
+        }
+    }
+
+    /// Reloads the butterfly weights from a `[log2 n, 2 n]` tensor in place,
+    /// reusing the existing stage storage when the size matches (the
+    /// allocation-free counterpart of
+    /// [`ButterflyMatrix::from_weight_tensor`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ButterflyError::WeightShapeMismatch`] /
+    /// [`ButterflyError::NotPowerOfTwo`] exactly like `from_weight_tensor`.
+    pub fn load_weight_tensor(&mut self, w: &Tensor) -> Result<(), ButterflyError> {
+        let shape = w.shape();
+        if shape.len() != 2 {
+            return Err(ButterflyError::WeightShapeMismatch {
+                expected: vec![0, 0],
+                got: shape.to_vec(),
+            });
+        }
+        let stages = shape[0];
+        let n = shape[1] / 2;
+        let valid =
+            n >= 2 && n.is_power_of_two() && shape[1] == 2 * n && log2_exact(n.max(2)) == stages;
+        if !valid {
+            return Err(ButterflyError::WeightShapeMismatch {
+                expected: vec![stages, 2 * n],
+                got: shape.to_vec(),
+            });
+        }
+        if self.n != n {
+            *self = Self::try_identity(n)?;
+        }
+        let half_n = n / 2;
+        let wd = w.as_slice();
+        for (s, stage) in self.stages.iter_mut().enumerate() {
+            let row = &wd[s * 2 * n..(s + 1) * 2 * n];
+            stage.w1.copy_from_slice(&row[..half_n]);
+            stage.w2.copy_from_slice(&row[half_n..2 * half_n]);
+            stage.w3.copy_from_slice(&row[2 * half_n..3 * half_n]);
+            stage.w4.copy_from_slice(&row[3 * half_n..]);
+        }
+        Ok(())
+    }
+
     /// Runs the forward pass, recording the input of every stage into the
     /// flat `states` buffer of `scratch` (slot `s` holds the input of stage
     /// `s`; the final slot holds the output).
@@ -385,12 +687,14 @@ impl ButterflyMatrix {
         (scratch.grad.clone(), grad_w)
     }
 
-    /// Allocation-free backward pass for one vector.
+    /// Allocation-free backward pass for one vector on the specialized
+    /// per-stage kernels ([`ButterflyStage::backward_into`]).
     ///
     /// On return `scratch.grad` holds the input gradient and the weight
     /// gradients have been **accumulated** (`+=`) into `grad_w`, which must
     /// have the `[log2 n, 2 n]` layout of [`ButterflyMatrix::to_weight_tensor`]
-    /// flattened row-major.
+    /// flattened row-major. Results are bit-identical to
+    /// [`ButterflyMatrix::backward_with_scratch_reference`].
     ///
     /// # Panics
     ///
@@ -405,17 +709,125 @@ impl ButterflyMatrix {
         let n = self.n;
         assert_eq!(x.len(), n, "butterfly input length mismatch");
         assert_eq!(grad_out.len(), n, "butterfly gradient length mismatch");
-        assert_eq!(scratch.n, n, "scratch size mismatch");
-        assert_eq!(grad_w.len(), self.num_stages() * 2 * n, "weight gradient length mismatch");
         self.forward_stages_into(x, &mut scratch.states);
-        scratch.grad.copy_from_slice(grad_out);
+        self.backward_stages(grad_out, scratch, grad_w);
+    }
+
+    /// Fused pad + backward for one vector: `x` holds only the first `d_in`
+    /// elements (the rest of the transform input is an implicit zero pad) and
+    /// `grad_out` only the first `d_out` output gradients (the truncated
+    /// columns receive zero gradient). On return `scratch.grad[..d_in]`
+    /// holds the input gradient; weight gradients are accumulated into
+    /// `grad_w`. Bit-identical to materialising the pads and calling
+    /// [`ButterflyMatrix::backward_with_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` or `grad_out` are wider than the transform.
+    pub fn backward_padded_with_scratch(
+        &self,
+        x: &[f32],
+        grad_out: &[f32],
+        scratch: &mut ButterflyScratch,
+        grad_w: &mut [f32],
+    ) {
+        self.forward_stages_padded_into(x, grad_out, scratch);
+        self.backward_stages(grad_out, scratch, grad_w);
+    }
+
+    /// Padded-variant of [`ButterflyMatrix::backward_padded_with_scratch`]
+    /// accumulating into the scratch's own `gw_partial`.
+    fn backward_padded_with_scratch_split(
+        &self,
+        x: &[f32],
+        grad_out: &[f32],
+        s: &mut ButterflyScratch,
+    ) {
+        self.forward_stages_padded_into(x, grad_out, s);
+        let ButterflyScratch { states, grad, grad_tmp, gw_partial, .. } = s;
+        self.backward_stages_raw(grad_out, states, grad, grad_tmp, gw_partial);
+    }
+
+    fn forward_stages_padded_into(
+        &self,
+        x: &[f32],
+        grad_out: &[f32],
+        scratch: &mut ButterflyScratch,
+    ) {
+        let n = self.n;
+        assert!(x.len() <= n, "butterfly pad width {} exceeds transform size {n}", x.len());
+        assert!(grad_out.len() <= n, "butterfly gradient width exceeds transform size {n}");
+        assert_eq!(scratch.n, n, "scratch size mismatch");
+        scratch.states[..x.len()].copy_from_slice(x);
+        scratch.states[x.len()..n].fill(0.0);
+        for (s, stage) in self.stages.iter().enumerate() {
+            let (src, rest) = scratch.states[s * n..].split_at_mut(n);
+            stage.apply_into(src, &mut rest[..n]);
+        }
+    }
+
+    /// Reverse sweep shared by the backward entry points: expects
+    /// `scratch.states` to hold the per-stage activations, seeds the gradient
+    /// ping-pong buffers from `grad_out` (zero-extended to the transform
+    /// size) and runs the specialized stage kernels.
+    fn backward_stages(
+        &self,
+        grad_out: &[f32],
+        scratch: &mut ButterflyScratch,
+        grad_w: &mut [f32],
+    ) {
+        assert_eq!(scratch.n, self.n, "scratch size mismatch");
+        let ButterflyScratch { states, grad, grad_tmp, .. } = scratch;
+        self.backward_stages_raw(grad_out, states, grad, grad_tmp, grad_w);
+    }
+
+    fn backward_stages_raw(
+        &self,
+        grad_out: &[f32],
+        states: &[f32],
+        grad: &mut Vec<f32>,
+        grad_tmp: &mut Vec<f32>,
+        grad_w: &mut [f32],
+    ) {
+        let n = self.n;
+        assert_eq!(grad_w.len(), self.num_stages() * 2 * n, "weight gradient length mismatch");
+        grad[..grad_out.len()].copy_from_slice(grad_out);
+        grad[grad_out.len()..].fill(0.0);
+        for (s, stage) in self.stages.iter().enumerate().rev() {
+            let input = &states[s * n..(s + 1) * n];
+            let gw = &mut grad_w[s * 2 * n..(s + 1) * 2 * n];
+            stage.backward_into(input, grad, grad_tmp, gw);
+            std::mem::swap(grad, grad_tmp);
+        }
+    }
+
+    /// [`ButterflyMatrix::backward_with_scratch`] accumulating the weight
+    /// gradient into the scratch's own `gw_partial` buffer.
+    fn backward_with_scratch_split(&self, x: &[f32], grad_out: &[f32], s: &mut ButterflyScratch) {
+        assert_eq!(s.n, self.n, "scratch size mismatch");
+        self.forward_stages_into(x, &mut s.states);
+        let ButterflyScratch { states, grad, grad_tmp, gw_partial, .. } = s;
+        self.backward_stages_raw(grad_out, states, grad, grad_tmp, gw_partial);
+    }
+
+    /// The seed's generic reverse stage loop over raw scratch slices.
+    fn backward_stages_reference_raw(
+        &self,
+        grad_out: &[f32],
+        states: &[f32],
+        grad: &mut Vec<f32>,
+        grad_tmp: &mut Vec<f32>,
+        grad_w: &mut [f32],
+    ) {
+        let n = self.n;
+        assert_eq!(grad_w.len(), self.num_stages() * 2 * n, "weight gradient length mismatch");
+        grad.copy_from_slice(grad_out);
         let half_n = n / 2;
         for (s, stage) in self.stages.iter().enumerate().rev() {
-            let input = &scratch.states[s * n..(s + 1) * n];
+            let input = &states[s * n..(s + 1) * n];
             let gw = &mut grad_w[s * 2 * n..(s + 1) * 2 * n];
             let half = stage.half;
-            let grad = &scratch.grad;
-            let grad_in = &mut scratch.grad_tmp;
+            let grad_in = &mut *grad_tmp;
             let mut p = 0;
             for block_start in (0..n).step_by(2 * half) {
                 for off in 0..half {
@@ -423,20 +835,48 @@ impl ButterflyMatrix {
                     let (g1, g2) = (grad[i1], grad[i2]);
                     let (a, b) = (input[i1], input[i2]);
                     let pi = p + off;
-                    // Weight gradients, laid out [w1 | w2 | w3 | w4].
                     gw[pi] += g1 * a;
                     gw[half_n + pi] += g1 * b;
                     gw[2 * half_n + pi] += g2 * a;
                     gw[3 * half_n + pi] += g2 * b;
-                    // Input gradients (the transposed 2x2 block).
                     let (w1, w2, w3, w4) = (stage.w1[pi], stage.w2[pi], stage.w3[pi], stage.w4[pi]);
                     grad_in[i1] = w1 * g1 + w3 * g2;
                     grad_in[i2] = w2 * g1 + w4 * g2;
                 }
                 p += half;
             }
-            std::mem::swap(&mut scratch.grad, &mut scratch.grad_tmp);
+            std::mem::swap(grad, grad_tmp);
         }
+    }
+
+    /// The seed's generic backward loop, kept verbatim as the ground-truth
+    /// oracle for the specialized stage kernels (the PR-1 tape used exactly
+    /// this inner loop). Semantics match
+    /// [`ButterflyMatrix::backward_with_scratch`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x`, `grad_out`, `scratch` or `grad_w` have the wrong size.
+    pub fn backward_with_scratch_reference(
+        &self,
+        x: &[f32],
+        grad_out: &[f32],
+        scratch: &mut ButterflyScratch,
+        grad_w: &mut [f32],
+    ) {
+        let n = self.n;
+        assert_eq!(x.len(), n, "butterfly input length mismatch");
+        assert_eq!(grad_out.len(), n, "butterfly gradient length mismatch");
+        assert_eq!(scratch.n, n, "scratch size mismatch");
+        // Recompute the activations through the seed's generic stage loop,
+        // exactly as the pre-PR backward did, then run its reverse sweep.
+        scratch.states[..n].copy_from_slice(x);
+        for (s, stage) in self.stages.iter().enumerate() {
+            let (src, rest) = scratch.states[s * n..].split_at_mut(n);
+            stage.apply_into_reference(src, &mut rest[..n]);
+        }
+        let ButterflyScratch { states, grad, grad_tmp, .. } = scratch;
+        self.backward_stages_reference_raw(grad_out, states, grad, grad_tmp, grad_w);
     }
 
     /// Batched backward pass over every row of `x` (shape `[rows, n]`) given
@@ -453,42 +893,239 @@ impl ButterflyMatrix {
     ///
     /// Panics when shapes do not match the butterfly size.
     pub fn backward_rows(&self, x: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor) {
+        let mut grad_x = Tensor::zeros(&[x.rows(), self.n]);
+        let mut grad_w = Tensor::zeros(&[self.num_stages(), 2 * self.n]);
+        self.backward_rows_into(x, grad_out, grad_x.as_mut_slice(), grad_w.as_mut_slice());
+        (grad_x, grad_w)
+    }
+
+    /// [`ButterflyMatrix::backward_rows`] accumulating into caller-provided
+    /// buffers: `grad_x` (length `rows · n`) and `grad_w` (length
+    /// `log2 n · 2 n`) both receive `+=` contributions, so the kernel can
+    /// write straight into the autodiff tape's reusable gradient buffers.
+    /// The serial path reuses a thread-local [`ButterflyScratch`], making
+    /// steady-state training backward passes allocation-free.
+    ///
+    /// Chunking is fixed by [`CHUNK_ELEMS`] (never by the worker count) and
+    /// chunk partials are reduced in ascending order, so results are
+    /// independent of `RAYON_NUM_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes do not match the butterfly size.
+    pub fn backward_rows_into(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        grad_x: &mut [f32],
+        grad_w: &mut [f32],
+    ) {
+        self.backward_rows_into_impl(x, grad_out, grad_x, grad_w, false);
+    }
+
+    /// [`ButterflyMatrix::backward_rows_into`] on the seed's generic
+    /// per-stage backward loop
+    /// ([`ButterflyMatrix::backward_with_scratch_reference`]) with identical
+    /// chunking — the oracle the specialized path is validated against, and
+    /// the baseline kernel of the training benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes do not match the butterfly size.
+    pub fn backward_rows_reference_into(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        grad_x: &mut [f32],
+        grad_w: &mut [f32],
+    ) {
+        self.backward_rows_into_impl(x, grad_out, grad_x, grad_w, true);
+    }
+
+    /// [`ButterflyMatrix::backward_rows`] on the seed reference kernel.
+    pub fn backward_rows_reference(&self, x: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor) {
+        let mut grad_x = Tensor::zeros(&[x.rows(), self.n]);
+        let mut grad_w = Tensor::zeros(&[self.num_stages(), 2 * self.n]);
+        self.backward_rows_reference_into(
+            x,
+            grad_out,
+            grad_x.as_mut_slice(),
+            grad_w.as_mut_slice(),
+        );
+        (grad_x, grad_w)
+    }
+
+    fn backward_rows_into_impl(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        grad_x: &mut [f32],
+        grad_w: &mut [f32],
+        reference: bool,
+    ) {
         let n = self.n;
         assert_eq!(x.cols(), n, "butterfly row width mismatch");
         assert_eq!(grad_out.shape(), x.shape(), "gradient shape mismatch");
         let rows = x.rows();
+        assert_eq!(grad_x.len(), rows * n, "input gradient length mismatch");
         let gw_len = self.num_stages() * 2 * n;
-        let mut grad_x = vec![0.0f32; rows * n];
-        let process_chunk = |r0: usize, chunk: &mut [f32]| -> Vec<f32> {
-            let mut scratch = ButterflyScratch::new(n);
-            let mut gw = vec![0.0f32; gw_len];
-            for (i, grow) in chunk.chunks_mut(n).enumerate() {
-                let r = r0 + i;
-                let xrow = &x.as_slice()[r * n..(r + 1) * n];
-                let gorow = &grad_out.as_slice()[r * n..(r + 1) * n];
-                self.backward_with_scratch(xrow, gorow, &mut scratch, &mut gw);
-                grow.copy_from_slice(&scratch.grad);
-            }
-            gw
-        };
-        let partials: Vec<Vec<f32>> = if rows * n < PAR_MIN_ELEMS {
-            vec![process_chunk(0, &mut grad_x)]
-        } else {
-            let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
-            grad_x
-                .par_chunks_mut(rows_per_chunk * n)
-                .enumerate()
-                .map(|(c, chunk)| process_chunk(c * rows_per_chunk, chunk))
-                .collect()
-        };
-        let mut grad_w = Tensor::zeros(&[self.num_stages(), 2 * n]);
-        let gw = grad_w.as_mut_slice();
+        assert_eq!(grad_w.len(), gw_len, "weight gradient length mismatch");
+        let row_backward =
+            |xrow: &[f32], gorow: &[f32], s: &mut ButterflyScratch, gw: &mut [f32]| {
+                if reference {
+                    self.backward_with_scratch_reference(xrow, gorow, s, gw);
+                } else {
+                    self.backward_with_scratch(xrow, gorow, s, gw);
+                }
+            };
+        if rows * n < PAR_MIN_ELEMS {
+            // Serial path: accumulate straight into the caller's buffers,
+            // reusing the thread-local scratch (zero allocation).
+            with_tls_scratch(n, |scratch| {
+                for (r, grow) in grad_x.chunks_mut(n).enumerate() {
+                    let xrow = &x.as_slice()[r * n..(r + 1) * n];
+                    let gorow = &grad_out.as_slice()[r * n..(r + 1) * n];
+                    row_backward(xrow, gorow, scratch, grad_w);
+                    for (d, &s) in grow.iter_mut().zip(scratch.grad.iter()) {
+                        *d += s;
+                    }
+                }
+            });
+            return;
+        }
+        let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+        if rayon::current_num_threads() <= 1 && !reference {
+            // One worker: walk the same fixed-size chunks serially, staging
+            // each chunk's weight gradient in the reused scratch accumulator
+            // — bit-identical to the parallel reduction below, with zero
+            // per-call allocation. (The reference path keeps the seed's
+            // per-call chunk allocations, being the pre-PR cost model.)
+            with_tls_scratch(n, |scratch| {
+                for (c, gchunk) in grad_x.chunks_mut(rows_per_chunk * n).enumerate() {
+                    scratch.gw_partial.fill(0.0);
+                    let r0 = c * rows_per_chunk;
+                    for (i, grow) in gchunk.chunks_mut(n).enumerate() {
+                        let r = r0 + i;
+                        let xrow = &x.as_slice()[r * n..(r + 1) * n];
+                        let gorow = &grad_out.as_slice()[r * n..(r + 1) * n];
+                        self.backward_with_scratch_split(xrow, gorow, scratch);
+                        for (d, &s) in grow.iter_mut().zip(scratch.grad.iter()) {
+                            *d += s;
+                        }
+                    }
+                    for (d, &v) in grad_w.iter_mut().zip(scratch.gw_partial.iter()) {
+                        *d += v;
+                    }
+                }
+            });
+            return;
+        }
+        let partials: Vec<Vec<f32>> = grad_x
+            .par_chunks_mut(rows_per_chunk * n)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let r0 = c * rows_per_chunk;
+                let mut scratch = ButterflyScratch::new(n);
+                let mut gw = vec![0.0f32; gw_len];
+                for (i, grow) in chunk.chunks_mut(n).enumerate() {
+                    let r = r0 + i;
+                    let xrow = &x.as_slice()[r * n..(r + 1) * n];
+                    let gorow = &grad_out.as_slice()[r * n..(r + 1) * n];
+                    row_backward(xrow, gorow, &mut scratch, &mut gw);
+                    for (d, &s) in grow.iter_mut().zip(scratch.grad.iter()) {
+                        *d += s;
+                    }
+                }
+                gw
+            })
+            .collect();
         for partial in &partials {
-            for (d, &v) in gw.iter_mut().zip(partial.iter()) {
+            for (d, &v) in grad_w.iter_mut().zip(partial.iter()) {
                 *d += v;
             }
         }
-        (Tensor::from_vec(grad_x, &[rows, n]).expect("backward_rows grad shape"), grad_w)
+    }
+
+    /// Fused pad + backward over rows: `x` is `[rows, d_in]` (implicitly
+    /// zero-padded to the transform size), `grad_out` is `[rows, d_out]`
+    /// (the truncated output columns receive zero gradient). Accumulates the
+    /// `[rows, d_in]` input gradient into `grad_x` and the weight gradient
+    /// into `grad_w` — without ever materialising the padded tensors the
+    /// unfused `concat → butterfly → slice` graph would allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths exceed the transform size or row counts differ.
+    pub fn backward_rows_padded_into(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        grad_x: &mut [f32],
+        grad_w: &mut [f32],
+    ) {
+        let n = self.n;
+        let (d_in, d_out) = (x.cols(), grad_out.cols());
+        assert!(d_in <= n, "butterfly pad width {d_in} exceeds transform size {n}");
+        assert!(d_out <= n, "butterfly gradient width {d_out} exceeds transform size {n}");
+        let rows = x.rows();
+        assert_eq!(grad_out.rows(), rows, "gradient row count mismatch");
+        assert_eq!(grad_x.len(), rows * d_in, "input gradient length mismatch");
+        let gw_len = self.num_stages() * 2 * n;
+        assert_eq!(grad_w.len(), gw_len, "weight gradient length mismatch");
+        let run_rows = |r0: usize, gx: &mut [f32], s: &mut ButterflyScratch, gw: &mut [f32]| {
+            for (i, grow) in gx.chunks_mut(d_in).enumerate() {
+                let r = r0 + i;
+                let xrow = &x.as_slice()[r * d_in..(r + 1) * d_in];
+                let gorow = &grad_out.as_slice()[r * d_out..(r + 1) * d_out];
+                self.backward_padded_with_scratch(xrow, gorow, s, gw);
+                for (d, &v) in grow.iter_mut().zip(s.grad[..d_in].iter()) {
+                    *d += v;
+                }
+            }
+        };
+        if rows * n < PAR_MIN_ELEMS {
+            with_tls_scratch(n, |scratch| run_rows(0, grad_x, scratch, grad_w));
+            return;
+        }
+        let rows_per_chunk = (CHUNK_ELEMS / n).max(1);
+        if rayon::current_num_threads() <= 1 {
+            // One worker: same fixed-size chunks, reused scratch accumulator
+            // (see `backward_rows_into_impl`).
+            with_tls_scratch(n, |scratch| {
+                for (c, gchunk) in grad_x.chunks_mut(rows_per_chunk * d_in).enumerate() {
+                    scratch.gw_partial.fill(0.0);
+                    let r0 = c * rows_per_chunk;
+                    for (i, grow) in gchunk.chunks_mut(d_in).enumerate() {
+                        let r = r0 + i;
+                        let xrow = &x.as_slice()[r * d_in..(r + 1) * d_in];
+                        let gorow = &grad_out.as_slice()[r * d_out..(r + 1) * d_out];
+                        self.backward_padded_with_scratch_split(xrow, gorow, scratch);
+                        for (d, &v) in grow.iter_mut().zip(scratch.grad[..d_in].iter()) {
+                            *d += v;
+                        }
+                    }
+                    for (d, &v) in grad_w.iter_mut().zip(scratch.gw_partial.iter()) {
+                        *d += v;
+                    }
+                }
+            });
+            return;
+        }
+        let partials: Vec<Vec<f32>> = grad_x
+            .par_chunks_mut(rows_per_chunk * d_in)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let mut scratch = ButterflyScratch::new(n);
+                let mut gw = vec![0.0f32; gw_len];
+                run_rows(c * rows_per_chunk, chunk, &mut scratch, &mut gw);
+                gw
+            })
+            .collect();
+        for partial in &partials {
+            for (d, &v) in grad_w.iter_mut().zip(partial.iter()) {
+                *d += v;
+            }
+        }
     }
 
     /// Expands the butterfly factorisation into a dense `n × n` matrix `B`
@@ -558,6 +1195,82 @@ impl ButterflyMatrix {
             }
         }
         Ok(m)
+    }
+}
+
+thread_local! {
+    /// Per-thread freelist of [`ButterflyScratch`] buffers, keyed by size.
+    static SCRATCH_POOL: std::cell::RefCell<Vec<ButterflyScratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Per-thread freelist of [`ButterflyMatrix`] objects for
+    /// [`PooledButterfly`].
+    static MATRIX_POOL: std::cell::RefCell<Vec<ButterflyMatrix>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-locally pooled [`ButterflyScratch`] of size `n`:
+/// after the first call on a given thread, no allocation is performed.
+pub fn with_tls_scratch<R>(n: usize, f: impl FnOnce(&mut ButterflyScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        match pool.iter().position(|s| s.n == n) {
+            Some(i) => pool.swap_remove(i),
+            None => ButterflyScratch::new(n),
+        }
+    });
+    let r = f(&mut scratch);
+    SCRATCH_POOL.with(|p| p.borrow_mut().push(scratch));
+    r
+}
+
+/// A [`ButterflyMatrix`] checked out of a thread-local pool and loaded from a
+/// weight tensor; returned to the pool on drop. The training tape uses this
+/// so re-recording a butterfly op every step reuses the factor storage
+/// instead of reallocating `4 · log2 n` weight vectors.
+#[derive(Debug)]
+pub struct PooledButterfly {
+    inner: Option<ButterflyMatrix>,
+}
+
+impl PooledButterfly {
+    /// Checks a matrix out of the pool (or builds one) and loads `w` into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`ButterflyMatrix::from_weight_tensor`].
+    pub fn from_weight_tensor(w: &Tensor) -> Result<Self, ButterflyError> {
+        let shape = w.shape();
+        let n = if shape.len() == 2 { shape[1] / 2 } else { 0 };
+        let mut m = MATRIX_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            match pool.iter().position(|m| m.n == n) {
+                Some(i) => pool.swap_remove(i),
+                None => ButterflyMatrix::identity(2),
+            }
+        });
+        match m.load_weight_tensor(w) {
+            Ok(()) => Ok(Self { inner: Some(m) }),
+            Err(e) => {
+                MATRIX_POOL.with(|p| p.borrow_mut().push(m));
+                Err(e)
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for PooledButterfly {
+    type Target = ButterflyMatrix;
+
+    fn deref(&self) -> &ButterflyMatrix {
+        self.inner.as_ref().expect("pooled matrix present until drop")
+    }
+}
+
+impl Drop for PooledButterfly {
+    fn drop(&mut self) {
+        if let Some(m) = self.inner.take() {
+            MATRIX_POOL.with(|p| p.borrow_mut().push(m));
+        }
     }
 }
 

@@ -16,24 +16,38 @@ use fab_tensor::Tensor;
 ///
 /// Panics when `x` is not 2-D.
 pub fn fourier_mix(x: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    fourier_mix_into(x, &mut out);
+    out
+}
+
+/// [`fourier_mix`] writing into `out` (resized in place). The FFT itself
+/// still stages its work in plan-cached internal buffers; this variant only
+/// avoids allocating the output tensor, which is what the autodiff tape
+/// reuses across training steps.
+///
+/// # Panics
+///
+/// Panics when `x` is not 2-D.
+pub fn fourier_mix_into(x: &Tensor, out: &mut Tensor) {
     assert_eq!(x.shape().len(), 2, "fourier_mix requires a 2-D tensor");
     let (seq, hid) = (x.rows(), x.cols());
     let (pseq, phid) = (next_pow2(seq), next_pow2(hid));
+    out.resize_to(&[seq, hid]);
     if (pseq, phid) == (seq, hid) {
         // Already power-of-two sized: transform without the padding copies.
         let mixed = fft2_real(x.as_slice(), seq, hid);
-        return Tensor::from_vec(mixed, &[seq, hid]).expect("fourier_mix shape");
+        out.as_mut_slice().copy_from_slice(&mixed);
+        return;
     }
     let mut padded = vec![0.0f32; pseq * phid];
     for (prow, row) in padded.chunks_mut(phid).zip(x.as_slice().chunks(hid)) {
         prow[..hid].copy_from_slice(row);
     }
     let mixed = fft2_real(&padded, pseq, phid);
-    let mut out = Tensor::zeros(&[seq, hid]);
     for (orow, mrow) in out.as_mut_slice().chunks_mut(hid).zip(mixed.chunks(phid)) {
         orow.copy_from_slice(&mrow[..hid]);
     }
-    out
 }
 
 /// Gradient of [`fourier_mix`] with respect to its input.

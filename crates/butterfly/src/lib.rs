@@ -40,11 +40,13 @@ mod fourier;
 mod ops;
 pub mod sparsity;
 
-pub use butterfly::{ButterflyMatrix, ButterflyStage};
+pub use butterfly::{
+    with_tls_scratch, ButterflyMatrix, ButterflyScratch, ButterflyStage, PooledButterfly,
+};
 pub use complex::Complex;
 pub use error::ButterflyError;
-pub use fourier::{fourier_mix, fourier_mix_backward};
-pub use ops::{butterfly_linear_op, fourier_mix_op};
+pub use fourier::{fourier_mix, fourier_mix_backward, fourier_mix_into};
+pub use ops::{butterfly_linear_op, butterfly_linear_padded_op, fourier_mix_op};
 
 /// Returns the smallest power of two greater than or equal to `n` (minimum 2).
 ///

@@ -1,9 +1,27 @@
 //! Autodiff integration: butterfly linear transform and Fourier mixing as
 //! differentiable tape operators.
+//!
+//! The operators are built for the arena tape's steady-state training loop:
+//! forward values are computed straight into the tape's reused output
+//! buffers, the factorised [`ButterflyMatrix`] is checked out of a
+//! thread-local pool (and reloaded in place) instead of being rebuilt from
+//! the weight tensor on every step, and the backward closures accumulate
+//! into the tape's gradient buffers through the batched scratch-reusing
+//! kernels. Under [`Tape::backward_reference`](fab_tensor::Tape) the same
+//! closures route to the seed reference kernels, so the reference pass stays
+//! a faithful oracle.
 
-use crate::fourier::{fourier_mix, fourier_mix_backward};
-use crate::ButterflyMatrix;
-use fab_tensor::{Tape, VarId};
+use crate::fourier::fourier_mix_into;
+use crate::PooledButterfly;
+use fab_tensor::{Tape, Tensor, VarId};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reused staging tensor for the fourier-mix backward (the transform is
+    /// self-adjoint but must be accumulated, not assigned, into the parent
+    /// gradient).
+    static MIX_SCRATCH: RefCell<Tensor> = RefCell::new(Tensor::default());
+}
 
 /// Records a butterfly linear transform `y = B(x)` on the tape, where the
 /// butterfly weights are a trainable `[log2 n, 2 n]` tensor variable and each
@@ -11,49 +29,131 @@ use fab_tensor::{Tape, VarId};
 ///
 /// Gradients are computed directly on the factorised form — the dense `n × n`
 /// matrix is never materialised, matching the `O(n log n)` compute of the
-/// paper's butterfly layers.
+/// paper's butterfly layers. The backward pass runs the specialized
+/// small-half stage kernels ([`ButterflyMatrix::backward_rows_into`]);
+/// under the reference backward it runs the seed's generic loop instead.
 ///
 /// # Panics
 ///
 /// Panics when the weight variable does not have a valid butterfly layout or
 /// `x` does not have `n` columns.
+///
+/// [`ButterflyMatrix::backward_rows_into`]: crate::ButterflyMatrix::backward_rows_into
 pub fn butterfly_linear_op(tape: &Tape, x: VarId, weights: VarId) -> VarId {
-    let wv = tape.value(weights);
-    let bfly = ButterflyMatrix::from_weight_tensor(&wv).expect("invalid butterfly weight tensor");
-    let xv = tape.value(x);
-    let value = bfly.forward_rows(&xv);
-    tape.push_custom_named(
-        "butterfly_linear",
-        value,
-        &[x, weights],
-        Box::new(move |g, parents, _| {
-            let bfly = ButterflyMatrix::from_weight_tensor(&parents[1])
-                .expect("invalid butterfly weight tensor in backward");
-            // Batched, row-parallel backward: never falls back to the
-            // per-vector path or materialises per-row gradient tensors.
-            let (grad_x, grad_w) = bfly.backward_rows(&parents[0], g);
-            vec![grad_x, grad_w]
+    let bfly = tape
+        .with_value(weights, PooledButterfly::from_weight_tensor)
+        .expect("invalid butterfly weight tensor");
+    let y = tape.push_custom_deferred("butterfly_linear", &[x, weights], |pv, out| {
+        bfly.forward_rows_into(pv.get(0), out);
+    });
+    tape.set_backward(
+        y,
+        Box::new(move |ctx| {
+            let reference = ctx.reference();
+            let (g, pv, gw) = ctx.split();
+            let xv = pv.get(0);
+            let (dx, dw) = gw.into_parent_grad_pair(0, 1);
+            if reference {
+                bfly.backward_rows_reference_into(xv, g, dx, dw);
+            } else {
+                bfly.backward_rows_into(xv, g, dx, dw);
+            }
         }),
-    )
+    );
+    y
+}
+
+/// Records a **fused pad + butterfly + truncate** linear transform: rows of
+/// `x` (shape `[rows, d_in]`, `d_in <= n`) are implicitly zero-padded to the
+/// transform size, transformed, and truncated to the first `d_out` output
+/// columns — one tape node instead of the `zeros`-leaf + `concat_cols` +
+/// butterfly + `slice_cols` chain, with no padded tensor ever materialised
+/// in either direction. Values and gradients are bit-identical to the
+/// unfused chain.
+///
+/// # Panics
+///
+/// Panics when the weight variable does not have a valid butterfly layout or
+/// `d_in`/`d_out` exceed the transform size.
+pub fn butterfly_linear_padded_op(tape: &Tape, x: VarId, weights: VarId, d_out: usize) -> VarId {
+    let bfly = tape
+        .with_value(weights, PooledButterfly::from_weight_tensor)
+        .expect("invalid butterfly weight tensor");
+    let y = tape.push_custom_deferred("butterfly_linear_padded", &[x, weights], |pv, out| {
+        bfly.forward_rows_padded_trunc_into(pv.get(0), d_out, out);
+    });
+    tape.set_backward(
+        y,
+        Box::new(move |ctx| {
+            let reference = ctx.reference();
+            let (g, pv, gw) = ctx.split();
+            let xv = pv.get(0);
+            let (dx, dw) = gw.into_parent_grad_pair(0, 1);
+            if reference {
+                // Seed-fidelity path: materialise the pads and run the
+                // reference batched backward, then accumulate the unpadded
+                // gradient slice.
+                let n = bfly.size();
+                let (rows, d_in) = (xv.rows(), xv.cols());
+                let mut xpad = Tensor::zeros(&[rows, n]);
+                for (prow, row) in xpad.as_mut_slice().chunks_mut(n).zip(xv.as_slice().chunks(d_in))
+                {
+                    prow[..d_in].copy_from_slice(row);
+                }
+                let mut gpad = Tensor::zeros(&[rows, n]);
+                for (prow, row) in gpad.as_mut_slice().chunks_mut(n).zip(g.as_slice().chunks(d_out))
+                {
+                    prow[..d_out].copy_from_slice(row);
+                }
+                let (gx, gwt) = bfly.backward_rows_reference(&xpad, &gpad);
+                for (drow, grow) in dx.chunks_mut(d_in).zip(gx.as_slice().chunks(n)) {
+                    for (d, &v) in drow.iter_mut().zip(grow[..d_in].iter()) {
+                        *d += v;
+                    }
+                }
+                for (d, &v) in dw.iter_mut().zip(gwt.as_slice().iter()) {
+                    *d += v;
+                }
+            } else {
+                bfly.backward_rows_padded_into(xv, g, dx, dw);
+            }
+        }),
+    );
+    y
 }
 
 /// Records the FNet 2-D Fourier token-mixing transform on the tape.
 ///
 /// The operation has no trainable parameters; its backward pass applies the
-/// same transform to the upstream gradient (the map is self-adjoint).
+/// same transform to the upstream gradient (the map is self-adjoint),
+/// staging the result in a thread-local tensor before accumulating it into
+/// the parent gradient buffer.
 pub fn fourier_mix_op(tape: &Tape, x: VarId) -> VarId {
-    let value = fourier_mix(&tape.value(x));
-    tape.push_custom_named(
-        "fourier_mix",
-        value,
-        &[x],
-        Box::new(|g, _, _| vec![fourier_mix_backward(g)]),
-    )
+    let y = tape.push_custom_deferred("fourier_mix", &[x], |pv, out| {
+        fourier_mix_into(pv.get(0), out);
+    });
+    tape.set_backward(
+        y,
+        Box::new(|ctx| {
+            let (g, _pv, gw) = ctx.split();
+            let mut gw = gw;
+            MIX_SCRATCH.with(|s| {
+                let mut tmp = s.borrow_mut();
+                fourier_mix_into(g, &mut tmp);
+                let dst = gw.parent_grad(0);
+                for (d, &v) in dst.iter_mut().zip(tmp.as_slice().iter()) {
+                    *d += v;
+                }
+            });
+        }),
+    );
+    y
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ButterflyMatrix;
     use fab_tensor::{check_gradient, Tensor};
     use rand::{rngs::StdRng, SeedableRng};
 
@@ -128,5 +228,80 @@ mod tests {
             2e-2,
         );
         assert!(ok);
+    }
+
+    /// The fused pad+butterfly+truncate op must match the explicit
+    /// `concat(zeros) → butterfly → slice` chain in value and in every
+    /// gradient, on both the fused and the reference backward.
+    #[test]
+    fn padded_op_matches_unfused_chain() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 16;
+        let bfly = ButterflyMatrix::random(n, &mut rng).unwrap();
+        let w = bfly.to_weight_tensor();
+        for (d_in, d_out, rows) in [(12, 6, 3), (16, 16, 2), (5, 16, 4), (16, 3, 1)] {
+            let x = Tensor::from_vec(
+                (0..rows * d_in).map(|i| ((i * 13 % 17) as f32) * 0.11 - 0.8).collect(),
+                &[rows, d_in],
+            )
+            .unwrap();
+
+            // Fused op.
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let wv = tape.leaf(w.clone());
+            let y = butterfly_linear_padded_op(&tape, xv, wv, d_out);
+            let loss = tape.sum(y);
+            tape.backward(loss);
+            let (fval, fdx, fdw) = (tape.value(y), tape.grad(xv), tape.grad(wv));
+            tape.backward_reference(loss);
+            let (rdx, rdw) = (tape.grad(xv), tape.grad(wv));
+
+            // Unfused chain.
+            let tape2 = Tape::new();
+            let xv2 = tape2.leaf(x.clone());
+            let wv2 = tape2.leaf(w.clone());
+            let padded = if d_in < n {
+                let zeros = tape2.leaf(Tensor::zeros(&[rows, n - d_in]));
+                tape2.concat_cols(&[xv2, zeros])
+            } else {
+                xv2
+            };
+            let full = butterfly_linear_op(&tape2, padded, wv2);
+            let trimmed = if d_out < n { tape2.slice_cols(full, 0, d_out) } else { full };
+            let loss2 = tape2.sum(trimmed);
+            tape2.backward(loss2);
+
+            assert_eq!(fval, tape2.value(trimmed), "value mismatch at {d_in}/{d_out}");
+            assert_eq!(fdx, tape2.grad(xv2), "dx mismatch at {d_in}/{d_out}");
+            assert_eq!(fdw, tape2.grad(wv2), "dw mismatch at {d_in}/{d_out}");
+            assert_eq!(fdx, rdx, "fused vs reference dx mismatch at {d_in}/{d_out}");
+            assert_eq!(fdw, rdw, "fused vs reference dw mismatch at {d_in}/{d_out}");
+        }
+    }
+
+    /// Fused and reference backward must agree bit-for-bit on the plain op.
+    #[test]
+    fn fused_backward_matches_reference_backward() {
+        let mut rng = StdRng::seed_from_u64(37);
+        for n in [4usize, 8, 32] {
+            let bfly = ButterflyMatrix::random(n, &mut rng).unwrap();
+            let w = bfly.to_weight_tensor();
+            let x = Tensor::from_vec(
+                (0..3 * n).map(|i| ((i * 7 % 23) as f32) * 0.09 - 1.0).collect(),
+                &[3, n],
+            )
+            .unwrap();
+            let tape = Tape::new();
+            let xv = tape.leaf(x);
+            let wv = tape.leaf(w);
+            let y = butterfly_linear_op(&tape, xv, wv);
+            let loss = tape.sum(y);
+            tape.backward(loss);
+            let (fdx, fdw) = (tape.grad(xv), tape.grad(wv));
+            tape.backward_reference(loss);
+            assert_eq!(fdx, tape.grad(xv), "dx mismatch at n={n}");
+            assert_eq!(fdw, tape.grad(wv), "dw mismatch at n={n}");
+        }
     }
 }

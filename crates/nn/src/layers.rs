@@ -12,7 +12,9 @@
 use crate::frozen::{FrozenAttention, FrozenFeedForward, FrozenLayerNorm, FrozenLinear};
 use crate::param::{Bindings, Param};
 use fab_butterfly::flops as bflops;
-use fab_butterfly::{butterfly_linear_op, fourier_mix_op, next_pow2, ButterflyMatrix};
+use fab_butterfly::{
+    butterfly_linear_op, butterfly_linear_padded_op, fourier_mix_op, next_pow2, ButterflyMatrix,
+};
 use fab_tensor::{kaiming_uniform, normal, Tape, Tensor, VarId};
 use rand::rngs::StdRng;
 
@@ -123,18 +125,17 @@ impl ButterflyLinear {
 
 impl Linear for ButterflyLinear {
     fn forward(&self, tape: &Tape, x: VarId, bindings: &mut Bindings) -> VarId {
-        let rows = tape.shape(x)[0];
-        let padded = if self.d_in < self.n {
-            let zeros = tape.leaf(Tensor::zeros(&[rows, self.n - self.d_in]));
-            tape.concat_cols(&[x, zeros])
-        } else {
-            x
-        };
         let w = self.w.bind(tape, bindings);
-        let y = butterfly_linear_op(tape, padded, w);
-        let trimmed = if self.d_out < self.n { tape.slice_cols(y, 0, self.d_out) } else { y };
+        // Narrow/wide layers ride the fused pad + butterfly + truncate op:
+        // one tape node instead of a zeros leaf, a concat, the transform and
+        // a slice — with bit-identical values and gradients.
+        let y = if self.d_in < self.n || self.d_out < self.n {
+            butterfly_linear_padded_op(tape, x, w, self.d_out)
+        } else {
+            butterfly_linear_op(tape, x, w)
+        };
         let b = self.b.bind(tape, bindings);
-        tape.add_row_broadcast(trimmed, b)
+        tape.add_row_broadcast(y, b)
     }
 
     fn d_in(&self) -> usize {
@@ -397,8 +398,7 @@ impl Embedding {
         let table = self.tokens.bind(tape, bindings);
         let pos_table = self.positions.bind(tape, bindings);
         let tok = tape.embedding(table, tokens);
-        let positions: Vec<usize> = (0..tokens.len()).collect();
-        let pos = tape.embedding(pos_table, &positions);
+        let pos = tape.embedding_iota(pos_table, tokens.len());
         tape.add(tok, pos)
     }
 

@@ -48,6 +48,6 @@ pub use layers::{
     Linear, MultiHeadAttention,
 };
 pub use models::Model;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, FusedAdamW, FusedSgd, Optimizer, Sgd};
 pub use param::{Bindings, Param};
-pub use train::{evaluate, train_classifier, Example, TrainOptions, TrainReport};
+pub use train::{evaluate, train_classifier, Example, TrainOptions, TrainReport, TrainStep};

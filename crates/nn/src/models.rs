@@ -130,9 +130,22 @@ impl Model {
     pub fn loss(&self, tokens: &[usize], label: usize) -> (Tape, VarId, Bindings) {
         let tape = Tape::new();
         let mut bindings = Bindings::new();
-        let logits = self.forward(&tape, tokens, &mut bindings);
-        let loss = tape.cross_entropy(logits, &[label]);
+        let loss = self.loss_on(&tape, &mut bindings, tokens, label);
         (tape, loss, bindings)
+    }
+
+    /// Records a training step's loss on a caller-provided (typically
+    /// [`Tape::reset`]-reused) tape — the allocation-free entry point used by
+    /// [`crate::TrainStep`].
+    pub fn loss_on(
+        &self,
+        tape: &Tape,
+        bindings: &mut Bindings,
+        tokens: &[usize],
+        label: usize,
+    ) -> VarId {
+        let logits = self.forward(tape, tokens, bindings);
+        tape.cross_entropy(logits, &[label])
     }
 
     /// Total number of trainable scalar parameters (embedding + blocks + head).

@@ -53,8 +53,12 @@ impl Param {
 
     /// Pushes the current value onto `tape` as a leaf, records the binding,
     /// and returns the leaf's variable id.
+    ///
+    /// The value is copied into the tape's reused leaf buffer
+    /// ([`Tape::leaf_copy`]), so re-binding the same parameters every
+    /// training step performs no allocation.
     pub fn bind(&self, tape: &Tape, bindings: &mut Bindings) -> VarId {
-        let id = tape.leaf(self.value());
+        let id = tape.leaf_copy(&self.inner.borrow());
         bindings.push(id, self.clone());
         id
     }
@@ -75,6 +79,12 @@ impl Bindings {
     /// Records that `param` was bound to tape variable `id`.
     pub fn push(&mut self, id: VarId, param: Param) {
         self.entries.push((id, param));
+    }
+
+    /// Empties the binding list while retaining its capacity, so a reused
+    /// [`crate::TrainStep`] re-binds without allocating.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Number of bound parameters.

@@ -1,7 +1,10 @@
-//! A small training loop for sequence-classification models.
+//! A small training loop for sequence-classification models, built around
+//! the allocation-free [`TrainStep`] scratch object.
 
 use crate::models::{Model, PAR_MIN_EXAMPLES};
-use crate::optim::{Adam, Optimizer};
+use crate::optim::{FusedAdamW, Optimizer};
+use crate::param::Bindings;
+use fab_tensor::Tape;
 use rayon::prelude::*;
 
 /// A single labelled training example.
@@ -77,25 +80,86 @@ pub fn evaluate(model: &Model, examples: &[Example]) -> f32 {
     correct as f32 / examples.len() as f32
 }
 
-/// Trains `model` on `train` with Adam and reports accuracy on `test`.
+/// Reusable training-step scratch: one arena [`Tape`], one [`Bindings`] list
+/// and the optimiser state, all retained across iterations.
+///
+/// Each [`TrainStep::step`] resets the tape (keeping every buffer's
+/// capacity), re-records the forward pass, runs the arena backward and
+/// applies the fused optimiser update — so steady-state steps on a fixed
+/// sequence length perform no heap allocation in the tensor/gradient/
+/// optimiser path (asserted by the counting-allocator test in
+/// `tests/train_alloc.rs`).
+///
+/// # Example
+///
+/// ```rust
+/// use fab_nn::{FusedAdamW, Model, ModelConfig, ModelKind, TrainStep};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = Model::new(&ModelConfig::tiny_for_tests(), ModelKind::FabNet, &mut rng);
+/// let mut step = TrainStep::new(FusedAdamW::new(1e-3));
+/// let loss = step.step(&model, &[1, 2, 3, 4], 1);
+/// assert!(loss.is_finite());
+/// ```
+pub struct TrainStep<O: Optimizer = FusedAdamW> {
+    tape: Tape,
+    bindings: Bindings,
+    optimizer: O,
+}
+
+impl<O: Optimizer> TrainStep<O> {
+    /// Creates a training-step scratch around `optimizer`.
+    pub fn new(optimizer: O) -> Self {
+        Self { tape: Tape::new(), bindings: Bindings::new(), optimizer }
+    }
+
+    /// Runs one training step — forward, backward, optimiser update — for a
+    /// single `(tokens, label)` example and returns the loss.
+    pub fn step(&mut self, model: &Model, tokens: &[usize], label: usize) -> f32 {
+        self.tape.reset();
+        self.bindings.clear();
+        let loss = model.loss_on(&self.tape, &mut self.bindings, tokens, label);
+        self.tape.backward(loss);
+        self.optimizer.step(&self.tape, &self.bindings);
+        self.tape.value_scalar(loss)
+    }
+
+    /// The reused tape (capacity introspection for the allocation tests).
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// The optimiser driving the updates.
+    pub fn optimizer(&self) -> &O {
+        &self.optimizer
+    }
+
+    /// Mutable access to the optimiser (e.g. to adjust the schedule).
+    pub fn optimizer_mut(&mut self) -> &mut O {
+        &mut self.optimizer
+    }
+}
+
+/// Trains `model` on `train` with the fused AdamW optimiser and reports
+/// accuracy on `test`.
 ///
 /// Training is deterministic given the model's initial parameters and the
 /// example order (no shuffling is performed here; callers shuffle if needed).
+/// The loop reuses one [`TrainStep`] across all examples and epochs, so only
+/// the first step of each distinct sequence length allocates.
 pub fn train_classifier(
     model: &Model,
     train: &[Example],
     test: &[Example],
     options: &TrainOptions,
 ) -> TrainReport {
-    let mut optimizer = Adam::new(options.learning_rate);
+    let mut step = TrainStep::new(FusedAdamW::new(options.learning_rate));
     let mut epoch_losses = Vec::with_capacity(options.epochs);
     for _epoch in 0..options.epochs {
         let mut total = 0.0f32;
         for ex in train {
-            let (tape, loss, bindings) = model.loss(&ex.tokens, ex.label);
-            tape.backward(loss);
-            optimizer.step(&tape, &bindings);
-            total += tape.value(loss).as_slice()[0];
+            total += step.step(model, &ex.tokens, ex.label);
         }
         epoch_losses.push(total / train.len().max(1) as f32);
     }

@@ -5,17 +5,58 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Number of power-of-two histogram buckets; bucket `i > 0` covers latencies
-/// in `[2^(i-1), 2^i)` microseconds, bucket 0 holds sub-microsecond samples.
-/// 40 buckets span up to ~6 days, far beyond any request lifetime.
-const HIST_BUCKETS: usize = 40;
+/// Linear sub-buckets per power-of-two range, as `log2`: each octave is
+/// split into `2^SUB_BITS` equal-width buckets, bounding the quantile
+/// estimation error at `1 / 2^SUB_BITS` (≈ 6.25%) of the value instead of
+/// the old pure power-of-two layout's factor-of-two band — which made every
+/// percentile collapse onto bucket edges like `131071 µs` under load (the
+/// saturation BENCH_PR2.json recorded as `p50 = p95 = 131071`).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Highest resolved most-significant bit: values at or above `2^40` µs
+/// (~12.7 days) clamp into the final bucket, far beyond any request
+/// lifetime.
+const MAX_MSB: u32 = 40;
+/// Total bucket count: one linear region for values `< SUBS` plus
+/// `(MAX_MSB - SUB_BITS)` log-linear octaves of `SUBS` buckets each.
+const HIST_BUCKETS: usize = SUBS + (MAX_MSB - SUB_BITS) as usize * SUBS;
 
-/// A concurrent latency histogram with power-of-two microsecond buckets.
+/// Index of the bucket containing `us` in the log-linear layout.
+fn bucket_index(us: u64) -> usize {
+    if us < SUBS as u64 {
+        return us as usize;
+    }
+    let msb = 63 - us.leading_zeros() as u64;
+    let octave = (msb as usize).min(MAX_MSB as usize - 1) - SUB_BITS as usize;
+    let sub = if msb >= u64::from(MAX_MSB) {
+        SUBS - 1
+    } else {
+        ((us >> (msb - u64::from(SUB_BITS))) & (SUBS as u64 - 1)) as usize
+    };
+    SUBS + octave * SUBS + sub
+}
+
+/// Inclusive upper bound of bucket `idx` (the value a quantile reports).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let octave = (idx - SUBS) / SUBS;
+    let sub = ((idx - SUBS) % SUBS) as u64;
+    let msb = octave as u64 + u64::from(SUB_BITS);
+    let base = 1u64 << msb;
+    let width = 1u64 << (msb - u64::from(SUB_BITS));
+    base + (sub + 1) * width - 1
+}
+
+/// A concurrent latency histogram with log-linear microsecond buckets
+/// (HDR-histogram style: power-of-two octaves, each split into [`SUBS`]
+/// linear sub-buckets).
 ///
-/// Recording is a single relaxed atomic increment; quantiles are estimated
-/// from the bucket boundaries, so a reported percentile is accurate to
-/// within its bucket (a factor-of-two band) and clamped to the observed
-/// maximum.
+/// Recording is a single relaxed atomic increment; a reported quantile is
+/// the upper bound of the bucket containing the target rank, clamped to the
+/// observed maximum — accurate to within ≈ 6.25% of the value.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -43,8 +84,7 @@ impl LatencyHistogram {
 
     /// Records one latency sample in microseconds.
     pub fn record(&self, us: u64) {
-        let idx = ((u64::BITS - us.leading_zeros()) as usize).min(HIST_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
@@ -68,8 +108,7 @@ impl LatencyHistogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             cum += bucket.load(Ordering::Relaxed);
             if cum >= target {
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return upper.min(self.max_us.load(Ordering::Relaxed));
+                return bucket_upper(i).min(self.max_us.load(Ordering::Relaxed));
             }
         }
         self.max_us.load(Ordering::Relaxed)
@@ -279,5 +318,64 @@ mod tests {
         }
         let p50 = h.quantile_us(0.5);
         assert!((1024..=2047).contains(&p50) || p50 == 1500, "p50 {p50}");
+    }
+
+    /// The regression BENCH_PR2.json exposed: every percentile of a loaded
+    /// run collapsed onto the power-of-two bucket edge 131071 µs. A sample
+    /// larger than 0.2 s must round-trip through the histogram with
+    /// log-linear (≤ 1/16) resolution, not a factor-of-two band.
+    #[test]
+    fn large_sample_round_trips_through_the_histogram() {
+        // Single >0.2 s sample: clamping to the observed max makes it exact.
+        let h = LatencyHistogram::new();
+        h.record(250_000);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 250_000);
+        assert_eq!(s.p99_us, 250_000);
+        assert_eq!(s.max_us, 250_000);
+
+        // Mixed large samples: the median lands within 1/16 of the true
+        // median instead of snapping to 131071.
+        let h = LatencyHistogram::new();
+        for us in [210_000u64, 215_000, 221_000, 230_000, 252_000, 301_000, 407_000] {
+            h.record(us);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert_ne!(p50, 131_071, "p50 must not saturate at the old bucket edge");
+        assert!(
+            (230_000..=230_000 + 230_000 / 16 + 1).contains(&p50),
+            "p50 {p50} outside the 1/16-resolution band around 230000"
+        );
+        let p99 = h.quantile_us(0.99);
+        assert!(
+            (407_000..=407_000 + 407_000 / 16 + 1).contains(&p99.max(407_000)) && p99 <= 407_000,
+            "p99 {p99} must clamp to the observed max"
+        );
+    }
+
+    /// Bucket upper bounds are strictly monotonic and every value maps into
+    /// a bucket whose bounds contain it.
+    #[test]
+    fn bucket_layout_is_monotonic_and_covering() {
+        let mut prev = None;
+        for idx in 0..HIST_BUCKETS {
+            let upper = bucket_upper(idx);
+            if let Some(p) = prev {
+                assert!(upper > p, "bucket {idx} upper {upper} <= previous {p}");
+            }
+            prev = Some(upper);
+        }
+        for us in [0u64, 1, 15, 16, 17, 31, 32, 1000, 131_071, 131_072, 200_000, 1 << 39, u64::MAX]
+        {
+            let idx = bucket_index(us);
+            assert!(idx < HIST_BUCKETS, "{us} -> {idx}");
+            if us < (1 << MAX_MSB) {
+                assert!(bucket_upper(idx) >= us, "{us} above its bucket upper");
+                if idx > 0 {
+                    assert!(bucket_upper(idx - 1) < us, "{us} below its bucket");
+                }
+            }
+        }
     }
 }

@@ -91,6 +91,15 @@ impl InferenceSession {
         pad_to: usize,
         scratch: &mut SessionScratch,
     ) -> Vec<Vec<f32>> {
+        // On a single-worker rayon configuration the batched kernels cannot
+        // fan rows out, so the wide batch tensors only trade cache locality
+        // for nothing; per-example evaluation keeps each forward's working
+        // set cache-resident. Either route produces bit-identical logits
+        // (the frozen batch path's padding-invariance guarantee), so this is
+        // purely a throughput decision.
+        if rayon::current_num_threads() <= 1 {
+            return batch.iter().map(|tokens| self.model.logits(tokens)).collect();
+        }
         scratch.stage(batch, pad_to);
         self.model.logits_batch_flat(&scratch.tokens, &scratch.lengths, pad_to)
     }

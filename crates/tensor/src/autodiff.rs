@@ -1,3 +1,17 @@
+//! Reverse-mode automatic differentiation on an arena tape.
+//!
+//! The tape is built for steady-state training loops: node metadata, value
+//! buffers, gradient buffers and parent/index lists all live in flat arenas
+//! that are retained across [`Tape::reset`] calls, so re-recording the same
+//! graph shape performs no heap allocation once the arenas have warmed up.
+//! Backward functions are slice-based and *accumulate* into reusable gradient
+//! buffers instead of returning freshly allocated tensors.
+//!
+//! [`Tape::backward_reference`] keeps the seed's allocating backward path
+//! (materialised transposes, per-node gradient tensors, `add`-chained
+//! accumulation) alive as a ground-truth oracle and benchmark baseline; the
+//! arena backward is validated against it in the property tests.
+
 use crate::tensor::{gelu_grad_scalar, gelu_scalar};
 use crate::Tensor;
 use std::cell::RefCell;
@@ -13,30 +27,269 @@ impl VarId {
     }
 }
 
-/// Backward function of a tape node.
+/// Backward function of a custom tape node.
 ///
-/// Arguments are `(upstream_gradient, parent_values, node_value)` and the
-/// function must return one gradient tensor per parent, each with the same
-/// shape as the corresponding parent value.
-pub type BackwardFn = Box<dyn Fn(&Tensor, &[Tensor], &Tensor) -> Vec<Tensor>>;
+/// The function receives a [`BackwardCtx`] exposing the upstream gradient,
+/// the node value and the parent values, and must *accumulate* (`+=`) each
+/// parent's gradient into the slice returned by [`BackwardCtx::parent_grad`]
+/// (zero-initialised on first access). [`BackwardCtx::reference`] reports
+/// whether the seed-fidelity reference backward is running, letting custom
+/// operators route to their unoptimised reference kernels.
+pub type BackwardFn = Box<dyn Fn(&mut BackwardCtx<'_>)>;
 
-struct Node {
-    value: Tensor,
-    parents: Vec<usize>,
-    backward: Option<BackwardFn>,
-    /// Short name of the operation that produced this node, used in
-    /// diagnostics (e.g. the [`Tape::grad`] panic message).
-    op: &'static str,
+/// Read-only view of a node's parent values, handed to the value-computing
+/// closure of [`Tape::push_custom_deferred`] and the built-in forward ops.
+pub struct ParentValues<'a> {
+    values: &'a [Tensor],
+    ids: &'a [usize],
 }
 
-/// A reverse-mode automatic differentiation tape.
+impl ParentValues<'_> {
+    /// The value of parent `i` (in the order the parents were recorded).
+    pub fn get(&self, i: usize) -> &Tensor {
+        &self.values[self.ids[i]]
+    }
+
+    /// Number of parents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when the node has no parents.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Context handed to a custom operator's backward implementation.
+pub struct BackwardCtx<'a> {
+    upstream: &'a Tensor,
+    value: &'a Tensor,
+    values: &'a [Tensor],
+    parents: &'a [usize],
+    grads: &'a mut [Tensor],
+    has_grad: &'a mut [bool],
+    reference: bool,
+}
+
+impl BackwardCtx<'_> {
+    /// The gradient of the loss with respect to this node's value.
+    pub fn upstream(&self) -> &Tensor {
+        self.upstream
+    }
+
+    /// The node's forward value.
+    pub fn value(&self) -> &Tensor {
+        self.value
+    }
+
+    /// Number of parents of the node.
+    pub fn num_parents(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The value of parent `i`.
+    pub fn parent(&self, i: usize) -> &Tensor {
+        &self.values[self.parents[i]]
+    }
+
+    /// `true` when [`Tape::backward_reference`] is running: custom operators
+    /// should use their unfused reference kernels so the reference pass
+    /// reproduces the seed arithmetic end to end.
+    pub fn reference(&self) -> bool {
+        self.reference
+    }
+
+    /// Accumulation view of parent `i`'s gradient buffer (shaped like the
+    /// parent value, zero-initialised on first access). Implementations must
+    /// `+=` into it; the same parent may appear more than once.
+    pub fn parent_grad(&mut self, i: usize) -> &mut [f32] {
+        let p = self.parents[i];
+        ensure_grad(self.values, self.grads, self.has_grad, p);
+        self.grads[p].as_mut_slice()
+    }
+
+    /// Splits the context into the (upstream gradient, node value) pair, a
+    /// read view of the parent values, and a [`GradWriter`] — letting a
+    /// backward kernel hold parent values and gradient buffers at the same
+    /// time.
+    pub fn split(&mut self) -> (&Tensor, ParentValues<'_>, GradWriter<'_>) {
+        let upstream = self.upstream;
+        let (pv, gw) = self.writer();
+        (upstream, pv, gw)
+    }
+
+    fn writer(&mut self) -> (ParentValues<'_>, GradWriter<'_>) {
+        (
+            ParentValues { values: self.values, ids: self.parents },
+            GradWriter {
+                values: self.values,
+                parents: self.parents,
+                grads: &mut *self.grads,
+                has_grad: &mut *self.has_grad,
+            },
+        )
+    }
+}
+
+/// Write access to the parent gradient buffers of a custom node, produced by
+/// [`BackwardCtx::split`].
+pub struct GradWriter<'a> {
+    values: &'a [Tensor],
+    parents: &'a [usize],
+    grads: &'a mut [Tensor],
+    has_grad: &'a mut [bool],
+}
+
+impl<'a> GradWriter<'a> {
+    /// Accumulation view of parent `i`'s gradient buffer (zero-initialised on
+    /// first access); implementations must `+=` into it.
+    pub fn parent_grad(&mut self, i: usize) -> &mut [f32] {
+        let p = self.parents[i];
+        ensure_grad(self.values, self.grads, self.has_grad, p);
+        self.grads[p].as_mut_slice()
+    }
+
+    /// Accumulation views of two *distinct* parents' gradient buffers at
+    /// once, consuming the writer so the views live for its full lifetime —
+    /// for backward kernels that produce both gradients in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two indices name the same tape variable.
+    pub fn into_parent_grad_pair(self, i: usize, j: usize) -> (&'a mut [f32], &'a mut [f32]) {
+        let (p, q) = (self.parents[i], self.parents[j]);
+        assert_ne!(p, q, "parent_grad_pair requires two distinct parents");
+        ensure_grad(self.values, self.grads, self.has_grad, p);
+        ensure_grad(self.values, self.grads, self.has_grad, q);
+        let (lo, hi) = self.grads.split_at_mut(p.max(q));
+        let (first, second) = (&mut lo[p.min(q)], &mut hi[0]);
+        if p < q {
+            (first.as_mut_slice(), second.as_mut_slice())
+        } else {
+            (second.as_mut_slice(), first.as_mut_slice())
+        }
+    }
+}
+
+/// Sizes and zero-fills the gradient buffer of node `p` on first touch.
+fn ensure_grad(values: &[Tensor], grads: &mut [Tensor], has_grad: &mut [bool], p: usize) {
+    if !has_grad[p] {
+        grads[p].resize_to(values[p].shape());
+        grads[p].as_mut_slice().fill(0.0);
+        has_grad[p] = true;
+    }
+}
+
+/// Element-wise `dst += src`.
+fn acc_slice(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+}
+
+/// The operation that produced a node, with the data its backward needs.
+enum OpKind {
+    Leaf,
+    Add,
+    Sub,
+    Mul,
+    Scale(f32),
+    Matmul,
+    Transpose,
+    SoftmaxRows,
+    Relu,
+    Gelu,
+    LayerNorm {
+        eps: f32,
+    },
+    AddRowBroadcast,
+    MeanPoolRows,
+    SliceCols {
+        start: usize,
+        end: usize,
+    },
+    ConcatCols,
+    Sum,
+    CrossEntropy {
+        lstart: usize,
+        lcount: usize,
+    },
+    Embedding {
+        istart: usize,
+        icount: usize,
+    },
+    Custom(BackwardFn),
+    /// A custom node recorded with [`Tape::push_custom_deferred`] whose
+    /// backward has not been attached yet via [`Tape::set_backward`].
+    Pending,
+}
+
+struct Meta {
+    op: &'static str,
+    pstart: usize,
+    pcount: usize,
+    kind: OpKind,
+}
+
+#[derive(Default)]
+struct TapeInner {
+    /// Number of live nodes; storage vectors below are high-water sized.
+    len: usize,
+    metas: Vec<Meta>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    has_grad: Vec<bool>,
+    /// Flat arena of parent indices (`Meta::pstart`/`pcount` slices into it).
+    parent_arena: Vec<usize>,
+    /// Flat arena of embedding indices and cross-entropy labels.
+    index_arena: Vec<usize>,
+    /// Reusable per-op staging buffers for the slice-based backward kernels.
+    scratch: [Vec<f32>; 4],
+    /// Staging buffer for the transpose-free matmul weight gradient.
+    tn_scratch: Vec<f32>,
+    /// Reused transpose / product staging tensors for the matmul input
+    /// gradient (`dA += g · Bᵀ` runs on the full blocked matmul kernel with
+    /// `Bᵀ` staged here instead of freshly allocated).
+    mm_t: Tensor,
+    mm_out: Tensor,
+}
+
+impl TapeInner {
+    fn node(&mut self, op: &'static str, kind: OpKind, parents: &[VarId]) -> usize {
+        let idx = self.len;
+        let pstart = self.parent_arena.len();
+        for p in parents {
+            assert!(p.0 < idx, "parent variable recorded after its child (stale VarId?)");
+            self.parent_arena.push(p.0);
+        }
+        let meta = Meta { op, pstart, pcount: parents.len(), kind };
+        if idx < self.metas.len() {
+            self.metas[idx] = meta;
+        } else {
+            self.metas.push(meta);
+        }
+        if idx >= self.values.len() {
+            self.values.push(Tensor::default());
+        }
+        self.len = idx + 1;
+        idx
+    }
+}
+
+/// A reverse-mode automatic differentiation tape with arena-backed storage.
 ///
 /// Operations are recorded in forward order; [`Tape::backward`] walks the
 /// recording in reverse and accumulates gradients for every node, which can
-/// then be fetched with [`Tape::grad`].
+/// then be fetched with [`Tape::grad`]. [`Tape::reset`] rewinds the tape for
+/// the next training step while retaining every buffer's capacity, so
+/// steady-state steps re-record and differentiate the graph without heap
+/// allocation.
 ///
 /// Downstream crates can register custom differentiable operators (e.g. the
-/// butterfly linear transform) via [`Tape::push_custom`].
+/// butterfly linear transform) via [`Tape::push_custom`] /
+/// [`Tape::push_custom_deferred`].
 ///
 /// # Example
 ///
@@ -51,38 +304,85 @@ struct Node {
 /// ```
 #[derive(Default)]
 pub struct Tape {
-    nodes: RefCell<Vec<Node>>,
-    grads: RefCell<Vec<Option<Tensor>>>,
+    inner: RefCell<TapeInner>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: RefCell::new(Vec::new()), grads: RefCell::new(Vec::new()) }
+        Self::default()
     }
 
-    /// Number of nodes recorded so far.
+    /// Number of nodes recorded since the last [`Tape::reset`].
     pub fn len(&self) -> usize {
-        self.nodes.borrow().len()
+        self.inner.borrow().len
     }
 
     /// Returns `true` when no nodes have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.nodes.borrow().is_empty()
+        self.len() == 0
+    }
+
+    /// Rewinds the tape so the next step can re-record from scratch, while
+    /// retaining the capacity of every node, value, gradient and arena
+    /// buffer. Boxed custom backward closures of the previous episode are
+    /// dropped eagerly (returning any pooled resources they captured).
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let len = inner.len;
+        for meta in &mut inner.metas[..len] {
+            if matches!(meta.kind, OpKind::Custom(_)) {
+                meta.kind = OpKind::Leaf;
+                meta.op = "reset";
+            }
+        }
+        inner.len = 0;
+        inner.parent_arena.clear();
+        inner.index_arena.clear();
+        inner.has_grad.clear();
+    }
+
+    /// High-water node count: how many node slots the tape has ever held.
+    /// Stable across steady-state [`Tape::reset`] + re-record cycles.
+    pub fn node_capacity(&self) -> usize {
+        self.inner.borrow().metas.len()
+    }
+
+    /// Total `f32` capacity of the tape's value and gradient buffers plus the
+    /// parent/index arenas. Stable across steady-state steps — the
+    /// allocation-reuse tests assert exactly that.
+    pub fn buffer_capacity(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.values.iter().map(Tensor::capacity).sum::<usize>()
+            + inner.grads.iter().map(Tensor::capacity).sum::<usize>()
+            + inner.parent_arena.capacity()
+            + inner.index_arena.capacity()
     }
 
     /// Records a leaf (input or parameter) value and returns its handle.
     pub fn leaf(&self, value: Tensor) -> VarId {
-        self.push_node(value, Vec::new(), None, "leaf")
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.node("leaf", OpKind::Leaf, &[]);
+        inner.values[idx] = value;
+        VarId(idx)
+    }
+
+    /// Records a leaf by copying `value` into the tape's reused buffer —
+    /// the allocation-free alternative to [`Tape::leaf`] for per-step
+    /// parameter binding.
+    pub fn leaf_copy(&self, value: &Tensor) -> VarId {
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.node("leaf", OpKind::Leaf, &[]);
+        inner.values[idx].copy_from(value);
+        VarId(idx)
     }
 
     /// Records a custom operation with an explicit backward function.
     ///
     /// `parents` lists the variables the value was computed from; `backward`
-    /// receives the upstream gradient, the parent values and the node value
-    /// and must return one gradient per parent. The node is named `"custom"`
-    /// in diagnostics; use [`Tape::push_custom_named`] to attach a
-    /// descriptive operation name.
+    /// accumulates parent gradients through its [`BackwardCtx`]. The node is
+    /// named `"custom"` in diagnostics; use [`Tape::push_custom_named`] to
+    /// attach a descriptive operation name.
     pub fn push_custom(&self, value: Tensor, parents: &[VarId], backward: BackwardFn) -> VarId {
         self.push_custom_named("custom", value, parents, backward)
     }
@@ -97,23 +397,93 @@ impl Tape {
         parents: &[VarId],
         backward: BackwardFn,
     ) -> VarId {
-        self.push_node(value, parents.iter().map(|p| p.0).collect(), Some(backward), op)
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.node(op, OpKind::Custom(backward), parents);
+        inner.values[idx] = value;
+        VarId(idx)
+    }
+
+    /// Records a custom operation whose value is computed *into* the tape's
+    /// reused output buffer — the allocation-free variant of
+    /// [`Tape::push_custom_named`]: `compute` receives the parent values and
+    /// a mutable output tensor (call [`Tensor::resize_to`] then fill it).
+    /// The backward function **must** be attached afterwards with
+    /// [`Tape::set_backward`]; this two-phase form lets the backward closure
+    /// take ownership of resources (e.g. a pooled kernel object) that the
+    /// value computation also needs to borrow.
+    pub fn push_custom_deferred<F>(&self, op: &'static str, parents: &[VarId], compute: F) -> VarId
+    where
+        F: FnOnce(ParentValues<'_>, &mut Tensor),
+    {
+        self.push_op(op, OpKind::Pending, parents, compute)
+    }
+
+    /// Attaches the backward function of a node recorded with
+    /// [`Tape::push_custom_deferred`] (or replaces an existing custom
+    /// backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is a built-in operation or a leaf.
+    pub fn set_backward(&self, id: VarId, backward: BackwardFn) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(id.0 < inner.len, "variable is not live on this tape");
+        let meta = &mut inner.metas[id.0];
+        assert!(
+            matches!(meta.kind, OpKind::Pending | OpKind::Custom(_)),
+            "set_backward requires a custom node (op `{}`)",
+            meta.op
+        );
+        meta.kind = OpKind::Custom(backward);
+    }
+
+    fn push_op<F>(&self, op: &'static str, kind: OpKind, parents: &[VarId], compute: F) -> VarId
+    where
+        F: FnOnce(ParentValues<'_>, &mut Tensor),
+    {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let idx = inner.node(op, kind, parents);
+        let meta = &inner.metas[idx];
+        let pids = &inner.parent_arena[meta.pstart..meta.pstart + meta.pcount];
+        let (below, rest) = inner.values.split_at_mut(idx);
+        compute(ParentValues { values: below, ids: pids }, &mut rest[0]);
+        VarId(idx)
     }
 
     /// The name of the operation that produced `id` (`"leaf"` for leaves,
     /// `"custom"` for unnamed custom operations).
     pub fn op_name(&self, id: VarId) -> &'static str {
-        self.nodes.borrow()[id.0].op
+        self.inner.borrow().metas[id.0].op
     }
 
     /// Returns a clone of the value held by `id`.
     pub fn value(&self, id: VarId) -> Tensor {
-        self.nodes.borrow()[id.0].value.clone()
+        self.with_value(id, Tensor::clone)
+    }
+
+    /// Applies `f` to the value held by `id` without cloning it.
+    pub fn with_value<R>(&self, id: VarId, f: impl FnOnce(&Tensor) -> R) -> R {
+        let inner = self.inner.borrow();
+        assert!(id.0 < inner.len, "variable is not live on this tape");
+        f(&inner.values[id.0])
+    }
+
+    /// The single element of a `[1, 1]` (or any one-element) value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value holds more than one element.
+    pub fn value_scalar(&self, id: VarId) -> f32 {
+        self.with_value(id, |v| {
+            assert_eq!(v.len(), 1, "value_scalar requires a one-element value");
+            v.as_slice()[0]
+        })
     }
 
     /// Returns the shape of the value held by `id`.
     pub fn shape(&self, id: VarId) -> Vec<usize> {
-        self.nodes.borrow()[id.0].value.shape().to_vec()
+        self.with_value(id, |v| v.shape().to_vec())
     }
 
     /// Returns the gradient accumulated for `id` by the last [`Tape::backward`] call.
@@ -130,304 +500,363 @@ impl Tape {
     ///
     /// Use [`Tape::try_grad`] for a non-panicking variant.
     pub fn grad(&self, id: VarId) -> Tensor {
-        self.grads.borrow()[id.0].clone().unwrap_or_else(|| {
-            panic!(
-                "no gradient recorded for node {} (op `{}`): either Tape::backward was not \
-                 called, or the node does not influence the differentiated loss",
-                id.0,
-                self.op_name(id)
-            )
+        self.with_grad(id, |g| {
+            g.cloned().unwrap_or_else(|| {
+                panic!(
+                    "no gradient recorded for node {} (op `{}`): either Tape::backward was not \
+                     called, or the node does not influence the differentiated loss",
+                    id.0,
+                    self.op_name(id)
+                )
+            })
         })
     }
 
     /// Returns the gradient for `id` if one was accumulated.
     pub fn try_grad(&self, id: VarId) -> Option<Tensor> {
-        self.grads.borrow().get(id.0).and_then(|g| g.clone())
+        self.with_grad(id, |g| g.cloned())
+    }
+
+    /// Applies `f` to the gradient accumulated for `id` (if any) without
+    /// cloning it — the allocation-free accessor used by the fused
+    /// optimisers.
+    pub fn with_grad<R>(&self, id: VarId, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+        let inner = self.inner.borrow();
+        let g = if inner.has_grad.get(id.0).copied().unwrap_or(false) {
+            Some(&inner.grads[id.0])
+        } else {
+            None
+        };
+        f(g)
     }
 
     /// Runs reverse-mode differentiation seeded at `loss` (gradient `1` for
-    /// every element of the loss value).
+    /// every element of the loss value) on the arena backward path: gradients
+    /// are accumulated into reusable buffers through slice kernels, with no
+    /// per-node allocation once the buffers have warmed up.
     pub fn backward(&self, loss: VarId) {
-        let nodes = self.nodes.borrow();
-        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        let seed = Tensor::ones(nodes[loss.0].value.shape());
-        grads[loss.0] = Some(seed);
+        self.run_backward(loss, false);
+    }
+
+    /// Runs reverse-mode differentiation on the seed-fidelity reference
+    /// path: every backward op materialises fresh tensors (including the
+    /// transposes the arena path elides) and custom operators are told to
+    /// use their reference kernels. Gradients land in the same buffers as
+    /// [`Tape::backward`], so [`Tape::grad`] works identically — this is the
+    /// oracle the fused path is validated against and the baseline the
+    /// training benches compare with.
+    pub fn backward_reference(&self, loss: VarId) {
+        self.run_backward(loss, true);
+    }
+
+    fn run_backward(&self, loss: VarId, reference: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let len = inner.len;
+        assert!(loss.0 < len, "loss variable is not live on this tape");
+        while inner.grads.len() < len {
+            inner.grads.push(Tensor::default());
+        }
+        inner.has_grad.clear();
+        inner.has_grad.resize(len, false);
+        inner.grads[loss.0].resize_to(inner.values[loss.0].shape());
+        inner.grads[loss.0].as_mut_slice().fill(1.0);
+        inner.has_grad[loss.0] = true;
+
+        let TapeInner {
+            metas,
+            values,
+            grads,
+            has_grad,
+            parent_arena,
+            index_arena,
+            scratch,
+            tn_scratch,
+            mm_t,
+            mm_out,
+            ..
+        } = inner;
+
         for idx in (0..=loss.0).rev() {
-            let Some(g) = grads[idx].clone() else { continue };
-            let node = &nodes[idx];
-            let Some(backward) = &node.backward else { continue };
-            let parent_values: Vec<Tensor> =
-                node.parents.iter().map(|&p| nodes[p].value.clone()).collect();
-            let parent_grads = backward(&g, &parent_values, &node.value);
-            assert_eq!(
-                parent_grads.len(),
-                node.parents.len(),
-                "backward fn returned {} gradients for {} parents",
-                parent_grads.len(),
-                node.parents.len()
-            );
-            for (&p, pg) in node.parents.iter().zip(parent_grads) {
-                match &mut grads[p] {
-                    Some(existing) => *existing = existing.add(&pg),
-                    slot => *slot = Some(pg),
+            if !has_grad[idx] {
+                continue;
+            }
+            let meta = &metas[idx];
+            if matches!(meta.kind, OpKind::Leaf) {
+                continue;
+            }
+            let parents = &parent_arena[meta.pstart..meta.pstart + meta.pcount];
+            let (gbelow, grest) = grads.split_at_mut(idx);
+            let g = &grest[0];
+            let (vbelow, vrest) = values.split_at(idx);
+            let value = &vrest[0];
+            let has = &mut has_grad[..idx];
+            if reference {
+                if let OpKind::Custom(f) = &meta.kind {
+                    let mut ctx = BackwardCtx {
+                        upstream: g,
+                        value,
+                        values: vbelow,
+                        parents,
+                        grads: gbelow,
+                        has_grad: has,
+                        reference: true,
+                    };
+                    f(&mut ctx);
+                } else {
+                    reference_builtin_backward(
+                        &meta.kind,
+                        g,
+                        value,
+                        vbelow,
+                        parents,
+                        index_arena,
+                        gbelow,
+                        has,
+                    );
+                }
+                continue;
+            }
+            match &meta.kind {
+                OpKind::Leaf => {}
+                OpKind::Add => {
+                    acc_slice(grad_buf(vbelow, gbelow, has, parents[0]), g.as_slice());
+                    acc_slice(grad_buf(vbelow, gbelow, has, parents[1]), g.as_slice());
+                }
+                OpKind::Sub => {
+                    acc_slice(grad_buf(vbelow, gbelow, has, parents[0]), g.as_slice());
+                    let dst = grad_buf(vbelow, gbelow, has, parents[1]);
+                    for (d, &gv) in dst.iter_mut().zip(g.as_slice()) {
+                        *d += -gv;
+                    }
+                }
+                OpKind::Mul => {
+                    {
+                        let bv = vbelow[parents[1]].as_slice();
+                        let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                        for ((d, &gv), &b) in dst.iter_mut().zip(g.as_slice()).zip(bv) {
+                            *d += gv * b;
+                        }
+                    }
+                    let av = vbelow[parents[0]].as_slice();
+                    let dst = grad_buf(vbelow, gbelow, has, parents[1]);
+                    for ((d, &gv), &a) in dst.iter_mut().zip(g.as_slice()).zip(av) {
+                        *d += gv * a;
+                    }
+                }
+                OpKind::Scale(c) => {
+                    let c = *c;
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for (d, &gv) in dst.iter_mut().zip(g.as_slice()) {
+                        *d += gv * c;
+                    }
+                }
+                OpKind::Matmul => {
+                    // dA += g · Bᵀ on the blocked matmul kernel, with Bᵀ and
+                    // the product staged in reused scratch tensors — the
+                    // reference arithmetic without its allocations.
+                    vbelow[parents[1]].transpose_into(mm_t);
+                    g.matmul_into(mm_t, mm_out);
+                    acc_slice(grad_buf(vbelow, gbelow, has, parents[0]), mm_out.as_slice());
+                    vbelow[parents[0]].matmul_tn_acc(
+                        g,
+                        tn_scratch,
+                        grad_buf(vbelow, gbelow, has, parents[1]),
+                    );
+                }
+                OpKind::Transpose => {
+                    g.transpose_acc(grad_buf(vbelow, gbelow, has, parents[0]));
+                }
+                OpKind::SoftmaxRows => {
+                    let y = value;
+                    let n = y.cols();
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for ((dxr, gr), yr) in
+                        dst.chunks_mut(n).zip(g.as_slice().chunks(n)).zip(y.as_slice().chunks(n))
+                    {
+                        let dot: f32 = gr.iter().zip(yr.iter()).map(|(&gv, &yv)| gv * yv).sum();
+                        for ((d, &gv), &yv) in dxr.iter_mut().zip(gr.iter()).zip(yr.iter()) {
+                            *d += yv * (gv - dot);
+                        }
+                    }
+                }
+                OpKind::Relu => {
+                    let xv = vbelow[parents[0]].as_slice();
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for ((d, &gv), &x) in dst.iter_mut().zip(g.as_slice()).zip(xv) {
+                        *d += if x > 0.0 { gv } else { 0.0 };
+                    }
+                }
+                OpKind::Gelu => {
+                    let xv = vbelow[parents[0]].as_slice();
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for ((d, &gv), &x) in dst.iter_mut().zip(g.as_slice()).zip(xv) {
+                        *d += gv * gelu_grad_scalar(x);
+                    }
+                }
+                OpKind::LayerNorm { eps } => {
+                    layer_norm_backward_fused(g, vbelow, parents, *eps, gbelow, has, scratch);
+                }
+                OpKind::AddRowBroadcast => {
+                    acc_slice(grad_buf(vbelow, gbelow, has, parents[0]), g.as_slice());
+                    let n = g.cols();
+                    let db = &mut scratch[0];
+                    db.clear();
+                    db.resize(n, 0.0);
+                    for gr in g.as_slice().chunks(n) {
+                        for (d, &gv) in db.iter_mut().zip(gr.iter()) {
+                            *d += gv;
+                        }
+                    }
+                    acc_slice(grad_buf(vbelow, gbelow, has, parents[1]), db);
+                }
+                OpKind::MeanPoolRows => {
+                    let m = vbelow[parents[0]].rows();
+                    let n = vbelow[parents[0]].cols();
+                    let scale = 1.0 / m as f32;
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for dxr in dst.chunks_mut(n) {
+                        for (d, &gv) in dxr.iter_mut().zip(g.as_slice().iter()) {
+                            *d += gv * scale;
+                        }
+                    }
+                }
+                OpKind::SliceCols { start, end } => {
+                    let (start, end) = (*start, *end);
+                    let n = vbelow[parents[0]].cols();
+                    let w = end - start;
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for (dxr, gr) in dst.chunks_mut(n).zip(g.as_slice().chunks(w)) {
+                        acc_slice(&mut dxr[start..end], gr);
+                    }
+                }
+                OpKind::ConcatCols => {
+                    let total = g.cols();
+                    let mut off = 0;
+                    for i in 0..parents.len() {
+                        let w = vbelow[parents[i]].cols();
+                        let dst = grad_buf(vbelow, gbelow, has, parents[i]);
+                        for (dxr, gr) in dst.chunks_mut(w).zip(g.as_slice().chunks(total)) {
+                            acc_slice(dxr, &gr[off..off + w]);
+                        }
+                        off += w;
+                    }
+                }
+                OpKind::Sum => {
+                    let s = g.as_slice()[0];
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for d in dst.iter_mut() {
+                        *d += s;
+                    }
+                }
+                OpKind::CrossEntropy { lstart, lcount } => {
+                    let labels = &index_arena[*lstart..*lstart + *lcount];
+                    cross_entropy_backward_fused(g, vbelow, parents, labels, gbelow, has, scratch);
+                }
+                OpKind::Embedding { istart, icount } => {
+                    let indices = &index_arena[*istart..*istart + *icount];
+                    let dim = vbelow[parents[0]].cols();
+                    let dst = grad_buf(vbelow, gbelow, has, parents[0]);
+                    for (gr, &i) in g.as_slice().chunks(dim).zip(indices.iter()) {
+                        acc_slice(&mut dst[i * dim..(i + 1) * dim], gr);
+                    }
+                }
+                OpKind::Custom(f) => {
+                    let mut ctx = BackwardCtx {
+                        upstream: g,
+                        value,
+                        values: vbelow,
+                        parents,
+                        grads: gbelow,
+                        has_grad: has,
+                        reference: false,
+                    };
+                    f(&mut ctx);
+                }
+                OpKind::Pending => {
+                    panic!("custom node `{}` has no backward (set_backward missing)", meta.op)
                 }
             }
         }
-        *self.grads.borrow_mut() = grads;
-    }
-
-    fn push_node(
-        &self,
-        value: Tensor,
-        parents: Vec<usize>,
-        backward: Option<BackwardFn>,
-        op: &'static str,
-    ) -> VarId {
-        let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { value, parents, backward, op });
-        VarId(nodes.len() - 1)
     }
 
     // ----- differentiable operations -------------------------------------
 
     /// Element-wise addition.
     pub fn add(&self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).add(&self.value(b));
-        self.push_custom_named(
-            "add",
-            value,
-            &[a, b],
-            Box::new(|g, _, _| vec![g.clone(), g.clone()]),
-        )
+        self.push_op("add", OpKind::Add, &[a, b], |pv, out| pv.get(0).add_into(pv.get(1), out))
     }
 
     /// Element-wise subtraction.
     pub fn sub(&self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).sub(&self.value(b));
-        self.push_custom_named(
-            "sub",
-            value,
-            &[a, b],
-            Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)]),
-        )
+        self.push_op("sub", OpKind::Sub, &[a, b], |pv, out| pv.get(0).sub_into(pv.get(1), out))
     }
 
     /// Element-wise multiplication.
     pub fn mul(&self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).mul(&self.value(b));
-        self.push_custom_named(
-            "mul",
-            value,
-            &[a, b],
-            Box::new(|g, parents, _| vec![g.mul(&parents[1]), g.mul(&parents[0])]),
-        )
+        self.push_op("mul", OpKind::Mul, &[a, b], |pv, out| pv.get(0).mul_into(pv.get(1), out))
     }
 
     /// Multiplication by a compile-time constant scalar.
     pub fn scale(&self, a: VarId, c: f32) -> VarId {
-        let value = self.value(a).scale(c);
-        self.push_custom_named("scale", value, &[a], Box::new(move |g, _, _| vec![g.scale(c)]))
+        self.push_op("scale", OpKind::Scale(c), &[a], |pv, out| pv.get(0).scale_into(c, out))
     }
 
     /// Matrix multiplication of two 2-D variables.
     pub fn matmul(&self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).matmul(&self.value(b));
-        self.push_custom_named(
-            "matmul",
-            value,
-            &[a, b],
-            Box::new(|g, parents, _| {
-                let da = g.matmul(&parents[1].transpose());
-                let db = parents[0].transpose().matmul(g);
-                vec![da, db]
-            }),
-        )
+        self.push_op("matmul", OpKind::Matmul, &[a, b], |pv, out| {
+            pv.get(0).matmul_into(pv.get(1), out)
+        })
     }
 
     /// Transpose of a 2-D variable.
     pub fn transpose(&self, a: VarId) -> VarId {
-        let value = self.value(a).transpose();
-        self.push_custom_named("transpose", value, &[a], Box::new(|g, _, _| vec![g.transpose()]))
+        self.push_op("transpose", OpKind::Transpose, &[a], |pv, out| pv.get(0).transpose_into(out))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&self, a: VarId) -> VarId {
-        let value = self.value(a).softmax_rows();
-        self.push_custom_named(
-            "softmax_rows",
-            value,
-            &[a],
-            Box::new(|g, _, y| {
-                let (m, n) = (y.rows(), y.cols());
-                let mut dx = Tensor::zeros(&[m, n]);
-                let rows = dx.as_mut_slice().chunks_mut(n);
-                for ((dxr, gr), yr) in rows.zip(g.as_slice().chunks(n)).zip(y.as_slice().chunks(n))
-                {
-                    let dot: f32 = gr.iter().zip(yr.iter()).map(|(&gv, &yv)| gv * yv).sum();
-                    for ((d, &gv), &yv) in dxr.iter_mut().zip(gr.iter()).zip(yr.iter()) {
-                        *d = yv * (gv - dot);
-                    }
-                }
-                vec![dx]
-            }),
-        )
+        self.push_op("softmax_rows", OpKind::SoftmaxRows, &[a], |pv, out| {
+            pv.get(0).softmax_rows_into(out)
+        })
     }
 
     /// Rectified linear unit.
     pub fn relu(&self, a: VarId) -> VarId {
-        let value = self.value(a).relu();
-        self.push_custom_named(
-            "relu",
-            value,
-            &[a],
-            Box::new(|g, parents, _| {
-                vec![Tensor::from_vec(
-                    g.as_slice()
-                        .iter()
-                        .zip(parents[0].as_slice().iter())
-                        .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
-                        .collect(),
-                    g.shape(),
-                )
-                .expect("relu gradient shape")]
-            }),
-        )
+        self.push_op("relu", OpKind::Relu, &[a], |pv, out| pv.get(0).map_into(|x| x.max(0.0), out))
     }
 
     /// Gaussian error linear unit (tanh approximation).
     pub fn gelu(&self, a: VarId) -> VarId {
-        let value = self.value(a).map(gelu_scalar);
-        self.push_custom_named(
-            "gelu",
-            value,
-            &[a],
-            Box::new(|g, parents, _| {
-                vec![Tensor::from_vec(
-                    g.as_slice()
-                        .iter()
-                        .zip(parents[0].as_slice().iter())
-                        .map(|(&gv, &xv)| gv * gelu_grad_scalar(xv))
-                        .collect(),
-                    g.shape(),
-                )
-                .expect("gelu gradient shape")]
-            }),
-        )
+        self.push_op("gelu", OpKind::Gelu, &[a], |pv, out| pv.get(0).map_into(gelu_scalar, out))
     }
 
     /// Row-wise layer normalization with learned `gamma` and `beta`.
     pub fn layer_norm(&self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
-        let value = self.value(x).layer_norm_rows(&self.value(gamma), &self.value(beta), eps);
-        self.push_custom_named(
-            "layer_norm",
-            value,
-            &[x, gamma, beta],
-            Box::new(move |g, parents, _| {
-                let (xv, gammav) = (&parents[0], &parents[1]);
-                let (m, n) = (xv.rows(), xv.cols());
-                let mut dx = Tensor::zeros(&[m, n]);
-                let mut dgamma = Tensor::zeros(&[n]);
-                let mut dbeta = Tensor::zeros(&[n]);
-                let gamma = gammav.as_slice();
-                // Per-row scratch reused across the batch.
-                let mut xhat = vec![0.0f32; n];
-                let mut dxhat = vec![0.0f32; n];
-                let dx_rows = dx.as_mut_slice().chunks_mut(n);
-                for ((dxr, row), gr) in
-                    dx_rows.zip(xv.as_slice().chunks(n)).zip(g.as_slice().chunks(n))
-                {
-                    let mean = row.iter().sum::<f32>() / n as f32;
-                    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-                    let inv = 1.0 / (var + eps).sqrt();
-                    for (h, &v) in xhat.iter_mut().zip(row.iter()) {
-                        *h = (v - mean) * inv;
-                    }
-                    // Accumulate parameter gradients.
-                    for (((dg, db), &gv), &h) in dgamma
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(dbeta.as_mut_slice().iter_mut())
-                        .zip(gr.iter())
-                        .zip(xhat.iter())
-                    {
-                        *dg += gv * h;
-                        *db += gv;
-                    }
-                    // dL/dxhat = g * gamma
-                    for ((dh, &gv), &gm) in dxhat.iter_mut().zip(gr.iter()).zip(gamma.iter()) {
-                        *dh = gv * gm;
-                    }
-                    let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
-                    let mean_dxhat_xhat =
-                        dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / n as f32;
-                    for ((d, &dh), &h) in dxr.iter_mut().zip(dxhat.iter()).zip(xhat.iter()) {
-                        *d = inv * (dh - mean_dxhat - h * mean_dxhat_xhat);
-                    }
-                }
-                vec![dx, dgamma, dbeta]
-            }),
-        )
+        self.push_op("layer_norm", OpKind::LayerNorm { eps }, &[x, gamma, beta], |pv, out| {
+            pv.get(0).layer_norm_rows_into(pv.get(1), pv.get(2), eps, out)
+        })
     }
 
     /// Adds a `[cols]` or `[1, cols]` bias row to every row of a 2-D variable.
     pub fn add_row_broadcast(&self, x: VarId, bias: VarId) -> VarId {
-        let value = self.value(x).add_row_broadcast(&self.value(bias));
-        self.push_custom_named(
-            "add_row_broadcast",
-            value,
-            &[x, bias],
-            Box::new(|g, parents, _| {
-                let bias_shape = parents[1].shape().to_vec();
-                let n = g.cols();
-                let mut db = vec![0.0f32; n];
-                for gr in g.as_slice().chunks(n) {
-                    for (d, &gv) in db.iter_mut().zip(gr.iter()) {
-                        *d += gv;
-                    }
-                }
-                vec![g.clone(), Tensor::from_vec(db, &bias_shape).expect("bias gradient shape")]
-            }),
-        )
+        self.push_op("add_row_broadcast", OpKind::AddRowBroadcast, &[x, bias], |pv, out| {
+            pv.get(0).add_row_broadcast_into(pv.get(1), out)
+        })
     }
 
     /// Mean over rows of a 2-D variable, producing a `[1, cols]` value.
     pub fn mean_pool_rows(&self, x: VarId) -> VarId {
-        let value = self.value(x).mean_rows();
-        self.push_custom_named(
-            "mean_pool_rows",
-            value,
-            &[x],
-            Box::new(|g, parents, _| {
-                let (m, n) = (parents[0].rows(), parents[0].cols());
-                let mut dx = Tensor::zeros(&[m, n]);
-                let scale = 1.0 / m as f32;
-                for dxr in dx.as_mut_slice().chunks_mut(n) {
-                    for (d, &gv) in dxr.iter_mut().zip(g.as_slice().iter()) {
-                        *d = gv * scale;
-                    }
-                }
-                vec![dx]
-            }),
-        )
+        self.push_op("mean_pool_rows", OpKind::MeanPoolRows, &[x], |pv, out| {
+            pv.get(0).mean_rows_into(out)
+        })
     }
 
     /// Extracts columns `[start, end)` of a 2-D variable.
     pub fn slice_cols(&self, x: VarId, start: usize, end: usize) -> VarId {
-        let value = self.value(x).slice_cols(start, end);
-        self.push_custom_named(
-            "slice_cols",
-            value,
-            &[x],
-            Box::new(move |g, parents, _| {
-                let (m, n) = (parents[0].rows(), parents[0].cols());
-                let mut dx = Tensor::zeros(&[m, n]);
-                let w = end - start;
-                for (dxr, gr) in dx.as_mut_slice().chunks_mut(n).zip(g.as_slice().chunks(w)) {
-                    dxr[start..end].copy_from_slice(gr);
-                }
-                vec![dx]
-            }),
-        )
+        self.push_op("slice_cols", OpKind::SliceCols { start, end }, &[x], |pv, out| {
+            pv.get(0).slice_cols_into(start, end, out)
+        })
     }
 
     /// Concatenates 2-D variables along the column axis.
@@ -437,43 +866,41 @@ impl Tape {
     /// Panics when `parts` is empty.
     pub fn concat_cols(&self, parts: &[VarId]) -> VarId {
         assert!(!parts.is_empty(), "concat_cols requires at least one variable");
-        let values: Vec<Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let refs: Vec<&Tensor> = values.iter().collect();
-        let value = Tensor::concat_cols(&refs);
-        self.push_custom_named(
-            "concat_cols",
-            value,
-            parts,
-            Box::new(|g, parents, _| {
-                let mut out = Vec::with_capacity(parents.len());
+        self.push_op("concat_cols", OpKind::ConcatCols, parts, |pv, out| {
+            let m = pv.get(0).rows();
+            let mut total = 0;
+            for i in 0..pv.len() {
+                let p = pv.get(i);
+                assert_eq!(p.shape().len(), 2, "concat_cols requires 2-D variables");
+                assert_eq!(p.rows(), m, "concat_cols row count mismatch");
+                total += p.cols();
+            }
+            out.resize_to(&[m, total]);
+            let od = out.as_mut_slice();
+            for i in 0..m {
                 let mut off = 0;
-                for p in parents {
-                    let w = p.cols();
-                    out.push(g.slice_cols(off, off + w));
-                    off += w;
+                for pi in 0..pv.len() {
+                    let p = pv.get(pi);
+                    let n = p.cols();
+                    od[i * total + off..i * total + off + n]
+                        .copy_from_slice(&p.as_slice()[i * n..(i + 1) * n]);
+                    off += n;
                 }
-                out
-            }),
-        )
+            }
+        })
     }
 
     /// Sum of all elements, producing a `[1, 1]` value.
     pub fn sum(&self, x: VarId) -> VarId {
-        let value = Tensor::from_vec(vec![self.value(x).sum()], &[1, 1]).expect("sum value");
-        self.push_custom_named(
-            "sum",
-            value,
-            &[x],
-            Box::new(|g, parents, _| {
-                let s = g.as_slice()[0];
-                vec![Tensor::full(parents[0].shape(), s)]
-            }),
-        )
+        self.push_op("sum", OpKind::Sum, &[x], |pv, out| {
+            out.resize_to(&[1, 1]);
+            out.as_mut_slice()[0] = pv.get(0).sum();
+        })
     }
 
     /// Mean of all elements, producing a `[1, 1]` value.
     pub fn mean_all(&self, x: VarId) -> VarId {
-        let n = self.value(x).len() as f32;
+        let n = self.with_value(x, Tensor::len) as f32;
         let s = self.sum(x);
         self.scale(s, 1.0 / n)
     }
@@ -485,34 +912,32 @@ impl Tape {
     /// Panics if `labels.len()` differs from the number of logit rows or a
     /// label is out of range.
     pub fn cross_entropy(&self, logits: VarId, labels: &[usize]) -> VarId {
-        let lv = self.value(logits);
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let lstart = inner.index_arena.len();
+        inner.index_arena.extend_from_slice(labels);
+        let kind = OpKind::CrossEntropy { lstart, lcount: labels.len() };
+        let idx = inner.node("cross_entropy", kind, &[logits]);
+        let (below, rest) = inner.values.split_at_mut(idx);
+        let lv = &below[logits.0];
         let (m, n) = (lv.rows(), lv.cols());
         assert_eq!(labels.len(), m, "labels/rows mismatch");
         for &l in labels {
             assert!(l < n, "label {l} out of range for {n} classes");
         }
-        let log_probs = lv.log_softmax_rows();
-        let loss: f32 =
-            -labels.iter().enumerate().map(|(i, &l)| log_probs.at(i, l)).sum::<f32>() / m as f32;
-        let labels_owned = labels.to_vec();
-        let value = Tensor::from_vec(vec![loss], &[1, 1]).expect("loss value");
-        self.push_custom_named(
-            "cross_entropy",
-            value,
-            &[logits],
-            Box::new(move |g, parents, _| {
-                let scale = g.as_slice()[0];
-                let probs = parents[0].softmax_rows();
-                let (m, n) = (probs.rows(), probs.cols());
-                let mut dx = probs;
-                for (i, &l) in labels_owned.iter().enumerate() {
-                    let v = dx.at(i, l) - 1.0;
-                    dx.set(i, l, v);
-                }
-                let _ = n;
-                vec![dx.scale(scale / m as f32)]
-            }),
-        )
+        // -mean(log_softmax(x)[label]) computed row by row with the same
+        // max / exp-sum / ln arithmetic as `Tensor::log_softmax_rows`, so the
+        // loss matches the seed's materialising implementation bit for bit.
+        let mut total = 0.0f32;
+        for (row, &l) in lv.as_slice().chunks(n).zip(labels.iter()) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+            total += -(row[l] - max - log_sum);
+        }
+        let out = &mut rest[0];
+        out.resize_to(&[1, 1]);
+        out.as_mut_slice()[0] = total / m as f32;
+        VarId(idx)
     }
 
     /// Gathers rows of an embedding `table` (shape `[vocab, dim]`) for the
@@ -522,32 +947,344 @@ impl Tape {
     ///
     /// Panics when an index is outside the table.
     pub fn embedding(&self, table: VarId, indices: &[usize]) -> VarId {
-        let tv = self.value(table);
+        self.embedding_inner(table, indices.len(), |arena| arena.extend_from_slice(indices))
+    }
+
+    /// Like [`Tape::embedding`] with `indices = 0..len` (positional
+    /// embeddings) without requiring the caller to materialise the index
+    /// vector.
+    pub fn embedding_iota(&self, table: VarId, len: usize) -> VarId {
+        self.embedding_inner(table, len, |arena| arena.extend(0..len))
+    }
+
+    fn embedding_inner(
+        &self,
+        table: VarId,
+        count: usize,
+        fill_indices: impl FnOnce(&mut Vec<usize>),
+    ) -> VarId {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let istart = inner.index_arena.len();
+        fill_indices(&mut inner.index_arena);
+        debug_assert_eq!(inner.index_arena.len(), istart + count);
+        let kind = OpKind::Embedding { istart, icount: count };
+        let idx = inner.node("embedding", kind, &[table]);
+        let indices = &inner.index_arena[istart..istart + count];
+        let (below, rest) = inner.values.split_at_mut(idx);
+        let tv = &below[table.0];
         let (vocab, dim) = (tv.rows(), tv.cols());
         for &i in indices {
             assert!(i < vocab, "token index {i} out of range for vocab {vocab}");
         }
-        let mut out = Tensor::zeros(&[indices.len(), dim]);
+        let out = &mut rest[0];
+        out.resize_to(&[count, dim]);
         for (orow, &i) in out.as_mut_slice().chunks_mut(dim).zip(indices.iter()) {
             orow.copy_from_slice(&tv.as_slice()[i * dim..(i + 1) * dim]);
         }
-        let indices_owned = indices.to_vec();
-        self.push_custom_named(
-            "embedding",
-            out,
-            &[table],
-            Box::new(move |g, parents, _| {
-                let (vocab, dim) = (parents[0].rows(), parents[0].cols());
-                let mut dt = Tensor::zeros(&[vocab, dim]);
-                for (gr, &i) in g.as_slice().chunks(dim).zip(indices_owned.iter()) {
-                    let trow = &mut dt.as_mut_slice()[i * dim..(i + 1) * dim];
-                    for (d, &gv) in trow.iter_mut().zip(gr.iter()) {
-                        *d += gv;
-                    }
+        VarId(idx)
+    }
+}
+
+/// Shorthand for the ensure + borrow pattern of the fused backward arms.
+fn grad_buf<'g>(
+    values: &[Tensor],
+    grads: &'g mut [Tensor],
+    has_grad: &mut [bool],
+    p: usize,
+) -> &'g mut [f32] {
+    ensure_grad(values, grads, has_grad, p);
+    grads[p].as_mut_slice()
+}
+
+/// Fused layer-norm backward: one pass per row computing `dx` directly into
+/// the parent gradient and staging `dgamma`/`dbeta` in reusable scratch (so
+/// their row-accumulation order matches the reference exactly).
+#[allow(clippy::too_many_arguments)]
+fn layer_norm_backward_fused(
+    g: &Tensor,
+    values: &[Tensor],
+    parents: &[usize],
+    eps: f32,
+    grads: &mut [Tensor],
+    has_grad: &mut [bool],
+    scratch: &mut [Vec<f32>; 4],
+) {
+    let xv = &values[parents[0]];
+    let gammav = &values[parents[1]];
+    let n = xv.cols();
+    let [dgamma, dbeta, xhat, dxhat] = scratch;
+    dgamma.clear();
+    dgamma.resize(n, 0.0);
+    dbeta.clear();
+    dbeta.resize(n, 0.0);
+    xhat.clear();
+    xhat.resize(n, 0.0);
+    dxhat.clear();
+    dxhat.resize(n, 0.0);
+    let gamma = gammav.as_slice();
+    {
+        let dst = grad_buf(values, grads, has_grad, parents[0]);
+        for ((dxr, row), gr) in
+            dst.chunks_mut(n).zip(xv.as_slice().chunks(n)).zip(g.as_slice().chunks(n))
+        {
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (h, &v) in xhat.iter_mut().zip(row.iter()) {
+                *h = (v - mean) * inv;
+            }
+            for (((dg, db), &gv), &h) in
+                dgamma.iter_mut().zip(dbeta.iter_mut()).zip(gr.iter()).zip(xhat.iter())
+            {
+                *dg += gv * h;
+                *db += gv;
+            }
+            for ((dh, &gv), &gm) in dxhat.iter_mut().zip(gr.iter()).zip(gamma.iter()) {
+                *dh = gv * gm;
+            }
+            let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
+            let mean_dxhat_xhat =
+                dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / n as f32;
+            for ((d, &dh), &h) in dxr.iter_mut().zip(dxhat.iter()).zip(xhat.iter()) {
+                *d += inv * (dh - mean_dxhat - h * mean_dxhat_xhat);
+            }
+        }
+    }
+    acc_slice(grad_buf(values, grads, has_grad, parents[1]), dgamma);
+    acc_slice(grad_buf(values, grads, has_grad, parents[2]), dbeta);
+}
+
+/// Fused cross-entropy backward: per-row softmax staged in scratch, then
+/// `(p - onehot) * upstream / rows` accumulated into the logits gradient.
+fn cross_entropy_backward_fused(
+    g: &Tensor,
+    values: &[Tensor],
+    parents: &[usize],
+    labels: &[usize],
+    grads: &mut [Tensor],
+    has_grad: &mut [bool],
+    scratch: &mut [Vec<f32>; 4],
+) {
+    let lv = &values[parents[0]];
+    let (m, n) = (lv.rows(), lv.cols());
+    let k = g.as_slice()[0] / m as f32;
+    let probs = &mut scratch[0];
+    probs.clear();
+    probs.resize(n, 0.0);
+    let dst = grad_buf(values, grads, has_grad, parents[0]);
+    for ((dxr, row), &l) in dst.chunks_mut(n).zip(lv.as_slice().chunks(n)).zip(labels.iter()) {
+        // Mirror `Tensor::softmax_rows` arithmetic exactly.
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (p, &x) in probs.iter_mut().zip(row.iter()) {
+            let e = (x - max).exp();
+            *p = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for p in probs.iter_mut() {
+            *p *= inv;
+        }
+        for (j, (d, &p)) in dxr.iter_mut().zip(probs.iter()).enumerate() {
+            let v = if j == l { p - 1.0 } else { p };
+            *d += v * k;
+        }
+    }
+}
+
+/// The seed autodiff's backward ops, kept verbatim in spirit: every gradient
+/// is a freshly allocated tensor (transposes materialised, parent grads
+/// `add`-chained), exactly reproducing the pre-arena tape's arithmetic and
+/// allocation profile. Used by [`Tape::backward_reference`].
+#[allow(clippy::too_many_arguments)]
+fn reference_builtin_backward(
+    kind: &OpKind,
+    g: &Tensor,
+    value: &Tensor,
+    values: &[Tensor],
+    parents: &[usize],
+    index_arena: &[usize],
+    grads: &mut [Tensor],
+    has_grad: &mut [bool],
+) {
+    let pv = |i: usize| &values[parents[i]];
+    let mut out: Vec<Tensor> = Vec::with_capacity(parents.len());
+    match kind {
+        OpKind::Leaf | OpKind::Custom(_) => unreachable!("handled by the caller"),
+        OpKind::Pending => panic!("custom node has no backward (set_backward missing)"),
+        OpKind::Add => {
+            out.push(g.clone());
+            out.push(g.clone());
+        }
+        OpKind::Sub => {
+            out.push(g.clone());
+            out.push(g.scale(-1.0));
+        }
+        OpKind::Mul => {
+            out.push(g.mul(pv(1)));
+            out.push(g.mul(pv(0)));
+        }
+        OpKind::Scale(c) => out.push(g.scale(*c)),
+        OpKind::Matmul => {
+            out.push(g.matmul(&pv(1).transpose()));
+            out.push(pv(0).transpose().matmul(g));
+        }
+        OpKind::Transpose => out.push(g.transpose()),
+        OpKind::SoftmaxRows => {
+            let y = value;
+            let (m, n) = (y.rows(), y.cols());
+            let mut dx = Tensor::zeros(&[m, n]);
+            let rows = dx.as_mut_slice().chunks_mut(n);
+            for ((dxr, gr), yr) in rows.zip(g.as_slice().chunks(n)).zip(y.as_slice().chunks(n)) {
+                let dot: f32 = gr.iter().zip(yr.iter()).map(|(&gv, &yv)| gv * yv).sum();
+                for ((d, &gv), &yv) in dxr.iter_mut().zip(gr.iter()).zip(yr.iter()) {
+                    *d = yv * (gv - dot);
                 }
-                vec![dt]
-            }),
-        )
+            }
+            out.push(dx);
+        }
+        OpKind::Relu => out.push(
+            Tensor::from_vec(
+                g.as_slice()
+                    .iter()
+                    .zip(pv(0).as_slice().iter())
+                    .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
+                    .collect(),
+                g.shape(),
+            )
+            .expect("relu gradient shape"),
+        ),
+        OpKind::Gelu => out.push(
+            Tensor::from_vec(
+                g.as_slice()
+                    .iter()
+                    .zip(pv(0).as_slice().iter())
+                    .map(|(&gv, &xv)| gv * gelu_grad_scalar(xv))
+                    .collect(),
+                g.shape(),
+            )
+            .expect("gelu gradient shape"),
+        ),
+        OpKind::LayerNorm { eps } => {
+            let (xv, gammav) = (pv(0), pv(1));
+            let (m, n) = (xv.rows(), xv.cols());
+            let mut dx = Tensor::zeros(&[m, n]);
+            let mut dgamma = Tensor::zeros(&[n]);
+            let mut dbeta = Tensor::zeros(&[n]);
+            let gamma = gammav.as_slice();
+            let mut xhat = vec![0.0f32; n];
+            let mut dxhat = vec![0.0f32; n];
+            let dx_rows = dx.as_mut_slice().chunks_mut(n);
+            for ((dxr, row), gr) in dx_rows.zip(xv.as_slice().chunks(n)).zip(g.as_slice().chunks(n))
+            {
+                let mean = row.iter().sum::<f32>() / n as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                let inv = 1.0 / (var + eps).sqrt();
+                for (h, &v) in xhat.iter_mut().zip(row.iter()) {
+                    *h = (v - mean) * inv;
+                }
+                for (((dg, db), &gv), &h) in dgamma
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(dbeta.as_mut_slice().iter_mut())
+                    .zip(gr.iter())
+                    .zip(xhat.iter())
+                {
+                    *dg += gv * h;
+                    *db += gv;
+                }
+                for ((dh, &gv), &gm) in dxhat.iter_mut().zip(gr.iter()).zip(gamma.iter()) {
+                    *dh = gv * gm;
+                }
+                let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
+                let mean_dxhat_xhat =
+                    dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum::<f32>() / n as f32;
+                for ((d, &dh), &h) in dxr.iter_mut().zip(dxhat.iter()).zip(xhat.iter()) {
+                    *d = inv * (dh - mean_dxhat - h * mean_dxhat_xhat);
+                }
+            }
+            out.push(dx);
+            out.push(dgamma);
+            out.push(dbeta);
+        }
+        OpKind::AddRowBroadcast => {
+            let bias_shape = pv(1).shape().to_vec();
+            let n = g.cols();
+            let mut db = vec![0.0f32; n];
+            for gr in g.as_slice().chunks(n) {
+                for (d, &gv) in db.iter_mut().zip(gr.iter()) {
+                    *d += gv;
+                }
+            }
+            out.push(g.clone());
+            out.push(Tensor::from_vec(db, &bias_shape).expect("bias gradient shape"));
+        }
+        OpKind::MeanPoolRows => {
+            let (m, n) = (pv(0).rows(), pv(0).cols());
+            let mut dx = Tensor::zeros(&[m, n]);
+            let scale = 1.0 / m as f32;
+            for dxr in dx.as_mut_slice().chunks_mut(n) {
+                for (d, &gv) in dxr.iter_mut().zip(g.as_slice().iter()) {
+                    *d = gv * scale;
+                }
+            }
+            out.push(dx);
+        }
+        OpKind::SliceCols { start, end } => {
+            let (m, n) = (pv(0).rows(), pv(0).cols());
+            let mut dx = Tensor::zeros(&[m, n]);
+            let w = end - start;
+            for (dxr, gr) in dx.as_mut_slice().chunks_mut(n).zip(g.as_slice().chunks(w)) {
+                dxr[*start..*end].copy_from_slice(gr);
+            }
+            out.push(dx);
+        }
+        OpKind::ConcatCols => {
+            let mut off = 0;
+            for i in 0..parents.len() {
+                let w = pv(i).cols();
+                out.push(g.slice_cols(off, off + w));
+                off += w;
+            }
+        }
+        OpKind::Sum => {
+            let s = g.as_slice()[0];
+            out.push(Tensor::full(pv(0).shape(), s));
+        }
+        OpKind::CrossEntropy { lstart, lcount } => {
+            let labels = &index_arena[*lstart..*lstart + *lcount];
+            let scale = g.as_slice()[0];
+            let probs = pv(0).softmax_rows();
+            let m = probs.rows();
+            let mut dx = probs;
+            for (i, &l) in labels.iter().enumerate() {
+                let v = dx.at(i, l) - 1.0;
+                dx.set(i, l, v);
+            }
+            out.push(dx.scale(scale / m as f32));
+        }
+        OpKind::Embedding { istart, icount } => {
+            let indices = &index_arena[*istart..*istart + *icount];
+            let (vocab, dim) = (pv(0).rows(), pv(0).cols());
+            let mut dt = Tensor::zeros(&[vocab, dim]);
+            for (gr, &i) in g.as_slice().chunks(dim).zip(indices.iter()) {
+                let trow = &mut dt.as_mut_slice()[i * dim..(i + 1) * dim];
+                for (d, &gv) in trow.iter_mut().zip(gr.iter()) {
+                    *d += gv;
+                }
+            }
+            out.push(dt);
+        }
+    }
+    assert_eq!(out.len(), parents.len(), "backward returned a wrong gradient count");
+    for (&p, pg) in parents.iter().zip(out) {
+        if has_grad[p] {
+            grads[p] = grads[p].add(&pg);
+        } else {
+            grads[p] = pg;
+            has_grad[p] = true;
+        }
     }
 }
 
@@ -679,6 +1416,16 @@ mod tests {
     }
 
     #[test]
+    fn embedding_iota_matches_explicit_indices() {
+        let table_t = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let tape = Tape::new();
+        let table = tape.leaf(table_t.clone());
+        let a = tape.embedding(table, &[0, 1, 2]);
+        let b = tape.embedding_iota(table, 3);
+        assert_eq!(tape.value(a), tape.value(b));
+    }
+
+    #[test]
     fn gradients_accumulate_across_reuse() {
         let tape = Tape::new();
         let x = tape.leaf(t(vec![1.0, 2.0], &[1, 2]));
@@ -728,5 +1475,140 @@ mod tests {
             1e-2,
         );
         assert!(ok);
+    }
+
+    /// A small graph exercising every built-in op with a non-trivial mix of
+    /// fan-out and reuse.
+    fn mixed_graph(tape: &Tape) -> (VarId, Vec<VarId>) {
+        let x =
+            tape.leaf(t((0..12).map(|i| ((i * 7 % 13) as f32) * 0.21 - 0.9).collect(), &[3, 4]));
+        let w =
+            tape.leaf(t((0..16).map(|i| ((i * 5 % 11) as f32) * 0.13 - 0.6).collect(), &[4, 4]));
+        let gamma = tape.leaf(t(vec![1.0, 0.8, 1.2, 0.9], &[4]));
+        let beta = tape.leaf(t(vec![0.1, -0.2, 0.0, 0.3], &[4]));
+        let bias = tape.leaf(t(vec![0.05, -0.03, 0.02, 0.07], &[4]));
+        let h = tape.matmul(x, w);
+        let h = tape.add_row_broadcast(h, bias);
+        let h = tape.gelu(h);
+        let hn = tape.layer_norm(h, gamma, beta, 1e-5);
+        let s = tape.softmax_rows(hn);
+        let left = tape.slice_cols(s, 0, 2);
+        let right = tape.slice_cols(s, 2, 4);
+        let joined = tape.concat_cols(&[right, left]);
+        let ht = tape.transpose(joined);
+        let back = tape.transpose(ht);
+        let mixed = tape.matmul(back, w);
+        let res = tape.add(mixed, x);
+        let scaled = tape.scale(res, 0.7);
+        let prod = tape.mul(scaled, x);
+        let pooled = tape.mean_pool_rows(prod);
+        let r = tape.relu(pooled);
+        let su = tape.sum(r);
+        let logits = tape.matmul(x, w);
+        let ce = tape.cross_entropy(logits, &[1, 0, 3]);
+        let loss = tape.add(su, ce);
+        (loss, vec![x, w, gamma, beta, bias])
+    }
+
+    #[test]
+    fn arena_backward_matches_reference_backward() {
+        let tape = Tape::new();
+        let (loss, leaves) = mixed_graph(&tape);
+        tape.backward(loss);
+        let fused: Vec<Tensor> = leaves.iter().map(|&l| tape.grad(l)).collect();
+        tape.backward_reference(loss);
+        for (i, (&l, f)) in leaves.iter().zip(&fused).enumerate() {
+            let r = tape.grad(l);
+            let max = f
+                .as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max <= 1e-6, "leaf {i}: fused vs reference grad diff {max}");
+        }
+    }
+
+    #[test]
+    fn reset_retains_capacity_and_reuses_buffers() {
+        let tape = Tape::new();
+        let (loss, _) = mixed_graph(&tape);
+        tape.backward(loss);
+        let nodes = tape.len();
+        let node_cap = tape.node_capacity();
+        let buf_cap = tape.buffer_capacity();
+        for _ in 0..5 {
+            tape.reset();
+            assert!(tape.is_empty());
+            let (loss, leaves) = mixed_graph(&tape);
+            tape.backward(loss);
+            assert!(tape.try_grad(leaves[0]).is_some());
+            assert_eq!(tape.len(), nodes, "re-recording must produce the same node count");
+            assert_eq!(tape.node_capacity(), node_cap, "node storage must not grow");
+            assert_eq!(tape.buffer_capacity(), buf_cap, "tape buffers must not grow");
+        }
+    }
+
+    #[test]
+    fn reset_then_rerecord_matches_fresh_tape() {
+        let reused = Tape::new();
+        let (loss, _) = mixed_graph(&reused);
+        reused.backward(loss);
+        reused.reset();
+        let (loss, leaves) = mixed_graph(&reused);
+        reused.backward(loss);
+
+        let fresh = Tape::new();
+        let (floss, fleaves) = mixed_graph(&fresh);
+        fresh.backward(floss);
+        assert_eq!(reused.value(loss), fresh.value(floss));
+        for (&a, &b) in leaves.iter().zip(&fleaves) {
+            assert_eq!(reused.grad(a), fresh.grad(b), "reused tape must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn leaf_copy_matches_leaf() {
+        let x = t(vec![1.0, -2.0, 3.0], &[1, 3]);
+        let tape = Tape::new();
+        let a = tape.leaf(x.clone());
+        let b = tape.leaf_copy(&x);
+        assert_eq!(tape.value(a), tape.value(b));
+    }
+
+    #[test]
+    fn value_scalar_reads_scalars() {
+        let tape = Tape::new();
+        let x = tape.leaf(t(vec![4.0], &[1, 1]));
+        assert_eq!(tape.value_scalar(x), 4.0);
+    }
+
+    #[test]
+    fn custom_op_duplicate_parents_accumulate() {
+        let tape = Tape::new();
+        let x = tape.leaf(t(vec![2.0, 3.0], &[1, 2]));
+        // y = x * x as a custom op with x recorded twice as a parent.
+        let value = tape.value(x).mul(&tape.value(x));
+        let y = tape.push_custom_named(
+            "square",
+            value,
+            &[x, x],
+            Box::new(|ctx| {
+                for i in 0..2 {
+                    let other = ctx.parent(1 - i).clone();
+                    let g: Vec<f32> = ctx
+                        .upstream()
+                        .as_slice()
+                        .iter()
+                        .zip(other.as_slice())
+                        .map(|(&gv, &o)| gv * o)
+                        .collect();
+                    acc_slice(ctx.parent_grad(i), &g);
+                }
+            }),
+        );
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).as_slice(), &[4.0, 6.0]);
     }
 }

@@ -9,11 +9,16 @@
 //! Accuracy (validated by the tests below and used by the serving-path error
 //! budget): absolute error ≤ 2e-7 for [`tanh_fast`], ≤ 1e-6 for
 //! [`gelu_fast`] over the finite range, relative error ≤ 1e-6 for
-//! [`exp_fast`]. The training/autodiff path never uses these kernels — the
-//! tape records the exact `libm`-based ops, so gradients and the
-//! `Model::predict` reference stay bit-identical to the seed. Inference
-//! sessions opt in (`FrozenModel::with_fast_math`) and stay within a 1e-5
-//! logit budget of the exact path; the kernels are deterministic and
+//! [`exp_fast`].
+//!
+//! Since PR 3, the canonical GELU scalar (`Tensor::gelu` and the tape's
+//! `gelu` op, forward and backward) is built on [`tanh_fast`] as well —
+//! `libm::tanhf` alone dominated the training-step profile. The tape and
+//! the frozen inference path share that scalar, so tape `predict` and
+//! frozen logits remain bit-identical to each other at every thread count;
+//! the remaining `FrozenModel::with_fast_math` opt-in now governs the
+//! [`exp_fast`]-based softmax/normalisation kernels, which the exact path
+//! still computes with `libm`. All kernels here are deterministic and
 //! element-wise, so batched execution remains bit-invariant to batch
 //! composition and thread count.
 

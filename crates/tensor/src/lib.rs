@@ -37,7 +37,7 @@ mod gradcheck;
 mod init;
 mod tensor;
 
-pub use autodiff::{BackwardFn, Tape, VarId};
+pub use autodiff::{BackwardCtx, BackwardFn, GradWriter, ParentValues, Tape, VarId};
 pub use error::TensorError;
 pub use gradcheck::check_gradient;
 pub use init::{kaiming_uniform, normal, uniform};

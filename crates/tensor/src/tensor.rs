@@ -146,6 +146,13 @@ impl Tensor {
         self.data.len()
     }
 
+    /// Heap capacity of the underlying storage in `f32` elements. Used by the
+    /// allocation-reuse tests to assert that steady-state training steps do
+    /// not grow tape buffers.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Returns `true` when the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -203,6 +210,47 @@ impl Tensor {
         Ok(self)
     }
 
+    /// Reshapes the tensor in place, reusing the existing heap storage.
+    ///
+    /// Existing element values are unspecified afterwards (callers are
+    /// expected to overwrite the whole buffer); the point of this method is
+    /// that repeated reshapes to steady-state shapes never reallocate — the
+    /// data `Vec` only grows, and the shape vector is rewritten in place.
+    /// This is the building block of the allocation-free autodiff tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty.
+    pub fn resize_to(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let volume: usize = shape.iter().product();
+        self.data.resize(volume, 0.0);
+        if self.shape.as_slice() != shape {
+            self.shape.clear();
+            self.shape.extend_from_slice(shape);
+        }
+    }
+
+    /// Copies `src` (shape and data) into `self`, reusing storage.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize_to(&src.shape);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// [`Tensor::resize_to`] with every element zeroed — exactly one pass
+    /// over the buffer regardless of whether it grows (a plain `resize_to` +
+    /// `fill(0.0)` would zero freshly grown storage twice).
+    pub fn resize_zeroed(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let volume: usize = shape.iter().product();
+        self.data.clear();
+        self.data.resize(volume, 0.0);
+        if self.shape.as_slice() != shape {
+            self.shape.clear();
+            self.shape.extend_from_slice(shape);
+        }
+    }
+
     /// Matrix multiplication `self × rhs` for 2-D tensors.
     ///
     /// The kernel is cache-blocked (`i`-`k`-`j` loop order with
@@ -215,12 +263,26 @@ impl Tensor {
     ///
     /// Panics when the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into `out` (resized and overwritten in
+    /// place, no allocation once `out`'s capacity suffices). Results are
+    /// bit-identical to `matmul`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &Tensor, out_t: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
+        out_t.resize_zeroed(&[m, n]);
+        let out = out_t.data.as_mut_slice();
         let band = |i0: usize, dst: &mut [f32]| {
             for kk in (0..k).step_by(MATMUL_KC) {
                 let kb = MATMUL_KC.min(k - kk);
@@ -283,13 +345,62 @@ impl Tensor {
         };
         // 2·m·k·n flops: only fan the bands out when there is real work.
         if m * k * n < (1 << 16) {
-            band(0, &mut out);
+            band(0, out);
         } else {
             out.par_chunks_mut(MATMUL_BAND_ROWS * n)
                 .enumerate()
                 .for_each(|(c, chunk)| band(c * MATMUL_BAND_ROWS, chunk));
         }
-        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Accumulates `selfᵀ × rhs` into `out`: `out[p][j] += Σ_i self[i][p] ·
+    /// rhs[i][j]` with `self` shaped `[m, k]`, `rhs` shaped `[m, n]` and
+    /// `out` holding `k · n` elements.
+    ///
+    /// This is the matmul-backward weight-gradient kernel `dB += Aᵀ · g`
+    /// without materialising the transpose. The partial product is staged in
+    /// `scratch` with the same ascending-`i` rank-1 accumulation order as
+    /// `self.transpose().matmul(&rhs)`, then added into `out` once, so the
+    /// result is bit-identical to the transpose-materialising reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree.
+    pub fn matmul_tn_acc(&self, rhs: &Tensor, scratch: &mut Vec<f32>, out: &mut [f32]) {
+        assert_eq!(self.shape.len(), 2, "matmul_tn_acc lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul_tn_acc rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (m2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(m, m2, "matmul_tn_acc outer dimension mismatch: {m} vs {m2}");
+        assert_eq!(out.len(), k * n, "matmul_tn_acc output length mismatch");
+        scratch.clear();
+        scratch.resize(k * n, 0.0);
+        let band = |p0: usize, dst: &mut [f32]| {
+            let rows = dst.len() / n;
+            for i in 0..m {
+                let grow = &rhs.data[i * n..(i + 1) * n];
+                for (pi, drow) in dst.chunks_mut(n).enumerate().take(rows) {
+                    let a = self.data[i * k + p0 + pi];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (d, &g) in drow.iter_mut().zip(grow.iter()) {
+                        *d += a * g;
+                    }
+                }
+            }
+        };
+        if m * k * n < (1 << 16) {
+            band(0, scratch);
+        } else {
+            scratch
+                .par_chunks_mut(MATMUL_BAND_ROWS * n)
+                .enumerate()
+                .for_each(|(c, chunk)| band(c * MATMUL_BAND_ROWS, chunk));
+        }
+        for (d, &s) in out.iter_mut().zip(scratch.iter()) {
+            *d += s;
+        }
     }
 
     /// The seed's naive triple-loop matmul, kept as the ground-truth oracle
@@ -332,9 +443,22 @@ impl Tensor {
     ///
     /// Panics when the tensor is not 2-D.
     pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::transpose`] writing into `out` (resized in place, no
+    /// allocation once `out`'s capacity suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn transpose_into(&self, out_t: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
+        out_t.resize_to(&[n, m]);
+        let out = out_t.data.as_mut_slice();
         let tile_band = |j0: usize, dst: &mut [f32]| {
             // `dst` holds whole output rows, i.e. input columns starting at j0.
             for ii in (0..m).step_by(TRANSPOSE_TILE) {
@@ -348,13 +472,37 @@ impl Tensor {
             }
         };
         if m * n < PAR_MIN_ELEMS {
-            tile_band(0, &mut out);
+            tile_band(0, out);
         } else {
             out.par_chunks_mut(TRANSPOSE_TILE * m)
                 .enumerate()
                 .for_each(|(c, chunk)| tile_band(c * TRANSPOSE_TILE, chunk));
         }
-        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Accumulates the transpose of `self` (shape `[m, n]`) into `out`
+    /// (holding `n · m` elements): `out[j][i] += self[i][j]`. Used by the
+    /// tape's allocation-free transpose backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D or `out` has the wrong length.
+    pub fn transpose_acc(&self, out: &mut [f32]) {
+        assert_eq!(self.shape.len(), 2, "transpose_acc requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(out.len(), m * n, "transpose_acc output length mismatch");
+        for jj in (0..n).step_by(TRANSPOSE_TILE) {
+            let jb = TRANSPOSE_TILE.min(n - jj);
+            for ii in (0..m).step_by(TRANSPOSE_TILE) {
+                let ib = TRANSPOSE_TILE.min(m - ii);
+                for dj in 0..jb {
+                    let orow = &mut out[(jj + dj) * m + ii..(jj + dj) * m + ii + ib];
+                    for (di, d) in orow.iter_mut().enumerate() {
+                        *d += self.data[(ii + di) * n + jj + dj];
+                    }
+                }
+            }
+        }
     }
 
     /// Element-wise addition.
@@ -421,18 +569,29 @@ impl Tensor {
     ///
     /// Panics when the column counts differ.
     pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.add_row_broadcast_into(row, &mut out);
+        out
+    }
+
+    /// [`Tensor::add_row_broadcast`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts differ.
+    pub fn add_row_broadcast_into(&self, row: &Tensor, out_t: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "add_row_broadcast requires a 2-D tensor");
         let n = self.shape[1];
         assert_eq!(row.len(), n, "broadcast row length {} != cols {}", row.len(), n);
-        let mut out = self.clone();
-        for_each_row_band(&mut out.data, n, |_, chunk| {
+        out_t.resize_to(&self.shape);
+        out_t.data.copy_from_slice(&self.data);
+        for_each_row_band(&mut out_t.data, n, |_, chunk| {
             for orow in chunk.chunks_mut(n) {
                 for (d, &b) in orow.iter_mut().zip(row.data.iter()) {
                     *d += b;
                 }
             }
         });
-        out
     }
 
     /// Row-wise numerically-stable softmax of a 2-D tensor.
@@ -441,10 +600,22 @@ impl Tensor {
     ///
     /// Panics when the tensor is not 2-D.
     pub fn softmax_rows(&self) -> Tensor {
+        let mut out = Tensor::default();
+        self.softmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::softmax_rows`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn softmax_rows_into(&self, out_t: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "softmax_rows requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
-        for_each_row_band(&mut out, n, |r0, chunk| {
+        out_t.resize_to(&[m, n]);
+        let out = out_t.data.as_mut_slice();
+        for_each_row_band(out, n, |r0, chunk| {
             for (i, orow) in chunk.chunks_mut(n).enumerate() {
                 let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
                 let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -460,7 +631,6 @@ impl Tensor {
                 }
             }
         });
-        Tensor { shape: vec![m, n], data: out }
     }
 
     /// Row-wise log-softmax of a 2-D tensor.
@@ -532,12 +702,30 @@ impl Tensor {
     ///
     /// Panics when the tensor is not 2-D or parameter lengths differ from `cols`.
     pub fn layer_norm_rows(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let mut out = Tensor::default();
+        self.layer_norm_rows_into(gamma, beta, eps, &mut out);
+        out
+    }
+
+    /// [`Tensor::layer_norm_rows`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D or parameter lengths differ from `cols`.
+    pub fn layer_norm_rows_into(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+        out_t: &mut Tensor,
+    ) {
         assert_eq!(self.shape.len(), 2, "layer_norm_rows requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         assert_eq!(gamma.len(), n, "gamma length mismatch");
         assert_eq!(beta.len(), n, "beta length mismatch");
-        let mut out = vec![0.0f32; m * n];
-        for_each_row_band(&mut out, n, |r0, chunk| {
+        out_t.resize_to(&[m, n]);
+        let out = out_t.data.as_mut_slice();
+        for_each_row_band(out, n, |r0, chunk| {
             for (i, orow) in chunk.chunks_mut(n).enumerate() {
                 let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
                 let mean = row.iter().sum::<f32>() / n as f32;
@@ -548,7 +736,6 @@ impl Tensor {
                 }
             }
         });
-        Tensor { shape: vec![m, n], data: out }
     }
 
     /// Rectified linear unit.
@@ -561,10 +748,10 @@ impl Tensor {
         self.map(gelu_scalar)
     }
 
-    /// GELU on the serving-grade fast-math kernel
-    /// ([`crate::fastmath::gelu_fast`], absolute error ≤ 1e-6 vs
-    /// [`Tensor::gelu`]). Used by frozen inference sessions; the autodiff
-    /// tape always records the exact variant.
+    /// GELU on [`crate::fastmath::gelu_fast`]. Since PR 3 the canonical
+    /// [`Tensor::gelu`] is built on the same fast-tanh kernel, so the two
+    /// differ only in expression layout (≤ 1e-7); the method is kept for the
+    /// serving path's explicit fast-math surface.
     pub fn gelu_fastmath(&self) -> Tensor {
         self.map(crate::fastmath::gelu_fast)
     }
@@ -590,18 +777,29 @@ impl Tensor {
     ///
     /// Panics when the tensor is not 2-D.
     pub fn mean_rows(&self) -> Tensor {
+        let mut out = Tensor::default();
+        self.mean_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::mean_rows`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn mean_rows_into(&self, out_t: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "mean_rows requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; n];
+        out_t.resize_zeroed(&[1, n]);
+        let out = out_t.data.as_mut_slice();
         for row in self.data.chunks(n) {
             for (o, &v) in out.iter_mut().zip(row.iter()) {
                 *o += v;
             }
         }
-        for v in &mut out {
+        for v in out.iter_mut() {
             *v /= m as f32;
         }
-        Tensor { shape: vec![1, n], data: out }
     }
 
     /// Index of the maximum element of each row of a 2-D tensor.
@@ -633,15 +831,26 @@ impl Tensor {
     ///
     /// Panics when the range is invalid for the tensor.
     pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        let mut out = Tensor::default();
+        self.slice_cols_into(start, end, &mut out);
+        out
+    }
+
+    /// [`Tensor::slice_cols`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is invalid for the tensor.
+    pub fn slice_cols_into(&self, start: usize, end: usize, out_t: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "slice_cols requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         assert!(start < end && end <= n, "invalid column range {start}..{end} for {n} cols");
         let w = end - start;
-        let mut out = vec![0.0f32; m * w];
+        out_t.resize_to(&[m, w]);
+        let out = out_t.data.as_mut_slice();
         for i in 0..m {
             out[i * w..(i + 1) * w].copy_from_slice(&self.data[i * n + start..i * n + end]);
         }
-        Tensor { shape: vec![m, w], data: out }
     }
 
     /// Extracts rows `[start, end)` of a 2-D tensor.
@@ -662,6 +871,17 @@ impl Tensor {
     ///
     /// Panics when `parts` is empty or row counts differ.
     pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        let mut out = Tensor::default();
+        Self::concat_cols_into(parts, &mut out);
+        out
+    }
+
+    /// [`Tensor::concat_cols`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or row counts differ.
+    pub fn concat_cols_into(parts: &[&Tensor], out_t: &mut Tensor) {
         assert!(!parts.is_empty(), "concat_cols requires at least one tensor");
         let m = parts[0].shape[0];
         for p in parts {
@@ -669,7 +889,8 @@ impl Tensor {
             assert_eq!(p.shape[0], m, "concat_cols row count mismatch");
         }
         let total: usize = parts.iter().map(|p| p.shape[1]).sum();
-        let mut out = vec![0.0f32; m * total];
+        out_t.resize_to(&[m, total]);
+        let out = out_t.data.as_mut_slice();
         for i in 0..m {
             let mut off = 0;
             for p in parts {
@@ -679,7 +900,6 @@ impl Tensor {
                 off += n;
             }
         }
-        Tensor { shape: vec![m, total], data: out }
     }
 
     /// Frobenius norm of the tensor.
@@ -692,6 +912,86 @@ impl Tensor {
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
             && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// [`Tensor::add`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn add_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.zip_into(rhs, "add", |a, b| a + b, out);
+    }
+
+    /// [`Tensor::sub`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn sub_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.zip_into(rhs, "sub", |a, b| a - b, out);
+    }
+
+    /// [`Tensor::mul`] writing into `out` (resized in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn mul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        self.zip_into(rhs, "mul", |a, b| a * b, out);
+    }
+
+    /// [`Tensor::scale`] writing into `out` (resized in place).
+    pub fn scale_into(&self, c: f32, out: &mut Tensor) {
+        self.map_into(|x| x * c, out);
+    }
+
+    /// [`Tensor::map`] writing into `out` (resized in place).
+    pub fn map_into<F: Fn(f32) -> f32 + Sync>(&self, f: F, out_t: &mut Tensor) {
+        out_t.resize_to(&self.shape);
+        let out = out_t.data.as_mut_slice();
+        if out.len() < PAR_MIN_ELEMS {
+            for (d, &x) in out.iter_mut().zip(self.data.iter()) {
+                *d = f(x);
+            }
+        } else {
+            out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
+                let src = &self.data[c * CHUNK_ELEMS..c * CHUNK_ELEMS + chunk.len()];
+                for (d, &x) in chunk.iter_mut().zip(src.iter()) {
+                    *d = f(x);
+                }
+            });
+        }
+    }
+
+    fn zip_into<F: Fn(f32, f32) -> f32 + Sync>(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: F,
+        out_t: &mut Tensor,
+    ) {
+        assert_eq!(
+            self.shape, rhs.shape,
+            "shape mismatch in {op}: {:?} vs {:?}",
+            self.shape, rhs.shape
+        );
+        out_t.resize_to(&self.shape);
+        let out = out_t.data.as_mut_slice();
+        if out.len() < PAR_MIN_ELEMS {
+            for ((d, &a), &b) in out.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+                *d = f(a, b);
+            }
+        } else {
+            out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
+                let start = c * CHUNK_ELEMS;
+                let lhs = &self.data[start..start + chunk.len()];
+                let rhv = &rhs.data[start..start + chunk.len()];
+                for ((d, &a), &b) in chunk.iter_mut().zip(lhs.iter()).zip(rhv.iter()) {
+                    *d = f(a, b);
+                }
+            });
+        }
     }
 
     fn zip_with<F: Fn(f32, f32) -> f32 + Sync>(
@@ -741,16 +1041,23 @@ impl Default for Tensor {
 }
 
 /// The tanh-approximated GELU used by BERT-style models.
+///
+/// The inner tanh runs on the validated [`crate::fastmath::tanh_fast`]
+/// kernel (absolute error ≤ 2e-7 vs `libm`, branch-free and vectorisable)
+/// rather than `libm::tanhf`, which alone dominated the training-step
+/// profile. The tape and the frozen inference path share this scalar, so
+/// tape `predict` and frozen logits remain bit-identical to each other.
 pub(crate) fn gelu_scalar(x: f32) -> f32 {
     const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+    0.5 * x * (1.0 + crate::fastmath::tanh_fast(SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)))
 }
 
-/// Derivative of [`gelu_scalar`] with respect to its input.
+/// Derivative of [`gelu_scalar`] with respect to its input (differentiating
+/// the same [`crate::fastmath::tanh_fast`]-based forward).
 pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
     const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
-    let t = inner.tanh();
+    let t = crate::fastmath::tanh_fast(inner);
     let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x);
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
 }
