@@ -50,6 +50,63 @@ fn bench(c: &mut Criterion) {
     bench_dense_vs_butterfly(c, &mut rng);
     bench_backward_kernels(c, &mut rng);
     bench_train_step(c, &mut rng);
+    bench_simd_kernels(c, &mut rng);
+}
+
+/// PR-4: the dispatched SIMD kernels against the scalar backend — fastmath
+/// exp/tanh/gelu slices and softmax/layer-norm rows, from cache-resident to
+/// streaming sizes. Toggles the process-global backend per measurement
+/// (criterion runs benches sequentially, so this is race-free).
+fn bench_simd_kernels(c: &mut Criterion, rng: &mut StdRng) {
+    use fab_tensor::simd::{self, Backend};
+    let mut group = c.benchmark_group("simd_vs_scalar");
+    group.sample_size(20);
+    let native = simd::default_backend();
+    let mut backends = vec![("scalar", Backend::Scalar)];
+    if native.is_simd() {
+        backends.push((native.name(), native));
+    }
+    for n in [64usize, 256, 1024, 4096] {
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+        let mut out = vec![0.0f32; n];
+        for &(bname, backend) in &backends {
+            for (kname, f) in [
+                ("exp", fab_tensor::fastmath::exp_fast_slice as fn(&[f32], &mut [f32])),
+                ("tanh", fab_tensor::fastmath::tanh_fast_slice),
+                ("gelu", fab_tensor::fastmath::gelu_fast_slice),
+            ] {
+                simd::force_backend(backend);
+                group.bench_function(format!("fastmath_{kname}_{n}_{bname}"), |b| {
+                    b.iter(|| f(black_box(&x), black_box(&mut out)))
+                });
+            }
+        }
+    }
+    for n in [64usize, 256, 1024, 4096] {
+        let rows = (1 << 18) / n; // constant element count across sizes
+        let t = random_tensor(rng, &[rows, n]);
+        let gamma = random_tensor(rng, &[n]);
+        let beta = random_tensor(rng, &[n]);
+        let mut out = Tensor::zeros(&[rows, n]);
+        for &(bname, backend) in &backends {
+            simd::force_backend(backend);
+            group.bench_function(format!("softmax_rows_{rows}x{n}_{bname}"), |b| {
+                b.iter(|| black_box(&t).softmax_rows_into(black_box(&mut out)))
+            });
+            group.bench_function(format!("layer_norm_rows_{rows}x{n}_{bname}"), |b| {
+                b.iter(|| {
+                    black_box(&t).layer_norm_rows_into(
+                        black_box(&gamma),
+                        black_box(&beta),
+                        1e-5,
+                        black_box(&mut out),
+                    )
+                })
+            });
+        }
+    }
+    simd::force_backend(simd::default_backend());
+    group.finish();
 }
 
 /// PR-3: the backward kernels of the training path — the specialized

@@ -203,7 +203,8 @@ fn main() {
     println!("speedup  : {speedup:.2}x   max |serial - served| logit diff: {max_diff:.3e}");
 
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"smoke\": {},\n  \"requests\": {},\n  \"worker_threads\": {},\n  \
+        "{{\n  \"pr\": 2,\n  \"smoke\": {},\n  {host},\n  \"requests\": {},\n  \
+         \"worker_threads\": {},\n  \
          \"model\": {{\"kind\": \"FABNet\", \"hidden\": {}, \"layers\": {}, \"max_seq\": {}}},\n  \
          \"traffic\": {:?},\n  \"arrival_mult\": {},\n  \
          \"serial\": {{\"throughput_rps\": {:.2}, \"p50_us\": {}, \"p99_us\": {}}},\n  \
@@ -238,6 +239,7 @@ fn main() {
         server_rps / session_rps,
         max_diff,
         opts.min_speedup,
+        host = fab_bench::host_info_json(),
     );
     std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
     println!("wrote BENCH_PR2.json");

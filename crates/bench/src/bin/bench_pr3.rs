@@ -173,7 +173,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"pr\": 3,\n  \"smoke\": {},\n  \"steps\": {},\n  \"worker_threads\": {},\n  \
+        "{{\n  \"pr\": 3,\n  \"smoke\": {},\n  {host},\n  \"steps\": {},\n  \
+         \"worker_threads\": {},\n  \
          \"model\": {{\"kind\": \"FABNet\", \"hidden\": {}, \"layers\": {}, \"max_seq\": {}}},\n  \
          \"task\": \"{}@{}\",\n  \
          \"reference\": {{\"steps_per_s\": {:.2}, \"seconds\": {:.4}}},\n  \
@@ -199,6 +200,7 @@ fn main() {
         max_grad_diff,
         loss_diff,
         opts.min_speedup,
+        host = fab_bench::host_info_json(),
     );
     std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
     println!("wrote BENCH_PR3.json");

@@ -1,0 +1,365 @@
+//! PR-4 SIMD-dispatch benchmark: every kernel class ported onto the
+//! `fab_tensor::simd` layer — the FMA-tiled matmul, the butterfly stage
+//! forward/backward, the fastmath transcendental rows and the row-wise
+//! softmax/layer-norm — measured against the scalar backend (the pre-PR
+//! kernels), plus end-to-end training-step and serving-batch deltas. Writes
+//! `BENCH_PR4.json` and exits non-zero when a gate fails.
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin bench_pr4 -- [--smoke]
+//!     [--min-speedup X]
+//! ```
+//!
+//! Gates (enforced when a SIMD backend is active):
+//! * every kernel agrees with the scalar oracle within 1e-5, normalised by
+//!   the output magnitude;
+//! * end-to-end train-step and serve throughput at or above `--min-speedup`
+//!   (CI passes 1.0: SIMD must never lose to scalar end to end);
+//! * at least two kernel classes (matmul / butterfly / fastmath rows) reach
+//!   1.25x.
+//!
+//! The JSON records the host's detected CPU features and the chosen backend
+//! so cross-host numbers stay interpretable.
+
+use fab_lra::{LraTask, TaskConfig};
+use fab_nn::{FusedAdamW, Model, ModelConfig, ModelKind, TrainStep};
+use fab_tensor::simd::{self, Backend};
+use fab_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Options {
+    min_speedup: f64,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut opts = Self { min_speedup: 0.0, smoke: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--min-speedup" => {
+                    opts.min_speedup = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--min-speedup needs a value"))
+                        .parse()
+                        .unwrap_or_else(|e| panic!("invalid --min-speedup: {e}"));
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        opts
+    }
+}
+
+/// One scalar-vs-SIMD measurement.
+struct Row {
+    name: String,
+    class: &'static str,
+    scalar_ms: f64,
+    simd_ms: f64,
+    check: f32,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ms / self.simd_ms
+    }
+}
+
+/// Interleaved best-of-N timing of `f` under `backend`, in milliseconds.
+fn time_backend<O>(backend: Backend, reps: usize, mut f: impl FnMut() -> O) -> (f64, O) {
+    simd::force_backend(backend);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut o = None;
+        for _ in 0..reps {
+            o = Some(std::hint::black_box(f()));
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3 / reps as f64);
+        out = o;
+    }
+    simd::force_backend(simd::default_backend());
+    (best, out.expect("at least one timed run"))
+}
+
+/// Max |a−b| normalised by the scalar result's magnitude — the PR-4
+/// tolerance metric (`≤ 1e-5`).
+fn normalized_max_diff(simd_out: &[f32], scalar_out: &[f32]) -> f32 {
+    let scale = scalar_out.iter().fold(1.0f32, |m, &v| m.max(v.abs()));
+    simd_out
+        .iter()
+        .zip(scalar_out.iter())
+        .map(|(x, y)| (x - y).abs() / scale)
+        .fold(0.0f32, f32::max)
+}
+
+fn random_tensor(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let volume: usize = shape.iter().product();
+    Tensor::from_vec((0..volume).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), shape)
+        .expect("random tensor shape")
+}
+
+fn bench_pair<O: AsRef<[f32]>>(
+    name: String,
+    class: &'static str,
+    simd_backend: Backend,
+    reps: usize,
+    mut f: impl FnMut() -> O,
+) -> Row {
+    let (scalar_ms, scalar_out) = time_backend(Backend::Scalar, reps, &mut f);
+    let (simd_ms, simd_out) = time_backend(simd_backend, reps, &mut f);
+    let check = normalized_max_diff(simd_out.as_ref(), scalar_out.as_ref());
+    Row { name, class, scalar_ms, simd_ms, check }
+}
+
+fn main() {
+    let opts = Options::parse();
+    let simd_backend = simd::default_backend();
+    let features = simd::cpu_features();
+    println!(
+        "bench_pr4: SIMD backend `{}` vs scalar oracle  (cpu: {features})",
+        simd_backend.name()
+    );
+    if !simd_backend.is_simd() {
+        println!("no SIMD backend available on this host; recording a no-op run");
+    }
+    let mut rng = StdRng::seed_from_u64(20220704);
+    let reps = |full: usize| if opts.smoke { (full / 4).max(1) } else { full };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- matmul microkernel, 256..1024. -----------------------------------
+    for n in [256usize, 512, 1024] {
+        let a = random_tensor(&mut rng, &[n, n]);
+        let b = random_tensor(&mut rng, &[n, n]);
+        let mut out = Tensor::zeros(&[n, n]);
+        let r = reps(if n >= 1024 { 2 } else { 8 });
+        rows.push(bench_pair(format!("matmul_{n}x{n}"), "matmul", simd_backend, r, || {
+            a.matmul_into(&b, &mut out);
+            out.as_slice().to_vec()
+        }));
+    }
+
+    // --- butterfly stage forward/backward rows. ----------------------------
+    {
+        let (rows_n, n) = (256usize, 512usize);
+        let bfly = fab_butterfly::ButterflyMatrix::random(n, &mut rng).expect("butterfly size");
+        let x = random_tensor(&mut rng, &[rows_n, n]);
+        let g = random_tensor(&mut rng, &[rows_n, n]);
+        rows.push(bench_pair(
+            format!("butterfly_forward_rows_{rows_n}x{n}"),
+            "butterfly",
+            simd_backend,
+            reps(8),
+            || bfly.forward_rows(&x).into_vec(),
+        ));
+        rows.push(bench_pair(
+            format!("butterfly_backward_rows_{rows_n}x{n}"),
+            "butterfly",
+            simd_backend,
+            reps(4),
+            || {
+                let (gx, gw) = bfly.backward_rows(&x, &g);
+                let mut v = gx.into_vec();
+                v.extend_from_slice(gw.as_slice());
+                v
+            },
+        ));
+    }
+
+    // --- fastmath transcendental rows. -------------------------------------
+    {
+        let n = 16384usize;
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+        let mut out = vec![0.0f32; n];
+        for (name, f) in [
+            ("exp", fab_tensor::fastmath::exp_fast_slice as fn(&[f32], &mut [f32])),
+            ("tanh", fab_tensor::fastmath::tanh_fast_slice),
+            ("gelu", fab_tensor::fastmath::gelu_fast_slice),
+        ] {
+            rows.push(bench_pair(
+                format!("fastmath_{name}_{n}"),
+                "fastmath",
+                simd_backend,
+                reps(64),
+                || {
+                    f(&x, &mut out);
+                    out.clone()
+                },
+            ));
+        }
+    }
+
+    // --- row-wise softmax / layer norm. -------------------------------------
+    {
+        let x = random_tensor(&mut rng, &[256, 256]);
+        let mut out = Tensor::zeros(&[256, 256]);
+        rows.push(bench_pair(
+            "softmax_rows_256x256".into(),
+            "rowwise",
+            simd_backend,
+            reps(32),
+            || {
+                x.softmax_rows_into(&mut out);
+                out.as_slice().to_vec()
+            },
+        ));
+        let gamma = random_tensor(&mut rng, &[256]);
+        let beta = random_tensor(&mut rng, &[256]);
+        rows.push(bench_pair(
+            "layer_norm_rows_256x256".into(),
+            "rowwise",
+            simd_backend,
+            reps(32),
+            || {
+                x.layer_norm_rows_into(&gamma, &beta, 1e-5, &mut out);
+                out.as_slice().to_vec()
+            },
+        ));
+    }
+
+    // --- end-to-end train step (LRA Text @ 64, as in bench_pr3). -----------
+    let train = {
+        let task = LraTask::Text;
+        let config = ModelConfig {
+            hidden: 64,
+            ffn_ratio: 4,
+            num_layers: 2,
+            num_abfly: 1,
+            num_heads: 4,
+            vocab_size: task.vocab_size(),
+            max_seq: 128,
+            num_classes: task.num_classes(),
+        };
+        let steps = if opts.smoke { 12 } else { 48 };
+        let samples = task.generate(&TaskConfig { seq_len: 64 }, steps, &mut rng);
+        bench_pair("train_step_text64".into(), "train", simd_backend, 1, || {
+            let model = Model::new(&config, ModelKind::FabNet, &mut StdRng::seed_from_u64(7));
+            let mut step = TrainStep::new(FusedAdamW::new(1e-3));
+            let mut losses = Vec::with_capacity(steps);
+            for s in &samples {
+                losses.push(step.step(&model, &s.tokens, s.label));
+            }
+            losses
+        })
+    };
+
+    // --- end-to-end serve batch (frozen batched forward). -------------------
+    let serve = {
+        let task = LraTask::Text;
+        let config = ModelConfig {
+            hidden: 64,
+            ffn_ratio: 4,
+            num_layers: 2,
+            num_abfly: 1,
+            num_heads: 4,
+            vocab_size: task.vocab_size(),
+            max_seq: 128,
+            num_classes: task.num_classes(),
+        };
+        let model = Model::new(&config, ModelKind::FabNet, &mut StdRng::seed_from_u64(11));
+        let frozen = model.freeze().with_fast_math(true);
+        let samples = task.generate(&TaskConfig { seq_len: 64 }, 16, &mut rng);
+        let batch: Vec<&[usize]> = samples.iter().map(|s| s.tokens.as_slice()).collect();
+        bench_pair("serve_logits_batch16_text64".into(), "serve", simd_backend, reps(8), || {
+            frozen.logits_batch(&batch, 64).into_iter().flatten().collect::<Vec<f32>>()
+        })
+    };
+    rows.push(train);
+    rows.push(serve);
+
+    // --- report. ------------------------------------------------------------
+    println!(
+        "\n{:<34} {:>12} {:>12} {:>9}  norm|Δ|",
+        "kernel", "scalar(ms)", "simd(ms)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>12.3} {:>12.3} {:>8.2}x  {:.2e}",
+            r.name,
+            r.scalar_ms,
+            r.simd_ms,
+            r.speedup(),
+            r.check
+        );
+    }
+    let class_best = |class: &str| {
+        rows.iter().filter(|r| r.class == class).map(Row::speedup).fold(0.0f64, f64::max)
+    };
+    let classes = [
+        ("matmul", class_best("matmul")),
+        ("butterfly", class_best("butterfly")),
+        ("fastmath", class_best("fastmath")),
+    ];
+    let classes_above = classes.iter().filter(|(_, s)| *s >= 1.25).count();
+    let train_speedup = rows.iter().find(|r| r.class == "train").expect("train row").speedup();
+    let serve_speedup = rows.iter().find(|r| r.class == "serve").expect("serve row").speedup();
+    let max_check = rows.iter().map(|r| r.check).fold(0.0f32, f32::max);
+    println!(
+        "\nclasses ≥ 1.25x: {classes_above}/3   train {train_speedup:.2}x   serve \
+         {serve_speedup:.2}x   max norm|Δ| {max_check:.2e}"
+    );
+
+    let mut json = String::from("{\n  \"pr\": 4,\n");
+    json.push_str(&format!("  \"smoke\": {},\n", opts.smoke));
+    json.push_str(&format!("  {},\n", fab_bench::host_info_json()));
+    json.push_str(&format!("  \"worker_threads\": {},\n", rayon::current_num_threads()));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"class\": \"{}\", \"scalar_ms\": {:.4}, \"simd_ms\": \
+             {:.4}, \"speedup\": {:.3}, \"normalized_max_diff\": {:.3e}}}{}\n",
+            r.name,
+            r.class,
+            r.scalar_ms,
+            r.simd_ms,
+            r.speedup(),
+            r.check,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"class_speedups\": {{\"matmul\": {:.3}, \"butterfly\": {:.3}, \"fastmath\": {:.3}}},\n",
+        classes[0].1, classes[1].1, classes[2].1
+    ));
+    json.push_str(&format!(
+        "  \"train_step_speedup\": {train_speedup:.3},\n  \"serve_speedup\": \
+         {serve_speedup:.3},\n  \"max_normalized_diff\": {max_check:.3e},\n  \
+         \"min_speedup_required\": {}\n}}\n",
+        opts.min_speedup
+    ));
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("wrote BENCH_PR4.json");
+
+    if !simd_backend.is_simd() {
+        println!("scalar-only host: speedup gates skipped");
+        return;
+    }
+    if max_check > 1e-5 {
+        eprintln!("FAIL: SIMD kernels drifted {max_check:.3e} from the scalar oracle (> 1e-5)");
+        std::process::exit(1);
+    }
+    if train_speedup < opts.min_speedup || serve_speedup < opts.min_speedup {
+        eprintln!(
+            "FAIL: end-to-end regression: train {train_speedup:.2}x / serve {serve_speedup:.2}x \
+             < required {:.2}x",
+            opts.min_speedup
+        );
+        std::process::exit(1);
+    }
+    if opts.min_speedup > 0.0 && classes_above < 2 {
+        eprintln!(
+            "FAIL: only {classes_above}/3 kernel classes reached 1.25x (matmul {:.2}x, \
+             butterfly {:.2}x, fastmath {:.2}x)",
+            classes[0].1, classes[1].1, classes[2].1
+        );
+        std::process::exit(1);
+    }
+}

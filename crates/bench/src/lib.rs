@@ -14,6 +14,18 @@ use fabnet::codesign::run_codesign;
 use fabnet::nn::flops;
 use fabnet::prelude::*;
 
+/// JSON fragment (`"host": {...}`) recording the architecture, the detected
+/// CPU features and the chosen `fab_tensor::simd` backend, embedded in every
+/// bench JSON so cross-host numbers stay interpretable.
+pub fn host_info_json() -> String {
+    format!(
+        "\"host\": {{\"arch\": \"{}\", \"cpu_features\": \"{}\", \"simd_backend\": \"{}\"}}",
+        std::env::consts::ARCH,
+        fab_tensor::simd::cpu_features(),
+        fab_tensor::simd::backend().name()
+    )
+}
+
 /// Fig. 1: FLOPs percentage of attention vs. linear layers across sequence
 /// lengths for BERT-Base/Large-shaped Transformers.
 pub fn fig1_flops_percentage() -> Vec<String> {

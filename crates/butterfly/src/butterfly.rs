@@ -7,6 +7,7 @@
 //! the full butterfly matrix therefore costs `O(N log N)` instead of `O(N^2)`.
 
 use crate::{log2_exact, ButterflyError};
+use fab_tensor::simd;
 use fab_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -112,10 +113,13 @@ impl ButterflyStage {
     ///
     /// Walks the blocks with `split_at_mut` slices instead of computing
     /// `pair_indices` per pair, so the inner loop is branch- and
-    /// division-free. The first two stages (`half` of 1 and 2), whose
-    /// blocks are too small to amortise per-block slicing, use dedicated
-    /// unrolled loops — the arithmetic per pair is identical, so results
-    /// are bit-equal to the generic path.
+    /// division-free, and runs each block through the dispatched
+    /// [`fab_tensor::simd`] pair kernel (vector lanes for `half` at or above
+    /// the backend width, identical scalar arithmetic below it). The first
+    /// two stages (`half` of 1 and 2), whose blocks are too small to
+    /// amortise per-block slicing, use dedicated unrolled loops — the
+    /// arithmetic per pair is identical in every path, so results are
+    /// bit-equal across backends and block sizes.
     ///
     /// # Panics
     ///
@@ -143,23 +147,13 @@ impl ButterflyStage {
                 }
             }
             _ => {
-                let mut p = 0;
-                for block in x.chunks_mut(2 * half) {
-                    let (lo, hi) = block.split_at_mut(half);
-                    let ws = self.w1[p..p + half]
-                        .iter()
-                        .zip(&self.w2[p..p + half])
-                        .zip(self.w3[p..p + half].iter().zip(&self.w4[p..p + half]));
-                    for ((l, h), ((&w1, &w2), (&w3, &w4))) in
-                        lo.iter_mut().zip(hi.iter_mut()).zip(ws)
-                    {
-                        let a = *l;
-                        let b = *h;
-                        *l = w1 * a + w2 * b;
-                        *h = w3 * a + w4 * b;
-                    }
-                    p += half;
-                }
+                // SoA pair update over contiguous lo/hi halves — the ideal
+                // SIMD shape. The whole stage (block loop included) runs in
+                // one dispatched kernel; its scalar arm and its tail for
+                // `half` below the vector width run the identical
+                // mul-then-add arithmetic, so results are bit-equal across
+                // backends and to the seed loop.
+                simd::butterfly_stage_in_place(half, &self.w1, &self.w2, &self.w3, &self.w4, x);
             }
         }
     }
@@ -209,22 +203,7 @@ impl ButterflyStage {
                 }
             }
             _ => {
-                let mut p = 0;
-                for (sblock, dblock) in src.chunks(2 * half).zip(dst.chunks_mut(2 * half)) {
-                    let (slo, shi) = sblock.split_at(half);
-                    let (dlo, dhi) = dblock.split_at_mut(half);
-                    let ws = self.w1[p..p + half]
-                        .iter()
-                        .zip(&self.w2[p..p + half])
-                        .zip(self.w3[p..p + half].iter().zip(&self.w4[p..p + half]));
-                    for (((&a, &b), (l, h)), ((w1, w2), (w3, w4))) in
-                        slo.iter().zip(shi.iter()).zip(dlo.iter_mut().zip(dhi.iter_mut())).zip(ws)
-                    {
-                        *l = w1 * a + w2 * b;
-                        *h = w3 * a + w4 * b;
-                    }
-                    p += half;
-                }
+                simd::butterfly_stage_into(half, &self.w1, &self.w2, &self.w3, &self.w4, src, dst);
             }
         }
     }
@@ -332,41 +311,17 @@ impl ButterflyStage {
                 }
             }
             _ => {
-                let mut p = 0;
-                for ((iblock, gblock), oblock) in input
-                    .chunks(2 * half)
-                    .zip(grad.chunks(2 * half))
-                    .zip(grad_in.chunks_mut(2 * half))
-                {
-                    let (ilo, ihi) = iblock.split_at(half);
-                    let (glo, ghi) = gblock.split_at(half);
-                    let (olo, ohi) = oblock.split_at_mut(half);
-                    let ws = self.w1[p..p + half]
-                        .iter()
-                        .zip(&self.w2[p..p + half])
-                        .zip(self.w3[p..p + half].iter().zip(&self.w4[p..p + half]));
-                    let gws = gw1[p..p + half]
-                        .iter_mut()
-                        .zip(gw2[p..p + half].iter_mut())
-                        .zip(gw3[p..p + half].iter_mut().zip(gw4[p..p + half].iter_mut()));
-                    for (((((&a, &b), (&g1, &g2)), (l, h)), ((w1, w2), (w3, w4))), dws) in ilo
-                        .iter()
-                        .zip(ihi.iter())
-                        .zip(glo.iter().zip(ghi.iter()))
-                        .zip(olo.iter_mut().zip(ohi.iter_mut()))
-                        .zip(ws)
-                        .zip(gws)
-                    {
-                        let ((d1, d2), (d3, d4)) = dws;
-                        *d1 += g1 * a;
-                        *d2 += g1 * b;
-                        *d3 += g2 * a;
-                        *d4 += g2 * b;
-                        *l = w1 * g1 + w3 * g2;
-                        *h = w2 * g1 + w4 * g2;
-                    }
-                    p += half;
-                }
+                simd::butterfly_stage_backward(
+                    half,
+                    &self.w1,
+                    &self.w2,
+                    &self.w3,
+                    &self.w4,
+                    input,
+                    grad,
+                    grad_in,
+                    [gw1, gw2, gw3, gw4],
+                );
             }
         }
     }

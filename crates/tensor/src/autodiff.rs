@@ -12,7 +12,7 @@
 //! accumulation) alive as a ground-truth oracle and benchmark baseline; the
 //! arena backward is validated against it in the property tests.
 
-use crate::tensor::{gelu_grad_scalar, gelu_scalar};
+use crate::tensor::gelu_grad_scalar;
 use crate::Tensor;
 use std::cell::RefCell;
 
@@ -184,9 +184,7 @@ fn ensure_grad(values: &[Tensor], grads: &mut [Tensor], has_grad: &mut [bool], p
 /// Element-wise `dst += src`.
 fn acc_slice(dst: &mut [f32], src: &[f32]) {
     debug_assert_eq!(dst.len(), src.len());
-    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-        *d += s;
-    }
+    crate::simd::add_acc(dst, src);
 }
 
 /// The operation that produced a node, with the data its backward needs.
@@ -634,22 +632,16 @@ impl Tape {
                     {
                         let bv = vbelow[parents[1]].as_slice();
                         let dst = grad_buf(vbelow, gbelow, has, parents[0]);
-                        for ((d, &gv), &b) in dst.iter_mut().zip(g.as_slice()).zip(bv) {
-                            *d += gv * b;
-                        }
+                        crate::simd::mul_acc(dst, g.as_slice(), bv);
                     }
                     let av = vbelow[parents[0]].as_slice();
                     let dst = grad_buf(vbelow, gbelow, has, parents[1]);
-                    for ((d, &gv), &a) in dst.iter_mut().zip(g.as_slice()).zip(av) {
-                        *d += gv * a;
-                    }
+                    crate::simd::mul_acc(dst, g.as_slice(), av);
                 }
                 OpKind::Scale(c) => {
                     let c = *c;
                     let dst = grad_buf(vbelow, gbelow, has, parents[0]);
-                    for (d, &gv) in dst.iter_mut().zip(g.as_slice()) {
-                        *d += gv * c;
-                    }
+                    crate::simd::axpy_acc(dst, c, g.as_slice());
                 }
                 OpKind::Matmul => {
                     // dA += g · Bᵀ on the blocked matmul kernel, with Bᵀ and
@@ -690,9 +682,7 @@ impl Tape {
                 OpKind::Gelu => {
                     let xv = vbelow[parents[0]].as_slice();
                     let dst = grad_buf(vbelow, gbelow, has, parents[0]);
-                    for ((d, &gv), &x) in dst.iter_mut().zip(g.as_slice()).zip(xv) {
-                        *d += gv * gelu_grad_scalar(x);
-                    }
+                    crate::simd::gelu_grad_acc(dst, g.as_slice(), xv);
                 }
                 OpKind::LayerNorm { eps } => {
                     layer_norm_backward_fused(g, vbelow, parents, *eps, gbelow, has, scratch);
@@ -704,9 +694,7 @@ impl Tape {
                     db.clear();
                     db.resize(n, 0.0);
                     for gr in g.as_slice().chunks(n) {
-                        for (d, &gv) in db.iter_mut().zip(gr.iter()) {
-                            *d += gv;
-                        }
+                        crate::simd::add_acc(db, gr);
                     }
                     acc_slice(grad_buf(vbelow, gbelow, has, parents[1]), db);
                 }
@@ -716,9 +704,7 @@ impl Tape {
                     let scale = 1.0 / m as f32;
                     let dst = grad_buf(vbelow, gbelow, has, parents[0]);
                     for dxr in dst.chunks_mut(n) {
-                        for (d, &gv) in dxr.iter_mut().zip(g.as_slice().iter()) {
-                            *d += gv * scale;
-                        }
+                        crate::simd::axpy_acc(dxr, scale, &g.as_slice()[..n]);
                     }
                 }
                 OpKind::SliceCols { start, end } => {
@@ -828,7 +814,7 @@ impl Tape {
 
     /// Gaussian error linear unit (tanh approximation).
     pub fn gelu(&self, a: VarId) -> VarId {
-        self.push_op("gelu", OpKind::Gelu, &[a], |pv, out| pv.get(0).map_into(gelu_scalar, out))
+        self.push_op("gelu", OpKind::Gelu, &[a], |pv, out| pv.get(0).gelu_into(out))
     }
 
     /// Row-wise layer normalization with learned `gamma` and `beta`.
@@ -1074,18 +1060,9 @@ fn cross_entropy_backward_fused(
     probs.resize(n, 0.0);
     let dst = grad_buf(values, grads, has_grad, parents[0]);
     for ((dxr, row), &l) in dst.chunks_mut(n).zip(lv.as_slice().chunks(n)).zip(labels.iter()) {
-        // Mirror `Tensor::softmax_rows` arithmetic exactly.
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for (p, &x) in probs.iter_mut().zip(row.iter()) {
-            let e = (x - max).exp();
-            *p = e;
-            sum += e;
-        }
-        let inv = 1.0 / sum;
-        for p in probs.iter_mut() {
-            *p *= inv;
-        }
+        // Mirror `Tensor::softmax_rows` arithmetic exactly — on every
+        // backend, since the reference backward materialises that very op.
+        crate::simd::softmax_row(row, probs);
         for (j, (d, &p)) in dxr.iter_mut().zip(probs.iter()).enumerate() {
             let v = if j == l { p - 1.0 } else { p };
             *d += v * k;

@@ -15,10 +15,13 @@
 //! `gelu` op, forward and backward) is built on [`tanh_fast`] as well —
 //! `libm::tanhf` alone dominated the training-step profile. The tape and
 //! the frozen inference path share that scalar, so tape `predict` and
-//! frozen logits remain bit-identical to each other at every thread count;
-//! the remaining `FrozenModel::with_fast_math` opt-in now governs the
-//! [`exp_fast`]-based softmax/normalisation kernels, which the exact path
-//! still computes with `libm`. All kernels here are deterministic and
+//! frozen logits remain bit-identical to each other at every thread count.
+//! Since PR 4 these kernels are also the lane arithmetic of the
+//! [`crate::simd`] backends (the slice variants below dispatch there), and
+//! the row-wise softmax/log-softmax kernels use the lane-parallel
+//! [`exp_fast`] on every SIMD backend regardless of the
+//! `FrozenModel::with_fast_math` flag — only `FAB_SIMD=scalar` restores the
+//! `libm` softmax path bit for bit. All kernels here are deterministic and
 //! element-wise, so batched execution remains bit-invariant to batch
 //! composition and thread count.
 
@@ -70,6 +73,37 @@ pub fn tanh_fast(x: f32) -> f32 {
 pub fn gelu_fast(x: f32) -> f32 {
     const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + tanh_fast(SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)))
+}
+
+/// [`exp_fast`] over a slice, lane-parallel on the active
+/// [`crate::simd`] backend. SIMD lanes run the identical operation sequence,
+/// so results are bit-identical to calling [`exp_fast`] per element.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn exp_fast_slice(src: &[f32], dst: &mut [f32]) {
+    crate::simd::exp_slice(src, dst);
+}
+
+/// [`tanh_fast`] over a slice (lane-parallel, bit-identical to the scalar
+/// kernel — see [`exp_fast_slice`]).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn tanh_fast_slice(src: &[f32], dst: &mut [f32]) {
+    crate::simd::tanh_slice(src, dst);
+}
+
+/// [`gelu_fast`] over a slice (lane-parallel, bit-identical to the scalar
+/// kernel — see [`exp_fast_slice`]).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn gelu_fast_slice(src: &[f32], dst: &mut [f32]) {
+    crate::simd::gelu_slice(src, dst);
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ mod error;
 pub mod fastmath;
 mod gradcheck;
 mod init;
+pub mod simd;
 mod tensor;
 
 pub use autodiff::{BackwardCtx, BackwardFn, GradWriter, ParentValues, Tape, VarId};

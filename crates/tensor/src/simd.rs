@@ -1,0 +1,1975 @@
+//! Explicit SIMD kernel layer ("fab-simd") with runtime backend dispatch.
+//!
+//! The compute kernels of this workspace compile against the baseline target
+//! (SSE2 on `x86_64`), so the compiler's autovectorizer never emits AVX2 or
+//! FMA instructions. This module provides a portable `f32x8`/`f32x4` vector
+//! abstraction with three backends — `x86_64` AVX2+FMA intrinsics, `aarch64`
+//! NEON, and a pure-scalar fallback — selected **once at startup** via
+//! runtime CPU-feature detection, and a set of slice-level kernels built on
+//! it that the tensor, butterfly, and serving hot paths dispatch into.
+//!
+//! # Backend selection
+//!
+//! [`backend()`] returns the active [`Backend`]. On first use it is computed
+//! from the `FAB_SIMD` environment variable:
+//!
+//! | `FAB_SIMD`        | effect                                             |
+//! |-------------------|----------------------------------------------------|
+//! | unset, `native`   | best backend the CPU supports (AVX2+FMA, NEON)     |
+//! | `off`, `scalar`   | pure-scalar kernels, bit-identical to the pre-SIMD |
+//! |                   | code paths                                         |
+//! | `avx2`, `neon`    | force a specific SIMD backend (panics when the CPU |
+//! |                   | or architecture does not support it)               |
+//!
+//! Tests and benches can additionally override the selection in-process via
+//! [`force_backend`].
+//!
+//! # Numerical contract
+//!
+//! * The **scalar** backend routes every kernel through exactly the loops the
+//!   pre-SIMD code ran: results are bit-identical to the historical kernels.
+//! * The element-wise transcendental kernels ([`exp_slice`], [`tanh_slice`],
+//!   [`gelu_slice`], [`gelu_grad_acc`]) and the butterfly pair kernels
+//!   evaluate the *same operations in the same order* per lane as their
+//!   scalar counterparts (multiplies and adds only, no FMA contraction), so
+//!   their SIMD results are bit-identical to the scalar backend for finite
+//!   inputs.
+//! * The matmul microkernel uses FMA register tiles and the row-wise
+//!   softmax / layer-norm kernels use lane-parallel [`exp_slice`]-style
+//!   exponentials and reordered reductions: those results legitimately
+//!   differ from the scalar oracle by rounding, bounded at ≤ 1e-5 relative
+//!   to the row/output magnitude (property-tested).
+//!
+//! # Alignment
+//!
+//! Tensor storage is plain `Vec<f32>` (4-byte alignment). Every vector
+//! load/store in this module is an *unaligned* access (`loadu`/`storeu`;
+//! NEON `vld1q`/`vst1q` have no alignment requirement), so kernels accept
+//! slices at arbitrary offsets — including deliberately misaligned
+//! sub-slices — at no correctness cost and, on every AVX2-era core,
+//! no measurable throughput cost for sequential access. A regression test
+//! exercises offsets 0–3 against the scalar oracle.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The vector instruction set driving the dispatched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Pure-scalar fallback: bit-identical to the pre-SIMD kernels.
+    Scalar,
+    /// 8-lane AVX2 + FMA (x86_64, runtime-detected).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// 4-lane NEON (aarch64 baseline).
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+impl Backend {
+    /// Short lower-case name (`scalar` / `avx2` / `neon`), as recorded in the
+    /// bench JSON files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => "avx2",
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// `true` when the backend uses vector instructions.
+    pub fn is_simd(self) -> bool {
+        !matches!(self, Backend::Scalar)
+    }
+
+    /// Number of `f32` lanes per vector (1 for the scalar backend).
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => 8,
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => 4,
+        }
+    }
+}
+
+const BACKEND_UNINIT: u8 = 0;
+const BACKEND_SCALAR: u8 = 1;
+#[cfg(target_arch = "x86_64")]
+const BACKEND_AVX2: u8 = 2;
+#[cfg(target_arch = "aarch64")]
+const BACKEND_NEON: u8 = 3;
+
+static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNINIT);
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => BACKEND_SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => BACKEND_AVX2,
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => BACKEND_NEON,
+    }
+}
+
+fn decode(v: u8) -> Backend {
+    match v {
+        BACKEND_SCALAR => Backend::Scalar,
+        #[cfg(target_arch = "x86_64")]
+        BACKEND_AVX2 => Backend::Avx2,
+        #[cfg(target_arch = "aarch64")]
+        BACKEND_NEON => Backend::Neon,
+        _ => unreachable!("invalid backend code {v}"),
+    }
+}
+
+/// The backend runtime detection alone would pick (ignoring any
+/// [`force_backend`] override but honouring `FAB_SIMD`).
+///
+/// # Panics
+///
+/// Panics when `FAB_SIMD` holds an unsupported value for this machine.
+pub fn default_backend() -> Backend {
+    match std::env::var("FAB_SIMD").ok().as_deref() {
+        None | Some("") | Some("native") => detect(),
+        Some("off") | Some("scalar") => Backend::Scalar,
+        #[cfg(target_arch = "x86_64")]
+        Some("avx2") => {
+            assert!(
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma"),
+                "FAB_SIMD=avx2 but this CPU does not support AVX2+FMA"
+            );
+            Backend::Avx2
+        }
+        #[cfg(target_arch = "aarch64")]
+        Some("neon") => Backend::Neon,
+        Some(other) => {
+            panic!("invalid FAB_SIMD value `{other}` (expected off|scalar|native|avx2|neon)")
+        }
+    }
+}
+
+fn detect() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Backend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return Backend::Neon;
+    }
+    #[allow(unreachable_code)]
+    Backend::Scalar
+}
+
+/// The active backend, selected once at startup (see the module docs for the
+/// `FAB_SIMD` override).
+pub fn backend() -> Backend {
+    let v = BACKEND.load(Ordering::Relaxed);
+    if v == BACKEND_UNINIT {
+        let b = default_backend();
+        BACKEND.store(encode(b), Ordering::Relaxed);
+        return b;
+    }
+    decode(v)
+}
+
+/// Overrides the active backend in-process. Intended for tests and benches
+/// that compare SIMD output against the scalar oracle; production code should
+/// rely on startup selection (`FAB_SIMD`) instead. Callers that toggle the
+/// backend concurrently with other threads must serialise themselves.
+///
+/// # Panics
+///
+/// Panics when a SIMD backend is forced on a CPU that does not support it.
+pub fn force_backend(b: Backend) {
+    #[cfg(target_arch = "x86_64")]
+    if b == Backend::Avx2 {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma"),
+            "cannot force the AVX2 backend: CPU lacks AVX2+FMA"
+        );
+    }
+    BACKEND.store(encode(b), Ordering::Relaxed);
+}
+
+/// Space-separated list of the SIMD-relevant CPU features detected at
+/// runtime, recorded in the bench JSON files so cross-host numbers stay
+/// interpretable.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats: Vec<&str> = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse2") {
+            feats.push("sse2");
+        }
+        if std::arch::is_x86_feature_detected!("sse4.1") {
+            feats.push("sse4.1");
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            feats.push("avx");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        feats.join(" ")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon".to_string()
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        String::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable vector abstraction.
+// ---------------------------------------------------------------------------
+
+/// Lane-parallel `f32` vector operations implemented by each SIMD backend.
+///
+/// All methods are `#[inline(always)]` wrappers over single instructions so
+/// that, once a generic kernel is monomorphised inside a
+/// `#[target_feature]`-annotated entry point, the whole kernel compiles with
+/// that feature set enabled.
+trait Vf32: Copy {
+    /// Lanes per vector.
+    const LANES: usize;
+    /// Unaligned load of `LANES` consecutive values.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be valid for reading `LANES` `f32`s.
+    unsafe fn load(p: *const f32) -> Self;
+    /// Unaligned store of `LANES` consecutive values.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be valid for writing `LANES` `f32`s.
+    unsafe fn store(self, p: *mut f32);
+    fn splat(x: f32) -> Self;
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+    fn max(self, o: Self) -> Self;
+    fn min(self, o: Self) -> Self;
+    /// Fused multiply-add `self * m + a` (single rounding).
+    fn fma(self, m: Self, a: Self) -> Self;
+    /// Horizontal sum of all lanes.
+    fn reduce_add(self) -> f32;
+    /// Horizontal max of all lanes.
+    fn reduce_max(self) -> f32;
+    /// `2^k` per lane via exponent-bit construction; lanes must hold exact
+    /// integers in `[-127, 127]` (the clamped range of [`exp_slice`]).
+    fn pow2i(self) -> Self;
+}
+
+// ---------------------------------------------------------------------------
+// Generic kernels (monomorphised per backend inside #[target_feature] entry
+// points; scalar tails use the fastmath scalar kernels, which are
+// bit-identical to the vector lanes).
+// ---------------------------------------------------------------------------
+
+mod kernels {
+    use super::Vf32;
+    use crate::fastmath::{exp_fast, gelu_fast, tanh_fast};
+    use crate::tensor::gelu_grad_scalar;
+
+    /// Vector [`exp_fast`]: identical operation order per lane, so lanes are
+    /// bit-identical to the scalar kernel.
+    #[inline(always)]
+    fn exp_v<V: Vf32>(x: V) -> V {
+        const LOG2E: f32 = std::f32::consts::LOG2_E;
+        #[allow(clippy::excessive_precision)]
+        const LN2_HI: f32 = 0.693_359_375;
+        const LN2_LO: f32 = -2.121_944_4e-4;
+        const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+        let x = x.max(V::splat(-87.0)).min(V::splat(88.0));
+        let k = x.mul(V::splat(LOG2E)).add(V::splat(MAGIC)).sub(V::splat(MAGIC));
+        let r = x.sub(k.mul(V::splat(LN2_HI))).sub(k.mul(V::splat(LN2_LO)));
+        // Horner evaluation with explicit mul-then-add (no FMA) to mirror the
+        // scalar polynomial bit for bit.
+        let mut p = r.mul(V::splat(1.0 / 5040.0));
+        p = V::splat(1.0 / 720.0).add(p);
+        p = r.mul(p);
+        p = V::splat(1.0 / 120.0).add(p);
+        p = r.mul(p);
+        p = V::splat(1.0 / 24.0).add(p);
+        p = r.mul(p);
+        p = V::splat(1.0 / 6.0).add(p);
+        p = r.mul(p);
+        p = V::splat(0.5).add(p);
+        p = r.mul(p);
+        p = V::splat(1.0).add(p);
+        p = r.mul(p);
+        p = V::splat(1.0).add(p);
+        k.pow2i().mul(p)
+    }
+
+    #[inline(always)]
+    fn tanh_v<V: Vf32>(x: V) -> V {
+        let clamped = x.max(V::splat(-9.0)).min(V::splat(9.0));
+        let e = exp_v(V::splat(2.0).mul(clamped));
+        e.sub(V::splat(1.0)).div(e.add(V::splat(1.0)))
+    }
+
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    const GELU_C: f32 = 0.044_715;
+
+    #[inline(always)]
+    fn gelu_inner_v<V: Vf32>(x: V) -> V {
+        // SQRT_2_OVER_PI * (x + GELU_C * x * x * x), matching the scalar
+        // association ((c*x)*x)*x.
+        let x3 = V::splat(GELU_C).mul(x).mul(x).mul(x);
+        V::splat(SQRT_2_OVER_PI).mul(x.add(x3))
+    }
+
+    #[inline(always)]
+    fn gelu_v<V: Vf32>(x: V) -> V {
+        let t = tanh_v(gelu_inner_v(x));
+        V::splat(0.5).mul(x).mul(V::splat(1.0).add(t))
+    }
+
+    #[inline(always)]
+    fn gelu_grad_v<V: Vf32>(x: V) -> V {
+        // Mirrors `gelu_grad_scalar`: 3.0 * GELU_C folds to the same f32
+        // constant the scalar expression produces.
+        const C3: f32 = 3.0 * GELU_C;
+        let t = tanh_v(gelu_inner_v(x));
+        let dinner = V::splat(SQRT_2_OVER_PI).mul(V::splat(1.0).add(V::splat(C3).mul(x).mul(x)));
+        let term1 = V::splat(0.5).mul(V::splat(1.0).add(t));
+        let term2 = V::splat(0.5).mul(x).mul(V::splat(1.0).sub(t.mul(t))).mul(dinner);
+        term1.add(term2)
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn exp_slice<V: Vf32>(src: &[f32], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let main = n - n % V::LANES;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe { exp_v(V::load(sp.add(i))).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = exp_fast(*sp.add(j)) };
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn tanh_slice<V: Vf32>(src: &[f32], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let main = n - n % V::LANES;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe { tanh_v(V::load(sp.add(i))).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = tanh_fast(*sp.add(j)) };
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn gelu_slice<V: Vf32>(src: &[f32], dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = src.len();
+        let main = n - n % V::LANES;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe { gelu_v(V::load(sp.add(i))).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = gelu_fast(*sp.add(j)) };
+        }
+    }
+
+    /// `dst += g * gelu'(x)`, with the product formed as mul-then-add so the
+    /// result is bit-identical to the scalar backward loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn gelu_grad_acc<V: Vf32>(dst: &mut [f32], g: &[f32], x: &[f32]) {
+        debug_assert_eq!(dst.len(), g.len());
+        debug_assert_eq!(dst.len(), x.len());
+        let n = dst.len();
+        let main = n - n % V::LANES;
+        let (dp, gp, xp) = (dst.as_mut_ptr(), g.as_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe {
+                let d = V::load(dp.add(i));
+                let t = V::load(gp.add(i)).mul(gelu_grad_v(V::load(xp.add(i))));
+                d.add(t).store(dp.add(i));
+            }
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) += *gp.add(j) * gelu_grad_scalar(*xp.add(j)) };
+        }
+    }
+
+    /// `dst += src` (exact, order-preserving).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn add_acc<V: Vf32>(dst: &mut [f32], src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let main = n - n % V::LANES;
+        let (dp, sp) = (dst.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe { V::load(dp.add(i)).add(V::load(sp.add(i))).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) += *sp.add(j) };
+        }
+    }
+
+    /// `dst += a * x` with mul-then-add per lane (bit-identical to the scalar
+    /// loop).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn axpy_acc<V: Vf32>(dst: &mut [f32], a: f32, x: &[f32]) {
+        debug_assert_eq!(dst.len(), x.len());
+        let n = dst.len();
+        let main = n - n % V::LANES;
+        let av = V::splat(a);
+        let (dp, xp) = (dst.as_mut_ptr(), x.as_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe { V::load(dp.add(i)).add(av.mul(V::load(xp.add(i)))).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) += a * *xp.add(j) };
+        }
+    }
+
+    /// `dst += a * b` element-wise, mul-then-add per lane.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn mul_acc<V: Vf32>(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        debug_assert_eq!(dst.len(), a.len());
+        debug_assert_eq!(dst.len(), b.len());
+        let n = dst.len();
+        let main = n - n % V::LANES;
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe {
+                V::load(dp.add(i)).add(V::load(ap.add(i)).mul(V::load(bp.add(i)))).store(dp.add(i))
+            };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) += *ap.add(j) * *bp.add(j) };
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn binary_slice<V: Vf32>(op: super::BinOp, a: &[f32], b: &[f32], dst: &mut [f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), dst.len());
+        let n = dst.len();
+        let main = n - n % V::LANES;
+        let (ap, bp, dp) = (a.as_ptr(), b.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe {
+                let (x, y) = (V::load(ap.add(i)), V::load(bp.add(i)));
+                let r = match op {
+                    super::BinOp::Add => x.add(y),
+                    super::BinOp::Sub => x.sub(y),
+                    super::BinOp::Mul => x.mul(y),
+                };
+                r.store(dp.add(i));
+            }
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe {
+                let (x, y) = (*ap.add(j), *bp.add(j));
+                *dp.add(j) = match op {
+                    super::BinOp::Add => x + y,
+                    super::BinOp::Sub => x - y,
+                    super::BinOp::Mul => x * y,
+                };
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn scale_slice<V: Vf32>(src: &[f32], c: f32, dst: &mut [f32]) {
+        debug_assert_eq!(src.len(), dst.len());
+        let n = dst.len();
+        let main = n - n % V::LANES;
+        let cv = V::splat(c);
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut i = 0;
+        while i < main {
+            unsafe { V::load(sp.add(i)).mul(cv).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = *sp.add(j) * c };
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn row_max<V: Vf32>(row: &[f32]) -> f32 {
+        let n = row.len();
+        let main = n - n % V::LANES;
+        let p = row.as_ptr();
+        let mut m = f32::NEG_INFINITY;
+        if main > 0 {
+            let mut vm = unsafe { V::load(p) };
+            let mut i = V::LANES;
+            while i < main {
+                vm = vm.max(unsafe { V::load(p.add(i)) });
+                i += V::LANES;
+            }
+            m = vm.reduce_max();
+        }
+        for j in main..n {
+            m = m.max(unsafe { *p.add(j) });
+        }
+        m
+    }
+
+    /// Row-wise softmax with lane-parallel fast exponentials; within ≤ 1e-6
+    /// of the scalar (libm) oracle.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn softmax_row<V: Vf32>(row: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(row.len(), out.len());
+        let n = row.len();
+        let main = n - n % V::LANES;
+        let m = unsafe { row_max::<V>(row) };
+        let mv = V::splat(m);
+        let (sp, dp) = (row.as_ptr(), out.as_mut_ptr());
+        let mut vsum = V::splat(0.0);
+        let mut i = 0;
+        while i < main {
+            unsafe {
+                let e = exp_v(V::load(sp.add(i)).sub(mv));
+                e.store(dp.add(i));
+                vsum = vsum.add(e);
+            }
+            i += V::LANES;
+        }
+        let mut sum = vsum.reduce_add();
+        for j in main..n {
+            unsafe {
+                let e = exp_fast(*sp.add(j) - m);
+                *dp.add(j) = e;
+                sum += e;
+            }
+        }
+        let inv = 1.0 / sum;
+        let iv = V::splat(inv);
+        let mut i = 0;
+        while i < main {
+            unsafe { V::load(dp.add(i)).mul(iv).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) *= inv };
+        }
+    }
+
+    /// Row-wise log-softmax (`x - max - ln Σ exp(x - max)`).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn log_softmax_row<V: Vf32>(row: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(row.len(), out.len());
+        let n = row.len();
+        let main = n - n % V::LANES;
+        let m = unsafe { row_max::<V>(row) };
+        let mv = V::splat(m);
+        let (sp, dp) = (row.as_ptr(), out.as_mut_ptr());
+        let mut vsum = V::splat(0.0);
+        let mut i = 0;
+        while i < main {
+            unsafe { vsum = vsum.add(exp_v(V::load(sp.add(i)).sub(mv))) };
+            i += V::LANES;
+        }
+        let mut sum = vsum.reduce_add();
+        for j in main..n {
+            unsafe { sum += exp_fast(*sp.add(j) - m) };
+        }
+        let log_sum = sum.ln();
+        let lv = V::splat(log_sum);
+        let mut i = 0;
+        while i < main {
+            unsafe { V::load(sp.add(i)).sub(mv).sub(lv).store(dp.add(i)) };
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = *sp.add(j) - m - log_sum };
+        }
+    }
+
+    #[inline(always)]
+    unsafe fn row_sum<V: Vf32>(row: &[f32]) -> f32 {
+        let n = row.len();
+        let main = n - n % V::LANES;
+        let p = row.as_ptr();
+        let mut vs = V::splat(0.0);
+        let mut i = 0;
+        while i < main {
+            vs = vs.add(unsafe { V::load(p.add(i)) });
+            i += V::LANES;
+        }
+        let mut s = vs.reduce_add();
+        for j in main..n {
+            s += unsafe { *p.add(j) };
+        }
+        s
+    }
+
+    #[inline(always)]
+    unsafe fn row_var_sum<V: Vf32>(row: &[f32], mean: f32) -> f32 {
+        let n = row.len();
+        let main = n - n % V::LANES;
+        let p = row.as_ptr();
+        let mv = V::splat(mean);
+        let mut vs = V::splat(0.0);
+        let mut i = 0;
+        while i < main {
+            let t = unsafe { V::load(p.add(i)) }.sub(mv);
+            vs = vs.add(t.mul(t));
+            i += V::LANES;
+        }
+        let mut s = vs.reduce_add();
+        for j in main..n {
+            let t = unsafe { *p.add(j) } - mean;
+            s += t * t;
+        }
+        s
+    }
+
+    #[inline(always)]
+    unsafe fn normalize_row<V: Vf32>(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        mean: f32,
+        inv: f32,
+        out: &mut [f32],
+    ) {
+        let n = row.len();
+        let main = n - n % V::LANES;
+        let (sp, gp, bp, dp) = (row.as_ptr(), gamma.as_ptr(), beta.as_ptr(), out.as_mut_ptr());
+        let (mv, iv) = (V::splat(mean), V::splat(inv));
+        let mut i = 0;
+        while i < main {
+            unsafe {
+                let x = V::load(sp.add(i));
+                let g = V::load(gp.add(i));
+                let b = V::load(bp.add(i));
+                g.mul(x.sub(mv)).mul(iv).add(b).store(dp.add(i));
+            }
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = *gp.add(j) * (*sp.add(j) - mean) * inv + *bp.add(j) };
+        }
+    }
+
+    /// Row-wise layer norm; mean/variance reductions are lane-reordered
+    /// (≤ 1e-6 of the scalar oracle).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn layer_norm_row<V: Vf32>(
+        row: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        out: &mut [f32],
+    ) {
+        let n = row.len();
+        let mean = unsafe { row_sum::<V>(row) } / n as f32;
+        let var = unsafe { row_var_sum::<V>(row, mean) } / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        unsafe { normalize_row::<V>(row, gamma, beta, mean, inv, out) };
+    }
+
+    /// Fused `(a + b)` + row-wise layer norm, writing the normalised sum.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available.
+    #[inline(always)]
+    pub unsafe fn add_layer_norm_row<V: Vf32>(
+        a: &[f32],
+        b: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        out: &mut [f32],
+    ) {
+        unsafe { binary_slice::<V>(super::BinOp::Add, a, b, out) };
+        let n = out.len();
+        let mean = unsafe { row_sum::<V>(out) } / n as f32;
+        let var = unsafe { row_var_sum::<V>(out, mean) } / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        let (gp, bp, dp) = (gamma.as_ptr(), beta.as_ptr(), out.as_mut_ptr());
+        let main = n - n % V::LANES;
+        let (mv, iv) = (V::splat(mean), V::splat(inv));
+        let mut i = 0;
+        while i < main {
+            unsafe {
+                let x = V::load(dp.add(i));
+                let g = V::load(gp.add(i));
+                let bb = V::load(bp.add(i));
+                g.mul(x.sub(mv)).mul(iv).add(bb).store(dp.add(i));
+            }
+            i += V::LANES;
+        }
+        for j in main..n {
+            unsafe { *dp.add(j) = *gp.add(j) * (*dp.add(j) - mean) * inv + *bp.add(j) };
+        }
+    }
+
+    // -- matmul microkernel -------------------------------------------------
+
+    /// Depth (`k`) block swept per panel pass; matches the blocked scalar
+    /// kernel in `tensor.rs` so both walk identical cache panels.
+    const KC: usize = 128;
+    /// Column block per panel pass (rhs panel stays L2-resident).
+    const NC: usize = 512;
+    /// Output rows per register tile.
+    const MR: usize = 4;
+
+    /// FMA register-tile matmul over one output row band:
+    /// `dst[i][j] += Σ_p lhs[i0+i][p] · rhs[p][j]`, with `dst` holding whole
+    /// `n`-wide rows and `lhs` terms with a zero coefficient skipped — the
+    /// same sparsity/NaN semantics as the scalar blocked kernel, so
+    /// `0.0 · inf` never injects NaN. Per output element the `p` sweep is
+    /// ascending with one FMA per term (scalar mul-add on the column tail),
+    /// independent of row grouping — which is what keeps
+    /// `Tensor::matmul_tn_acc`'s staged transpose product bit-identical to
+    /// the reference `transpose().matmul()`.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available and the
+    /// slice dimensions are consistent (`lhs` is `[rows_total, k]` with
+    /// `i0 + dst.len()/n <= rows_total`, `rhs` is `[k, n]`).
+    #[inline(always)]
+    pub unsafe fn matmul_band<V: Vf32>(
+        lhs: &[f32],
+        k: usize,
+        rhs: &[f32],
+        n: usize,
+        i0: usize,
+        dst: &mut [f32],
+    ) {
+        let rows = dst.len() / n;
+        let w = 2 * V::LANES;
+        let lp = lhs.as_ptr();
+        let rp = rhs.as_ptr();
+        let dp = dst.as_mut_ptr();
+        for kk in (0..k).step_by(KC) {
+            let kb = KC.min(k - kk);
+            for jj in (0..n).step_by(NC) {
+                let jb = NC.min(n - jj);
+                let jv = jb - jb % w;
+                let mut r = 0;
+                // 4-row × 2-vector register tiles over the vector columns.
+                while r + MR <= rows {
+                    let a_base = [
+                        (i0 + r) * k + kk,
+                        (i0 + r + 1) * k + kk,
+                        (i0 + r + 2) * k + kk,
+                        (i0 + r + 3) * k + kk,
+                    ];
+                    let mut jt = 0;
+                    while jt < jv {
+                        let j = jj + jt;
+                        unsafe {
+                            let mut acc = [
+                                V::load(dp.add(r * n + j)),
+                                V::load(dp.add(r * n + j + V::LANES)),
+                                V::load(dp.add((r + 1) * n + j)),
+                                V::load(dp.add((r + 1) * n + j + V::LANES)),
+                                V::load(dp.add((r + 2) * n + j)),
+                                V::load(dp.add((r + 2) * n + j + V::LANES)),
+                                V::load(dp.add((r + 3) * n + j)),
+                                V::load(dp.add((r + 3) * n + j + V::LANES)),
+                            ];
+                            for p in 0..kb {
+                                let b0 = V::load(rp.add((kk + p) * n + j));
+                                let b1 = V::load(rp.add((kk + p) * n + j + V::LANES));
+                                for (ri, base) in a_base.iter().enumerate() {
+                                    let a = *lp.add(base + p);
+                                    if a != 0.0 {
+                                        let av = V::splat(a);
+                                        acc[2 * ri] = av.fma(b0, acc[2 * ri]);
+                                        acc[2 * ri + 1] = av.fma(b1, acc[2 * ri + 1]);
+                                    }
+                                }
+                            }
+                            acc[0].store(dp.add(r * n + j));
+                            acc[1].store(dp.add(r * n + j + V::LANES));
+                            acc[2].store(dp.add((r + 1) * n + j));
+                            acc[3].store(dp.add((r + 1) * n + j + V::LANES));
+                            acc[4].store(dp.add((r + 2) * n + j));
+                            acc[5].store(dp.add((r + 2) * n + j + V::LANES));
+                            acc[6].store(dp.add((r + 3) * n + j));
+                            acc[7].store(dp.add((r + 3) * n + j + V::LANES));
+                        }
+                        jt += w;
+                    }
+                    r += MR;
+                }
+                // Remaining rows: single-row, 2-vector tiles.
+                while r < rows {
+                    let a_base = (i0 + r) * k + kk;
+                    let mut jt = 0;
+                    while jt < jv {
+                        let j = jj + jt;
+                        unsafe {
+                            let mut a0 = V::load(dp.add(r * n + j));
+                            let mut a1 = V::load(dp.add(r * n + j + V::LANES));
+                            for p in 0..kb {
+                                let a = *lp.add(a_base + p);
+                                if a != 0.0 {
+                                    let av = V::splat(a);
+                                    a0 = av.fma(V::load(rp.add((kk + p) * n + j)), a0);
+                                    a1 = av.fma(V::load(rp.add((kk + p) * n + j + V::LANES)), a1);
+                                }
+                            }
+                            a0.store(dp.add(r * n + j));
+                            a1.store(dp.add(r * n + j + V::LANES));
+                        }
+                        jt += w;
+                    }
+                    r += 1;
+                }
+                // Column tail of the panel: scalar mul-add, ascending p.
+                if jv < jb {
+                    for r in 0..rows {
+                        for p in 0..kb {
+                            let a = unsafe { *lp.add((i0 + r) * k + kk + p) };
+                            if a == 0.0 {
+                                continue;
+                            }
+                            for j in (jj + jv)..(jj + jb) {
+                                unsafe {
+                                    *dp.add(r * n + j) += a * *rp.add((kk + p) * n + j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // -- butterfly pair kernels --------------------------------------------
+
+    /// One whole butterfly stage, out of place: the block loop runs inside
+    /// the vector context so a stage costs a single dispatch. `w1..w4` hold
+    /// `pairs` weights, `src`/`dst` hold `2·pairs` elements, and `half` is
+    /// the stage's half-block size (pairs `p` of block `b` couple
+    /// `src[2bh + i]` with `src[2bh + h + i]`). Mul-then-add per lane with a
+    /// scalar tail for `half` below the vector width — bit-identical to the
+    /// scalar stage loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available and
+    /// that `half` divides `w1.len()`.
+    #[inline(always)]
+    pub unsafe fn butterfly_stage_into<V: Vf32>(
+        half: usize,
+        w1: &[f32],
+        w2: &[f32],
+        w3: &[f32],
+        w4: &[f32],
+        src: &[f32],
+        dst: &mut [f32],
+    ) {
+        let pairs = w1.len();
+        let main = half - half % V::LANES;
+        let (w1p, w2p, w3p, w4p) = (w1.as_ptr(), w2.as_ptr(), w3.as_ptr(), w4.as_ptr());
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut p = 0;
+        let mut base = 0;
+        while p < pairs {
+            let mut i = 0;
+            while i < main {
+                unsafe {
+                    let a = V::load(sp.add(base + i));
+                    let b = V::load(sp.add(base + half + i));
+                    V::load(w1p.add(p + i))
+                        .mul(a)
+                        .add(V::load(w2p.add(p + i)).mul(b))
+                        .store(dp.add(base + i));
+                    V::load(w3p.add(p + i))
+                        .mul(a)
+                        .add(V::load(w4p.add(p + i)).mul(b))
+                        .store(dp.add(base + half + i));
+                }
+                i += V::LANES;
+            }
+            while i < half {
+                unsafe {
+                    let a = *sp.add(base + i);
+                    let b = *sp.add(base + half + i);
+                    *dp.add(base + i) = *w1p.add(p + i) * a + *w2p.add(p + i) * b;
+                    *dp.add(base + half + i) = *w3p.add(p + i) * a + *w4p.add(p + i) * b;
+                }
+                i += 1;
+            }
+            p += half;
+            base += 2 * half;
+        }
+    }
+
+    /// [`butterfly_stage_into`] reading and overwriting `x` in place.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available and
+    /// that `half` divides `w1.len()`.
+    #[inline(always)]
+    pub unsafe fn butterfly_stage_in_place<V: Vf32>(
+        half: usize,
+        w1: &[f32],
+        w2: &[f32],
+        w3: &[f32],
+        w4: &[f32],
+        x: &mut [f32],
+    ) {
+        let pairs = w1.len();
+        let main = half - half % V::LANES;
+        let (w1p, w2p, w3p, w4p) = (w1.as_ptr(), w2.as_ptr(), w3.as_ptr(), w4.as_ptr());
+        let xp = x.as_mut_ptr();
+        let mut p = 0;
+        let mut base = 0;
+        while p < pairs {
+            let mut i = 0;
+            while i < main {
+                unsafe {
+                    let a = V::load(xp.add(base + i));
+                    let b = V::load(xp.add(base + half + i));
+                    V::load(w1p.add(p + i))
+                        .mul(a)
+                        .add(V::load(w2p.add(p + i)).mul(b))
+                        .store(xp.add(base + i));
+                    V::load(w3p.add(p + i))
+                        .mul(a)
+                        .add(V::load(w4p.add(p + i)).mul(b))
+                        .store(xp.add(base + half + i));
+                }
+                i += V::LANES;
+            }
+            while i < half {
+                unsafe {
+                    let a = *xp.add(base + i);
+                    let b = *xp.add(base + half + i);
+                    *xp.add(base + i) = *w1p.add(p + i) * a + *w2p.add(p + i) * b;
+                    *xp.add(base + half + i) = *w3p.add(p + i) * a + *w4p.add(p + i) * b;
+                }
+                i += 1;
+            }
+            p += half;
+            base += 2 * half;
+        }
+    }
+
+    /// One whole butterfly stage backward (block loop inside the vector
+    /// context): accumulates the four weight gradients and writes the input
+    /// gradient — mul-then-add per lane, bit-identical to the scalar stage
+    /// backward loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees the backend's target features are available and
+    /// that `half` divides `w1.len()`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub unsafe fn butterfly_stage_backward<V: Vf32>(
+        half: usize,
+        w1: &[f32],
+        w2: &[f32],
+        w3: &[f32],
+        w4: &[f32],
+        input: &[f32],
+        grad: &[f32],
+        grad_in: &mut [f32],
+        gw: [&mut [f32]; 4],
+    ) {
+        let pairs = w1.len();
+        let main = half - half % V::LANES;
+        let (w1p, w2p, w3p, w4p) = (w1.as_ptr(), w2.as_ptr(), w3.as_ptr(), w4.as_ptr());
+        let (ip, gp, op) = (input.as_ptr(), grad.as_ptr(), grad_in.as_mut_ptr());
+        let [d1, d2, d3, d4] = gw;
+        let (d1p, d2p, d3p, d4p) =
+            (d1.as_mut_ptr(), d2.as_mut_ptr(), d3.as_mut_ptr(), d4.as_mut_ptr());
+        let mut p = 0;
+        let mut base = 0;
+        while p < pairs {
+            let mut i = 0;
+            while i < main {
+                unsafe {
+                    let a = V::load(ip.add(base + i));
+                    let b = V::load(ip.add(base + half + i));
+                    let g1 = V::load(gp.add(base + i));
+                    let g2 = V::load(gp.add(base + half + i));
+                    V::load(d1p.add(p + i)).add(g1.mul(a)).store(d1p.add(p + i));
+                    V::load(d2p.add(p + i)).add(g1.mul(b)).store(d2p.add(p + i));
+                    V::load(d3p.add(p + i)).add(g2.mul(a)).store(d3p.add(p + i));
+                    V::load(d4p.add(p + i)).add(g2.mul(b)).store(d4p.add(p + i));
+                    V::load(w1p.add(p + i))
+                        .mul(g1)
+                        .add(V::load(w3p.add(p + i)).mul(g2))
+                        .store(op.add(base + i));
+                    V::load(w2p.add(p + i))
+                        .mul(g1)
+                        .add(V::load(w4p.add(p + i)).mul(g2))
+                        .store(op.add(base + half + i));
+                }
+                i += V::LANES;
+            }
+            while i < half {
+                unsafe {
+                    let a = *ip.add(base + i);
+                    let b = *ip.add(base + half + i);
+                    let g1 = *gp.add(base + i);
+                    let g2 = *gp.add(base + half + i);
+                    *d1p.add(p + i) += g1 * a;
+                    *d2p.add(p + i) += g1 * b;
+                    *d3p.add(p + i) += g2 * a;
+                    *d4p.add(p + i) += g2 * b;
+                    *op.add(base + i) = *w1p.add(p + i) * g1 + *w3p.add(p + i) * g2;
+                    *op.add(base + half + i) = *w2p.add(p + i) * g1 + *w4p.add(p + i) * g2;
+                }
+                i += 1;
+            }
+            p += half;
+            base += 2 * half;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86_64 AVX2+FMA backend.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{kernels, BinOp, Vf32};
+    use core::arch::x86_64::*;
+
+    /// Eight `f32` lanes in one AVX register.
+    #[derive(Clone, Copy)]
+    pub struct F32x8(__m256);
+
+    impl Vf32 for F32x8 {
+        const LANES: usize = 8;
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            F32x8(unsafe { _mm256_loadu_ps(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            unsafe { _mm256_storeu_ps(p, self.0) }
+        }
+
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            F32x8(unsafe { _mm256_set1_ps(x) })
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            F32x8(unsafe { _mm256_add_ps(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            F32x8(unsafe { _mm256_sub_ps(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            F32x8(unsafe { _mm256_mul_ps(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            F32x8(unsafe { _mm256_div_ps(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn max(self, o: Self) -> Self {
+            F32x8(unsafe { _mm256_max_ps(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn min(self, o: Self) -> Self {
+            F32x8(unsafe { _mm256_min_ps(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn fma(self, m: Self, a: Self) -> Self {
+            F32x8(unsafe { _mm256_fmadd_ps(self.0, m.0, a.0) })
+        }
+
+        #[inline(always)]
+        fn reduce_add(self) -> f32 {
+            unsafe {
+                let hi = _mm256_extractf128_ps(self.0, 1);
+                let lo = _mm256_castps256_ps128(self.0);
+                let s = _mm_add_ps(lo, hi);
+                let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+                let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+                _mm_cvtss_f32(s)
+            }
+        }
+
+        #[inline(always)]
+        fn reduce_max(self) -> f32 {
+            unsafe {
+                let hi = _mm256_extractf128_ps(self.0, 1);
+                let lo = _mm256_castps256_ps128(self.0);
+                let s = _mm_max_ps(lo, hi);
+                let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+                let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+                _mm_cvtss_f32(s)
+            }
+        }
+
+        #[inline(always)]
+        fn pow2i(self) -> Self {
+            unsafe {
+                let k = _mm256_cvtps_epi32(self.0);
+                let bits = _mm256_slli_epi32(_mm256_add_epi32(k, _mm256_set1_epi32(127)), 23);
+                F32x8(_mm256_castsi256_ps(bits))
+            }
+        }
+    }
+
+    macro_rules! avx2_entry {
+        ($(fn $name:ident($($arg:ident: $ty:ty),* $(,)?);)*) => {
+            $(
+                /// AVX2+FMA instantiation of the generic kernel.
+                ///
+                /// # Safety
+                ///
+                /// The CPU must support AVX2 and FMA (guaranteed by the
+                /// runtime dispatch in the public wrappers).
+                #[target_feature(enable = "avx2,fma")]
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn $name($($arg: $ty),*) {
+                    unsafe { kernels::$name::<F32x8>($($arg),*) }
+                }
+            )*
+        };
+    }
+
+    avx2_entry! {
+        fn exp_slice(src: &[f32], dst: &mut [f32]);
+        fn tanh_slice(src: &[f32], dst: &mut [f32]);
+        fn gelu_slice(src: &[f32], dst: &mut [f32]);
+        fn gelu_grad_acc(dst: &mut [f32], g: &[f32], x: &[f32]);
+        fn add_acc(dst: &mut [f32], src: &[f32]);
+        fn axpy_acc(dst: &mut [f32], a: f32, x: &[f32]);
+        fn mul_acc(dst: &mut [f32], a: &[f32], b: &[f32]);
+        fn binary_slice(op: BinOp, a: &[f32], b: &[f32], dst: &mut [f32]);
+        fn scale_slice(src: &[f32], c: f32, dst: &mut [f32]);
+        fn softmax_row(row: &[f32], out: &mut [f32]);
+        fn log_softmax_row(row: &[f32], out: &mut [f32]);
+        fn layer_norm_row(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]);
+        fn add_layer_norm_row(
+            a: &[f32],
+            b: &[f32],
+            gamma: &[f32],
+            beta: &[f32],
+            eps: f32,
+            out: &mut [f32],
+        );
+        fn matmul_band(lhs: &[f32], k: usize, rhs: &[f32], n: usize, i0: usize, dst: &mut [f32]);
+        fn butterfly_stage_into(
+            half: usize,
+            w1: &[f32],
+            w2: &[f32],
+            w3: &[f32],
+            w4: &[f32],
+            src: &[f32],
+            dst: &mut [f32],
+        );
+        fn butterfly_stage_in_place(
+            half: usize,
+            w1: &[f32],
+            w2: &[f32],
+            w3: &[f32],
+            w4: &[f32],
+            x: &mut [f32],
+        );
+        fn butterfly_stage_backward(
+            half: usize,
+            w1: &[f32],
+            w2: &[f32],
+            w3: &[f32],
+            w4: &[f32],
+            input: &[f32],
+            grad: &[f32],
+            grad_in: &mut [f32],
+            gw: [&mut [f32]; 4],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON backend (NEON is baseline on aarch64, so no runtime probe).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    // NEON intrinsics are safe on aarch64 (the feature is baseline); the
+    // unsafe blocks below keep the shape identical to the x86 backend.
+    #![allow(unused_unsafe)]
+
+    use super::{kernels, BinOp, Vf32};
+    use core::arch::aarch64::*;
+
+    /// Four `f32` lanes in one NEON register.
+    #[derive(Clone, Copy)]
+    pub struct F32x4(float32x4_t);
+
+    impl Vf32 for F32x4 {
+        const LANES: usize = 4;
+
+        #[inline(always)]
+        unsafe fn load(p: *const f32) -> Self {
+            F32x4(unsafe { vld1q_f32(p) })
+        }
+
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f32) {
+            unsafe { vst1q_f32(p, self.0) }
+        }
+
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            F32x4(unsafe { vdupq_n_f32(x) })
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            F32x4(unsafe { vaddq_f32(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            F32x4(unsafe { vsubq_f32(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            F32x4(unsafe { vmulq_f32(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            F32x4(unsafe { vdivq_f32(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn max(self, o: Self) -> Self {
+            F32x4(unsafe { vmaxq_f32(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn min(self, o: Self) -> Self {
+            F32x4(unsafe { vminq_f32(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn fma(self, m: Self, a: Self) -> Self {
+            F32x4(unsafe { vfmaq_f32(a.0, self.0, m.0) })
+        }
+
+        #[inline(always)]
+        fn reduce_add(self) -> f32 {
+            unsafe { vaddvq_f32(self.0) }
+        }
+
+        #[inline(always)]
+        fn reduce_max(self) -> f32 {
+            unsafe { vmaxvq_f32(self.0) }
+        }
+
+        #[inline(always)]
+        fn pow2i(self) -> Self {
+            unsafe {
+                let k = vcvtq_s32_f32(self.0);
+                let bits = vshlq_n_s32(vaddq_s32(k, vdupq_n_s32(127)), 23);
+                F32x4(vreinterpretq_f32_s32(bits))
+            }
+        }
+    }
+
+    macro_rules! neon_entry {
+        ($(fn $name:ident($($arg:ident: $ty:ty),* $(,)?);)*) => {
+            $(
+                /// NEON instantiation of the generic kernel.
+                ///
+                /// # Safety
+                ///
+                /// NEON must be available (baseline on aarch64).
+                #[allow(clippy::too_many_arguments)]
+                pub unsafe fn $name($($arg: $ty),*) {
+                    unsafe { kernels::$name::<F32x4>($($arg),*) }
+                }
+            )*
+        };
+    }
+
+    neon_entry! {
+        fn exp_slice(src: &[f32], dst: &mut [f32]);
+        fn tanh_slice(src: &[f32], dst: &mut [f32]);
+        fn gelu_slice(src: &[f32], dst: &mut [f32]);
+        fn gelu_grad_acc(dst: &mut [f32], g: &[f32], x: &[f32]);
+        fn add_acc(dst: &mut [f32], src: &[f32]);
+        fn axpy_acc(dst: &mut [f32], a: f32, x: &[f32]);
+        fn mul_acc(dst: &mut [f32], a: &[f32], b: &[f32]);
+        fn binary_slice(op: BinOp, a: &[f32], b: &[f32], dst: &mut [f32]);
+        fn scale_slice(src: &[f32], c: f32, dst: &mut [f32]);
+        fn softmax_row(row: &[f32], out: &mut [f32]);
+        fn log_softmax_row(row: &[f32], out: &mut [f32]);
+        fn layer_norm_row(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]);
+        fn add_layer_norm_row(
+            a: &[f32],
+            b: &[f32],
+            gamma: &[f32],
+            beta: &[f32],
+            eps: f32,
+            out: &mut [f32],
+        );
+        fn matmul_band(lhs: &[f32], k: usize, rhs: &[f32], n: usize, i0: usize, dst: &mut [f32]);
+        fn butterfly_stage_into(
+            half: usize,
+            w1: &[f32],
+            w2: &[f32],
+            w3: &[f32],
+            w4: &[f32],
+            src: &[f32],
+            dst: &mut [f32],
+        );
+        fn butterfly_stage_in_place(
+            half: usize,
+            w1: &[f32],
+            w2: &[f32],
+            w3: &[f32],
+            w4: &[f32],
+            x: &mut [f32],
+        );
+        fn butterfly_stage_backward(
+            half: usize,
+            w1: &[f32],
+            w2: &[f32],
+            w3: &[f32],
+            w4: &[f32],
+            input: &[f32],
+            grad: &[f32],
+            grad_in: &mut [f32],
+            gw: [&mut [f32]; 4],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched public kernels. The scalar arms reproduce the pre-SIMD loops
+// verbatim so `FAB_SIMD=scalar` stays bit-identical to the historical code.
+// ---------------------------------------------------------------------------
+
+/// Element-wise binary operation selector for [`binary_slice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+}
+
+macro_rules! dispatch {
+    (($($arg:expr),*), $name:ident, $scalar:block) => {
+        match backend() {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { x86::$name($($arg),*) },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe { neon::$name($($arg),*) },
+            Backend::Scalar => $scalar,
+        }
+    };
+}
+
+/// Lane-parallel [`crate::fastmath::exp_fast`] over a slice. SIMD lanes are
+/// bit-identical to the scalar kernel.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn exp_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "exp_slice length mismatch");
+    dispatch!((src, dst), exp_slice, {
+        for (d, &x) in dst.iter_mut().zip(src.iter()) {
+            *d = crate::fastmath::exp_fast(x);
+        }
+    })
+}
+
+/// Lane-parallel [`crate::fastmath::tanh_fast`] over a slice. SIMD lanes are
+/// bit-identical to the scalar kernel.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn tanh_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "tanh_slice length mismatch");
+    dispatch!((src, dst), tanh_slice, {
+        for (d, &x) in dst.iter_mut().zip(src.iter()) {
+            *d = crate::fastmath::tanh_fast(x);
+        }
+    })
+}
+
+/// Lane-parallel [`crate::fastmath::gelu_fast`] (the canonical GELU scalar)
+/// over a slice. SIMD lanes are bit-identical to the scalar kernel.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn gelu_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "gelu_slice length mismatch");
+    dispatch!((src, dst), gelu_slice, {
+        for (d, &x) in dst.iter_mut().zip(src.iter()) {
+            *d = crate::fastmath::gelu_fast(x);
+        }
+    })
+}
+
+/// `dst += g · gelu'(x)` — the GELU backward slice. SIMD lanes are
+/// bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn gelu_grad_acc(dst: &mut [f32], g: &[f32], x: &[f32]) {
+    assert_eq!(dst.len(), g.len(), "gelu_grad_acc length mismatch");
+    assert_eq!(dst.len(), x.len(), "gelu_grad_acc length mismatch");
+    dispatch!((dst, g, x), gelu_grad_acc, {
+        for ((d, &gv), &xv) in dst.iter_mut().zip(g.iter()).zip(x.iter()) {
+            *d += gv * crate::tensor::gelu_grad_scalar(xv);
+        }
+    })
+}
+
+/// `dst += src`, element-wise (exact in every backend).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn add_acc(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_acc length mismatch");
+    dispatch!((dst, src), add_acc, {
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d += s;
+        }
+    })
+}
+
+/// `dst += a · x` (mul-then-add; bit-identical to the scalar loop).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn axpy_acc(dst: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(dst.len(), x.len(), "axpy_acc length mismatch");
+    dispatch!((dst, a, x), axpy_acc, {
+        for (d, &xv) in dst.iter_mut().zip(x.iter()) {
+            *d += a * xv;
+        }
+    })
+}
+
+/// `dst += a · b` element-wise (mul-then-add; bit-identical to the scalar
+/// loop).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn mul_acc(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(dst.len(), a.len(), "mul_acc length mismatch");
+    assert_eq!(dst.len(), b.len(), "mul_acc length mismatch");
+    dispatch!((dst, a, b), mul_acc, {
+        for ((d, &av), &bv) in dst.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *d += av * bv;
+        }
+    })
+}
+
+/// Element-wise `dst = a (op) b` (exact in every backend).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn binary_slice(op: BinOp, a: &[f32], b: &[f32], dst: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "binary_slice length mismatch");
+    assert_eq!(a.len(), dst.len(), "binary_slice length mismatch");
+    dispatch!((op, a, b, dst), binary_slice, {
+        for ((d, &x), &y) in dst.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *d = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+            };
+        }
+    })
+}
+
+/// `dst = src · c` (exact in every backend).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn scale_slice(src: &[f32], c: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "scale_slice length mismatch");
+    dispatch!((src, c, dst), scale_slice, {
+        for (d, &x) in dst.iter_mut().zip(src.iter()) {
+            *d = x * c;
+        }
+    })
+}
+
+/// Numerically-stable softmax of one row. The scalar backend runs the
+/// historical libm loop bit for bit; SIMD backends use lane-parallel
+/// [`exp_slice`]-style exponentials and reordered sums (≤ 1e-6 of the scalar
+/// oracle).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn softmax_row(row: &[f32], out: &mut [f32]) {
+    assert_eq!(row.len(), out.len(), "softmax_row length mismatch");
+    dispatch!((row, out), softmax_row, {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (d, &x) in out.iter_mut().zip(row.iter()) {
+            let e = (x - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for d in out.iter_mut() {
+            *d *= inv;
+        }
+    })
+}
+
+/// Log-softmax of one row (same backend contract as [`softmax_row`]).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn log_softmax_row(row: &[f32], out: &mut [f32]) {
+    assert_eq!(row.len(), out.len(), "log_softmax_row length mismatch");
+    dispatch!((row, out), log_softmax_row, {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        for (d, &x) in out.iter_mut().zip(row.iter()) {
+            *d = x - max - log_sum;
+        }
+    })
+}
+
+/// Layer normalisation of one row with learned `gamma`/`beta` (same backend
+/// contract as [`softmax_row`]).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn layer_norm_row(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]) {
+    let n = row.len();
+    assert_eq!(out.len(), n, "layer_norm_row length mismatch");
+    assert_eq!(gamma.len(), n, "layer_norm_row gamma length mismatch");
+    assert_eq!(beta.len(), n, "layer_norm_row beta length mismatch");
+    dispatch!((row, gamma, beta, eps, out), layer_norm_row, {
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, (d, &x)) in out.iter_mut().zip(row.iter()).enumerate() {
+            *d = gamma[j] * (x - mean) * inv + beta[j];
+        }
+    })
+}
+
+/// Fused `(a + b)` + layer normalisation of one row, writing the normalised
+/// sum into `out` (same backend contract as [`softmax_row`]).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn add_layer_norm_row(
+    a: &[f32],
+    b: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) {
+    let n = a.len();
+    assert_eq!(b.len(), n, "add_layer_norm_row length mismatch");
+    assert_eq!(out.len(), n, "add_layer_norm_row length mismatch");
+    assert_eq!(gamma.len(), n, "add_layer_norm_row gamma length mismatch");
+    assert_eq!(beta.len(), n, "add_layer_norm_row beta length mismatch");
+    dispatch!((a, b, gamma, beta, eps, out), add_layer_norm_row, {
+        for ((d, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *d = x + y;
+        }
+        let mean = out.iter().sum::<f32>() / n as f32;
+        let var = out.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, d) in out.iter_mut().enumerate() {
+            *d = gamma[j] * (*d - mean) * inv + beta[j];
+        }
+    })
+}
+
+/// FMA register-tile matmul over one output row band (`dst[i][j] += Σ_p
+/// lhs[i0+i][p] · rhs[p][j]`, `dst` holding whole `n`-wide rows). Zero lhs
+/// terms are skipped, matching the blocked scalar kernel's non-finite-rhs
+/// semantics. The scalar arm is a plain reference-order loop and is only a
+/// fallback — the tensor kernels keep their own scalar path.
+///
+/// # Panics
+///
+/// Panics when the slice dimensions are inconsistent.
+pub fn matmul_band(lhs: &[f32], k: usize, rhs: &[f32], n: usize, i0: usize, dst: &mut [f32]) {
+    assert!(n > 0 && dst.len().is_multiple_of(n), "matmul_band output not whole rows");
+    let rows = dst.len() / n;
+    assert!((i0 + rows) * k <= lhs.len(), "matmul_band lhs too short");
+    assert!(k * n <= rhs.len(), "matmul_band rhs too short");
+    dispatch!((lhs, k, rhs, n, i0, dst), matmul_band, {
+        for (i, drow) in dst.chunks_mut(n).enumerate() {
+            for p in 0..k {
+                let a = lhs[(i0 + i) * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs[p * n..(p + 1) * n];
+                for (d, &bv) in drow.iter_mut().zip(brow.iter()) {
+                    *d += a * bv;
+                }
+            }
+        }
+    })
+}
+
+/// Applies one whole butterfly stage out of place: `w1..w4` hold the stage's
+/// `pairs` weights, `half` its half-block size, and `src`/`dst` one
+/// transform vector of `2·pairs` elements. The block loop runs inside the
+/// vector context, so a stage costs one dispatch. Bit-identical across
+/// backends (mul-then-add lanes, scalar tail below the vector width).
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree or `half` does not divide the pair
+/// count.
+pub fn butterfly_stage_into(
+    half: usize,
+    w1: &[f32],
+    w2: &[f32],
+    w3: &[f32],
+    w4: &[f32],
+    src: &[f32],
+    dst: &mut [f32],
+) {
+    let pairs = w1.len();
+    assert!(
+        half > 0 && pairs.is_multiple_of(half),
+        "butterfly_stage_into half {half} does not divide {pairs} pairs"
+    );
+    assert!(
+        w2.len() == pairs
+            && w3.len() == pairs
+            && w4.len() == pairs
+            && src.len() == 2 * pairs
+            && dst.len() == 2 * pairs,
+        "butterfly_stage_into length mismatch"
+    );
+    dispatch!((half, w1, w2, w3, w4, src, dst), butterfly_stage_into, {
+        let mut p = 0;
+        for (sblock, dblock) in src.chunks(2 * half).zip(dst.chunks_mut(2 * half)) {
+            let (slo, shi) = sblock.split_at(half);
+            let (dlo, dhi) = dblock.split_at_mut(half);
+            for i in 0..half {
+                let (a, b) = (slo[i], shi[i]);
+                dlo[i] = w1[p + i] * a + w2[p + i] * b;
+                dhi[i] = w3[p + i] * a + w4[p + i] * b;
+            }
+            p += half;
+        }
+    })
+}
+
+/// [`butterfly_stage_into`] reading and overwriting `x` in place.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree or `half` does not divide the pair
+/// count.
+pub fn butterfly_stage_in_place(
+    half: usize,
+    w1: &[f32],
+    w2: &[f32],
+    w3: &[f32],
+    w4: &[f32],
+    x: &mut [f32],
+) {
+    let pairs = w1.len();
+    assert!(
+        half > 0 && pairs.is_multiple_of(half),
+        "butterfly_stage_in_place half {half} does not divide {pairs} pairs"
+    );
+    assert!(
+        w2.len() == pairs && w3.len() == pairs && w4.len() == pairs && x.len() == 2 * pairs,
+        "butterfly_stage_in_place length mismatch"
+    );
+    dispatch!((half, w1, w2, w3, w4, x), butterfly_stage_in_place, {
+        let mut p = 0;
+        for block in x.chunks_mut(2 * half) {
+            let (lo, hi) = block.split_at_mut(half);
+            for i in 0..half {
+                let (a, b) = (lo[i], hi[i]);
+                lo[i] = w1[p + i] * a + w2[p + i] * b;
+                hi[i] = w3[p + i] * a + w4[p + i] * b;
+            }
+            p += half;
+        }
+    })
+}
+
+/// Backward of one whole butterfly stage: accumulates the four weight
+/// gradients into `gw = [d1, d2, d3, d4]` (each `pairs` long) and writes the
+/// input gradient into `grad_in`. One dispatch per stage; bit-identical
+/// across backends.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree or `half` does not divide the pair
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn butterfly_stage_backward(
+    half: usize,
+    w1: &[f32],
+    w2: &[f32],
+    w3: &[f32],
+    w4: &[f32],
+    input: &[f32],
+    grad: &[f32],
+    grad_in: &mut [f32],
+    gw: [&mut [f32]; 4],
+) {
+    let pairs = w1.len();
+    assert!(
+        half > 0 && pairs.is_multiple_of(half),
+        "butterfly_stage_backward half {half} does not divide {pairs} pairs"
+    );
+    assert!(
+        w2.len() == pairs
+            && w3.len() == pairs
+            && w4.len() == pairs
+            && input.len() == 2 * pairs
+            && grad.len() == 2 * pairs
+            && grad_in.len() == 2 * pairs
+            && gw.iter().all(|d| d.len() == pairs),
+        "butterfly_stage_backward length mismatch"
+    );
+    dispatch!((half, w1, w2, w3, w4, input, grad, grad_in, gw), butterfly_stage_backward, {
+        let [d1, d2, d3, d4] = gw;
+        let mut p = 0;
+        for ((iblock, gblock), oblock) in
+            input.chunks(2 * half).zip(grad.chunks(2 * half)).zip(grad_in.chunks_mut(2 * half))
+        {
+            let (ilo, ihi) = iblock.split_at(half);
+            let (glo, ghi) = gblock.split_at(half);
+            let (olo, ohi) = oblock.split_at_mut(half);
+            for i in 0..half {
+                let (a, b) = (ilo[i], ihi[i]);
+                let (g1, g2) = (glo[i], ghi[i]);
+                d1[p + i] += g1 * a;
+                d2[p + i] += g1 * b;
+                d3[p + i] += g2 * a;
+                d4[p + i] += g2 * b;
+                olo[i] = w1[p + i] * g1 + w3[p + i] * g2;
+                ohi[i] = w2[p + i] * g1 + w4[p + i] * g2;
+            }
+            p += half;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serialises tests that toggle the process-global backend.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+        let prev = backend();
+        force_backend(b);
+        let r = f();
+        force_backend(prev);
+        r
+    }
+
+    fn data(n: usize, salt: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 37 + salt * 11) % 223) as f32) * 0.021 - 2.3).collect()
+    }
+
+    #[test]
+    fn backend_name_and_lanes_are_consistent() {
+        let b = backend();
+        assert_eq!(b.is_simd(), b.lanes() > 1);
+        assert!(!b.name().is_empty());
+        assert!(!cpu_features().is_empty() || b == Backend::Scalar);
+    }
+
+    #[test]
+    fn transcendental_slices_are_bit_identical_across_backends() {
+        let _g = guard();
+        if !default_backend().is_simd() {
+            return;
+        }
+        for n in [1usize, 7, 8, 15, 64, 97, 1000] {
+            let x = data(n, 1);
+            for kernel in [exp_slice, tanh_slice, gelu_slice] {
+                let mut simd = vec![0.0f32; n];
+                let mut scalar = vec![0.0f32; n];
+                with_backend(default_backend(), || kernel(&x, &mut simd));
+                with_backend(Backend::Scalar, || kernel(&x, &mut scalar));
+                assert_eq!(simd, scalar, "transcendental lanes diverged at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_row_matches_scalar_oracle_within_1e6() {
+        let _g = guard();
+        if !default_backend().is_simd() {
+            return;
+        }
+        for n in [1usize, 5, 8, 13, 64, 101] {
+            let x = data(n, 2);
+            let mut simd = vec![0.0f32; n];
+            let mut scalar = vec![0.0f32; n];
+            with_backend(default_backend(), || softmax_row(&x, &mut simd));
+            with_backend(Backend::Scalar, || softmax_row(&x, &mut scalar));
+            for (a, b) in simd.iter().zip(scalar.iter()) {
+                assert!((a - b).abs() <= 1e-6, "softmax diverged at n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_kernels_match_scalar_bitwise() {
+        let _g = guard();
+        if !default_backend().is_simd() {
+            return;
+        }
+        for n in [3usize, 8, 17, 256] {
+            let a = data(n, 3);
+            let b = data(n, 4);
+            let mut d1 = data(n, 5);
+            let mut d2 = d1.clone();
+            with_backend(default_backend(), || {
+                add_acc(&mut d1, &a);
+                axpy_acc(&mut d1, 0.37, &b);
+                mul_acc(&mut d1, &a, &b);
+                gelu_grad_acc(&mut d1, &a, &b);
+            });
+            with_backend(Backend::Scalar, || {
+                add_acc(&mut d2, &a);
+                axpy_acc(&mut d2, 0.37, &b);
+                mul_acc(&mut d2, &a, &b);
+                gelu_grad_acc(&mut d2, &a, &b);
+            });
+            assert_eq!(d1, d2, "accumulate kernels diverged at n={n}");
+        }
+    }
+}

@@ -6,10 +6,16 @@ use std::fmt;
 // Compute-core tuning parameters.
 //
 // The hot kernels below are cache-blocked and parallelised over row bands
-// with rayon. The constants are chosen for typical L1/L2 sizes (32 KiB /
-// 256 KiB-1 MiB) and `f32` storage; they only affect performance, never
-// results — every blocked/parallel kernel is bit-compatible with its serial
-// reference (see `matmul_reference` and the parallel-consistency tests).
+// with rayon, and dispatch their inner loops onto the `crate::simd` backend
+// selected at startup. The constants are chosen for typical L1/L2 sizes
+// (32 KiB / 256 KiB-1 MiB) and `f32` storage; they only affect performance,
+// never results. On the scalar backend (`FAB_SIMD=scalar`) every
+// blocked/parallel kernel is bit-compatible with its serial reference (see
+// `matmul_reference` and the parallel-consistency tests); SIMD backends keep
+// the matmul within ≤ 1e-5 of that oracle (FMA rounding) and the row-wise
+// softmax/layer-norm within ≤ 1e-6 (lane-reordered reductions, fast
+// exponentials), while element-wise and butterfly kernels remain
+// bit-identical in every backend.
 // ---------------------------------------------------------------------------
 
 /// Rows of the output handled by one parallel task in `matmul`.
@@ -255,9 +261,14 @@ impl Tensor {
     ///
     /// The kernel is cache-blocked (`i`-`k`-`j` loop order with
     /// [`MATMUL_KC`]×[`MATMUL_NC`] rhs panels) and parallelised over
-    /// [`MATMUL_BAND_ROWS`]-row output bands. Per output element the
-    /// accumulation order is identical to [`Tensor::matmul_reference`], so
-    /// the two kernels produce bit-identical results.
+    /// [`MATMUL_BAND_ROWS`]-row output bands. On the scalar
+    /// [`crate::simd`] backend, per output element the accumulation order is
+    /// identical to [`Tensor::matmul_reference`], so the two kernels produce
+    /// bit-identical results. On a SIMD backend the inner loops run as FMA
+    /// register tiles: the `p` sweep stays ascending and zero lhs terms are
+    /// still skipped, but fused multiply-adds legitimately change rounding —
+    /// results stay within ≤ 1e-5 of the scalar oracle relative to the
+    /// output magnitude.
     ///
     /// # Panics
     ///
@@ -283,7 +294,12 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         out_t.resize_zeroed(&[m, n]);
         let out = out_t.data.as_mut_slice();
+        let simd_on = crate::simd::backend().is_simd();
         let band = |i0: usize, dst: &mut [f32]| {
+            if simd_on {
+                crate::simd::matmul_band(&self.data, k, &rhs.data, n, i0, dst);
+                return;
+            }
             for kk in (0..k).step_by(MATMUL_KC) {
                 let kb = MATMUL_KC.min(k - kk);
                 for jj in (0..n).step_by(MATMUL_NC) {
@@ -357,11 +373,14 @@ impl Tensor {
     /// rhs[i][j]` with `self` shaped `[m, k]`, `rhs` shaped `[m, n]` and
     /// `out` holding `k · n` elements.
     ///
-    /// This is the matmul-backward weight-gradient kernel `dB += Aᵀ · g`
-    /// without materialising the transpose. The partial product is staged in
-    /// `scratch` with the same ascending-`i` rank-1 accumulation order as
-    /// `self.transpose().matmul(&rhs)`, then added into `out` once, so the
-    /// result is bit-identical to the transpose-materialising reference.
+    /// This is the matmul-backward weight-gradient kernel `dB += Aᵀ · g`.
+    /// On the scalar backend the partial product is staged in `scratch`
+    /// without materialising the transpose, with the same ascending-`i`
+    /// rank-1 accumulation order as `self.transpose().matmul(&rhs)`; on a
+    /// SIMD backend the transpose is staged in `scratch` and multiplied
+    /// through the same FMA band kernel as [`Tensor::matmul_into`]. Either
+    /// way the result is bit-identical to the transpose-materialising
+    /// reference on the same backend.
     ///
     /// # Panics
     ///
@@ -373,6 +392,28 @@ impl Tensor {
         let (m2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(m, m2, "matmul_tn_acc outer dimension mismatch: {m} vs {m2}");
         assert_eq!(out.len(), k * n, "matmul_tn_acc output length mismatch");
+        if crate::simd::backend().is_simd() {
+            // Stage selfᵀ and the product in the scratch buffer and run the
+            // same FMA band kernel `matmul_into` uses: per element this is
+            // the exact operation sequence of `transpose().matmul(rhs)`, so
+            // the fused dW gradient stays bit-identical to the reference
+            // backward under every SIMD backend. Steady-state allocation-free
+            // once the scratch capacity covers `k·m + k·n`.
+            scratch.clear();
+            scratch.resize(k * m + k * n, 0.0);
+            let (t, prod) = scratch.split_at_mut(k * m);
+            self.transpose_acc(t);
+            let t = &*t;
+            if k * m * n < (1 << 16) {
+                crate::simd::matmul_band(t, m, &rhs.data, n, 0, prod);
+            } else {
+                prod.par_chunks_mut(MATMUL_BAND_ROWS * n).enumerate().for_each(|(c, chunk)| {
+                    crate::simd::matmul_band(t, m, &rhs.data, n, c * MATMUL_BAND_ROWS, chunk)
+                });
+            }
+            crate::simd::add_acc(out, prod);
+            return;
+        }
         scratch.clear();
         scratch.resize(k * n, 0.0);
         let band = |p0: usize, dst: &mut [f32]| {
@@ -511,7 +552,7 @@ impl Tensor {
     ///
     /// Panics when shapes differ.
     pub fn add(&self, rhs: &Tensor) -> Tensor {
-        self.zip_with(rhs, "add", |a, b| a + b)
+        self.zip_with(rhs, "add", crate::simd::BinOp::Add)
     }
 
     /// Element-wise subtraction.
@@ -520,7 +561,7 @@ impl Tensor {
     ///
     /// Panics when shapes differ.
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
-        self.zip_with(rhs, "sub", |a, b| a - b)
+        self.zip_with(rhs, "sub", crate::simd::BinOp::Sub)
     }
 
     /// Element-wise (Hadamard) product.
@@ -529,12 +570,14 @@ impl Tensor {
     ///
     /// Panics when shapes differ.
     pub fn mul(&self, rhs: &Tensor) -> Tensor {
-        self.zip_with(rhs, "mul", |a, b| a * b)
+        self.zip_with(rhs, "mul", crate::simd::BinOp::Mul)
     }
 
     /// Multiplies every element by a scalar.
     pub fn scale(&self, c: f32) -> Tensor {
-        self.map(|x| x * c)
+        let mut out = Tensor::default();
+        self.scale_into(c, &mut out);
+        out
     }
 
     /// Adds a scalar to every element.
@@ -618,17 +661,7 @@ impl Tensor {
         for_each_row_band(out, n, |r0, chunk| {
             for (i, orow) in chunk.chunks_mut(n).enumerate() {
                 let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
-                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0f32;
-                for (d, &x) in orow.iter_mut().zip(row.iter()) {
-                    let e = (x - max).exp();
-                    *d = e;
-                    sum += e;
-                }
-                let inv = 1.0 / sum;
-                for d in orow.iter_mut() {
-                    *d *= inv;
-                }
+                crate::simd::softmax_row(row, orow);
             }
         });
     }
@@ -645,11 +678,7 @@ impl Tensor {
         for_each_row_band(&mut out, n, |r0, chunk| {
             for (i, orow) in chunk.chunks_mut(n).enumerate() {
                 let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
-                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
-                for (d, &x) in orow.iter_mut().zip(row.iter()) {
-                    *d = x - max - log_sum;
-                }
+                crate::simd::log_softmax_row(row, orow);
             }
         });
         Tensor { shape: vec![m, n], data: out }
@@ -682,15 +711,7 @@ impl Tensor {
             for (i, orow) in chunk.chunks_mut(n).enumerate() {
                 let a = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
                 let b = &rhs.data[(r0 + i) * n..(r0 + i + 1) * n];
-                for ((d, &x), &y) in orow.iter_mut().zip(a.iter()).zip(b.iter()) {
-                    *d = x + y;
-                }
-                let mean = orow.iter().sum::<f32>() / n as f32;
-                let var = orow.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
-                let inv = 1.0 / (var + eps).sqrt();
-                for (j, d) in orow.iter_mut().enumerate() {
-                    *d = gamma.data[j] * (*d - mean) * inv + beta.data[j];
-                }
+                crate::simd::add_layer_norm_row(a, b, &gamma.data, &beta.data, eps, orow);
             }
         });
         Tensor { shape: vec![m, n], data: out }
@@ -728,12 +749,7 @@ impl Tensor {
         for_each_row_band(out, n, |r0, chunk| {
             for (i, orow) in chunk.chunks_mut(n).enumerate() {
                 let row = &self.data[(r0 + i) * n..(r0 + i + 1) * n];
-                let mean = row.iter().sum::<f32>() / n as f32;
-                let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
-                let inv = 1.0 / (var + eps).sqrt();
-                for (j, (d, &x)) in orow.iter_mut().zip(row.iter()).enumerate() {
-                    *d = gamma.data[j] * (x - mean) * inv + beta.data[j];
-                }
+                crate::simd::layer_norm_row(row, &gamma.data, &beta.data, eps, orow);
             }
         });
     }
@@ -743,17 +759,27 @@ impl Tensor {
         self.map(|x| x.max(0.0))
     }
 
-    /// Gaussian error linear unit (tanh approximation, as used by BERT).
+    /// Gaussian error linear unit (tanh approximation, as used by BERT),
+    /// lane-parallel on the active [`crate::simd`] backend (SIMD lanes are
+    /// bit-identical to the scalar kernel).
     pub fn gelu(&self) -> Tensor {
-        self.map(gelu_scalar)
+        let mut out = Tensor::default();
+        self.gelu_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::gelu`] writing into `out` (resized in place).
+    pub fn gelu_into(&self, out_t: &mut Tensor) {
+        out_t.resize_to(&self.shape);
+        chunked_slice_op(&self.data, &mut out_t.data, crate::simd::gelu_slice);
     }
 
     /// GELU on [`crate::fastmath::gelu_fast`]. Since PR 3 the canonical
-    /// [`Tensor::gelu`] is built on the same fast-tanh kernel, so the two
-    /// differ only in expression layout (≤ 1e-7); the method is kept for the
+    /// [`Tensor::gelu`] is built on the same fast-tanh kernel — the two are
+    /// now the identical dispatched slice kernel; the method is kept for the
     /// serving path's explicit fast-math surface.
     pub fn gelu_fastmath(&self) -> Tensor {
-        self.map(crate::fastmath::gelu_fast)
+        self.gelu()
     }
 
     /// Sum of all elements.
@@ -920,7 +946,7 @@ impl Tensor {
     ///
     /// Panics when shapes differ.
     pub fn add_into(&self, rhs: &Tensor, out: &mut Tensor) {
-        self.zip_into(rhs, "add", |a, b| a + b, out);
+        self.zip_into(rhs, "add", crate::simd::BinOp::Add, out);
     }
 
     /// [`Tensor::sub`] writing into `out` (resized in place).
@@ -929,7 +955,7 @@ impl Tensor {
     ///
     /// Panics when shapes differ.
     pub fn sub_into(&self, rhs: &Tensor, out: &mut Tensor) {
-        self.zip_into(rhs, "sub", |a, b| a - b, out);
+        self.zip_into(rhs, "sub", crate::simd::BinOp::Sub, out);
     }
 
     /// [`Tensor::mul`] writing into `out` (resized in place).
@@ -938,12 +964,13 @@ impl Tensor {
     ///
     /// Panics when shapes differ.
     pub fn mul_into(&self, rhs: &Tensor, out: &mut Tensor) {
-        self.zip_into(rhs, "mul", |a, b| a * b, out);
+        self.zip_into(rhs, "mul", crate::simd::BinOp::Mul, out);
     }
 
     /// [`Tensor::scale`] writing into `out` (resized in place).
-    pub fn scale_into(&self, c: f32, out: &mut Tensor) {
-        self.map_into(|x| x * c, out);
+    pub fn scale_into(&self, c: f32, out_t: &mut Tensor) {
+        out_t.resize_to(&self.shape);
+        chunked_slice_op(&self.data, &mut out_t.data, |s, d| crate::simd::scale_slice(s, c, d));
     }
 
     /// [`Tensor::map`] writing into `out` (resized in place).
@@ -964,11 +991,11 @@ impl Tensor {
         }
     }
 
-    fn zip_into<F: Fn(f32, f32) -> f32 + Sync>(
+    fn zip_into(
         &self,
         rhs: &Tensor,
         op: &'static str,
-        f: F,
+        kind: crate::simd::BinOp,
         out_t: &mut Tensor,
     ) {
         assert_eq!(
@@ -979,48 +1006,36 @@ impl Tensor {
         out_t.resize_to(&self.shape);
         let out = out_t.data.as_mut_slice();
         if out.len() < PAR_MIN_ELEMS {
-            for ((d, &a), &b) in out.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
-                *d = f(a, b);
-            }
+            crate::simd::binary_slice(kind, &self.data, &rhs.data, out);
         } else {
             out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
                 let start = c * CHUNK_ELEMS;
                 let lhs = &self.data[start..start + chunk.len()];
                 let rhv = &rhs.data[start..start + chunk.len()];
-                for ((d, &a), &b) in chunk.iter_mut().zip(lhs.iter()).zip(rhv.iter()) {
-                    *d = f(a, b);
-                }
+                crate::simd::binary_slice(kind, lhs, rhv, chunk);
             });
         }
     }
 
-    fn zip_with<F: Fn(f32, f32) -> f32 + Sync>(
-        &self,
-        rhs: &Tensor,
-        op: &'static str,
-        f: F,
-    ) -> Tensor {
-        assert_eq!(
-            self.shape, rhs.shape,
-            "shape mismatch in {op}: {:?} vs {:?}",
-            self.shape, rhs.shape
-        );
-        let mut out = vec![0.0f32; self.data.len()];
-        if out.len() < PAR_MIN_ELEMS {
-            for ((d, &a), &b) in out.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
-                *d = f(a, b);
-            }
-        } else {
-            out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
-                let start = c * CHUNK_ELEMS;
-                let lhs = &self.data[start..start + chunk.len()];
-                let rhv = &rhs.data[start..start + chunk.len()];
-                for ((d, &a), &b) in chunk.iter_mut().zip(lhs.iter()).zip(rhv.iter()) {
-                    *d = f(a, b);
-                }
-            });
-        }
-        Tensor { shape: self.shape.clone(), data: out }
+    fn zip_with(&self, rhs: &Tensor, op: &'static str, kind: crate::simd::BinOp) -> Tensor {
+        let mut out = Tensor::default();
+        self.zip_into(rhs, op, kind, &mut out);
+        out
+    }
+}
+
+/// Applies the slice kernel `f` to `(src, out)` in parallel [`CHUNK_ELEMS`]
+/// chunks once the tensor is large enough to amortise thread spawns — the
+/// shared chunking of every dispatched element-wise kernel.
+fn chunked_slice_op(src: &[f32], out: &mut [f32], f: impl Fn(&[f32], &mut [f32]) + Sync) {
+    debug_assert_eq!(src.len(), out.len());
+    if out.len() < PAR_MIN_ELEMS {
+        f(src, out);
+    } else {
+        out.par_chunks_mut(CHUNK_ELEMS).enumerate().for_each(|(c, chunk)| {
+            let s = &src[c * CHUNK_ELEMS..c * CHUNK_ELEMS + chunk.len()];
+            f(s, chunk);
+        });
     }
 }
 
@@ -1040,20 +1055,12 @@ impl Default for Tensor {
     }
 }
 
-/// The tanh-approximated GELU used by BERT-style models.
-///
-/// The inner tanh runs on the validated [`crate::fastmath::tanh_fast`]
-/// kernel (absolute error ≤ 2e-7 vs `libm`, branch-free and vectorisable)
-/// rather than `libm::tanhf`, which alone dominated the training-step
-/// profile. The tape and the frozen inference path share this scalar, so
-/// tape `predict` and frozen logits remain bit-identical to each other.
-pub(crate) fn gelu_scalar(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-    0.5 * x * (1.0 + crate::fastmath::tanh_fast(SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)))
-}
-
-/// Derivative of [`gelu_scalar`] with respect to its input (differentiating
-/// the same [`crate::fastmath::tanh_fast`]-based forward).
+/// Derivative of the tanh-approximated GELU ([`crate::fastmath::gelu_fast`],
+/// the canonical forward of [`Tensor::gelu`] and the tape op) with respect to
+/// its input, differentiating the same
+/// [`crate::fastmath::tanh_fast`]-based forward. The lane-parallel backward
+/// in [`crate::simd`] evaluates the identical operation sequence, so both
+/// are bit-identical.
 pub(crate) fn gelu_grad_scalar(x: f32) -> f32 {
     const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
