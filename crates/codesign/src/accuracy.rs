@@ -103,8 +103,15 @@ impl TrainedAccuracy {
         }
     }
 
-    /// Trains and evaluates one candidate, returning its held-out accuracy.
-    pub fn train_and_evaluate(&self, config: &ModelConfig) -> f64 {
+    /// Trains one candidate at reduced scale with the given architecture,
+    /// returning the trained model, the held-out examples and the f32 test
+    /// accuracy — the building block shared by [`TrainedAccuracy`] and
+    /// [`MeasuredQuantAccuracy`].
+    pub fn train_candidate(
+        &self,
+        config: &ModelConfig,
+        kind: ModelKind,
+    ) -> (Model, Vec<fab_nn::Example>, f64) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let task_config = TaskConfig { seq_len: self.seq_len };
         let (train, test) = self.task.generate_split(
@@ -117,20 +124,26 @@ impl TrainedAccuracy {
         model_config.vocab_size = self.task.vocab_size();
         model_config.num_classes = self.task.num_classes();
         model_config.max_seq = self.seq_len.max(model_config.max_seq.min(self.seq_len));
-        let model = Model::new(&model_config, ModelKind::FabNet, &mut rng);
+        let model = Model::new(&model_config, kind, &mut rng);
         let to_examples = |samples: &[fab_lra::Sample]| {
             samples
                 .iter()
                 .map(|s| fab_nn::Example::new(s.tokens.clone(), s.label))
                 .collect::<Vec<_>>()
         };
+        let test_examples = to_examples(&test);
         let report = train_classifier(
             &model,
             &to_examples(&train),
-            &to_examples(&test),
+            &test_examples,
             &TrainOptions { epochs: self.epochs, learning_rate: 2e-3, batch_size: 1 },
         );
-        report.test_accuracy as f64
+        (model, test_examples, report.test_accuracy as f64)
+    }
+
+    /// Trains and evaluates one candidate, returning its held-out accuracy.
+    pub fn train_and_evaluate(&self, config: &ModelConfig) -> f64 {
+        self.train_candidate(config, ModelKind::FabNet).2
     }
 }
 
@@ -141,6 +154,93 @@ impl AccuracyEstimator for TrainedAccuracy {
 
     fn reference_accuracy(&self) -> f64 {
         self.reference
+    }
+}
+
+/// The f32 and int8 accuracies of one candidate, measured on the same
+/// held-out split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantAccuracyReport {
+    /// Held-out accuracy of the trained f32 model.
+    pub f32_accuracy: f64,
+    /// Held-out accuracy after post-training int8 quantization.
+    pub int8_accuracy: f64,
+}
+
+impl QuantAccuracyReport {
+    /// The f32 → int8 accuracy drop in points (positive = int8 lost
+    /// accuracy).
+    pub fn delta_points(&self) -> f64 {
+        (self.f32_accuracy - self.int8_accuracy) * 100.0
+    }
+}
+
+/// Accuracy evaluation through the **measured** int8 path: trains the
+/// candidate like [`TrainedAccuracy`], then calibrates and quantizes it
+/// with `fab-quant` and evaluates the quantized model on the same held-out
+/// split — replacing the analytic low-precision accuracy surrogate with a
+/// number the software stack actually produces.
+///
+/// Dense architectures ([`ModelKind::Transformer`] / [`ModelKind::FNet`])
+/// exercise the int8 GEMMs end to end; FabNet candidates quantize only
+/// their dense layers (embeddings + head), since butterfly mixing stays f32.
+#[derive(Debug, Clone)]
+pub struct MeasuredQuantAccuracy {
+    /// The reduced-scale training recipe (task, sizes, seed, reference).
+    pub base: TrainedAccuracy,
+    /// Architecture to instantiate (dense kinds exercise the int8 GEMMs).
+    pub kind: ModelKind,
+    /// Number of calibration sequences drawn from
+    /// `LraTask::calibration_batches` (deterministic, disjoint from the
+    /// train/eval streams).
+    pub calibration_samples: usize,
+    /// Observer statistic for the activation scales.
+    pub observer: fab_quant::ObserverKind,
+}
+
+impl MeasuredQuantAccuracy {
+    /// A configuration small enough for tests, on a dense architecture.
+    pub fn tiny(task: LraTask, seed: u64) -> Self {
+        Self {
+            base: TrainedAccuracy::tiny(task, seed),
+            kind: ModelKind::Transformer,
+            calibration_samples: 8,
+            observer: fab_quant::ObserverKind::default(),
+        }
+    }
+
+    /// Trains, quantizes and evaluates one candidate, returning both
+    /// accuracies.
+    pub fn measure(&self, config: &ModelConfig) -> QuantAccuracyReport {
+        let (model, test, f32_accuracy) = self.base.train_candidate(config, self.kind);
+        let frozen = model.freeze().with_fast_math(true);
+        let task_config = TaskConfig { seq_len: self.base.seq_len };
+        let calib = self.base.task.calibration_batches(
+            &task_config,
+            self.base.seed,
+            self.calibration_samples,
+        );
+        let calib_tokens: Vec<&[usize]> = calib.iter().map(|s| s.tokens.as_slice()).collect();
+        let quant = fab_quant::quantize_frozen(
+            &frozen,
+            &calib_tokens,
+            &fab_quant::CalibrationConfig { observer: self.observer },
+        );
+        let correct = test.iter().filter(|ex| quant.predict_class(&ex.tokens) == ex.label).count();
+        QuantAccuracyReport { f32_accuracy, int8_accuracy: correct as f64 / test.len() as f64 }
+    }
+}
+
+impl AccuracyEstimator for MeasuredQuantAccuracy {
+    /// The estimate is the **quantized** accuracy: co-design decisions made
+    /// with this estimator price in the int8 deployment the accelerator
+    /// models.
+    fn estimate(&self, config: &ModelConfig) -> f64 {
+        self.measure(config).int8_accuracy
+    }
+
+    fn reference_accuracy(&self) -> f64 {
+        self.base.reference
     }
 }
 
@@ -188,5 +288,27 @@ mod tests {
         };
         let acc = est.estimate(&config);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn measured_quant_accuracy_reports_both_paths() {
+        let est = MeasuredQuantAccuracy::tiny(LraTask::Text, 5);
+        let config = ModelConfig {
+            hidden: 16,
+            ffn_ratio: 2,
+            num_layers: 1,
+            num_abfly: 1,
+            num_heads: 2,
+            vocab_size: 32,
+            max_seq: 32,
+            num_classes: 2,
+        };
+        let report = est.measure(&config);
+        assert!((0.0..=1.0).contains(&report.f32_accuracy));
+        assert!((0.0..=1.0).contains(&report.int8_accuracy));
+        assert_eq!(report.delta_points(), (report.f32_accuracy - report.int8_accuracy) * 100.0);
+        // The estimator surface reports the quantized accuracy.
+        assert_eq!(est.estimate(&config), report.int8_accuracy);
+        assert_eq!(est.reference_accuracy(), est.base.reference);
     }
 }

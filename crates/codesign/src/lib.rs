@@ -31,7 +31,10 @@ mod pareto;
 mod space;
 mod sweep;
 
-pub use accuracy::{AccuracyEstimator, HeuristicAccuracy, TrainedAccuracy};
+pub use accuracy::{
+    AccuracyEstimator, HeuristicAccuracy, MeasuredQuantAccuracy, QuantAccuracyReport,
+    TrainedAccuracy,
+};
 pub use pareto::pareto_front_indices;
 pub use space::{DesignPoint, DesignSpace};
 pub use sweep::{run_codesign, CodesignOptions, CodesignResult, EvaluatedPoint};

@@ -17,6 +17,7 @@
 //! | [`accel`] | `fab-accel` | the butterfly accelerator simulator + resource/power models |
 //! | [`baselines`] | `fab-baselines` | MAC baseline, CPU/GPU rooflines, SOTA accelerators |
 //! | [`codesign`] | `fab-codesign` | joint design-space exploration |
+//! | [`quant`] | `fab-quant` | post-training int8 quantization + quantized inference |
 //! | [`serve`] | `fab-serve` | dynamic-batching inference runtime + serving metrics |
 //!
 //! # Quick start
@@ -42,6 +43,7 @@ pub use fab_butterfly as butterfly;
 pub use fab_codesign as codesign;
 pub use fab_lra as lra;
 pub use fab_nn as nn;
+pub use fab_quant as quant;
 pub use fab_serve as serve;
 pub use fab_tensor as tensor;
 
@@ -53,11 +55,15 @@ pub mod prelude {
     pub use fab_accel::workload::LayerSchedule;
     pub use fab_accel::{AcceleratorConfig, FpgaDevice, LatencyReport, Simulator};
     pub use fab_baselines::{DeviceKind, DeviceModel, MacBaseline};
-    pub use fab_codesign::{CodesignOptions, DesignSpace, HeuristicAccuracy, TrainedAccuracy};
+    pub use fab_codesign::{
+        CodesignOptions, DesignSpace, HeuristicAccuracy, MeasuredQuantAccuracy, TrainedAccuracy,
+    };
     pub use fab_lra::{LraTask, TaskConfig};
     pub use fab_nn::{FrozenModel, Model, ModelConfig, ModelKind, TrainOptions};
+    pub use fab_quant::{quantize_frozen, CalibrationConfig, QuantModel};
     pub use fab_serve::{
         InferenceSession, Prediction, ServeConfig, ServeError, Server, ServerHandle, ServerStats,
+        SessionKind,
     };
 }
 

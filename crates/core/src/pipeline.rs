@@ -105,7 +105,15 @@ impl TrainingPipeline {
             &test,
             &TrainOptions { epochs: self.epochs, learning_rate: self.learning_rate, batch_size: 1 },
         );
-        TrainedFabNet { config, kind, model, report, seq_len: self.seq_len }
+        TrainedFabNet {
+            config,
+            kind,
+            model,
+            report,
+            seq_len: self.seq_len,
+            task: self.task,
+            seed: self.seed,
+        }
     }
 
     /// Evaluates an already-trained model on a freshly generated test set.
@@ -128,6 +136,10 @@ pub struct TrainedFabNet {
     pub report: TrainReport,
     /// Sequence length the model was trained at.
     pub seq_len: usize,
+    /// The LRA-proxy task the model was trained on.
+    pub task: LraTask,
+    /// Seed the pipeline trained with (also seeds the calibration stream).
+    pub seed: u64,
 }
 
 impl TrainedFabNet {
@@ -147,6 +159,25 @@ impl TrainedFabNet {
     /// over them.
     pub fn serve(self, config: fab_serve::ServeConfig) -> fab_serve::Server {
         fab_serve::Server::start(self.into_session(), config)
+    }
+
+    /// Post-training-quantizes the trained weights into an int8
+    /// [`InferenceSession`](fab_serve::InferenceSession): calibrates on
+    /// `calibration_samples` sequences from the task's deterministic
+    /// calibration stream (disjoint from the train/eval splits by
+    /// construction, see `LraTask::calibration_batches`), then quantizes
+    /// every dense linear layer (see [`fab_quant`]).
+    pub fn into_quantized_session(self, calibration_samples: usize) -> fab_serve::InferenceSession {
+        let frozen = self.model.freeze().with_fast_math(true);
+        let calib = self.task.calibration_batches(
+            &TaskConfig { seq_len: self.seq_len },
+            self.seed,
+            calibration_samples,
+        );
+        let tokens: Vec<&[usize]> = calib.iter().map(|s| s.tokens.as_slice()).collect();
+        let quant =
+            fab_quant::quantize_frozen(&frozen, &tokens, &fab_quant::CalibrationConfig::default());
+        fab_serve::InferenceSession::quantized(quant)
     }
 
     /// Simulates this model on `hardware` at its training sequence length.
@@ -237,6 +268,21 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
         assert!(max_diff <= 1e-5, "served logits diverged by {max_diff}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn into_quantized_session_serves_int8() {
+        let pipeline =
+            TrainingPipeline::new(LraTask::Text, 32, 9).with_examples(8, 4).with_epochs(1);
+        let trained = pipeline.run(&tiny_config(), ModelKind::Transformer);
+        let reference = trained.model.predict(&[1, 2, 3, 4, 5]);
+        let session = trained.into_quantized_session(8);
+        assert_eq!(session.kind(), fab_serve::SessionKind::Int8);
+        let server = fab_serve::Server::start(session, fab_serve::ServeConfig::default());
+        let prediction = server.handle().infer(vec![1, 2, 3, 4, 5]).expect("request served");
+        assert_eq!(prediction.logits.len(), reference.len());
+        assert_eq!(server.stats().session_kind, "int8");
         server.shutdown();
     }
 

@@ -41,6 +41,10 @@ use serde::{Deserialize, Serialize};
 /// rayon shim spawns OS threads per call, which only pays off for real work.
 const PAR_MIN_SAMPLES: usize = 64;
 
+/// Seed salt separating [`LraTask::calibration_batches`] streams from the
+/// train/eval streams of [`LraTask::generate`] under the same user seed.
+pub const CALIBRATION_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// One labelled sequence sample.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Sample {
@@ -166,6 +170,25 @@ impl LraTask {
         }
     }
 
+    /// Generates `n` deterministic calibration samples for post-training
+    /// quantization (`fab-quant`).
+    ///
+    /// The stream is derived from `seed` through a fixed salt
+    /// ([`CALIBRATION_SALT`]), so for any given `(seed, n)` it is
+    /// bit-reproducible across hosts and thread counts **and disjoint from
+    /// every [`LraTask::generate`] / [`LraTask::generate_split`] stream
+    /// seeded with the same `seed`** — calibrating on these batches never
+    /// leaks the train or eval split into the quantization statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.seq_len` is too small for the task (see
+    /// [`LraTask::generate`]).
+    pub fn calibration_batches(self, config: &TaskConfig, seed: u64, n: usize) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed ^ CALIBRATION_SALT);
+        self.generate(config, n, &mut rng)
+    }
+
     /// Generates a train/test split with `n_train` and `n_test` samples.
     pub fn generate_split(
         self,
@@ -214,6 +237,27 @@ mod tests {
             let mut a = StdRng::seed_from_u64(7);
             let mut b = StdRng::seed_from_u64(7);
             assert_eq!(task.generate(&config, 20, &mut a), task.generate(&config, 20, &mut b));
+        }
+    }
+
+    #[test]
+    fn calibration_batches_are_deterministic_and_disjoint_from_eval() {
+        let config = TaskConfig { seq_len: 32 };
+        for task in LraTask::ALL {
+            let a = task.calibration_batches(&config, 7, 20);
+            let b = task.calibration_batches(&config, 7, 20);
+            assert_eq!(a, b, "{} calibration stream not deterministic", task.name());
+            // Same user seed, but a different stream than generate(): no
+            // calibration sample may appear in the train/eval stream.
+            let mut rng = StdRng::seed_from_u64(7);
+            let eval = task.generate(&config, 40, &mut rng);
+            for s in &a {
+                assert!(
+                    !eval.contains(s),
+                    "{} calibration sample leaked into the eval stream",
+                    task.name()
+                );
+            }
         }
     }
 

@@ -105,6 +105,21 @@ pub struct FrozenLayerNorm {
 }
 
 impl FrozenLayerNorm {
+    /// Learned per-feature scale.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// Learned per-feature shift.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// Variance epsilon.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Normalises each row of `x`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         x.layer_norm_rows(&self.gamma, &self.beta, self.eps)
@@ -125,6 +140,16 @@ pub struct FrozenFeedForward {
 }
 
 impl FrozenFeedForward {
+    /// The expanding linear map (`hidden → ffn`).
+    pub fn lin1(&self) -> &FrozenLinear {
+        &self.lin1
+    }
+
+    /// The contracting linear map (`ffn → hidden`).
+    pub fn lin2(&self) -> &FrozenLinear {
+        &self.lin2
+    }
+
     /// Applies `lin2(gelu(lin1(x)))` over a whole `[rows, hidden]` batch;
     /// `fast_math` selects the serving-grade GELU kernel (absolute error
     /// ≤ 1e-6, see [`fab_tensor::fastmath`]).
@@ -147,6 +172,36 @@ pub struct FrozenAttention {
 }
 
 impl FrozenAttention {
+    /// The query projection.
+    pub fn wq(&self) -> &FrozenLinear {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &FrozenLinear {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &FrozenLinear {
+        &self.wv
+    }
+
+    /// The output projection.
+    pub fn wo(&self) -> &FrozenLinear {
+        &self.wo
+    }
+
+    /// Model (embedding) dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
     /// Applies self-attention to a flat `[B * pad_to, dim]` batch.
     ///
     /// The four projections run fused over the whole batch; the
@@ -172,8 +227,6 @@ impl FrozenAttention {
             q
         };
         let dim = self.dim;
-        let head_dim = dim / self.num_heads;
-        let scale = 1.0 / (head_dim as f32).sqrt();
         let mut mixed = vec![0.0f32; x.len()];
         let core = |i: usize, chunk: &mut [f32]| {
             let len = lengths[i];
@@ -183,29 +236,60 @@ impl FrozenAttention {
                 k.slice_rows(start, start + len),
                 v.slice_rows(start, start + len),
             );
-            // One transpose of K per example; head `h`'s transposed slice is
-            // then a contiguous row range of `kt`, with exactly the values
-            // `slice_cols(kh).transpose()` would produce — the per-head
-            // matmul stays bit-identical to the tape path's.
-            let kt = ki.transpose();
-            for h in 0..self.num_heads {
-                let (lo, hi) = (h * head_dim, (h + 1) * head_dim);
-                let qh = qi.slice_cols(lo, hi);
-                let kh_t = kt.slice_rows(lo, hi);
-                let vh = vi.slice_cols(lo, hi);
-                let raw = qh.matmul(&kh_t);
-                let scores = if fast_math { raw } else { raw.scale(scale) };
-                let head = scores.softmax_rows().matmul(&vh);
-                // Scatter the head's columns straight into the per-example
-                // output chunk — the values a concat_cols would place there.
-                for (r, hrow) in head.as_slice().chunks(head_dim).enumerate() {
-                    chunk[r * dim + lo..r * dim + hi].copy_from_slice(hrow);
-                }
-            }
+            attention_mix_rows(&qi, &ki, &vi, self.num_heads, fast_math, &mut chunk[..len * dim]);
         };
         run_per_example(&mut mixed, pad_to * dim, core);
         let mixed = Tensor::from_vec(mixed, &[x.rows(), dim]).expect("attention batch shape");
         self.wo.forward(&mixed)
+    }
+}
+
+/// The f32 `softmax(QKᵀ)·V` attention core on one example's projected
+/// `[len, dim]` q/k/v, scattering the mixed heads into `out` (`len · dim`
+/// values, the layout a `concat_cols` would produce).
+///
+/// `prescaled` says the query was already multiplied by `1/√head_dim` (the
+/// fast-math path's `(c·q)·kᵀ` ordering); otherwise the raw scores are
+/// scaled. One transpose of K per example; head `h`'s transposed slice is
+/// then a contiguous row range of `kt`, with exactly the values
+/// `slice_cols(kh).transpose()` would produce — the per-head matmul stays
+/// bit-identical to the tape path's. Exposed as the single shared core so
+/// post-training tooling (`fab-quant`'s calibration replay and quantized
+/// forward) runs exactly the math the frozen model serves.
+///
+/// # Panics
+///
+/// Panics when the shapes are inconsistent or `num_heads` does not divide
+/// the feature dimension.
+pub fn attention_mix_rows(
+    qi: &Tensor,
+    ki: &Tensor,
+    vi: &Tensor,
+    num_heads: usize,
+    prescaled: bool,
+    out: &mut [f32],
+) {
+    let dim = qi.cols();
+    let len = qi.rows();
+    assert!(
+        num_heads > 0 && dim.is_multiple_of(num_heads),
+        "heads must divide the feature dimension"
+    );
+    assert_eq!(out.len(), len * dim, "attention output chunk length mismatch");
+    let head_dim = dim / num_heads;
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let kt = ki.transpose();
+    for h in 0..num_heads {
+        let (lo, hi) = (h * head_dim, (h + 1) * head_dim);
+        let qh = qi.slice_cols(lo, hi);
+        let kh_t = kt.slice_rows(lo, hi);
+        let vh = vi.slice_cols(lo, hi);
+        let raw = qh.matmul(&kh_t);
+        let scores = if prescaled { raw } else { raw.scale(scale) };
+        let head = scores.softmax_rows().matmul(&vh);
+        for (r, hrow) in head.as_slice().chunks(head_dim).enumerate() {
+            out[r * dim + lo..r * dim + hi].copy_from_slice(hrow);
+        }
     }
 }
 
@@ -229,6 +313,26 @@ pub struct FrozenBlock {
 }
 
 impl FrozenBlock {
+    /// The token-mixing half of the block.
+    pub fn mixing(&self) -> &FrozenMixing {
+        &self.mixing
+    }
+
+    /// The feed-forward half of the block.
+    pub fn ffn(&self) -> &FrozenFeedForward {
+        &self.ffn
+    }
+
+    /// Layer norm wrapping the mixing residual.
+    pub fn ln1(&self) -> &FrozenLayerNorm {
+        &self.ln1
+    }
+
+    /// Layer norm wrapping the FFN residual.
+    pub fn ln2(&self) -> &FrozenLayerNorm {
+        &self.ln2
+    }
+
     /// Applies the block to a flat `[B * pad_to, hidden]` batch.
     fn forward_batch(
         &self,
@@ -323,6 +427,28 @@ impl FrozenModel {
     /// Which architecture the snapshot instantiates.
     pub fn kind(&self) -> ModelKind {
         self.kind
+    }
+
+    /// The frozen encoder blocks, in execution order. Exposed (together
+    /// with the other component accessors) so post-training tooling such as
+    /// `fab-quant` can walk the snapshot layer by layer.
+    pub fn blocks(&self) -> &[FrozenBlock] {
+        &self.blocks
+    }
+
+    /// The classifier head applied to the mean-pooled hidden state.
+    pub fn head(&self) -> &FrozenLinear {
+        &self.head
+    }
+
+    /// `[vocab, hidden]` token-embedding table.
+    pub fn tok_table(&self) -> &Tensor {
+        &self.tok_table
+    }
+
+    /// `[max_seq, hidden]` positional-embedding table.
+    pub fn pos_table(&self) -> &Tensor {
+        &self.pos_table
     }
 
     /// Number of output classes.

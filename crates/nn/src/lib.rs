@@ -40,8 +40,8 @@ pub use blocks::{ABflyBlock, EncoderBlock, FBflyBlock, FNetBlock, TransformerBlo
 pub use config::{ModelConfig, ModelKind};
 pub use flops::{FlopsBreakdown, ParamBreakdown};
 pub use frozen::{
-    argmax, FrozenAttention, FrozenBlock, FrozenFeedForward, FrozenLayerNorm, FrozenLinear,
-    FrozenMixing, FrozenModel,
+    argmax, attention_mix_rows, FrozenAttention, FrozenBlock, FrozenFeedForward, FrozenLayerNorm,
+    FrozenLinear, FrozenMixing, FrozenModel,
 };
 pub use layers::{
     ButterflyLinear, ClassifierHead, DenseLinear, Embedding, FeedForward, FourierMixing, LayerNorm,

@@ -1,0 +1,66 @@
+//! # fab-quant
+//!
+//! Post-training int8 quantization for the FABNet reproduction: the software
+//! emulation of the low-precision arithmetic the paper's accelerator runs in
+//! hardware, and the serving stack's fast path for GEMM-dominated models.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. **Calibration** ([`calibrate`]) — activation observers ([`Observer`],
+//!    min/max or percentile) replay deterministic calibration batches
+//!    (e.g. [`fab_lra`'s `calibration_batches`][calib]) through a
+//!    [`FrozenModel`](fab_nn::FrozenModel) and record the dynamic range at
+//!    every quantized GEMM input, producing per-tensor activation scales.
+//! 2. **Quantization** ([`QuantModel::quantize`] /
+//!    [`quantize_frozen`]) — every *dense* linear map (attention
+//!    projections, FFN layers, the classifier head) is converted to a
+//!    [`QuantLinear`]: int8 weights with **per-output-row** symmetric
+//!    scales, f32 bias, and the calibrated per-tensor input scale.
+//!    Embedding tables become int8 with per-row scales
+//!    ([`QuantEmbedding`]). Butterfly-factorised linears, softmax,
+//!    layer norm and the Fourier/attention token mixing stay in f32, with
+//!    dequantization at the boundaries.
+//! 3. **Quantized inference** ([`QuantModel`]) — the int8 counterpart of
+//!    `FrozenModel`: row-wise work runs `quantize → int8×int8→i32 GEMM →
+//!    fused dequant+bias(+GELU)` through the [`fab_tensor::simd`] `q8_*`
+//!    kernels (AVX2 `maddubs`+`madd`, NEON `vmull`+`vpadal`, or the
+//!    bit-identical scalar reference — `FAB_SIMD` is honoured).
+//!
+//! # Exactness and batch invariance
+//!
+//! Scales are **static**: fixed at calibration time, never derived from the
+//! batch being served. Combined with the exact i32 accumulation of the q8
+//! kernels and the per-example token mixing (identical structure to
+//! [`fab_nn::frozen`]), a request's quantized logits are **bit-identical**
+//! regardless of batch composition, padding and worker-thread count — the
+//! same guarantee the f32 serving path makes, property-tested the same way.
+//!
+//! [calib]: https://docs.rs/fab-lra
+//!
+//! # Example
+//!
+//! ```rust
+//! use fab_nn::{Model, ModelConfig, ModelKind};
+//! use fab_quant::{quantize_frozen, CalibrationConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = Model::new(&ModelConfig::tiny_for_tests(), ModelKind::Transformer, &mut rng);
+//! let frozen = model.freeze().with_fast_math(true);
+//! let calib: Vec<Vec<usize>> = (0..8).map(|i| vec![(i % 7) + 1; 8]).collect();
+//! let quant = quantize_frozen(&frozen, &calib, &CalibrationConfig::default());
+//! let logits = quant.logits(&[1, 2, 3, 4]);
+//! assert_eq!(logits.len(), ModelConfig::tiny_for_tests().num_classes);
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod observer;
+mod qlinear;
+mod qmodel;
+
+pub use calibrate::{calibrate, quantize_frozen, ActivationScales, BlockScales, CalibrationConfig};
+pub use observer::{Observer, ObserverKind};
+pub use qlinear::{MaybeQuantLinear, QuantEmbedding, QuantLinear};
+pub use qmodel::QuantModel;

@@ -27,6 +27,13 @@
 //! the default [`InferenceSession::new`] enables the serving-grade
 //! fast-math kernels and stays within ~1e-6 of it.
 //!
+//! Sessions come in three kinds ([`SessionKind`], reported by
+//! [`ServerStats::session_kind`]): `exact` and `fastmath` run the f32
+//! frozen model, `int8` ([`InferenceSession::quantized`]) runs a
+//! post-training-quantized [`fab_quant::QuantModel`] whose dense GEMMs use
+//! the int8 SIMD kernels — same batcher, same invariance guarantee,
+//! substantially higher throughput on GEMM-dominated models.
+//!
 //! # Example
 //!
 //! ```rust
@@ -53,4 +60,4 @@ mod session;
 
 pub use metrics::{HistogramSummary, LatencyHistogram, ServerStats};
 pub use server::{PendingPrediction, Prediction, ServeConfig, ServeError, Server, ServerHandle};
-pub use session::{InferenceSession, SessionScratch};
+pub use session::{InferenceSession, SessionKind, SessionScratch};

@@ -187,12 +187,18 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> ServerStats {
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        session_kind: &'static str,
+    ) -> ServerStats {
         let elapsed_s = self.started.elapsed().as_secs_f64();
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_examples.load(Ordering::Relaxed);
         ServerStats {
+            session_kind,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -215,6 +221,9 @@ impl Metrics {
 /// A point-in-time snapshot of the server's aggregate metrics.
 #[derive(Debug, Clone)]
 pub struct ServerStats {
+    /// Which forward path the session runs (`exact` / `fastmath` / `int8`,
+    /// see [`crate::SessionKind`]).
+    pub session_kind: &'static str,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests completed (responses sent).
@@ -256,8 +265,12 @@ impl fmt::Display for ServerStats {
         )?;
         writeln!(
             f,
-            "batches  : {} dispatched, {:.2} mean occupancy (max {}), {} workers",
-            self.batches, self.mean_batch_occupancy, self.max_batch_observed, self.workers
+            "batches  : {} dispatched, {:.2} mean occupancy (max {}), {} workers ({} path)",
+            self.batches,
+            self.mean_batch_occupancy,
+            self.max_batch_observed,
+            self.workers,
+            self.session_kind
         )?;
         writeln!(f, "rate     : {:.1} req/s over {:.2}s", self.throughput_rps, self.elapsed_s)?;
         writeln!(

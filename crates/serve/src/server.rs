@@ -243,7 +243,11 @@ impl Server {
     /// Snapshots the aggregate serving metrics.
     pub fn stats(&self) -> ServerStats {
         let depth = self.shared.state.lock().expect("serve queue poisoned").depth;
-        self.shared.metrics.snapshot(depth, self.shared.config.num_workers)
+        self.shared.metrics.snapshot(
+            depth,
+            self.shared.config.num_workers,
+            self.shared.session.kind().name(),
+        )
     }
 
     /// Drains the queue, stops the workers and waits for them to exit.
@@ -338,7 +342,11 @@ impl ServerHandle {
     /// Snapshots the aggregate serving metrics.
     pub fn stats(&self) -> ServerStats {
         let depth = self.shared.state.lock().expect("serve queue poisoned").depth;
-        self.shared.metrics.snapshot(depth, self.shared.config.num_workers)
+        self.shared.metrics.snapshot(
+            depth,
+            self.shared.config.num_workers,
+            self.shared.session.kind().name(),
+        )
     }
 }
 
@@ -500,6 +508,40 @@ mod tests {
         assert_eq!(p.class, model.predict_class(&tokens));
         assert!(p.batch_size >= 1);
         assert!(p.padded_len >= tokens.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn quantized_session_serves_through_the_batcher() {
+        use fab_quant::{quantize_frozen, CalibrationConfig};
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = ModelConfig::tiny_for_tests();
+        let model = Model::new(&config, ModelKind::Transformer, &mut rng);
+        let frozen = model.freeze().with_fast_math(true);
+        let calib: Vec<Vec<usize>> = (0..6)
+            .map(|i| (0..8).map(|j| (i * 7 + j * 3 + 1) % config.vocab_size).collect())
+            .collect();
+        let quant = quantize_frozen(&frozen, &calib, &CalibrationConfig::default());
+        let session = InferenceSession::quantized(quant.clone());
+        let server = Server::start(session, ServeConfig::default());
+        let handle = server.handle();
+        let tokens = vec![1usize, 2, 3, 4, 5];
+        let p = handle.infer(tokens.clone()).expect("request served");
+        // Served logits are bit-identical to the direct quantized forward
+        // (batch invariance), and the stats report the int8 path.
+        assert_eq!(p.logits, quant.logits(&tokens));
+        assert_eq!(p.class, quant.predict_class(&tokens));
+        let stats = server.stats();
+        assert_eq!(stats.session_kind, "int8");
+        assert_eq!(stats.completed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn f32_sessions_report_their_kind_in_stats() {
+        let (_model, session) = tiny_session();
+        let server = Server::start(session, ServeConfig::default());
+        assert_eq!(server.stats().session_kind, "exact");
         server.shutdown();
     }
 

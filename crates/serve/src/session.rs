@@ -1,64 +1,137 @@
-//! Preallocated inference sessions: a frozen model plus per-worker reusable
-//! scratch buffers.
+//! Preallocated inference sessions: a frozen (f32) or quantized (int8)
+//! model plus per-worker reusable scratch buffers.
 
 use fab_nn::{FrozenModel, Model};
+use fab_quant::QuantModel;
 
-/// A tape-free inference session around a [`FrozenModel`].
+/// Which forward path a session runs — reported by
+/// [`ServerStats`](crate::ServerStats) so operators can tell which numeric
+/// path served their traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// f32 with exact `libm` kernels: bit-identical to
+    /// [`Model::predict`](fab_nn::Model::predict).
+    Exact,
+    /// f32 with the serving-grade fast-math kernels (≤ ~1e-6 of the exact
+    /// path) — the default.
+    FastMath,
+    /// Post-training int8: dense GEMMs run the `fab_tensor::simd` `q8_*`
+    /// kernels, f32 at the mixing/normalisation boundaries (see
+    /// [`fab_quant`]).
+    Int8,
+}
+
+impl SessionKind {
+    /// Short lower-case name (`exact` / `fastmath` / `int8`), as recorded
+    /// in stats and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionKind::Exact => "exact",
+            SessionKind::FastMath => "fastmath",
+            SessionKind::Int8 => "int8",
+        }
+    }
+}
+
+/// The model variant behind a session.
+#[derive(Debug, Clone)]
+enum SessionModel {
+    F32(FrozenModel),
+    Int8(QuantModel),
+}
+
+/// A tape-free inference session around a [`FrozenModel`] or a
+/// [`QuantModel`].
 ///
 /// The session is immutable and `Send + Sync`: one session is shared by
 /// every worker of a [`crate::Server`], while each worker owns a private
-/// [`SessionScratch`] whose staging buffers are reused across batches. The
-/// forward path never touches the autodiff tape — it runs the PR-1 batched
-/// kernels (blocked matmul, `ButterflyMatrix::forward_rows`, the plan-cached
-/// FFT) directly, and its logits are bit-identical to
-/// [`Model::predict`](fab_nn::Model::predict) for every request regardless
-/// of batch composition (see [`fab_nn::frozen`]).
+/// [`SessionScratch`] whose staging buffers are reused across batches. Both
+/// paths guarantee batch invariance — a request's logits are bit-identical
+/// whatever batch it rides in (see [`fab_nn::frozen`] and [`fab_quant`]) —
+/// so the dynamic batcher serves either transparently.
 #[derive(Debug, Clone)]
 pub struct InferenceSession {
-    model: FrozenModel,
+    model: SessionModel,
 }
 
 impl InferenceSession {
-    /// Freezes `model`'s current weights into a new session with the
+    /// Freezes `model`'s current weights into a new f32 session with the
     /// serving-grade fast-math kernels enabled: logits stay within ~1e-6 of
     /// [`Model::predict`](fab_nn::Model::predict) (see
     /// [`fab_tensor::fastmath`]) and remain bit-invariant to batch
     /// composition and thread count. Use [`InferenceSession::exact`] for
-    /// bit-identity with the tape path.
+    /// bit-identity with the tape path, [`InferenceSession::quantized`] for
+    /// the int8 path.
     pub fn new(model: &Model) -> Self {
-        Self { model: model.freeze().with_fast_math(true) }
+        Self { model: SessionModel::F32(model.freeze().with_fast_math(true)) }
     }
 
     /// Freezes `model` with the exact `libm` kernels: logits are
     /// bit-identical to [`Model::predict`](fab_nn::Model::predict), at
     /// roughly 40% lower single-core throughput than [`InferenceSession::new`].
     pub fn exact(model: &Model) -> Self {
-        Self { model: model.freeze() }
+        Self { model: SessionModel::F32(model.freeze()) }
     }
 
     /// Wraps an already-frozen model (honouring its fast-math setting).
     pub fn from_frozen(model: FrozenModel) -> Self {
-        Self { model }
+        Self { model: SessionModel::F32(model) }
     }
 
-    /// The underlying frozen model.
-    pub fn model(&self) -> &FrozenModel {
-        &self.model
+    /// Wraps a post-training-quantized model: the server then runs int8
+    /// GEMMs on every dense linear layer (see [`fab_quant`] for the
+    /// calibration workflow and accuracy policy).
+    pub fn quantized(model: QuantModel) -> Self {
+        Self { model: SessionModel::Int8(model) }
+    }
+
+    /// Which forward path this session runs.
+    pub fn kind(&self) -> SessionKind {
+        match &self.model {
+            SessionModel::F32(m) if m.fast_math() => SessionKind::FastMath,
+            SessionModel::F32(_) => SessionKind::Exact,
+            SessionModel::Int8(_) => SessionKind::Int8,
+        }
+    }
+
+    /// The underlying frozen model (`None` for int8 sessions).
+    pub fn frozen_model(&self) -> Option<&FrozenModel> {
+        match &self.model {
+            SessionModel::F32(m) => Some(m),
+            SessionModel::Int8(_) => None,
+        }
+    }
+
+    /// The underlying quantized model (`None` for f32 sessions).
+    pub fn quant_model(&self) -> Option<&QuantModel> {
+        match &self.model {
+            SessionModel::F32(_) => None,
+            SessionModel::Int8(m) => Some(m),
+        }
     }
 
     /// Maximum sequence length the session accepts.
     pub fn max_seq(&self) -> usize {
-        self.model.max_seq()
+        match &self.model {
+            SessionModel::F32(m) => m.max_seq(),
+            SessionModel::Int8(m) => m.max_seq(),
+        }
     }
 
     /// Number of output classes.
     pub fn num_classes(&self) -> usize {
-        self.model.num_classes()
+        match &self.model {
+            SessionModel::F32(m) => m.num_classes(),
+            SessionModel::Int8(m) => m.num_classes(),
+        }
     }
 
     /// Vocabulary size of the served model; token ids must stay below it.
     pub fn vocab_size(&self) -> usize {
-        self.model.config().vocab_size
+        match &self.model {
+            SessionModel::F32(m) => m.config().vocab_size,
+            SessionModel::Int8(m) => m.config().vocab_size,
+        }
     }
 
     /// Class logits for one sequence (tape-free, unbatched).
@@ -68,12 +141,18 @@ impl InferenceSession {
     /// Panics when `tokens` is empty, longer than `max_seq`, or contains an
     /// out-of-vocabulary id.
     pub fn logits(&self, tokens: &[usize]) -> Vec<f32> {
-        self.model.logits(tokens)
+        match &self.model {
+            SessionModel::F32(m) => m.logits(tokens),
+            SessionModel::Int8(m) => m.logits(tokens),
+        }
     }
 
     /// Predicted class for one sequence (tape-free, unbatched).
     pub fn predict_class(&self, tokens: &[usize]) -> usize {
-        self.model.predict_class(tokens)
+        match &self.model {
+            SessionModel::F32(m) => m.predict_class(tokens),
+            SessionModel::Int8(m) => m.predict_class(tokens),
+        }
     }
 
     /// Per-example logits for a batch padded to `pad_to`, staging the token
@@ -95,20 +174,23 @@ impl InferenceSession {
         // fan rows out, so the wide batch tensors only trade cache locality
         // for nothing; per-example evaluation keeps each forward's working
         // set cache-resident. Either route produces bit-identical logits
-        // (the frozen batch path's padding-invariance guarantee), so this is
+        // (both model variants' padding-invariance guarantee), so this is
         // purely a throughput decision.
         if rayon::current_num_threads() <= 1 {
-            return batch.iter().map(|tokens| self.model.logits(tokens)).collect();
+            return batch.iter().map(|tokens| self.logits(tokens)).collect();
         }
         scratch.stage(batch, pad_to);
-        self.model.logits_batch_flat(&scratch.tokens, &scratch.lengths, pad_to)
+        match &self.model {
+            SessionModel::F32(m) => m.logits_batch_flat(&scratch.tokens, &scratch.lengths, pad_to),
+            SessionModel::Int8(m) => m.logits_batch_flat(&scratch.tokens, &scratch.lengths, pad_to),
+        }
     }
 }
 
 /// Reusable per-worker staging buffers for batched inference.
 ///
 /// Holds the flat padded token buffer and the per-example length list that
-/// [`InferenceSession::logits_batch`] feeds to the frozen model; capacity is
+/// [`InferenceSession::logits_batch`] feeds to the model; capacity is
 /// retained across batches, so a warmed-up worker stages each new batch
 /// without heap growth.
 #[derive(Debug, Default, Clone)]
@@ -150,6 +232,7 @@ impl SessionScratch {
 mod tests {
     use super::*;
     use fab_nn::{ModelConfig, ModelKind};
+    use fab_quant::{quantize_frozen, CalibrationConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -160,10 +243,23 @@ mod tests {
         (model, session)
     }
 
+    fn quantized_session() -> (Model, InferenceSession) {
+        let mut rng = StdRng::seed_from_u64(78);
+        let config = ModelConfig::tiny_for_tests();
+        let model = Model::new(&config, ModelKind::Transformer, &mut rng);
+        let frozen = model.freeze().with_fast_math(true);
+        let calib: Vec<Vec<usize>> = (0..8)
+            .map(|i| (0..8).map(|j| (i * 5 + j * 3 + 1) % config.vocab_size).collect())
+            .collect();
+        let quant = quantize_frozen(&frozen, &calib, &CalibrationConfig::default());
+        (model, InferenceSession::quantized(quant))
+    }
+
     #[test]
     fn exact_session_logits_match_tape_predict_bit_for_bit() {
         let (model, _) = session();
         let session = InferenceSession::exact(&model);
+        assert_eq!(session.kind(), SessionKind::Exact);
         let tokens = vec![1usize, 4, 2, 9, 3];
         assert_eq!(model.predict(&tokens), session.logits(&tokens));
         assert_eq!(model.predict_class(&tokens), session.predict_class(&tokens));
@@ -172,13 +268,31 @@ mod tests {
     #[test]
     fn fast_math_session_stays_within_the_logit_budget() {
         let (model, session) = session();
-        assert!(session.model().fast_math());
+        assert_eq!(session.kind(), SessionKind::FastMath);
+        assert!(session.frozen_model().expect("f32 session").fast_math());
         let tokens = vec![1usize, 4, 2, 9, 3, 8, 7];
         let exact = model.predict(&tokens);
         let fast = session.logits(&tokens);
         let max_diff =
             exact.iter().zip(fast.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_diff <= 1e-5, "fast-math logits diverged by {max_diff}");
+    }
+
+    #[test]
+    fn quantized_session_reports_its_kind_and_serves_batches() {
+        let (_model, session) = quantized_session();
+        assert_eq!(session.kind(), SessionKind::Int8);
+        assert_eq!(session.kind().name(), "int8");
+        assert!(session.frozen_model().is_none());
+        let quant = session.quant_model().expect("int8 session");
+        let mut scratch = SessionScratch::new();
+        let batch: Vec<&[usize]> = vec![&[1, 2, 3], &[4, 5, 6, 7]];
+        let logits = session.logits_batch(&batch, 8, &mut scratch);
+        // The session path must agree bit for bit with the direct model
+        // calls, whatever batching route was taken.
+        assert_eq!(logits[0], quant.logits(&[1, 2, 3]));
+        assert_eq!(logits[1], quant.logits(&[4, 5, 6, 7]));
+        assert_eq!(session.predict_class(&[1, 2, 3]), fab_nn::argmax(&logits[0]));
     }
 
     #[test]

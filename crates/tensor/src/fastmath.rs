@@ -24,6 +24,19 @@
 //! `libm` softmax path bit for bit. All kernels here are deterministic and
 //! element-wise, so batched execution remains bit-invariant to batch
 //! composition and thread count.
+//!
+//! # Extreme inputs
+//!
+//! The clamps make every kernel total over the finite range and ±∞:
+//! magnitudes beyond the clamp boundaries (including ±∞ and ±`f32::MAX`)
+//! saturate to the boundary values **bit-identically on every backend**.
+//! NaN inputs are the one place backends legitimately differ — the scalar
+//! `f32::clamp` propagates NaN, while the vector `max`/`min` clamp follows
+//! the ISA: AVX2 `maxps` maps a NaN lane to the lower clamp boundary (so
+//! `exp` yields `exp_fast(-87)` and `tanh` yields `-1.0`, while `gelu`
+//! still yields NaN), whereas NEON `fmax`/`fmin` propagate NaN like the
+//! scalar kernel. This is pinned per backend by
+//! `crates/tensor/tests/fastmath_extremes.rs`.
 
 /// Fast `e^x`.
 ///

@@ -341,7 +341,7 @@ mod kernels {
     }
 
     #[inline(always)]
-    fn gelu_v<V: Vf32>(x: V) -> V {
+    pub fn gelu_v<V: Vf32>(x: V) -> V {
         let t = tanh_v(gelu_inner_v(x));
         V::splat(0.5).mul(x).mul(V::splat(1.0).add(t))
     }
@@ -1283,6 +1283,173 @@ mod x86 {
             gw: [&mut [f32]; 4],
         );
     }
+
+    // -- int8 quantized kernels (PR 5) ----------------------------------
+
+    /// Horizontal sum of the eight `i32` lanes (exact: integer adds).
+    #[inline(always)]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        unsafe {
+            let lo = _mm256_castsi256_si128(v);
+            let hi = _mm256_extracti128_si256(v, 1);
+            let s = _mm_add_epi32(lo, hi);
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+            _mm_cvtsi128_si32(s)
+        }
+    }
+
+    /// AVX2 int8 quantization: `dst = clamp(round_ties_even(src · inv), ±127)`
+    /// via `cvtps` (MXCSR default = round-to-nearest-even), matching the
+    /// scalar magic-number rounding bit for bit on finite inputs.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (guaranteed by the runtime dispatch).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn q8_quantize_slice(src: &[f32], inv_scale: f32, dst: &mut [i8]) {
+        let n = src.len();
+        let main = n - n % 8;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        unsafe {
+            let inv = _mm256_set1_ps(inv_scale);
+            let lo = _mm256_set1_ps(-127.0);
+            let hi = _mm256_set1_ps(127.0);
+            let mut i = 0;
+            while i < main {
+                let v = _mm256_mul_ps(_mm256_loadu_ps(sp.add(i)), inv);
+                let v = _mm256_min_ps(_mm256_max_ps(v, lo), hi);
+                let q = _mm256_cvtps_epi32(v);
+                let l = _mm256_castsi256_si128(q);
+                let h = _mm256_extracti128_si256(q, 1);
+                let w = _mm_packs_epi32(l, h);
+                let b = _mm_packs_epi16(w, w);
+                _mm_storel_epi64(dp.add(i) as *mut __m128i, b);
+                i += 8;
+            }
+            for j in main..n {
+                *dp.add(j) = super::q8_quantize_one(*sp.add(j), inv_scale);
+            }
+        }
+    }
+
+    /// AVX2 int8×int8→i32 GEMM over a pre-transposed rhs (`maddubs`+`madd`
+    /// pair kernel). The sign trick (`|a| ⊗ (b·sign a)`) keeps every i16
+    /// pair sum at ≤ 2·127² = 32258, below saturation, so the i32
+    /// accumulation is exact and bit-identical to the scalar kernel in any
+    /// summation order.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2; all inputs must lie in `[-127, 127]` and
+    /// the slice dimensions must be consistent (checked by the public
+    /// wrapper).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn q8_gemm_i32(a: &[i8], bt: &[i8], k: usize, n: usize, out: &mut [i32]) {
+        let m = out.len() / n;
+        let kv = k - k % 32;
+        let (ap0, bp0, op) = (a.as_ptr(), bt.as_ptr(), out.as_mut_ptr());
+        unsafe {
+            let ones = _mm256_set1_epi16(1);
+            for i in 0..m {
+                let ap = ap0.add(i * k);
+                let mut j = 0;
+                // 1-row × 4-column tiles: |a| is computed once per chunk and
+                // reused across the four rhs columns.
+                while j + 4 <= n {
+                    let bps = [
+                        bp0.add(j * k),
+                        bp0.add((j + 1) * k),
+                        bp0.add((j + 2) * k),
+                        bp0.add((j + 3) * k),
+                    ];
+                    let mut acc = [_mm256_setzero_si256(); 4];
+                    let mut p = 0;
+                    while p < kv {
+                        let va = _mm256_loadu_si256(ap.add(p) as *const __m256i);
+                        let abs_a = _mm256_sign_epi8(va, va);
+                        for (c, &bp) in bps.iter().enumerate() {
+                            let vb = _mm256_loadu_si256(bp.add(p) as *const __m256i);
+                            let sb = _mm256_sign_epi8(vb, va);
+                            let d16 = _mm256_maddubs_epi16(abs_a, sb);
+                            acc[c] = _mm256_add_epi32(acc[c], _mm256_madd_epi16(d16, ones));
+                        }
+                        p += 32;
+                    }
+                    for (c, &bp) in bps.iter().enumerate() {
+                        let mut sum = hsum_epi32(acc[c]);
+                        for p in kv..k {
+                            sum += *ap.add(p) as i32 * *bp.add(p) as i32;
+                        }
+                        *op.add(i * n + j + c) = sum;
+                    }
+                    j += 4;
+                }
+                while j < n {
+                    let bp = bp0.add(j * k);
+                    let mut acc = _mm256_setzero_si256();
+                    let mut p = 0;
+                    while p < kv {
+                        let va = _mm256_loadu_si256(ap.add(p) as *const __m256i);
+                        let abs_a = _mm256_sign_epi8(va, va);
+                        let vb = _mm256_loadu_si256(bp.add(p) as *const __m256i);
+                        let sb = _mm256_sign_epi8(vb, va);
+                        let d16 = _mm256_maddubs_epi16(abs_a, sb);
+                        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d16, ones));
+                        p += 32;
+                    }
+                    let mut sum = hsum_epi32(acc);
+                    for p in kv..k {
+                        sum += *ap.add(p) as i32 * *bp.add(p) as i32;
+                    }
+                    *op.add(i * n + j) = sum;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// AVX2 fused dequantize + bias (+ optional GELU) epilogue over whole
+    /// rows: `out = acc·scale + bias` with mul-then-add lanes and the
+    /// [`kernels::gelu_v`] lane kernel, bit-identical to the scalar loop.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (guaranteed by the runtime dispatch).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn q8_dequant_rows(
+        acc: &[i32],
+        scale: &[f32],
+        bias: &[f32],
+        gelu: bool,
+        out: &mut [f32],
+    ) {
+        let n = scale.len();
+        let rows = out.len() / n;
+        let main = n - n % 8;
+        let (sp, bp) = (scale.as_ptr(), bias.as_ptr());
+        unsafe {
+            for r in 0..rows {
+                let arow = acc.as_ptr().add(r * n);
+                let orow = out.as_mut_ptr().add(r * n);
+                let mut i = 0;
+                while i < main {
+                    let v = _mm256_cvtepi32_ps(_mm256_loadu_si256(arow.add(i) as *const __m256i));
+                    let v = _mm256_add_ps(
+                        _mm256_mul_ps(v, _mm256_loadu_ps(sp.add(i))),
+                        _mm256_loadu_ps(bp.add(i)),
+                    );
+                    let v = if gelu { kernels::gelu_v(F32x8(v)).0 } else { v };
+                    _mm256_storeu_ps(orow.add(i), v);
+                    i += 8;
+                }
+                for j in main..n {
+                    let y = *arow.add(j) as f32 * *sp.add(j) + *bp.add(j);
+                    *orow.add(j) = if gelu { crate::fastmath::gelu_fast(y) } else { y };
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1441,6 +1608,114 @@ mod neon {
             grad_in: &mut [f32],
             gw: [&mut [f32]; 4],
         );
+    }
+
+    // -- int8 quantized kernels (PR 5) ----------------------------------
+
+    /// NEON int8 quantization (`vcvtnq` = round-to-nearest-even, matching
+    /// the scalar magic-number rounding bit for bit on finite inputs).
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available (baseline on aarch64).
+    pub unsafe fn q8_quantize_slice(src: &[f32], inv_scale: f32, dst: &mut [i8]) {
+        let n = src.len();
+        let main = n - n % 8;
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        unsafe {
+            let inv = vdupq_n_f32(inv_scale);
+            let lo = vdupq_n_f32(-127.0);
+            let hi = vdupq_n_f32(127.0);
+            let mut i = 0;
+            while i < main {
+                let v0 = vminq_f32(vmaxq_f32(vmulq_f32(vld1q_f32(sp.add(i)), inv), lo), hi);
+                let v1 = vminq_f32(vmaxq_f32(vmulq_f32(vld1q_f32(sp.add(i + 4)), inv), lo), hi);
+                let w =
+                    vcombine_s16(vqmovn_s32(vcvtnq_s32_f32(v0)), vqmovn_s32(vcvtnq_s32_f32(v1)));
+                vst1_s8(dp.add(i), vqmovn_s16(w));
+                i += 8;
+            }
+            for j in main..n {
+                *dp.add(j) = super::q8_quantize_one(*sp.add(j), inv_scale);
+            }
+        }
+    }
+
+    /// NEON int8×int8→i32 GEMM over a pre-transposed rhs: `vmull_s8`
+    /// widening multiplies (exact in i16) pair-accumulated into i32 lanes
+    /// (`vpadalq`), bit-identical to the scalar kernel in any summation
+    /// order.
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available; slice dimensions must be consistent (checked
+    /// by the public wrapper).
+    pub unsafe fn q8_gemm_i32(a: &[i8], bt: &[i8], k: usize, n: usize, out: &mut [i32]) {
+        let m = out.len() / n;
+        let kv = k - k % 16;
+        let (ap0, bp0, op) = (a.as_ptr(), bt.as_ptr(), out.as_mut_ptr());
+        unsafe {
+            for i in 0..m {
+                let ap = ap0.add(i * k);
+                for j in 0..n {
+                    let bp = bp0.add(j * k);
+                    let mut acc = vdupq_n_s32(0);
+                    let mut p = 0;
+                    while p < kv {
+                        let va = vld1q_s8(ap.add(p));
+                        let vb = vld1q_s8(bp.add(p));
+                        let pl = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+                        let ph = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+                        acc = vpadalq_s16(acc, pl);
+                        acc = vpadalq_s16(acc, ph);
+                        p += 16;
+                    }
+                    let mut sum = vaddvq_s32(acc);
+                    for p in kv..k {
+                        sum += *ap.add(p) as i32 * *bp.add(p) as i32;
+                    }
+                    *op.add(i * n + j) = sum;
+                }
+            }
+        }
+    }
+
+    /// NEON fused dequantize + bias (+ optional GELU) epilogue over whole
+    /// rows (mul-then-add lanes + the [`kernels::gelu_v`] lane kernel,
+    /// bit-identical to the scalar loop).
+    ///
+    /// # Safety
+    ///
+    /// NEON must be available (baseline on aarch64).
+    pub unsafe fn q8_dequant_rows(
+        acc: &[i32],
+        scale: &[f32],
+        bias: &[f32],
+        gelu: bool,
+        out: &mut [f32],
+    ) {
+        let n = scale.len();
+        let rows = out.len() / n;
+        let main = n - n % 4;
+        let (sp, bp) = (scale.as_ptr(), bias.as_ptr());
+        unsafe {
+            for r in 0..rows {
+                let arow = acc.as_ptr().add(r * n);
+                let orow = out.as_mut_ptr().add(r * n);
+                let mut i = 0;
+                while i < main {
+                    let v = vcvtq_f32_s32(vld1q_s32(arow.add(i)));
+                    let v = vaddq_f32(vmulq_f32(v, vld1q_f32(sp.add(i))), vld1q_f32(bp.add(i)));
+                    let v = if gelu { kernels::gelu_v(F32x4(v)).0 } else { v };
+                    vst1q_f32(orow.add(i), v);
+                    i += 4;
+                }
+                for j in main..n {
+                    let y = *arow.add(j) as f32 * *sp.add(j) + *bp.add(j);
+                    *orow.add(j) = if gelu { crate::fastmath::gelu_fast(y) } else { y };
+                }
+            }
+        }
     }
 }
 
@@ -1878,6 +2153,134 @@ pub fn butterfly_stage_backward(
     })
 }
 
+// ---------------------------------------------------------------------------
+// int8 quantized kernels (PR 5): symmetric per-tensor quantization, an
+// int8×int8→i32 blocked GEMM against a pre-transposed rhs, and fused
+// dequantize+bias(+GELU) epilogues. The i32 accumulation is exact (no
+// saturation by construction: inputs are clamped to [-127, 127], so every
+// i16 pair sum stays ≤ 2·127² and integer adds are associative), which makes
+// every backend bit-identical to the scalar reference — the acceptance
+// contract of the fab-quant subsystem.
+// ---------------------------------------------------------------------------
+
+/// Scalar quantize: `clamp(x · inv_scale, ±127)` rounded to the nearest
+/// integer, ties to even (the magic-number trick, matching `cvtps`/`vcvtnq`
+/// on the SIMD backends bit for bit).
+#[inline]
+fn q8_quantize_one(x: f32, inv_scale: f32) -> i8 {
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    let v = (x * inv_scale).clamp(-127.0, 127.0);
+    ((v + MAGIC) - MAGIC) as i8
+}
+
+fn q8_quantize_scalar(src: &[f32], inv_scale: f32, dst: &mut [i8]) {
+    for (d, &x) in dst.iter_mut().zip(src.iter()) {
+        *d = q8_quantize_one(x, inv_scale);
+    }
+}
+
+fn q8_gemm_scalar(a: &[i8], bt: &[i8], k: usize, n: usize, out: &mut [i32]) {
+    for (i, orow) in out.chunks_mut(n).enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bt[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av as i32 * bv as i32;
+            }
+            *o = acc;
+        }
+    }
+}
+
+fn q8_dequant_scalar(acc: &[i32], scale: &[f32], bias: &[f32], gelu: bool, out: &mut [f32]) {
+    let n = scale.len();
+    for (orow, arow) in out.chunks_mut(n).zip(acc.chunks(n)) {
+        for (j, (o, &a)) in orow.iter_mut().zip(arow.iter()).enumerate() {
+            let y = a as f32 * scale[j] + bias[j];
+            *o = if gelu { crate::fastmath::gelu_fast(y) } else { y };
+        }
+    }
+}
+
+/// Symmetric int8 quantization of a slice: `dst[i] =
+/// clamp(round_ties_even(src[i] · inv_scale), -127, 127)`.
+///
+/// The output range is `[-127, 127]` — `-128` is never produced, which is
+/// the precondition of [`q8_gemm_i32`]'s saturation-free SIMD kernels. All
+/// backends are bit-identical for finite inputs (the SIMD `cvt` rounding and
+/// the scalar magic-number rounding are both round-to-nearest-even);
+/// non-finite inputs are unspecified (NaN maps to 0 on the scalar backend
+/// and to a clamped value on SIMD backends).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn q8_quantize_slice(src: &[f32], inv_scale: f32, dst: &mut [i8]) {
+    assert_eq!(src.len(), dst.len(), "q8_quantize_slice length mismatch");
+    dispatch!((src, inv_scale, dst), q8_quantize_slice, { q8_quantize_scalar(src, inv_scale, dst) })
+}
+
+/// int8×int8→i32 GEMM with a pre-transposed rhs: `out[i][j] = Σ_p
+/// a[i·k + p] · bt[j·k + p]` (`a` is `[m, k]`, `bt` is `[n, k]` — the rhs
+/// stored row-major by *output* column, so every output element is a dot
+/// product of two contiguous `k`-vectors).
+///
+/// The accumulation is exact in `i32` on every backend: inputs must lie in
+/// `[-127, 127]` (upheld by [`q8_quantize_slice`]; debug-asserted here), so
+/// the AVX2 `maddubs` pair sums never saturate and integer addition is
+/// associative — scalar, AVX2 and NEON results are **bit-identical** in any
+/// summation order.
+///
+/// # Panics
+///
+/// Panics when the slice dimensions are inconsistent or `k` is large enough
+/// for the i32 accumulator to overflow (`k > 130_000`).
+pub fn q8_gemm_i32(a: &[i8], bt: &[i8], k: usize, n: usize, out: &mut [i32]) {
+    assert!(n > 0 && out.len().is_multiple_of(n), "q8_gemm_i32 output not whole rows");
+    let m = out.len() / n;
+    assert_eq!(a.len(), m * k, "q8_gemm_i32 lhs dimension mismatch");
+    assert_eq!(bt.len(), n * k, "q8_gemm_i32 rhs dimension mismatch");
+    // 130_000 · 127² < 2^31: the accumulator cannot overflow.
+    assert!(k <= 130_000, "q8_gemm_i32 depth {k} risks i32 overflow");
+    debug_assert!(a.iter().all(|&v| v != i8::MIN), "q8_gemm_i32 lhs holds -128");
+    debug_assert!(bt.iter().all(|&v| v != i8::MIN), "q8_gemm_i32 rhs holds -128");
+    dispatch!((a, bt, k, n, out), q8_gemm_i32, { q8_gemm_scalar(a, bt, k, n, out) })
+}
+
+/// Fused dequantize + bias epilogue over whole rows: `out[r][j] =
+/// acc[r][j] · scale[j] + bias[j]` (mul-then-add per lane, bit-identical
+/// across backends). `scale` conventionally holds the combined
+/// `input_scale · weight_scale[j]` per output column.
+///
+/// # Panics
+///
+/// Panics when the slice dimensions are inconsistent.
+pub fn q8_dequant_bias_rows(acc: &[i32], scale: &[f32], bias: &[f32], out: &mut [f32]) {
+    q8_dequant_dispatch(acc, scale, bias, false, out);
+}
+
+/// [`q8_dequant_bias_rows`] with a fused [`crate::fastmath::gelu_fast`]
+/// activation (the GELU lanes run the identical operation sequence on every
+/// backend, so results stay bit-identical across backends).
+///
+/// # Panics
+///
+/// Panics when the slice dimensions are inconsistent.
+pub fn q8_dequant_bias_gelu_rows(acc: &[i32], scale: &[f32], bias: &[f32], out: &mut [f32]) {
+    q8_dequant_dispatch(acc, scale, bias, true, out);
+}
+
+fn q8_dequant_dispatch(acc: &[i32], scale: &[f32], bias: &[f32], gelu: bool, out: &mut [f32]) {
+    let n = scale.len();
+    assert_eq!(bias.len(), n, "q8 dequant bias length mismatch");
+    assert_eq!(acc.len(), out.len(), "q8 dequant acc/out length mismatch");
+    assert!(n > 0 && out.len().is_multiple_of(n), "q8 dequant output not whole rows");
+    dispatch!((acc, scale, bias, gelu, out), q8_dequant_rows, {
+        q8_dequant_scalar(acc, scale, bias, gelu, out)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1970,6 +2373,74 @@ mod tests {
                 gelu_grad_acc(&mut d2, &a, &b);
             });
             assert_eq!(d1, d2, "accumulate kernels diverged at n={n}");
+        }
+    }
+
+    fn q8_data(n: usize, salt: i32) -> Vec<i8> {
+        (0..n).map(|i| (((i as i32 * 41 + salt * 17) % 255) - 127) as i8).collect()
+    }
+
+    #[test]
+    fn q8_quantize_matches_scalar_bitwise() {
+        let _g = guard();
+        if !default_backend().is_simd() {
+            return;
+        }
+        for n in [1usize, 7, 8, 9, 31, 64, 100] {
+            let x = data(n, 6);
+            let mut simd = vec![0i8; n];
+            let mut scalar = vec![0i8; n];
+            with_backend(default_backend(), || q8_quantize_slice(&x, 37.5, &mut simd));
+            with_backend(Backend::Scalar, || q8_quantize_slice(&x, 37.5, &mut scalar));
+            assert_eq!(simd, scalar, "q8 quantize diverged at n={n}");
+            assert!(scalar.iter().all(|&q| q > i8::MIN), "q8 quantize produced -128");
+        }
+    }
+
+    #[test]
+    fn q8_gemm_matches_scalar_bitwise() {
+        let _g = guard();
+        if !default_backend().is_simd() {
+            return;
+        }
+        for (m, n, k) in [(1usize, 1usize, 1usize), (3, 5, 7), (4, 4, 32), (5, 9, 33), (7, 3, 100)]
+        {
+            let a = q8_data(m * k, 1);
+            let bt = q8_data(n * k, 2);
+            let mut simd = vec![0i32; m * n];
+            let mut scalar = vec![0i32; m * n];
+            with_backend(default_backend(), || q8_gemm_i32(&a, &bt, k, n, &mut simd));
+            with_backend(Backend::Scalar, || q8_gemm_i32(&a, &bt, k, n, &mut scalar));
+            assert_eq!(simd, scalar, "q8 gemm diverged at m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn q8_dequant_epilogues_match_scalar_bitwise() {
+        let _g = guard();
+        if !default_backend().is_simd() {
+            return;
+        }
+        for n in [1usize, 5, 8, 13, 64] {
+            let rows = 3;
+            let acc: Vec<i32> =
+                (0..rows * n).map(|i| (i as i32 * 7919 % 40_000) - 20_000).collect();
+            let scale = data(n, 8);
+            let bias = data(n, 9);
+            for gelu in [false, true] {
+                let mut simd = vec![0.0f32; rows * n];
+                let mut scalar = vec![0.0f32; rows * n];
+                let run = |out: &mut [f32]| {
+                    if gelu {
+                        q8_dequant_bias_gelu_rows(&acc, &scale, &bias, out);
+                    } else {
+                        q8_dequant_bias_rows(&acc, &scale, &bias, out);
+                    }
+                };
+                with_backend(default_backend(), || run(&mut simd));
+                with_backend(Backend::Scalar, || run(&mut scalar));
+                assert_eq!(simd, scalar, "q8 dequant (gelu={gelu}) diverged at n={n}");
+            }
         }
     }
 }

@@ -227,6 +227,115 @@ fn matmul_band_matches_tensor_matmul_on_odd_bands() {
     );
 }
 
+/// Deterministic int8 data in `[-127, 127]` (the q8 kernel precondition).
+fn q8_data(n: usize, salt: usize) -> Vec<i8> {
+    (0..n).map(|i| (((i * 53 + salt * 31) % 255) as i32 - 127) as i8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The PR-5 acceptance contract: the int8 GEMM's i32 accumulation is
+    // bit-identical between the scalar reference and the SIMD backend at
+    // every shape, including sub-vector depths and odd tails.
+    #[test]
+    fn q8_gemm_is_bit_identical_across_shapes(
+        m in 1usize..16,
+        n in 1usize..24,
+        k in 1usize..120,
+        salt in 0usize..50,
+    ) {
+        let _g = lock();
+        if !simd::default_backend().is_simd() { return Ok(()); }
+        let a = q8_data(m * k, salt);
+        let bt = q8_data(n * k, salt + 1);
+        let mut scalar = vec![0i32; m * n];
+        let mut vect = vec![0i32; m * n];
+        with_backend(Backend::Scalar, || simd::q8_gemm_i32(&a, &bt, k, n, &mut scalar));
+        with_backend(simd::default_backend(), || simd::q8_gemm_i32(&a, &bt, k, n, &mut vect));
+        prop_assert_eq!(scalar, vect);
+    }
+
+    // Quantize → GEMM → dequantize round trip: the full int8 pipeline is
+    // bit-identical across backends and approximates the f32 product.
+    #[test]
+    fn q8_pipeline_is_bit_identical_and_accurate(
+        m in 1usize..10,
+        n in 1usize..16,
+        k in 8usize..80,
+    ) {
+        let _g = lock();
+        if !simd::default_backend().is_simd() { return Ok(()); }
+        let x = data(m * k, 21);
+        let w = data(n * k, 22);
+        let bias = data(n, 23);
+        let x_scale = x.iter().fold(0.0f32, |a, &v| a.max(v.abs())).max(1e-12) / 127.0;
+        let w_scale = w.iter().fold(0.0f32, |a, &v| a.max(v.abs())).max(1e-12) / 127.0;
+        let combined = vec![x_scale * w_scale; n];
+        let run = || {
+            let mut qx = vec![0i8; m * k];
+            let mut qw = vec![0i8; n * k];
+            simd::q8_quantize_slice(&x, 1.0 / x_scale, &mut qx);
+            simd::q8_quantize_slice(&w, 1.0 / w_scale, &mut qw);
+            let mut acc = vec![0i32; m * n];
+            simd::q8_gemm_i32(&qx, &qw, k, n, &mut acc);
+            let mut out = vec![0.0f32; m * n];
+            simd::q8_dequant_bias_rows(&acc, &combined, &bias, &mut out);
+            out
+        };
+        let scalar = with_backend(Backend::Scalar, run);
+        let vect = with_backend(simd::default_backend(), run);
+        prop_assert_eq!(&scalar, &vect);
+        // Against the exact f32 product: per-element quantization error is
+        // bounded by the two step sizes over the k-sum.
+        for i in 0..m {
+            for j in 0..n {
+                let exact: f32 = (0..k).map(|p| x[i * k + p] * w[j * k + p]).sum::<f32>() + bias[j];
+                let bound = (k as f32).sqrt() * 2.0 * 127.0 * x_scale * w_scale + 1e-4;
+                prop_assert!(
+                    (scalar[i * n + j] - exact).abs() <= bound,
+                    "int8 result {} too far from f32 {exact} (bound {bound})",
+                    scalar[i * n + j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn q8_kernels_handle_deliberately_misaligned_slice_offsets() {
+    let _g = lock();
+    if !simd::default_backend().is_simd() {
+        return;
+    }
+    // Sub-slices at byte offsets 0-3/7/13 relative to the allocation: every
+    // q8 vector access must be an unaligned load/store, exactly like the f32
+    // kernels.
+    let (m, n, k) = (3usize, 5usize, 67usize);
+    for off in [0usize, 1, 2, 3, 7, 13] {
+        let abuf = q8_data(off + m * k, 3);
+        let bbuf = q8_data(off + n * k, 4);
+        let (a, bt) = (&abuf[off..], &bbuf[off..]);
+        let mut scalar = vec![0i32; m * n];
+        let mut vect = vec![0i32; m * n];
+        with_backend(Backend::Scalar, || simd::q8_gemm_i32(a, bt, k, n, &mut scalar));
+        with_backend(simd::default_backend(), || simd::q8_gemm_i32(a, bt, k, n, &mut vect));
+        assert_eq!(scalar, vect, "q8_gemm_i32 diverged at offset {off}");
+
+        let fbuf = data(off + m * k, 5);
+        let src = &fbuf[off..];
+        let mut qs = vec![0i8; off + m * k];
+        let mut qv = vec![0i8; off + m * k];
+        with_backend(Backend::Scalar, || {
+            simd::q8_quantize_slice(src, 101.0, &mut qs[off..]);
+        });
+        with_backend(simd::default_backend(), || {
+            simd::q8_quantize_slice(src, 101.0, &mut qv[off..]);
+        });
+        assert_eq!(qs, qv, "q8_quantize_slice diverged at offset {off}");
+    }
+}
+
 #[test]
 fn scalar_backend_matches_env_override() {
     let _g = lock();
