@@ -1,0 +1,452 @@
+//! PR-6 robustness load test: drives a real `fabd` daemon over loopback
+//! HTTP with open-loop arrivals, then walks it through a fault-injection
+//! gauntlet — killed workers, a poison (panicking) input, an overload
+//! burst, expired deadlines — and finishes with a graceful drain carrying
+//! stranded in-flight requests. Writes `BENCH_PR6.json` and exits non-zero
+//! when a robustness gate fails.
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin bench_pr6 -- [--smoke]
+//!     [--requests N] [--threads N] [--max-p99-ms X]
+//! ```
+//!
+//! Gates:
+//! - every healthy-phase request is answered `200`, p99 below `--max-p99-ms`
+//! - requests keep succeeding across injected worker kills, and the
+//!   supervisor's restart counter moves
+//! - a poison input gets an explicit `500` while its batchmates get `200`
+//! - an overload burst is shed with explicit per-sequence errors, never
+//!   hangs
+//! - expired deadlines are shed (504 / inline errors), not served late
+//! - the drain answers every stranded in-flight request: zero loss
+
+use fab_lra::LraTask;
+use fabd::{
+    ClientError, Daemon, DaemonConfig, FabClient, Json, Precision, ProfileConfig, RetryPolicy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    requests: usize,
+    threads: usize,
+    max_p99_ms: f64,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut opts = Self { requests: 0, threads: 4, max_p99_ms: 10_000.0, smoke: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("invalid {name}: {e}"))
+            };
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--requests" => opts.requests = value("--requests") as usize,
+                "--threads" => opts.threads = value("--threads") as usize,
+                "--max-p99-ms" => opts.max_p99_ms = value("--max-p99-ms"),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        if opts.requests == 0 {
+            opts.requests = if opts.smoke { 80 } else { 400 };
+        }
+        opts.threads = opts.threads.max(1);
+        opts
+    }
+}
+
+/// Exact percentile of sorted microsecond samples.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One request's outcome: HTTP status (0 = transport failure) + latency.
+#[derive(Clone, Copy)]
+struct Outcome {
+    status: u16,
+    us: u64,
+}
+
+fn no_retry_client(addr: &str, seed: u64) -> FabClient {
+    let policy = RetryPolicy { max_retries: 0, base_ms: 1, max_ms: 1 };
+    FabClient::with_policy(addr, policy, seed).with_timeout(Duration::from_secs(60))
+}
+
+fn random_tokens(rng: &mut StdRng, vocab_cap: usize, max_len: usize) -> Vec<usize> {
+    let len = rng.gen_range(4..=max_len);
+    (0..len).map(|_| rng.gen_range(1..vocab_cap)).collect()
+}
+
+fn status_of(result: &Result<Json, ClientError>) -> u16 {
+    match result {
+        Ok(_) => 200,
+        Err(ClientError::Status { status, .. }) => *status,
+        Err(_) => 0,
+    }
+}
+
+/// Fires `schedule.len()` requests open-loop (each thread sleeps to its
+/// arrival times) and returns every outcome.
+fn run_open_loop(
+    addr: &str,
+    threads: usize,
+    schedule: &[(Vec<usize>, Duration)],
+    deadline_ms: Option<u64>,
+) -> Vec<Outcome> {
+    let shards: Vec<Vec<(Vec<usize>, Duration)>> =
+        (0..threads).map(|t| schedule.iter().skip(t).step_by(threads).cloned().collect()).collect();
+    let t0 = Instant::now();
+    let handles: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(t, shard)| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = no_retry_client(&addr, t as u64 + 1);
+                let mut outcomes = Vec::with_capacity(shard.len());
+                for (tokens, at) in shard {
+                    let mut now = t0.elapsed();
+                    while now < at {
+                        std::thread::sleep((at - now).min(Duration::from_micros(500)));
+                        now = t0.elapsed();
+                    }
+                    let r0 = Instant::now();
+                    let result = client.predict(None, &tokens, deadline_ms);
+                    outcomes.push(Outcome {
+                        status: status_of(&result),
+                        us: r0.elapsed().as_micros() as u64,
+                    });
+                }
+                outcomes
+            })
+        })
+        .collect();
+    handles.into_iter().flat_map(|h| h.join().expect("sender thread")).collect()
+}
+
+fn count(outcomes: &[Outcome], status: u16) -> usize {
+    outcomes.iter().filter(|o| o.status == status).count()
+}
+
+fn sorted_latencies(outcomes: &[Outcome]) -> Vec<u64> {
+    let mut us: Vec<u64> = outcomes.iter().map(|o| o.us).collect();
+    us.sort_unstable();
+    us
+}
+
+fn main() {
+    let opts = Options::parse();
+    let mut rng = StdRng::seed_from_u64(20260806);
+    let mut failures: Vec<String> = Vec::new();
+
+    // One fast-math profile with an armed poison token (the gauntlet needs
+    // it); fault injection stays daemon-gated.
+    let task = LraTask::Text;
+    let vocab = task.vocab_size();
+    let marker = vocab - 1;
+    let seq_len = 32;
+    let mut profile = ProfileConfig::tiny("bench", Precision::FastMath, 42);
+    profile.seq_len = seq_len;
+    profile.hidden = 32;
+    profile.panic_token = Some(marker);
+    let queue_capacity = 256;
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fault_injection: true,
+        num_workers: 2,
+        queue_capacity,
+        max_connections: opts.threads * 4 + 16,
+        read_timeout_ms: 30_000,
+        write_timeout_ms: 30_000,
+        drain_timeout_ms: 30_000,
+        profiles: vec![profile],
+        ..DaemonConfig::default()
+    };
+    let t_train = Instant::now();
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr().to_string();
+    println!(
+        "bench_pr6: fabd on {addr} ({} requests, {} sender threads, trained in {:.2}s)",
+        opts.requests,
+        opts.threads,
+        t_train.elapsed().as_secs_f64()
+    );
+
+    // Closed-loop warmup to estimate the service rate, sizing the open-loop
+    // arrival schedule relative to this host.
+    let mut warm = no_retry_client(&addr, 99);
+    let w0 = Instant::now();
+    let warmup = 20;
+    for _ in 0..warmup {
+        let tokens = random_tokens(&mut rng, marker, seq_len);
+        warm.predict(None, &tokens, None).expect("warmup request");
+    }
+    let base_rps = warmup as f64 / w0.elapsed().as_secs_f64();
+    println!("warmup   : {base_rps:8.1} req/s closed-loop (1 connection)");
+
+    // --- Phase 1: healthy open-loop load. ----------------------------------
+    // Poisson arrivals at 2x the single-connection rate: enough pressure to
+    // exercise batching without saturating the bounded queue.
+    let lambda = 2.0 * base_rps;
+    let mut at = 0.0f64;
+    let schedule: Vec<(Vec<usize>, Duration)> = (0..opts.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            at += -u.ln() / lambda;
+            (random_tokens(&mut rng, marker, seq_len), Duration::from_secs_f64(at))
+        })
+        .collect();
+    let healthy = run_open_loop(&addr, opts.threads, &schedule, None);
+    let healthy_us = sorted_latencies(&healthy);
+    let healthy_ok = count(&healthy, 200);
+    let healthy_s = schedule.last().expect("nonempty").1.as_secs_f64();
+    let (p50, p95, p99) = (
+        exact_percentile(&healthy_us, 0.50),
+        exact_percentile(&healthy_us, 0.95),
+        exact_percentile(&healthy_us, 0.99),
+    );
+    println!(
+        "healthy  : {healthy_ok}/{} answered 200  p50 {p50}us  p95 {p95}us  p99 {p99}us",
+        healthy.len()
+    );
+    if healthy_ok != healthy.len() {
+        failures.push(format!(
+            "healthy phase: {} of {} requests not answered 200",
+            healthy.len() - healthy_ok,
+            healthy.len()
+        ));
+    }
+    if p99 as f64 / 1000.0 > opts.max_p99_ms {
+        failures.push(format!("healthy p99 {p99}us above the {}ms bound", opts.max_p99_ms));
+    }
+
+    // --- Phase 2a: killed workers under load. ------------------------------
+    // Kill a worker every quarter of the phase; the supervisor respawns it
+    // while the load keeps flowing.
+    let kill_phase_requests = opts.requests / 2;
+    let kills = 4;
+    let killer_addr = addr.clone();
+    let fired = Arc::new(AtomicUsize::new(0));
+    let fired_killer = Arc::clone(&fired);
+    let killer = std::thread::spawn(move || {
+        let mut client = no_retry_client(&killer_addr, 7);
+        for k in 1..=kills {
+            while fired_killer.load(Ordering::Acquire) < kill_phase_requests * k / (kills + 1) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            client
+                .request_json("POST", "/admin/inject_worker_exit", b"")
+                .expect("fault injection enabled");
+        }
+    });
+    let mut kill_outcomes = Vec::with_capacity(kill_phase_requests);
+    {
+        let mut client = no_retry_client(&addr, 8);
+        for _ in 0..kill_phase_requests {
+            let tokens = random_tokens(&mut rng, marker, seq_len);
+            let r0 = Instant::now();
+            let result = client.predict(None, &tokens, None);
+            kill_outcomes
+                .push(Outcome { status: status_of(&result), us: r0.elapsed().as_micros() as u64 });
+            fired.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+    killer.join().expect("killer thread");
+    let kill_ok = count(&kill_outcomes, 200);
+    println!("faults   : {kill_ok}/{kill_phase_requests} answered 200 across {kills} injected worker kills");
+    if kill_ok != kill_phase_requests {
+        failures.push(format!(
+            "kill phase: {} of {kill_phase_requests} requests lost",
+            kill_phase_requests - kill_ok
+        ));
+    }
+
+    // --- Phase 2b: poison input (panicking forward pass). ------------------
+    // The marker token panics the model hook; the daemon must answer it 500
+    // and keep answering its batchmates 200. Panic backtraces on stderr are
+    // expected here.
+    println!(
+        "poison   : sending 1 marker request + 8 clean batchmates (panics below are injected)"
+    );
+    let poison_addr = addr.clone();
+    let poison = std::thread::spawn(move || {
+        let mut client = no_retry_client(&poison_addr, 9);
+        let result = client.predict(None, &[1, 2, marker], None);
+        status_of(&result)
+    });
+    let mates_schedule: Vec<(Vec<usize>, Duration)> =
+        (0..8).map(|_| (random_tokens(&mut rng, marker, seq_len), Duration::ZERO)).collect();
+    let mates = run_open_loop(&addr, 2, &mates_schedule, None);
+    let poison_status = poison.join().expect("poison thread");
+    let mates_ok = count(&mates, 200);
+    println!("poison   : marker answered {poison_status}, batchmates {mates_ok}/8 answered 200");
+    if poison_status != 500 {
+        failures.push(format!("poison input answered {poison_status}, expected explicit 500"));
+    }
+    if mates_ok != mates.len() {
+        failures.push("batchmates of the poison input were not all answered 200".to_string());
+    }
+
+    // --- Phase 2c: overload burst. ----------------------------------------
+    // One predict_batch with 4x the queue capacity: admission control must
+    // shed the excess with explicit inline errors, instantly.
+    let burst = queue_capacity * 4;
+    let sequences: Vec<Json> = (0..burst)
+        .map(|_| {
+            Json::Arr(
+                random_tokens(&mut rng, marker, seq_len)
+                    .iter()
+                    .map(|&t| Json::Num(t as f64))
+                    .collect(),
+            )
+        })
+        .collect();
+    let body = Json::Obj(vec![("sequences".to_string(), Json::Arr(sequences))]).to_string();
+    let mut burst_client = no_retry_client(&addr, 10);
+    let b0 = Instant::now();
+    let burst_result = burst_client
+        .request_json("POST", "/v1/predict_batch", body.as_bytes())
+        .expect("burst answered");
+    let burst_s = b0.elapsed().as_secs_f64();
+    let results = burst_result.get("results").and_then(Json::as_arr).expect("results");
+    let burst_served = results.iter().filter(|r| r.get("logits").is_some()).count();
+    let burst_shed = results.iter().filter(|r| r.get("error").is_some()).count();
+    println!(
+        "overload : burst of {burst}: {burst_served} served, {burst_shed} shed with explicit errors in {burst_s:.2}s"
+    );
+    if burst_served + burst_shed != burst {
+        failures.push("overload burst: some sequences got neither result nor error".to_string());
+    }
+    if burst_shed == 0 {
+        failures
+            .push(format!("overload burst of {burst} over capacity {queue_capacity} shed nothing"));
+    }
+
+    // --- Phase 2d: expired deadlines. --------------------------------------
+    // An explicit 0 deadline is shed deterministically with 504; a 1 ms
+    // deadline on a queued burst sheds whatever misses it.
+    let zero = no_retry_client(&addr, 11).predict(None, &[1, 2, 3], Some(0));
+    let zero_status = status_of(&zero);
+    let tight_schedule: Vec<(Vec<usize>, Duration)> = (0..opts.requests / 4)
+        .map(|_| (random_tokens(&mut rng, marker, seq_len), Duration::ZERO))
+        .collect();
+    let tight = run_open_loop(&addr, opts.threads, &tight_schedule, Some(1));
+    let tight_ok = count(&tight, 200);
+    let tight_shed = count(&tight, 504);
+    println!(
+        "deadline : explicit-0 answered {zero_status}; 1ms-deadline burst: {tight_ok} served, {tight_shed} shed 504 of {}",
+        tight.len()
+    );
+    if zero_status != 504 {
+        failures.push(format!("explicit 0 deadline answered {zero_status}, expected 504"));
+    }
+    if tight_ok + tight_shed != tight.len() {
+        failures.push("deadline burst: some requests neither served nor shed".to_string());
+    }
+
+    // Snapshot server-side counters before the daemon goes away.
+    let stats = no_retry_client(&addr, 12).stats().expect("stats");
+    let model_stats = stats.get("models").and_then(Json::as_arr).expect("models")[0].clone();
+    let counter = |key: &str| model_stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let (restarts, panics, rejected, shed_expired) = (
+        counter("worker_restarts"),
+        counter("batch_panics"),
+        counter("rejected"),
+        counter("shed_expired"),
+    );
+    println!(
+        "counters : {restarts} worker restarts, {panics} batch panics, {rejected} rejected, {shed_expired} shed expired"
+    );
+    if restarts == 0 {
+        failures.push("supervisor restart counter never moved despite injected kills".to_string());
+    }
+    if panics == 0 {
+        failures.push("batch panic counter never moved despite the poison input".to_string());
+    }
+    if rejected == 0 || shed_expired == 0 {
+        failures.push("shedding counters did not move".to_string());
+    }
+
+    // --- Phase 3: graceful drain with stranded in-flight requests. ---------
+    // Senders park requests in flight, then the daemon drains: every one
+    // must come back answered (a result or an explicit error), zero lost.
+    let stranded_n = opts.threads * 2;
+    let stranded: Vec<_> = (0..stranded_n)
+        .map(|i| {
+            let addr = addr.clone();
+            let tokens = random_tokens(&mut rng, marker, seq_len);
+            std::thread::spawn(move || {
+                let mut client = no_retry_client(&addr, 100 + i as u64);
+                status_of(&client.predict(None, &tokens, None))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    let d0 = Instant::now();
+    daemon.shutdown();
+    let drain_s = d0.elapsed().as_secs_f64();
+    let stranded_statuses: Vec<u16> =
+        stranded.into_iter().map(|h| h.join().expect("stranded sender")).collect();
+    let drain_answered = stranded_statuses.iter().filter(|&&s| s == 200).count();
+    println!(
+        "drain    : {drain_answered}/{stranded_n} stranded requests answered in {drain_s:.2}s ({stranded_statuses:?})"
+    );
+    if drain_answered != stranded_n {
+        failures.push(format!(
+            "drain dropped {} of {stranded_n} in-flight requests",
+            stranded_n - drain_answered
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 6,\n  \"smoke\": {},\n  {host},\n  \"requests\": {},\n  \
+         \"sender_threads\": {},\n  \"queue_capacity\": {queue_capacity},\n  \
+         \"warmup_closed_loop_rps\": {base_rps:.2},\n  \
+         \"healthy\": {{\"answered_200\": {healthy_ok}, \"total\": {}, \"duration_s\": {healthy_s:.3}, \
+         \"throughput_rps\": {:.2}, \"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}}},\n  \
+         \"worker_kills\": {{\"injected\": {kills}, \"requests\": {kill_phase_requests}, \
+         \"answered_200\": {kill_ok}, \"worker_restarts\": {restarts}}},\n  \
+         \"poison\": {{\"marker_status\": {poison_status}, \"batchmates_200\": {mates_ok}, \
+         \"batch_panics\": {panics}}},\n  \
+         \"overload\": {{\"burst\": {burst}, \"served\": {burst_served}, \"shed\": {burst_shed}, \
+         \"rejected_total\": {rejected}}},\n  \
+         \"deadlines\": {{\"explicit_zero_status\": {zero_status}, \"tight_total\": {}, \
+         \"tight_served\": {tight_ok}, \"tight_shed_504\": {tight_shed}, \
+         \"shed_expired_total\": {shed_expired}}},\n  \
+         \"drain\": {{\"stranded\": {stranded_n}, \"answered\": {drain_answered}, \
+         \"duration_s\": {drain_s:.3}}},\n  \
+         \"max_p99_ms_required\": {},\n  \"failures\": {:?}\n}}\n",
+        opts.smoke,
+        opts.requests,
+        opts.threads,
+        healthy.len(),
+        healthy.len() as f64 / healthy_s.max(1e-9),
+        tight.len(),
+        opts.max_p99_ms,
+        failures,
+        host = fab_bench::host_info_json(),
+    );
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    println!("wrote BENCH_PR6.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all robustness gates passed");
+}

@@ -1,0 +1,165 @@
+//! `fabctl` — the CLI client for a running `fabd` daemon.
+//!
+//! Subcommands map one-to-one onto daemon endpoints; every request goes
+//! through [`fabd::FabClient`], which retries connection failures and
+//! `429 Too Many Requests` with jittered exponential backoff, honouring
+//! the server's `Retry-After` hint.
+
+use fabd::{ClientError, FabClient, Json, RetryPolicy};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: fabctl [--addr <host:port>] [--retries <n>] [--timeout-ms <ms>] <command>
+
+commands:
+  predict <t1,t2,...>   predict one token sequence
+      [--model <name>]      profile to route to (server default otherwise)
+      [--deadline-ms <ms>]  per-request deadline (504 when missed)
+  stats                 JSON stats for every model profile
+  models                list served model profiles
+  metrics               Prometheus metrics dump
+  ready                 exit 0 when ready, 1 while draining/unreachable
+  drain                 start a graceful drain (POST /admin/shutdown)";
+
+struct Options {
+    addr: String,
+    retries: u32,
+    timeout_ms: u64,
+    command: Vec<String>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:4270".to_string(),
+        retries: 5,
+        timeout_ms: 10_000,
+        command: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().ok_or("--addr needs host:port")?,
+            "--retries" => {
+                opts.retries =
+                    args.next().and_then(|v| v.parse().ok()).ok_or("--retries needs a number")?;
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--timeout-ms needs a number")?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            _ => {
+                opts.command.push(arg);
+                opts.command.extend(args);
+                break;
+            }
+        }
+    }
+    if opts.command.is_empty() {
+        return Err(format!("missing command\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn parse_tokens(spec: &str) -> Result<Vec<usize>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad token '{s}'")))
+        .collect()
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let policy = RetryPolicy { max_retries: opts.retries, ..RetryPolicy::default() };
+    // Seed the backoff jitter from the PID so concurrent fabctl invocations
+    // retrying against the same overloaded daemon spread out.
+    let mut client = FabClient::with_policy(&opts.addr, policy, u64::from(std::process::id()))
+        .with_timeout(Duration::from_millis(opts.timeout_ms.max(1)));
+    let command = opts.command[0].as_str();
+    let rest = &opts.command[1..];
+    match command {
+        "predict" => {
+            let mut tokens: Option<Vec<usize>> = None;
+            let mut model: Option<String> = None;
+            let mut deadline_ms: Option<u64> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--model" => {
+                        model = Some(it.next().ok_or("--model needs a name")?.clone());
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or("--deadline-ms needs a number")?,
+                        );
+                    }
+                    spec => tokens = Some(parse_tokens(spec)?),
+                }
+            }
+            let tokens = tokens.ok_or(format!("predict needs a token list\n{USAGE}"))?;
+            let result =
+                client.predict(model.as_deref(), &tokens, deadline_ms).map_err(render_error)?;
+            println!("{result}");
+            Ok(())
+        }
+        "stats" => {
+            let stats = client.stats().map_err(render_error)?;
+            println!("{stats}");
+            Ok(())
+        }
+        "models" => {
+            let models = client.request_json("GET", "/v1/models", b"").map_err(render_error)?;
+            println!("{models}");
+            Ok(())
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(render_error)?;
+            print!("{text}");
+            Ok(())
+        }
+        "ready" => match client.ready() {
+            Ok(true) => {
+                println!("ready");
+                Ok(())
+            }
+            Ok(false) => Err("draining".to_string()),
+            Err(e) => Err(render_error(e)),
+        },
+        "drain" => {
+            let ack = client.drain().map_err(render_error)?;
+            println!("{ack}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// Flattens a client failure into the message printed to stderr, keeping
+/// the server's JSON `error` field when there is one.
+fn render_error(e: ClientError) -> String {
+    if let ClientError::Status { status, body } = &e {
+        if let Ok(parsed) = Json::parse(body) {
+            if let Some(msg) = parsed.get("error").and_then(Json::as_str) {
+                return format!("server answered {status}: {msg}");
+            }
+        }
+    }
+    e.to_string()
+}
+
+fn main() -> ExitCode {
+    match parse_options().and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fabctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Daemon configuration: listener/robustness knobs plus the named model
+//! profiles the daemon trains and serves.
+//!
+//! Config files are JSON (parsed with [`crate::json`], since the vendored
+//! `serde` is a no-op shim); every field is optional and falls back to the
+//! built-in default, so `{}` is a valid config.
+
+use crate::json::Json;
+use fab_lra::LraTask;
+use fab_nn::{ModelConfig, ModelKind};
+use fab_serve::{InferenceSession, ServeConfig, Server};
+use fabnet::pipeline::TrainingPipeline;
+use std::fmt;
+
+/// Which forward path a profile serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Bit-exact f32 tape-path kernels.
+    Exact,
+    /// Fast-math f32 frozen kernels (the serving default).
+    FastMath,
+    /// Post-training int8 quantization.
+    Int8,
+}
+
+impl Precision {
+    /// Parses `"f32"`/`"exact"`, `"fastmath"`, `"int8"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" | "f32" => Some(Precision::Exact),
+            "fastmath" | "fast_math" | "fast-math" => Some(Precision::FastMath),
+            "int8" | "quantized" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, matching [`fab_serve::SessionKind::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Exact => "exact",
+            Precision::FastMath => "fastmath",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+fn parse_task(s: &str) -> Option<LraTask> {
+    match s.to_ascii_lowercase().as_str() {
+        "listops" => Some(LraTask::ListOps),
+        "text" => Some(LraTask::Text),
+        "retrieval" => Some(LraTask::Retrieval),
+        "image" => Some(LraTask::Image),
+        "pathfinder" => Some(LraTask::Pathfinder),
+        _ => None,
+    }
+}
+
+/// One named model profile: a tiny model trained at startup and served
+/// behind `/v1/predict` under `"model": "<name>"`.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// Routing name (`"model"` field of predict requests).
+    pub name: String,
+    /// LRA-proxy task the profile trains on.
+    pub task: LraTask,
+    /// Forward path served after training.
+    pub precision: Precision,
+    /// Sequence length trained and served at.
+    pub seq_len: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Training examples.
+    pub train_examples: usize,
+    /// Held-out examples.
+    pub test_examples: usize,
+    /// RNG seed for data and weights.
+    pub seed: u64,
+    /// Calibration sequences for int8 profiles.
+    pub calibration_samples: usize,
+    /// Fault-injection marker: the session panics on this token id.
+    /// Honored only when the daemon runs with `fault_injection` enabled.
+    pub panic_token: Option<usize>,
+}
+
+impl ProfileConfig {
+    /// A tiny Text-task profile named after its precision.
+    pub fn tiny(name: &str, precision: Precision, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            task: LraTask::Text,
+            precision,
+            seq_len: 32,
+            hidden: 16,
+            layers: 1,
+            heads: 2,
+            epochs: 1,
+            train_examples: 16,
+            test_examples: 8,
+            seed,
+            calibration_samples: 8,
+            panic_token: None,
+        }
+    }
+
+    /// Trains this profile and freezes it into an [`InferenceSession`].
+    ///
+    /// `fault_injection` gates the `panic_token` marker: a production daemon
+    /// never arms it, no matter what the config file says.
+    pub fn build_session(&self, fault_injection: bool) -> InferenceSession {
+        let config = ModelConfig {
+            hidden: self.hidden,
+            ffn_ratio: 2,
+            num_layers: self.layers,
+            num_abfly: 0,
+            num_heads: self.heads,
+            vocab_size: self.task.vocab_size(),
+            max_seq: self.seq_len,
+            num_classes: self.task.num_classes(),
+        };
+        let pipeline = TrainingPipeline::new(self.task, self.seq_len, self.seed)
+            .with_examples(self.train_examples, self.test_examples)
+            .with_epochs(self.epochs);
+        let trained = pipeline.run(&config, ModelKind::FabNet);
+        let session = match self.precision {
+            Precision::Exact => InferenceSession::exact(&trained.model),
+            Precision::FastMath => trained.into_session(),
+            Precision::Int8 => trained.into_quantized_session(self.calibration_samples),
+        };
+        match self.panic_token {
+            Some(token) if fault_injection => session.with_panic_on_token(token),
+            _ => session,
+        }
+    }
+
+    /// Starts a supervised serving worker pool for this profile.
+    pub fn start_server(&self, serve: ServeConfig, fault_injection: bool) -> Server {
+        Server::start(self.build_session(fault_injection), serve)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("profile missing string field 'name'")?
+            .to_string();
+        let mut profile = ProfileConfig::tiny(&name, Precision::FastMath, 7);
+        if let Some(s) = v.get("task").and_then(Json::as_str) {
+            profile.task = parse_task(s).ok_or_else(|| format!("unknown task '{s}'"))?;
+        }
+        if let Some(s) = v.get("precision").and_then(Json::as_str) {
+            profile.precision =
+                Precision::parse(s).ok_or_else(|| format!("unknown precision '{s}'"))?;
+        }
+        let fields: &mut [(&str, &mut usize)] = &mut [
+            ("seq_len", &mut profile.seq_len),
+            ("hidden", &mut profile.hidden),
+            ("layers", &mut profile.layers),
+            ("heads", &mut profile.heads),
+            ("epochs", &mut profile.epochs),
+            ("train_examples", &mut profile.train_examples),
+            ("test_examples", &mut profile.test_examples),
+            ("calibration_samples", &mut profile.calibration_samples),
+        ];
+        for (key, slot) in fields {
+            if let Some(n) = v.get(key).and_then(Json::as_usize) {
+                **slot = n;
+            }
+        }
+        if let Some(n) = v.get("seed").and_then(Json::as_u64) {
+            profile.seed = n;
+        }
+        if let Some(n) = v.get("panic_token").and_then(Json::as_usize) {
+            profile.panic_token = Some(n);
+        }
+        Ok(profile)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("task".to_string(), Json::Str(self.task.name().to_string())),
+            ("precision".to_string(), Json::Str(self.precision.name().to_string())),
+            ("seq_len".to_string(), Json::Num(self.seq_len as f64)),
+            ("hidden".to_string(), Json::Num(self.hidden as f64)),
+            ("layers".to_string(), Json::Num(self.layers as f64)),
+            ("heads".to_string(), Json::Num(self.heads as f64)),
+            ("epochs".to_string(), Json::Num(self.epochs as f64)),
+            ("train_examples".to_string(), Json::Num(self.train_examples as f64)),
+            ("test_examples".to_string(), Json::Num(self.test_examples as f64)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            ("calibration_samples".to_string(), Json::Num(self.calibration_samples as f64)),
+        ];
+        if let Some(t) = self.panic_token {
+            obj.push(("panic_token".to_string(), Json::Num(t as f64)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Top-level daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address (`host:port`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Concurrent-connection cap; excess connections get `503` + close.
+    pub max_connections: usize,
+    /// Socket read timeout — bounds how long a slow-loris client can hold
+    /// a connection thread.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout against stalled readers.
+    pub write_timeout_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Deadline applied to requests that carry none (0 disables).
+    pub default_deadline_ms: u64,
+    /// How long a graceful drain waits for open connections to finish
+    /// before force-stopping the listener loop.
+    pub drain_timeout_ms: u64,
+    /// Enables `/admin/inject_worker_exit` and profile `panic_token`s.
+    /// Off by default; only test/bench rigs turn it on.
+    pub fault_injection: bool,
+    /// Per-profile serving queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads per profile.
+    pub num_workers: usize,
+    /// Largest dynamic batch per profile.
+    pub max_batch: usize,
+    /// Batch-formation wait budget in microseconds.
+    pub max_wait_us: u64,
+    /// First supervisor restart backoff after a worker dies (doubles per
+    /// crash up to the serving layer's cap). Test rigs raise it to freeze
+    /// respawns and observe the daemon with dead workers.
+    pub restart_backoff_ms: u64,
+    /// The model profiles to train and serve.
+    pub profiles: Vec<ProfileConfig>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4270".to_string(),
+            max_connections: 64,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            max_body_bytes: 1024 * 1024,
+            default_deadline_ms: 0,
+            drain_timeout_ms: 10_000,
+            fault_injection: false,
+            queue_capacity: 256,
+            num_workers: 2,
+            max_batch: 8,
+            max_wait_us: 500,
+            restart_backoff_ms: 10,
+            profiles: vec![
+                ProfileConfig::tiny("text-f32", Precision::Exact, 11),
+                ProfileConfig::tiny("text-fast", Precision::FastMath, 11),
+                ProfileConfig::tiny("text-int8", Precision::Int8, 11),
+            ],
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// The [`ServeConfig`] each profile's worker pool runs with.
+    pub fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            max_batch: self.max_batch,
+            max_wait_us: self.max_wait_us,
+            queue_capacity: self.queue_capacity,
+            num_workers: self.num_workers,
+            restart_backoff_ms: self.restart_backoff_ms,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Parses a JSON config document. Unknown fields are ignored; missing
+    /// fields keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON, a non-object
+    /// root, bad profile entries, or duplicate profile names.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| format!("config JSON: {e}"))?;
+        if v.as_obj().is_none() {
+            return Err("config root must be a JSON object".to_string());
+        }
+        let mut config = DaemonConfig::default();
+        if let Some(s) = v.get("addr").and_then(Json::as_str) {
+            config.addr = s.to_string();
+        }
+        let fields: &mut [(&str, &mut u64)] = &mut [
+            ("read_timeout_ms", &mut config.read_timeout_ms),
+            ("write_timeout_ms", &mut config.write_timeout_ms),
+            ("default_deadline_ms", &mut config.default_deadline_ms),
+            ("drain_timeout_ms", &mut config.drain_timeout_ms),
+            ("max_wait_us", &mut config.max_wait_us),
+            ("restart_backoff_ms", &mut config.restart_backoff_ms),
+        ];
+        for (key, slot) in fields {
+            if let Some(n) = v.get(key).and_then(Json::as_u64) {
+                **slot = n;
+            }
+        }
+        let fields: &mut [(&str, &mut usize)] = &mut [
+            ("max_connections", &mut config.max_connections),
+            ("max_body_bytes", &mut config.max_body_bytes),
+            ("queue_capacity", &mut config.queue_capacity),
+            ("num_workers", &mut config.num_workers),
+            ("max_batch", &mut config.max_batch),
+        ];
+        for (key, slot) in fields {
+            if let Some(n) = v.get(key).and_then(Json::as_usize) {
+                **slot = n;
+            }
+        }
+        if let Some(b) = v.get("fault_injection").and_then(Json::as_bool) {
+            config.fault_injection = b;
+        }
+        if let Some(list) = v.get("profiles").and_then(Json::as_arr) {
+            config.profiles =
+                list.iter().map(ProfileConfig::from_json).collect::<Result<_, _>>()?;
+        }
+        let mut names: Vec<&str> = config.profiles.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate profile names in config".to_string());
+        }
+        if config.profiles.is_empty() {
+            return Err("config must declare at least one profile".to_string());
+        }
+        Ok(config)
+    }
+
+    /// Serializes the full effective configuration (for `--print-config`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("addr".to_string(), Json::Str(self.addr.clone())),
+            ("max_connections".to_string(), Json::Num(self.max_connections as f64)),
+            ("read_timeout_ms".to_string(), Json::Num(self.read_timeout_ms as f64)),
+            ("write_timeout_ms".to_string(), Json::Num(self.write_timeout_ms as f64)),
+            ("max_body_bytes".to_string(), Json::Num(self.max_body_bytes as f64)),
+            ("default_deadline_ms".to_string(), Json::Num(self.default_deadline_ms as f64)),
+            ("drain_timeout_ms".to_string(), Json::Num(self.drain_timeout_ms as f64)),
+            ("fault_injection".to_string(), Json::Bool(self.fault_injection)),
+            ("queue_capacity".to_string(), Json::Num(self.queue_capacity as f64)),
+            ("num_workers".to_string(), Json::Num(self.num_workers as f64)),
+            ("max_batch".to_string(), Json::Num(self.max_batch as f64)),
+            ("max_wait_us".to_string(), Json::Num(self.max_wait_us as f64)),
+            ("restart_backoff_ms".to_string(), Json::Num(self.restart_backoff_ms as f64)),
+            (
+                "profiles".to_string(),
+                Json::Arr(self.profiles.iter().map(ProfileConfig::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for DaemonConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_round_trips_through_json() {
+        let config = DaemonConfig::default();
+        let text = config.to_json().to_string();
+        let parsed = DaemonConfig::from_json_str(&text).expect("round trip");
+        assert_eq!(parsed.addr, config.addr);
+        assert_eq!(parsed.max_connections, config.max_connections);
+        assert_eq!(parsed.profiles.len(), 3);
+        assert_eq!(parsed.profiles[2].precision, Precision::Int8);
+    }
+
+    #[test]
+    fn empty_object_is_a_valid_config() {
+        let config = DaemonConfig::from_json_str("{}").expect("defaults");
+        assert_eq!(config.addr, "127.0.0.1:4270");
+        assert_eq!(config.profiles.len(), 3);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_with_messages() {
+        for (text, needle) in [
+            ("[1,2]", "object"),
+            ("{\"profiles\": []}", "at least one"),
+            ("{\"profiles\": [{\"task\": \"text\"}]}", "name"),
+            ("{\"profiles\": [{\"name\": \"a\", \"task\": \"sudoku\"}]}", "task"),
+            ("{\"profiles\": [{\"name\": \"a\", \"precision\": \"f64\"}]}", "precision"),
+            ("{\"profiles\": [{\"name\": \"a\"}, {\"name\": \"a\"}]}", "duplicate"),
+            ("{nope}", "JSON"),
+        ] {
+            let err = DaemonConfig::from_json_str(text).expect_err(text);
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn precision_names_round_trip() {
+        for p in [Precision::Exact, Precision::FastMath, Precision::Int8] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+        }
+        assert_eq!(Precision::parse("F32"), Some(Precision::Exact));
+        assert!(Precision::parse("bf16").is_none());
+    }
+
+    #[test]
+    fn panic_token_is_gated_on_fault_injection() {
+        let mut profile = ProfileConfig::tiny("t", Precision::FastMath, 3);
+        profile.panic_token = Some(7);
+        assert_eq!(profile.build_session(false).panic_token(), None);
+        assert_eq!(profile.build_session(true).panic_token(), Some(7));
+    }
+}

@@ -1,0 +1,681 @@
+//! The serving daemon: a `TcpListener` accept loop in front of one
+//! supervised [`fab_serve::Server`] per model profile.
+//!
+//! Robustness layers, outermost first:
+//!
+//! 1. **Connection admission** — at most `max_connections` concurrent
+//!    connections; excess ones are answered `503` and closed immediately so
+//!    an accept flood cannot exhaust threads.
+//! 2. **Socket timeouts** — every connection carries read/write timeouts; a
+//!    slow-loris peer is cut off with `408` when the read timeout fires.
+//! 3. **Queue admission** — per-profile bounded queues answer `429` with a
+//!    `Retry-After` hint derived from queue depth and observed drain rate.
+//! 4. **Deadlines** — `deadline_ms` (body field or `X-Deadline-Ms` header)
+//!    sheds requests *before* a forward pass is spent on them; expired
+//!    requests get `504`.
+//! 5. **Supervision** — dead inference workers are respawned with fresh
+//!    scratch by the per-server supervisor; a panicking forward pass is
+//!    retried per-request so batchmates of a poison input still get answers.
+//! 6. **Graceful drain** — [`Daemon::initiate_drain`] flips `/readyz` to
+//!    `503`, stops accepting, lets in-flight connections finish, then drains
+//!    every queued request to completion. Zero accepted requests dropped.
+
+use crate::config::DaemonConfig;
+use crate::http::{read_request, write_response, Request, Response};
+use crate::json::Json;
+use fab_serve::{Prediction, ServeError, Server, ServerHandle, ServerStats};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop polls for new connections / the drain flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// One served model profile.
+struct ModelEntry {
+    name: String,
+    /// Cheap cloneable submission handle.
+    handle: ServerHandle,
+    /// The owning server, taken out (and drained) exactly once at shutdown.
+    server: Mutex<Option<Server>>,
+}
+
+/// Daemon-level counters (the per-model ones live in [`ServerStats`]).
+#[derive(Default)]
+struct HttpCounters {
+    connections_total: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    read_errors: AtomicU64,
+}
+
+impl HttpCounters {
+    fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+struct DaemonShared {
+    config: DaemonConfig,
+    models: Vec<ModelEntry>,
+    draining: AtomicBool,
+    open_connections: AtomicUsize,
+    /// Requests currently between "fully read" and "response written". The
+    /// drain waits on this, not on `open_connections`: an idle keep-alive
+    /// connection (a client holding its socket between requests) must not
+    /// stall shutdown for a full read-timeout.
+    active_requests: AtomicUsize,
+    counters: HttpCounters,
+    started: Instant,
+}
+
+/// Decrements the open-connection gauge when a connection thread exits,
+/// panic or not.
+struct ConnectionGuard(Arc<DaemonShared>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Marks one request in flight for the drain logic, panic-safe.
+struct RequestGuard<'a>(&'a DaemonShared);
+
+impl RequestGuard<'_> {
+    fn new(shared: &DaemonShared) -> RequestGuard<'_> {
+        shared.active_requests.fetch_add(1, Ordering::AcqRel);
+        RequestGuard(shared)
+    }
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_requests.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running serving daemon. Dropping it without [`Daemon::shutdown`] leaks
+/// the accept thread until process exit; call `shutdown` (or
+/// `initiate_drain` + `join`) for a clean stop.
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Trains every configured profile, binds the listener and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound or the config has
+    /// no profiles.
+    pub fn start(config: DaemonConfig) -> Result<Self, String> {
+        if config.profiles.is_empty() {
+            return Err("no model profiles configured".to_string());
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let serve = config.serve_config();
+        let models = config
+            .profiles
+            .iter()
+            .map(|p| {
+                let server = p.start_server(serve.clone(), config.fault_injection);
+                ModelEntry {
+                    name: p.name.clone(),
+                    handle: server.handle(),
+                    server: Mutex::new(Some(server)),
+                }
+            })
+            .collect();
+
+        let shared = Arc::new(DaemonShared {
+            config,
+            models,
+            draining: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            active_requests: AtomicUsize::new(0),
+            counters: HttpCounters::default(),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("fabd-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(|e| format!("spawn accept loop: {e}"))?;
+        Ok(Daemon { shared, accept_thread: Some(accept_thread), addr })
+    }
+
+    /// The actual bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Names of the served model profiles.
+    pub fn model_names(&self) -> Vec<String> {
+        self.shared.models.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// Starts a graceful drain: `/readyz` flips to `503`, the accept loop
+    /// stops taking connections, in-flight requests keep being served.
+    /// Idempotent.
+    pub fn initiate_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Per-model stats snapshots.
+    pub fn stats(&self) -> Vec<(String, ServerStats)> {
+        self.shared.models.iter().map(|m| (m.name.clone(), m.handle.stats())).collect()
+    }
+
+    /// Waits for the drain to complete and stops every model server,
+    /// answering all queued requests first. Blocks up to `drain_timeout_ms`
+    /// for in-flight requests (idle keep-alive connections don't count),
+    /// then unconditionally drains the queues — a request still waiting on
+    /// a dead worker pool is answered by the inline drain, never dropped.
+    pub fn join(mut self) {
+        self.initiate_drain();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.shared.config.drain_timeout_ms);
+        while self.shared.active_requests.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            thread::sleep(ACCEPT_POLL);
+        }
+        // Brief grace for requests whose bytes arrived but whose handler
+        // hasn't registered yet; anything slower gets an explicit
+        // ServerStopped (503) answer rather than a hang.
+        thread::sleep(ACCEPT_POLL.saturating_mul(4));
+        for entry in &self.shared.models {
+            let server = entry.server.lock().unwrap_or_else(PoisonError::into_inner).take();
+            if let Some(server) = server {
+                // Drains every queued request to an answer (zero-drop).
+                server.shutdown();
+            }
+        }
+    }
+
+    /// `initiate_drain` + `join` in one call.
+    pub fn shutdown(self) {
+        self.initiate_drain();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections_total.fetch_add(1, Ordering::Relaxed);
+                let open = shared.open_connections.fetch_add(1, Ordering::AcqRel) + 1;
+                let guard = ConnectionGuard(Arc::clone(&shared));
+                if open > shared.config.max_connections {
+                    shared.counters.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    // Best-effort 503 before closing; the guard drops the
+                    // gauge either way.
+                    let resp = error_response(503, "connection limit reached", None);
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                        shared.config.write_timeout_ms.max(1),
+                    )));
+                    let _ = write_response(&mut stream, &resp, false);
+                    drop(guard);
+                    continue;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let spawned =
+                    thread::Builder::new().name("fabd-conn".to_string()).spawn(move || {
+                        let _guard = guard;
+                        serve_connection(stream, conn_shared);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: shed instead of crashing the
+                    // accept loop. The guard moved into the failed closure
+                    // was dropped by spawn, releasing the slot.
+                    shared.counters.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
+    let config = &shared.config;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms.max(1))));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader, config.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean keep-alive close
+            Err(e) => {
+                shared.counters.read_errors.fetch_add(1, Ordering::Relaxed);
+                let status = e.status();
+                shared.counters.count_status(status);
+                let _ = write_response(
+                    &mut writer,
+                    &error_response(status, &e.to_string(), None),
+                    false,
+                );
+                return;
+            }
+        };
+        shared.counters.requests_total.fetch_add(1, Ordering::Relaxed);
+        let in_flight = RequestGuard::new(&shared);
+        let keep_alive = request.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+        let response = route(&shared, &request);
+        shared.counters.count_status(response.status);
+        let write = write_response(&mut writer, &response, keep_alive);
+        drop(in_flight);
+        if write.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Builds the standard JSON error body.
+fn error_response(status: u16, message: &str, retry_after_ms: Option<u64>) -> Response {
+    let mut obj = vec![("error".to_string(), Json::Str(message.to_string()))];
+    if let Some(ms) = retry_after_ms {
+        obj.push(("retry_after_ms".to_string(), Json::Num(ms as f64)));
+    }
+    let resp = Response::json(status, Json::Obj(obj));
+    match retry_after_ms {
+        // Retry-After is whole seconds; round up so clients never retry
+        // before the hint.
+        Some(ms) => resp.with_header("Retry-After", ms.div_ceil(1000).max(1)),
+        None => resp,
+    }
+}
+
+/// Maps a serving-layer failure onto an HTTP response.
+fn serve_error_response(err: &ServeError) -> Response {
+    match err {
+        ServeError::Overloaded { retry_after_ms, .. } => {
+            error_response(429, &err.to_string(), Some(*retry_after_ms))
+        }
+        ServeError::DeadlineExceeded => error_response(504, &err.to_string(), None),
+        ServeError::SequenceTooLong { .. }
+        | ServeError::EmptySequence
+        | ServeError::InvalidToken { .. } => error_response(400, &err.to_string(), None),
+        ServeError::ModelPanicked => error_response(500, &err.to_string(), None),
+        ServeError::ServerStopped => error_response(503, &err.to_string(), None),
+    }
+}
+
+fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ready\n")
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, render_metrics(shared)),
+        ("GET", "/v1/models") => list_models(shared),
+        ("GET", "/v1/stats") => stats_json(shared),
+        ("POST", "/v1/predict") => predict(shared, request, false),
+        ("POST", "/v1/predict_batch") => predict(shared, request, true),
+        ("POST", "/admin/shutdown") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            Response::json(200, Json::Obj(vec![("draining".to_string(), Json::Bool(true))]))
+        }
+        ("POST", "/admin/inject_worker_exit") => inject_worker_exit(shared, request),
+        (
+            _,
+            "/healthz"
+            | "/readyz"
+            | "/metrics"
+            | "/v1/models"
+            | "/v1/stats"
+            | "/v1/predict"
+            | "/v1/predict_batch"
+            | "/admin/shutdown"
+            | "/admin/inject_worker_exit",
+        ) => error_response(405, "method not allowed", None),
+        _ => error_response(404, "no such route", None),
+    }
+}
+
+fn find_model<'a>(
+    shared: &'a DaemonShared,
+    name: Option<&str>,
+) -> Result<&'a ModelEntry, Response> {
+    match name {
+        None => Ok(&shared.models[0]),
+        Some(name) => {
+            shared.models.iter().find(|m| m.name == name).ok_or_else(|| {
+                error_response(404, &format!("no model profile named '{name}'"), None)
+            })
+        }
+    }
+}
+
+fn inject_worker_exit(shared: &DaemonShared, request: &Request) -> Response {
+    if !shared.config.fault_injection {
+        return error_response(403, "fault injection is disabled", None);
+    }
+    let entry = match find_model(shared, request.query_param("model")) {
+        Ok(entry) => entry,
+        Err(resp) => return resp,
+    };
+    entry.handle.inject_worker_exit();
+    Response::json(200, Json::Obj(vec![("injected".to_string(), Json::Bool(true))]))
+}
+
+/// Extracts the request deadline: `X-Deadline-Ms` header beats the body's
+/// `deadline_ms` beats the configured default. An *explicit* 0 means
+/// "already expired" (the serving queue sheds it immediately with a 504 —
+/// useful for probing the shed path); an absent deadline falls back to the
+/// config default, where 0 means "no deadline".
+fn request_deadline(shared: &DaemonShared, request: &Request, body: &Json) -> Option<Duration> {
+    request
+        .header("x-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .or_else(|| body.get("deadline_ms").and_then(Json::as_u64))
+        .map(Duration::from_millis)
+        .or_else(|| {
+            (shared.config.default_deadline_ms > 0)
+                .then(|| Duration::from_millis(shared.config.default_deadline_ms))
+        })
+}
+
+fn parse_tokens(v: &Json) -> Result<Vec<usize>, Response> {
+    let arr = v.as_arr().ok_or_else(|| error_response(400, "tokens must be an array", None))?;
+    arr.iter()
+        .map(|t| {
+            t.as_usize()
+                .ok_or_else(|| error_response(400, "tokens must be non-negative integers", None))
+        })
+        .collect()
+}
+
+fn prediction_json(model: &str, p: &Prediction) -> Json {
+    Json::Obj(vec![
+        ("model".to_string(), Json::Str(model.to_string())),
+        ("class".to_string(), Json::Num(p.class as f64)),
+        (
+            "logits".to_string(),
+            Json::Arr(p.logits.iter().map(|&l| Json::Num(f64::from(l))).collect()),
+        ),
+        ("queue_wait_us".to_string(), Json::Num(p.queue_wait_us as f64)),
+        ("service_us".to_string(), Json::Num(p.service_us as f64)),
+        ("batch_size".to_string(), Json::Num(p.batch_size as f64)),
+    ])
+}
+
+fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8", None),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return error_response(400, &format!("body JSON: {e}"), None),
+    };
+    let entry = match find_model(shared, body.get("model").and_then(Json::as_str)) {
+        Ok(entry) => entry,
+        Err(resp) => return resp,
+    };
+    let deadline = request_deadline(shared, request, &body);
+
+    if !batch {
+        let tokens = match body.get("tokens") {
+            Some(v) => match parse_tokens(v) {
+                Ok(tokens) => tokens,
+                Err(resp) => return resp,
+            },
+            None => return error_response(400, "missing 'tokens'", None),
+        };
+        return match entry
+            .handle
+            .submit_with_deadline(tokens, deadline)
+            .and_then(|pending| pending.wait())
+        {
+            Ok(p) => Response::json(200, prediction_json(&entry.name, &p)),
+            Err(e) => serve_error_response(&e),
+        };
+    }
+
+    let Some(sequences) = body.get("sequences").and_then(Json::as_arr) else {
+        return error_response(400, "missing 'sequences' array", None);
+    };
+    // Submit everything first so the batcher can coalesce the whole set,
+    // then collect the answers in order. Admission failures become inline
+    // per-sequence errors — batchmates are unaffected.
+    let pending: Vec<_> = sequences
+        .iter()
+        .map(|seq| match parse_tokens(seq) {
+            Ok(tokens) => entry
+                .handle
+                .submit_with_deadline(tokens, deadline)
+                .map_err(|e| Json::Obj(vec![("error".to_string(), Json::Str(e.to_string()))])),
+            Err(_) => Err(Json::Obj(vec![(
+                "error".to_string(),
+                Json::Str("tokens must be non-negative integers".to_string()),
+            )])),
+        })
+        .collect();
+    let results: Vec<Json> = pending
+        .into_iter()
+        .map(|slot| match slot.map(|p| p.wait()) {
+            Ok(Ok(p)) => prediction_json(&entry.name, &p),
+            Ok(Err(e)) => Json::Obj(vec![("error".to_string(), Json::Str(e.to_string()))]),
+            Err(err_json) => err_json,
+        })
+        .collect();
+    Response::json(
+        200,
+        Json::Obj(vec![
+            ("model".to_string(), Json::Str(entry.name.clone())),
+            ("results".to_string(), Json::Arr(results)),
+        ]),
+    )
+}
+
+fn list_models(shared: &DaemonShared) -> Response {
+    let models: Vec<Json> = shared
+        .models
+        .iter()
+        .map(|m| {
+            let stats = m.handle.stats();
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(m.name.clone())),
+                ("kind".to_string(), Json::Str(stats.session_kind.to_string())),
+                ("workers".to_string(), Json::Num(stats.workers as f64)),
+                ("completed".to_string(), Json::Num(stats.completed as f64)),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::Obj(vec![("models".to_string(), Json::Arr(models))]))
+}
+
+fn stats_json(shared: &DaemonShared) -> Response {
+    let models: Vec<Json> = shared
+        .models
+        .iter()
+        .map(|m| {
+            let s = m.handle.stats();
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(m.name.clone())),
+                ("kind".to_string(), Json::Str(s.session_kind.to_string())),
+                ("submitted".to_string(), Json::Num(s.submitted as f64)),
+                ("completed".to_string(), Json::Num(s.completed as f64)),
+                ("rejected".to_string(), Json::Num(s.rejected as f64)),
+                ("failed".to_string(), Json::Num(s.failed as f64)),
+                ("shed_expired".to_string(), Json::Num(s.shed_expired as f64)),
+                ("batch_panics".to_string(), Json::Num(s.batch_panics as f64)),
+                ("worker_restarts".to_string(), Json::Num(s.worker_restarts as f64)),
+                ("queue_depth".to_string(), Json::Num(s.queue_depth as f64)),
+                ("throughput_rps".to_string(), Json::Num(s.throughput_rps)),
+                ("mean_batch_occupancy".to_string(), Json::Num(s.mean_batch_occupancy)),
+                ("latency_p50_us".to_string(), Json::Num(s.latency.p50_us as f64)),
+                ("latency_p95_us".to_string(), Json::Num(s.latency.p95_us as f64)),
+                ("latency_p99_us".to_string(), Json::Num(s.latency.p99_us as f64)),
+                ("latency_max_us".to_string(), Json::Num(s.latency.max_us as f64)),
+            ])
+        })
+        .collect();
+    let c = &shared.counters;
+    Response::json(
+        200,
+        Json::Obj(vec![
+            ("uptime_s".to_string(), Json::Num(shared.started.elapsed().as_secs_f64())),
+            ("draining".to_string(), Json::Bool(shared.draining.load(Ordering::SeqCst))),
+            (
+                "open_connections".to_string(),
+                Json::Num(shared.open_connections.load(Ordering::Acquire) as f64),
+            ),
+            (
+                "active_requests".to_string(),
+                Json::Num(shared.active_requests.load(Ordering::Acquire) as f64),
+            ),
+            (
+                "connections_total".to_string(),
+                Json::Num(c.connections_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "connections_rejected".to_string(),
+                Json::Num(c.connections_rejected.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "http_requests".to_string(),
+                Json::Num(c.requests_total.load(Ordering::Relaxed) as f64),
+            ),
+            ("models".to_string(), Json::Arr(models)),
+        ]),
+    )
+}
+
+/// Renders the Prometheus text exposition format.
+fn render_metrics(shared: &DaemonShared) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    let c = &shared.counters;
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}");
+    };
+    gauge(
+        "fabd_ready",
+        "1 while accepting traffic, 0 while draining",
+        f64::from(u8::from(!draining)),
+    );
+    gauge(
+        "fabd_up_seconds",
+        "Seconds since the daemon started",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    gauge(
+        "fabd_connections_open",
+        "Currently open connections",
+        shared.open_connections.load(Ordering::Acquire) as f64,
+    );
+    let mut counter = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}");
+    };
+    counter(
+        "fabd_connections_total",
+        "Connections accepted",
+        c.connections_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "fabd_connections_rejected_total",
+        "Connections shed at the connection limit",
+        c.connections_rejected.load(Ordering::Relaxed),
+    );
+    counter(
+        "fabd_http_requests_total",
+        "HTTP requests parsed",
+        c.requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "fabd_http_read_errors_total",
+        "Connections dropped for malformed or timed-out reads",
+        c.read_errors.load(Ordering::Relaxed),
+    );
+    for (class, value) in [
+        ("2xx", c.responses_2xx.load(Ordering::Relaxed)),
+        ("4xx", c.responses_4xx.load(Ordering::Relaxed)),
+        ("5xx", c.responses_5xx.load(Ordering::Relaxed)),
+    ] {
+        let _ = writeln!(out, "fabd_http_responses_total{{class=\"{class}\"}} {value}");
+    }
+
+    let per_model = [
+        ("fabd_requests_submitted_total", "Requests accepted into the queue"),
+        ("fabd_requests_completed_total", "Requests answered with a prediction"),
+        ("fabd_requests_rejected_total", "Requests shed by admission control"),
+        ("fabd_requests_failed_total", "Requests answered with an explicit model error"),
+        ("fabd_shed_expired_total", "Requests shed because their deadline expired"),
+        ("fabd_batch_panics_total", "Batched forward passes that panicked"),
+        ("fabd_worker_restarts_total", "Worker threads respawned by the supervisor"),
+    ];
+    let stats: Vec<(&str, ServerStats)> =
+        shared.models.iter().map(|m| (m.name.as_str(), m.handle.stats())).collect();
+    for (name, help) in per_model {
+        let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+        for (model, s) in &stats {
+            let value = match name {
+                "fabd_requests_submitted_total" => s.submitted,
+                "fabd_requests_completed_total" => s.completed,
+                "fabd_requests_rejected_total" => s.rejected,
+                "fabd_requests_failed_total" => s.failed,
+                "fabd_shed_expired_total" => s.shed_expired,
+                "fabd_batch_panics_total" => s.batch_panics,
+                _ => s.worker_restarts,
+            };
+            let _ = writeln!(out, "{name}{{model=\"{model}\"}} {value}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_queue_depth Requests waiting in the queue\n# TYPE fabd_queue_depth gauge"
+    );
+    for (model, s) in &stats {
+        let _ = writeln!(out, "fabd_queue_depth{{model=\"{model}\"}} {}", s.queue_depth);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_latency_us End-to-end request latency quantiles\n# TYPE fabd_latency_us gauge"
+    );
+    for (model, s) in &stats {
+        for (q, v) in
+            [("0.5", s.latency.p50_us), ("0.95", s.latency.p95_us), ("0.99", s.latency.p99_us)]
+        {
+            let _ = writeln!(out, "fabd_latency_us{{model=\"{model}\",quantile=\"{q}\"}} {v}");
+        }
+    }
+    out
+}

@@ -1,0 +1,498 @@
+//! Hand-rolled HTTP/1.1 framing over `std::net` — the workspace has no
+//! network crates (same no-new-deps policy as everything else), so request
+//! parsing, response writing and the client side all live here.
+//!
+//! The parser is defensive by construction: hard limits on request-line,
+//! header and body sizes, `Content-Length`-only framing (chunked encoding is
+//! rejected with `501`), and every socket it reads from carries read/write
+//! timeouts — a slow-loris client holds a connection slot only until the
+//! read timeout fires, never a worker thread forever.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request/status line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted per message.
+pub const MAX_HEADERS: usize = 64;
+/// Default largest accepted body, in bytes.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Why an HTTP message could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket failure (including read timeouts from slow clients).
+    Io(io::Error),
+    /// The bytes were not valid HTTP.
+    Malformed(&'static str),
+    /// A line, header block or body exceeded its limit.
+    TooLarge(&'static str),
+    /// Valid HTTP the server does not implement (e.g. chunked bodies).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed HTTP: {what}"),
+            HttpError::TooLarge(what) => write!(f, "HTTP message too large: {what}"),
+            HttpError::Unsupported(what) => write!(f, "unsupported HTTP feature: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl HttpError {
+    /// Whether this failure came from a read/write timeout (a slow or
+    /// stalled peer) rather than bad bytes.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            HttpError::Io(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+
+    /// The HTTP status code a server should answer this failure with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Io(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                408
+            }
+            HttpError::Io(_) => 400,
+            HttpError::Malformed(_) => 400,
+            HttpError::TooLarge(_) => 431,
+            HttpError::Unsupported(_) => 501,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target (path plus optional `?query`).
+    pub target: String,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target's path component.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's query string, without the `?`.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up `key` in the query string (`k=v` pairs joined by `&`).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query()?
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is sent).
+    pub fn keep_alive(&self) -> bool {
+        !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, bounded by `max` bytes.
+fn read_line(reader: &mut impl BufRead, max: usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                return Err(HttpError::Malformed("EOF inside a line"));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 line"))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= max {
+                    return Err(HttpError::TooLarge("line"));
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+/// Reads one request from `reader`. Returns `Ok(None)` when the peer closed
+/// the connection cleanly before sending anything (keep-alive end).
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure/timeout, malformed framing, oversized
+/// messages, or unsupported transfer encodings.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader, MAX_LINE_BYTES)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("request method"));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(HttpError::Malformed("request target"));
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::Unsupported("HTTP version"));
+    }
+    let headers = read_headers(reader)?;
+    let header = |name: &str| headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str());
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::Unsupported("Transfer-Encoding"));
+    }
+    let body = match header("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let len: usize =
+                v.trim().parse().map_err(|_| HttpError::Malformed("Content-Length"))?;
+            if len > max_body {
+                return Err(HttpError::TooLarge("body"));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+    Ok(Some(Request { method, target, headers, body }))
+}
+
+fn read_headers(reader: &mut impl BufRead) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line =
+            read_line(reader, MAX_LINE_BYTES)?.ok_or(HttpError::Malformed("EOF inside headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let (name, value) =
+            line.split_once(':').ok_or(HttpError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the automatic `Content-Type`/`Content-Length`/
+    /// `Connection`.
+    pub headers: Vec<(String, String)>,
+    /// MIME type of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl fmt::Display) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response`, setting `Connection: keep-alive`/`close` to match
+/// `keep_alive`.
+///
+/// # Errors
+///
+/// Propagates socket write failures (including write timeouts against
+/// stalled readers).
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// Writes one client request with an optional body.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    target: &str,
+    headers: &[(String, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "{method} {target} HTTP/1.1\r\nHost: fabd\r\nContent-Length: {}\r\n",
+        body.len()
+    )?;
+    for (name, value) in headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// A parsed response on the client side.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the server will keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one response from `reader` on the client side.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, malformed framing, or an oversized body.
+pub fn read_response(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<ClientResponse, HttpError> {
+    let status_line =
+        read_line(reader, MAX_LINE_BYTES)?.ok_or(HttpError::Malformed("EOF before status"))?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("status line"));
+    }
+    let status: u16 =
+        parts.next().unwrap_or("").parse().map_err(|_| HttpError::Malformed("status code"))?;
+    let headers = read_headers(reader)?;
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.trim().parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::Malformed("Content-Length"))?
+        .unwrap_or(0);
+    if length > max_body {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/predict?x=1 HTTP/1.1\r\nHost: h\r\nX-Deadline-Ms: 250\r\n\
+                    Content-Length: 4\r\n\r\n{\"\"}";
+        let req = parse(raw).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/predict");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.header("x-deadline-ms"), Some("250"));
+        assert_eq!(req.body, b"{\"\"}");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected_not_panicked_on() {
+        let cases: &[&[u8]] = &[
+            b"garbage\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET / HTTP/2\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: zzz\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: novalue\r\n\r\n",
+            b"\xff\xfe\x00\x01\r\n\r\n",
+        ];
+        for raw in cases {
+            assert!(parse(raw).is_err(), "accepted {raw:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_bodies_are_unsupported_with_501() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let err = parse(raw).unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn oversized_parts_are_rejected_with_431() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        assert_eq!(parse(long_line.as_bytes()).unwrap_err().status(), 431);
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 5) {
+            many_headers.push_str(&format!("h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        assert_eq!(parse(many_headers.as_bytes()).unwrap_err().status(), 431);
+
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        assert_eq!(parse(raw).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_client_parser() {
+        let resp = Response::json(429, "{\"error\":\"overloaded\"}").with_header("Retry-After", 2);
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, false).unwrap();
+        let parsed =
+            read_response(&mut BufReader::new(wire.as_slice()), DEFAULT_MAX_BODY_BYTES).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.header("retry-after"), Some("2"));
+        assert_eq!(parsed.body_text(), "{\"error\":\"overloaded\"}");
+        assert!(!parsed.keep_alive());
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_server_parser() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "POST",
+            "/v1/predict",
+            &[("X-Deadline-Ms".into(), "100".into())],
+            b"{\"tokens\":[1]}",
+        )
+        .unwrap();
+        let req = parse(&wire).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.header("x-deadline-ms"), Some("100"));
+        assert_eq!(req.body, b"{\"tokens\":[1]}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # fabd
+//!
+//! A fault-tolerant networked serving daemon in front of the [`fab_serve`]
+//! runtime: hand-rolled HTTP/1.1 over `std::net::TcpListener` (the
+//! workspace vendors no network or serialization crates), named model
+//! profiles at three precisions (`exact` f32, `fastmath` f32, `int8`), and
+//! the PR-6 robustness stack — per-request deadlines, layered
+//! load-shedding, supervised workers and graceful zero-drop drain.
+//!
+//! Modules, wire-inward:
+//!
+//! - [`http`] — defensive HTTP/1.1 framing: size limits, timeouts,
+//!   `Content-Length`-only bodies, keep-alive.
+//! - [`json`] — a depth-limited JSON parser/serializer (the vendored
+//!   `serde` is a no-op shim).
+//! - [`config`] — daemon + model-profile configuration, JSON round-trip.
+//! - [`daemon`] — the accept loop, routing, metrics and drain logic.
+//! - [`client`] — a retrying loopback client shared by `fabctl`, the e2e
+//!   tests and `bench_pr6`.
+//!
+//! ## Endpoints
+//!
+//! | Route | Semantics |
+//! |---|---|
+//! | `POST /v1/predict` | One sequence → logits/class; `429` + `Retry-After` when overloaded, `504` past deadline |
+//! | `POST /v1/predict_batch` | Many sequences, per-sequence results/errors |
+//! | `GET /v1/models`, `GET /v1/stats` | Profile list / JSON stats |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /healthz`, `GET /readyz` | Liveness / readiness (`503` while draining) |
+//! | `POST /admin/shutdown` | Start a graceful drain |
+//! | `POST /admin/inject_worker_exit` | Kill a worker (fault-injection builds only) |
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod daemon;
+pub mod http;
+pub mod json;
+
+pub use client::{ClientError, FabClient, RetryPolicy};
+pub use config::{DaemonConfig, Precision, ProfileConfig};
+pub use daemon::Daemon;
+pub use json::Json;

@@ -1,0 +1,276 @@
+//! Loopback end-to-end tests: a real daemon on an ephemeral port, driven
+//! over real sockets through [`fabd::FabClient`] and raw `TcpStream`s.
+//!
+//! Every test owns its own daemon (profiles are tiny and train in
+//! milliseconds), so tests run in parallel without port or state sharing.
+
+use fabd::{
+    ClientError, Daemon, DaemonConfig, FabClient, Json, Precision, ProfileConfig, RetryPolicy,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A fast-training single-profile config on an ephemeral port.
+fn test_config() -> DaemonConfig {
+    DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_timeout_ms: 500,
+        profiles: vec![ProfileConfig::tiny("fast", Precision::FastMath, 7)],
+        ..DaemonConfig::default()
+    }
+}
+
+fn client_for(daemon: &Daemon) -> FabClient {
+    FabClient::new(&daemon.addr().to_string()).with_timeout(Duration::from_secs(10))
+}
+
+/// A client that surfaces failures immediately (no retries, no backoff).
+fn raw_client_for(daemon: &Daemon) -> FabClient {
+    let policy = RetryPolicy { max_retries: 0, base_ms: 1, max_ms: 1 };
+    FabClient::with_policy(&daemon.addr().to_string(), policy, 1)
+        .with_timeout(Duration::from_secs(10))
+}
+
+#[test]
+fn predicts_through_all_three_precision_profiles() {
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_timeout_ms: 500,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    let models = client.request_json("GET", "/v1/models", b"").expect("models");
+    let listed = models.get("models").and_then(Json::as_arr).expect("models array");
+    let kinds: Vec<&str> =
+        listed.iter().filter_map(|m| m.get("kind").and_then(Json::as_str)).collect();
+    assert_eq!(kinds, ["exact", "fastmath", "int8"]);
+
+    for model in ["text-f32", "text-fast", "text-int8"] {
+        let result = client.predict(Some(model), &[1, 2, 3, 4, 5], None).expect(model);
+        let logits = result.get("logits").and_then(Json::as_arr).expect("logits");
+        assert!(!logits.is_empty(), "{model}: no logits");
+        let class = result.get("class").and_then(Json::as_usize).expect("class");
+        assert!(class < logits.len(), "{model}: class {class} out of range");
+    }
+
+    // Unknown model → 404 with a JSON error.
+    let err = client.predict(Some("nope"), &[1, 2, 3], None).expect_err("unknown model");
+    assert!(matches!(err, ClientError::Status { status: 404, .. }), "{err}");
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_requests_completed_total{model=\"text-int8\"} 1"), "{metrics}");
+    assert!(metrics.contains("fabd_ready 1"), "{metrics}");
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_4xx_not_a_crash() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let addr = daemon.addr();
+
+    let exchange = |raw: &[u8]| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(raw).expect("write");
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    };
+
+    assert!(exchange(b"garbage\r\n\r\n").starts_with("HTTP/1.1 400"));
+    assert!(exchange(b"POST /v1/predict HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .starts_with("HTTP/1.1 501"));
+    assert!(exchange(b"POST /v1/predict HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+        .starts_with("HTTP/1.1 431"));
+    assert!(exchange(b"POST /v1/predict HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!")
+        .starts_with("HTTP/1.1 400"));
+    assert!(exchange(b"DELETE /v1/predict HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+    assert!(
+        exchange(b"GET /made/up HTTP/1.1\r\nConnection: close\r\n\r\n").starts_with("HTTP/1.1 404")
+    );
+
+    // The daemon took none of that personally.
+    let mut client = client_for(&daemon);
+    client.predict(None, &[1, 2, 3], None).expect("still serving");
+    daemon.shutdown();
+}
+
+#[test]
+fn slow_loris_connections_are_cut_off_by_the_read_timeout() {
+    let config = DaemonConfig { read_timeout_ms: 150, ..test_config() };
+    let daemon = Daemon::start(config).expect("daemon starts");
+
+    // Send half a request, then stall.
+    let mut stream = TcpStream::connect(daemon.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"POST /v1/predict HTTP/1.1\r\nContent-Le").expect("write");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out); // server cuts us off
+    assert!(out.is_empty() || out.starts_with("HTTP/1.1 408"), "expected 408 or close, got: {out}");
+
+    // The connection slot was reclaimed; normal clients are unaffected.
+    let mut client = client_for(&daemon);
+    client.predict(None, &[1, 2, 3], None).expect("still serving");
+    let stats = client.request_json("GET", "/v1/stats", b"").expect("stats");
+    assert_eq!(stats.get("open_connections").and_then(Json::as_u64), Some(1));
+    daemon.shutdown();
+}
+
+#[test]
+fn explicit_zero_deadline_is_shed_with_504() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    let err = client.predict(None, &[1, 2, 3], Some(0)).expect_err("expired deadline");
+    match err {
+        ClientError::Status { status, body } => {
+            assert_eq!(status, 504, "{body}");
+            assert!(body.contains("deadline"), "{body}");
+        }
+        other => panic!("expected 504, got {other}"),
+    }
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_shed_expired_total{model=\"fast\"} 1"), "{metrics}");
+
+    // The header form wins over the body and is shed the same way.
+    let resp =
+        client.request("POST", "/v1/predict", b"{\"tokens\": [1, 2, 3]}").expect("no header yet");
+    assert_eq!(resp.status, 200);
+    daemon.shutdown();
+}
+
+/// Deterministic overload: fault injection kills the only worker while the
+/// supervisor's backoff keeps it down, so one in-flight request plus a full
+/// queue pins admission control shut. New requests get `429` with a
+/// `Retry-After` hint; the stranded request is still answered by the
+/// zero-drop drain at shutdown.
+#[test]
+fn overload_answers_429_with_retry_after_and_drain_answers_the_stranded_request() {
+    let config = DaemonConfig {
+        fault_injection: true,
+        num_workers: 1,
+        queue_capacity: 1,
+        restart_backoff_ms: 60_000,
+        ..test_config()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let mut client = raw_client_for(&daemon);
+
+    client.predict(None, &[1, 2, 3], None).expect("serves while healthy");
+    client.request_json("POST", "/admin/inject_worker_exit", b"").expect("fault injection enabled");
+
+    // This request wakes the worker, which honours the kill before taking
+    // it: the request stays queued (depth 1 of 1) until the drain.
+    let addr = daemon.addr().to_string();
+    let stranded = std::thread::spawn(move || {
+        let policy = RetryPolicy { max_retries: 0, base_ms: 1, max_ms: 1 };
+        let mut client =
+            FabClient::with_policy(&addr, policy, 2).with_timeout(Duration::from_secs(30));
+        client.predict(None, &[4, 5, 6], None)
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Queue full + no workers: admission control answers 429 immediately.
+    // Raw socket, so the Retry-After header is visible (FabClient folds a
+    // final 429 into an error).
+    let mut stream = TcpStream::connect(daemon.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+        .write_all(
+            b"POST /v1/predict HTTP/1.1\r\nConnection: close\r\nContent-Length: 21\r\n\r\n\
+              {\"tokens\": [7, 8, 9]}",
+        )
+        .expect("write");
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    assert!(raw.starts_with("HTTP/1.1 429"), "expected 429, got: {raw}");
+    let retry_after: u64 = raw
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("Retry-After header")
+        .trim()
+        .parse()
+        .expect("whole seconds");
+    assert!(retry_after >= 1);
+    let json_body = raw.split("\r\n\r\n").nth(1).expect("body");
+    let body = Json::parse(json_body).expect("JSON error body");
+    let hint = body.get("retry_after_ms").and_then(Json::as_u64).expect("retry_after_ms");
+    assert!((10..=5_000).contains(&hint), "hint {hint}ms outside the clamp");
+
+    // FabClient with retries treats the 429 as transient, backs off, and
+    // ultimately surfaces it as a status error (the worker stays dead).
+    let policy = RetryPolicy { max_retries: 2, base_ms: 1, max_ms: 5 };
+    let mut retrying = FabClient::with_policy(&daemon.addr().to_string(), policy, 3);
+    let err = retrying.predict(None, &[7, 8, 9], None).expect_err("still overloaded");
+    assert!(matches!(err, ClientError::Status { status: 429, .. }), "{err}");
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_requests_rejected_total{model=\"fast\"}"), "{metrics}");
+
+    // Drain: the stranded request must be answered, not dropped.
+    daemon.shutdown();
+    let answer = stranded.join().expect("no panic").expect("stranded request answered");
+    assert!(answer.get("logits").and_then(Json::as_arr).is_some());
+}
+
+#[test]
+fn predict_batch_answers_every_sequence_with_result_or_inline_error() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    // One invalid sequence (huge token id) among valid ones.
+    let body = "{\"sequences\": [[1,2,3], [999999999], [4,5,6,7]]}";
+    let result =
+        client.request_json("POST", "/v1/predict_batch", body.as_bytes()).expect("batch answered");
+    let results = result.get("results").and_then(Json::as_arr).expect("results");
+    assert_eq!(results.len(), 3);
+    assert!(results[0].get("logits").is_some(), "{}", results[0]);
+    let inline_error = results[1].get("error").and_then(Json::as_str).expect("inline error");
+    assert!(inline_error.contains("token"), "{inline_error}");
+    assert!(results[2].get("logits").is_some(), "{}", results[2]);
+    daemon.shutdown();
+}
+
+#[test]
+fn drain_flips_readyz_stops_accepting_and_join_completes() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = raw_client_for(&daemon);
+    assert!(client.ready().expect("readyz"));
+
+    let ack = client.drain().expect("drain acknowledged");
+    assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true));
+    assert!(daemon.is_draining());
+
+    // The drain ack closed our keep-alive connection; a fresh readyz either
+    // reports 503 (raced the accept loop) or cannot connect at all.
+    match client.ready() {
+        Ok(ready) => assert!(!ready, "readyz stayed 200 during drain"),
+        Err(ClientError::Io(_)) => {}
+        Err(other) => panic!("unexpected failure: {other}"),
+    }
+    daemon.join();
+}
+
+#[test]
+fn connection_limit_sheds_excess_connections_with_503() {
+    let config = DaemonConfig { max_connections: 1, ..test_config() };
+    let daemon = Daemon::start(config).expect("daemon starts");
+
+    // Hold the single slot open with an idle keep-alive connection.
+    let mut held = client_for(&daemon);
+    held.predict(None, &[1, 2, 3], None).expect("holds the slot");
+
+    // The next connection is shed at accept time.
+    let mut stream = TcpStream::connect(daemon.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 503"), "expected connection shed, got: {out}");
+
+    // The held connection keeps working.
+    held.predict(None, &[1, 2, 3], None).expect("slot holder unaffected");
+    daemon.shutdown();
+}

@@ -27,6 +27,20 @@
 //! the default [`InferenceSession::new`] enables the serving-grade
 //! fast-math kernels and stays within ~1e-6 of it.
 //!
+//! The runtime is built for partial failure (PR 6): per-request deadlines
+//! shed expired work before any forward pass
+//! ([`ServerHandle::submit_with_deadline`], [`ServeError::DeadlineExceeded`]),
+//! admission control rejects with a drain-rate-derived
+//! [`retry_after_ms`](ServeError::Overloaded) hint, a panicking batched
+//! forward is retried per-request so one poisonous input cannot fail its
+//! batchmates, queue locks recover from poisoning, a supervisor respawns
+//! dead worker threads with exponential backoff, and graceful shutdown
+//! answers every admitted request — inline on the shutting-down thread if
+//! every worker died. Fault-injection hooks
+//! ([`Server::inject_worker_exit`],
+//! [`InferenceSession::with_panic_on_token`]) let tests and benches prove
+//! all of it.
+//!
 //! Sessions come in three kinds ([`SessionKind`], reported by
 //! [`ServerStats::session_kind`]): `exact` and `fastmath` run the f32
 //! frozen model, `int8` ([`InferenceSession::quantized`]) runs a

@@ -157,6 +157,9 @@ pub(crate) struct Metrics {
     pub(crate) completed: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) failed: AtomicU64,
+    pub(crate) shed_expired: AtomicU64,
+    pub(crate) batch_panics: AtomicU64,
+    pub(crate) worker_restarts: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_examples: AtomicU64,
     pub(crate) max_batch_observed: AtomicU64,
@@ -177,6 +180,9 @@ impl Metrics {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
+            batch_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_examples: AtomicU64::new(0),
             max_batch_observed: AtomicU64::new(0),
@@ -185,6 +191,21 @@ impl Metrics {
             queue_wait: LatencyHistogram::new(),
             service: LatencyHistogram::new(),
         }
+    }
+
+    /// Suggests how long an [`Overloaded`](crate::ServeError::Overloaded)
+    /// producer should wait before retrying: the time the server needs to
+    /// drain the current queue at its observed completion rate, clamped to
+    /// `[10 ms, 5 s]`. Before any request completes (no drain rate yet) the
+    /// hint is a flat 100 ms.
+    pub(crate) fn retry_after_ms(&self, depth: usize) -> u64 {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed_s = self.started.elapsed().as_secs_f64();
+        if completed == 0 || elapsed_s <= 0.0 {
+            return 100;
+        }
+        let drain_rps = completed as f64 / elapsed_s;
+        ((depth as f64 / drain_rps) * 1000.0).round().clamp(10.0, 5000.0) as u64
     }
 
     pub(crate) fn snapshot(
@@ -203,6 +224,9 @@ impl Metrics {
             completed,
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            batch_panics: self.batch_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             queue_depth,
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             batches,
@@ -230,8 +254,18 @@ pub struct ServerStats {
     pub completed: u64,
     /// Requests rejected by admission control (queue full).
     pub rejected: u64,
-    /// Requests dropped because their batch's forward pass failed.
+    /// Requests answered with an explicit error because their forward pass
+    /// panicked even when retried in isolation.
     pub failed: u64,
+    /// Requests shed because their deadline expired before a forward pass
+    /// was spent on them (answered with
+    /// [`DeadlineExceeded`](crate::ServeError::DeadlineExceeded)).
+    pub shed_expired: u64,
+    /// Batched forward passes that panicked; the batch's requests were
+    /// retried in per-request isolation.
+    pub batch_panics: u64,
+    /// Worker threads the supervisor respawned after they died.
+    pub worker_restarts: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
     /// Highest queue depth observed.
@@ -262,6 +296,11 @@ impl fmt::Display for ServerStats {
             f,
             "requests : {} completed, {} rejected, {} failed, {} queued (peak {})",
             self.completed, self.rejected, self.failed, self.queue_depth, self.peak_queue_depth
+        )?;
+        writeln!(
+            f,
+            "faults   : {} shed (deadline), {} batch panics, {} worker restarts",
+            self.shed_expired, self.batch_panics, self.worker_restarts
         )?;
         writeln!(
             f,

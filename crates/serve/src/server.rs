@@ -1,15 +1,20 @@
 //! The dynamic-batching server: a bounded MPSC request queue drained into
-//! sequence-length-bucketed batches by a pool of std-thread workers.
+//! sequence-length-bucketed batches by a supervised pool of std-thread
+//! workers.
 //!
 //! ```text
-//!  clients ──submit──▶ bounded queue (admission control, per-bucket FIFO)
-//!                          │  drain ≤ max_batch, wait ≤ max_wait_us
+//!  clients ──submit──▶ bounded queue (admission control, per-bucket FIFO,
+//!                          │          per-request deadlines)
+//!                          │  drain ≤ max_batch, wait ≤ max_wait_us,
+//!                          │  shed expired requests before the forward pass
 //!                          ▼
 //!                length-bucketed micro-batch (padded to the longest
 //!                sequence in the batch; bucket boundary = upper bound)
 //!                          │
 //!                          ▼
 //!        worker pool ──▶ InferenceSession::logits_batch ──▶ responses
+//!             ▲
+//!        supervisor (respawns dead workers with exponential backoff)
 //! ```
 //!
 //! Batching policy: a worker first dispatches any bucket already holding a
@@ -19,14 +24,47 @@
 //! shutting down. An idle server therefore adds at most `max_wait_us` of
 //! batching delay, a saturated one runs full batches back to back, and a
 //! full batch never waits behind a stale request in another bucket.
+//!
+//! # Robustness guarantees
+//!
+//! - **No silent drops.** Every request accepted by [`ServerHandle::submit`]
+//!   is answered: with a [`Prediction`], or with an explicit [`ServeError`]
+//!   (deadline expired, forward pass panicked, server stopped). Graceful
+//!   shutdown drains the queue — if every worker has died, [`Server::shutdown`]
+//!   drains it inline on the calling thread.
+//! - **Deadlines shed before compute.** A request whose deadline expires
+//!   while queued is answered [`ServeError::DeadlineExceeded`] at batch
+//!   formation, before any forward pass is spent on it.
+//! - **Panic isolation.** A panicking batched forward fails no one else:
+//!   the batch's requests are retried one by one, so only requests that
+//!   panic in isolation get [`ServeError::ModelPanicked`].
+//! - **Poison recovery.** Queue locks recover from mutex poisoning instead
+//!   of cascading one producer's panic into every worker and caller.
+//! - **Supervision.** A supervisor thread respawns dead worker threads with
+//!   fresh scratch and exponential backoff (a hot-failing model cannot make
+//!   the pool spin), counted in [`ServerStats::worker_restarts`].
 
 use crate::metrics::{Metrics, ServerStats};
 use crate::session::{InferenceSession, SessionScratch};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning: a panic in one lock holder
+/// must not cascade-kill every other worker and caller. The queue state is
+/// a set of independently-valid `VecDeque`s plus counters, so observing a
+/// poisoned-but-consistent snapshot is always safe.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How long a worker must stay alive for the supervisor to consider it
+/// healthy and reset its restart backoff.
+const HEALTHY_AFTER: Duration = Duration::from_secs(5);
+/// Supervisor poll interval for dead-worker detection.
+const SUPERVISE_EVERY: Duration = Duration::from_millis(2);
 
 /// Knobs of the dynamic micro-batcher.
 #[derive(Debug, Clone)]
@@ -51,6 +89,13 @@ pub struct ServeConfig {
     /// default `false` pads only to the longest sequence in the batch —
     /// the boundary stays the upper bound, but stragglers cost less.
     pub pad_to_bucket_boundary: bool,
+    /// Initial supervisor backoff before respawning a dead worker, in
+    /// milliseconds. Doubles on every consecutive death (capped at
+    /// [`ServeConfig::restart_backoff_max_ms`]) and resets once a worker
+    /// stays alive for a few seconds.
+    pub restart_backoff_ms: u64,
+    /// Upper bound of the exponential restart backoff, in milliseconds.
+    pub restart_backoff_max_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +107,8 @@ impl Default for ServeConfig {
             num_workers: 0,
             buckets: Vec::new(),
             pad_to_bucket_boundary: false,
+            restart_backoff_ms: 10,
+            restart_backoff_max_ms: 1000,
         }
     }
 }
@@ -72,6 +119,7 @@ impl ServeConfig {
     fn resolved(mut self, max_seq: usize) -> Self {
         assert!(self.max_batch >= 1, "max_batch must be at least 1");
         assert!(self.queue_capacity >= 1, "queue_capacity must be at least 1");
+        assert!(self.restart_backoff_ms >= 1, "restart_backoff_ms must be at least 1");
         if self.num_workers == 0 {
             self.num_workers =
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
@@ -101,7 +149,15 @@ pub enum ServeError {
     Overloaded {
         /// Queue depth at rejection time.
         depth: usize,
+        /// Suggested wait before retrying, in milliseconds: the time the
+        /// server needs to drain the current queue at its observed
+        /// completion rate (clamped to `[10 ms, 5 s]`). Surfaces as the
+        /// HTTP `Retry-After` hint and drives `fabctl`'s backoff.
+        retry_after_ms: u64,
     },
+    /// The request's deadline expired before a forward pass was spent on
+    /// it; it was shed at submission or batch-formation time.
+    DeadlineExceeded,
     /// The sequence is longer than the largest configured bucket.
     SequenceTooLong {
         /// Length of the rejected sequence.
@@ -118,6 +174,9 @@ pub enum ServeError {
         /// Vocabulary size of the served model.
         vocab: usize,
     },
+    /// The model forward pass panicked on this request even when it was
+    /// retried in isolation (outside any batch).
+    ModelPanicked,
     /// The server was shut down (or a worker failed) before this request
     /// could be served.
     ServerStopped,
@@ -126,8 +185,11 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Overloaded { depth } => {
-                write!(f, "queue full ({depth} requests pending); retry later")
+            ServeError::Overloaded { depth, retry_after_ms } => {
+                write!(f, "queue full ({depth} requests pending); retry in {retry_after_ms}ms")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request was served")
             }
             ServeError::SequenceTooLong { len, max } => {
                 write!(f, "sequence length {len} exceeds the largest bucket {max}")
@@ -135,6 +197,9 @@ impl fmt::Display for ServeError {
             ServeError::EmptySequence => write!(f, "cannot serve an empty sequence"),
             ServeError::InvalidToken { id, vocab } => {
                 write!(f, "token id {id} outside the model vocabulary of {vocab}")
+            }
+            ServeError::ModelPanicked => {
+                write!(f, "model forward pass panicked while serving the request")
             }
             ServeError::ServerStopped => {
                 write!(f, "server shut down or failed before serving the request")
@@ -166,7 +231,17 @@ pub struct Prediction {
 struct Request {
     tokens: Vec<usize>,
     enqueued: Instant,
-    resp: mpsc::Sender<Prediction>,
+    /// Absolute shed deadline; the request is answered
+    /// [`ServeError::DeadlineExceeded`] instead of entering a batch once
+    /// this instant passes.
+    deadline: Option<Instant>,
+    resp: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// Mutex-guarded queue state (the MPSC channel core).
@@ -179,12 +254,32 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Supervisor bookkeeping for one worker thread slot.
+struct WorkerSlot {
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// Times this slot's worker died and was respawned.
+    restarts: u64,
+    /// Backoff before the next respawn of this slot.
+    backoff: Duration,
+    /// Dead slot: earliest instant the supervisor may respawn it.
+    respawn_at: Option<Instant>,
+    /// When the current worker was spawned (backoff resets after a healthy
+    /// lifetime).
+    spawned_at: Instant,
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     work: Condvar,
     config: ServeConfig,
     session: Arc<InferenceSession>,
     metrics: Metrics,
+    /// Worker-thread registry, owned jointly by the supervisor (respawn)
+    /// and shutdown (join).
+    workers: Mutex<Vec<WorkerSlot>>,
+    /// Fault injection: each pending unit makes one worker thread exit at
+    /// its next loop iteration, simulating a dead worker.
+    kill_workers: AtomicUsize,
 }
 
 /// The dynamic-batching inference server.
@@ -195,11 +290,12 @@ struct Shared {
 /// drained, then the workers exit.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Spawns the worker pool and returns the running server.
+    /// Spawns the worker pool (plus its supervisor thread) and returns the
+    /// running server.
     ///
     /// # Panics
     ///
@@ -217,17 +313,29 @@ impl Server {
             config: config.clone(),
             session: Arc::new(session),
             metrics: Metrics::new(),
+            workers: Mutex::new(Vec::new()),
+            kill_workers: AtomicUsize::new(0),
         });
-        let workers = (0..config.num_workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("fab-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Self { shared, workers }
+        {
+            let mut slots = lock_recover(&shared.workers);
+            for i in 0..config.num_workers {
+                slots.push(WorkerSlot {
+                    handle: Some(spawn_worker(&shared, i)),
+                    restarts: 0,
+                    backoff: Duration::from_millis(config.restart_backoff_ms),
+                    respawn_at: None,
+                    spawned_at: Instant::now(),
+                });
+            }
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fab-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn serve supervisor")
+        };
+        Self { shared, supervisor: Some(supervisor) }
     }
 
     /// Returns a cloneable handle clients use to submit requests.
@@ -242,36 +350,60 @@ impl Server {
 
     /// Snapshots the aggregate serving metrics.
     pub fn stats(&self) -> ServerStats {
-        let depth = self.shared.state.lock().expect("serve queue poisoned").depth;
-        self.shared.metrics.snapshot(
-            depth,
-            self.shared.config.num_workers,
-            self.shared.session.kind().name(),
-        )
+        self.handle().stats()
+    }
+
+    /// Fault injection for tests and benchmarks: makes one worker thread
+    /// exit (as if it had died) at its next loop iteration. The supervisor
+    /// detects the death and respawns the slot with fresh scratch after its
+    /// backoff, incrementing [`ServerStats::worker_restarts`].
+    pub fn inject_worker_exit(&self) {
+        self.handle().inject_worker_exit()
     }
 
     /// Drains the queue, stops the workers and waits for them to exit.
     /// Requests submitted after this call are rejected with
-    /// [`ServeError::ServerStopped`].
+    /// [`ServeError::ServerStopped`]; requests admitted before it are all
+    /// answered (with a prediction or an explicit error) — if every worker
+    /// died, the remaining queue is drained inline on this thread.
     pub fn shutdown(mut self) {
-        self.begin_shutdown();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.finish();
     }
 
     fn begin_shutdown(&self) {
-        self.shared.state.lock().expect("serve queue poisoned").shutdown = true;
+        lock_recover(&self.shared.state).shutdown = true;
         self.shared.work.notify_all();
+    }
+
+    /// Idempotent shutdown core shared by [`Server::shutdown`] and `Drop`.
+    fn finish(&mut self) {
+        self.begin_shutdown();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        let handles: Vec<_> = {
+            let mut slots = lock_recover(&self.shared.workers);
+            slots.iter_mut().filter_map(|s| s.handle.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        // Every live worker drains the queue before exiting; this inline
+        // drain only runs work when all workers died (e.g. fault injection
+        // mid-shutdown) so admitted requests are still never dropped.
+        let mut scratch = SessionScratch::with_capacity(
+            self.shared.config.max_batch,
+            *self.shared.config.buckets.last().expect("at least one bucket"),
+        );
+        while let Some(batch) = next_batch(&self.shared) {
+            run_batch(&self.shared, batch, &mut scratch);
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.begin_shutdown();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.finish();
     }
 }
 
@@ -294,6 +426,26 @@ impl ServerHandle {
     /// [`ServeError::EmptySequence`], [`ServeError::SequenceTooLong`],
     /// [`ServeError::Overloaded`], or [`ServeError::ServerStopped`].
     pub fn submit(&self, tokens: Vec<usize>) -> Result<PendingPrediction, ServeError> {
+        self.submit_with_deadline(tokens, None)
+    }
+
+    /// Enqueues a request that must start being served within `deadline`.
+    ///
+    /// The deadline travels with the request through the queue: once it
+    /// expires, the request is shed at batch-formation time — before any
+    /// forward pass is spent on it — and answered
+    /// [`ServeError::DeadlineExceeded`] (counted in
+    /// [`ServerStats::shed_expired`]). A zero deadline is shed immediately.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerHandle::submit`], plus an immediate
+    /// [`ServeError::DeadlineExceeded`] for a zero `deadline`.
+    pub fn submit_with_deadline(
+        &self,
+        tokens: Vec<usize>,
+        deadline: Option<Duration>,
+    ) -> Result<PendingPrediction, ServeError> {
         if tokens.is_empty() {
             return Err(ServeError::EmptySequence);
         }
@@ -306,21 +458,34 @@ impl ServerHandle {
         if let Some(&id) = tokens.iter().find(|&&id| id >= vocab) {
             return Err(ServeError::InvalidToken { id, vocab });
         }
+        if deadline.is_some_and(|d| d.is_zero()) {
+            self.shared.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExceeded);
+        }
         let bucket = buckets
             .iter()
             .position(|&b| tokens.len() <= b)
             .expect("length is covered by the last bucket");
         let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
         {
-            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            let mut st = lock_recover(&self.shared.state);
             if st.shutdown {
                 return Err(ServeError::ServerStopped);
             }
             if st.depth >= self.shared.config.queue_capacity {
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(ServeError::Overloaded { depth: st.depth });
+                return Err(ServeError::Overloaded {
+                    depth: st.depth,
+                    retry_after_ms: self.shared.metrics.retry_after_ms(st.depth),
+                });
             }
-            st.queues[bucket].push_back(Request { tokens, enqueued: Instant::now(), resp: tx });
+            st.queues[bucket].push_back(Request {
+                tokens,
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                resp: tx,
+            });
             st.depth += 1;
             self.shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
             self.shared.metrics.peak_queue_depth.fetch_max(st.depth as u64, Ordering::Relaxed);
@@ -341,29 +506,52 @@ impl ServerHandle {
 
     /// Snapshots the aggregate serving metrics.
     pub fn stats(&self) -> ServerStats {
-        let depth = self.shared.state.lock().expect("serve queue poisoned").depth;
+        let depth = lock_recover(&self.shared.state).depth;
         self.shared.metrics.snapshot(
             depth,
             self.shared.config.num_workers,
             self.shared.session.kind().name(),
         )
     }
+
+    /// Fault injection for tests and benchmarks: see
+    /// [`Server::inject_worker_exit`].
+    pub fn inject_worker_exit(&self) {
+        self.shared.kill_workers.fetch_add(1, Ordering::Relaxed);
+        // Wake sleeping workers so one observes the kill promptly.
+        self.shared.work.notify_all();
+    }
 }
 
 /// A submitted request whose prediction has not arrived yet.
 pub struct PendingPrediction {
-    rx: mpsc::Receiver<Prediction>,
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
 }
 
 impl PendingPrediction {
-    /// Blocks until the prediction arrives.
+    /// Blocks until the prediction (or its explicit error) arrives.
     ///
     /// # Errors
     ///
-    /// [`ServeError::ServerStopped`] when the server shut down before
-    /// serving this request.
+    /// The request's explicit failure ([`ServeError::DeadlineExceeded`],
+    /// [`ServeError::ModelPanicked`], [`ServeError::ServerStopped`]), or
+    /// [`ServeError::ServerStopped`] when the server dropped the request's
+    /// response channel without answering.
     pub fn wait(self) -> Result<Prediction, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::ServerStopped)
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::ServerStopped),
+        }
+    }
+
+    /// Like [`PendingPrediction::wait`], but gives up after `timeout`
+    /// (returning `None`; the request stays in flight server-side).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ServerStopped)),
+        }
     }
 }
 
@@ -380,23 +568,46 @@ fn worker_loop(shared: &Shared) {
         shared.config.max_batch,
         *shared.config.buckets.last().expect("at least one bucket"),
     );
-    while let Some(batch) = next_batch(shared) {
-        run_batch(shared, batch, &mut scratch);
+    loop {
+        if take_injected_kill(shared) {
+            return; // fault injection: this worker "dies" without cleanup
+        }
+        match next_batch(shared) {
+            Some(batch) => run_batch(shared, batch, &mut scratch),
+            None => return,
+        }
     }
 }
 
+/// Consumes one pending injected worker kill, if any.
+fn take_injected_kill(shared: &Shared) -> bool {
+    shared
+        .kill_workers
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+}
+
 /// Blocks until a batch is ready (returning it) or shutdown completes with
-/// an empty queue (returning `None`).
+/// an empty queue (returning `None`). Requests whose deadline expired while
+/// queued are shed here — answered [`ServeError::DeadlineExceeded`] without
+/// a forward pass.
 fn next_batch(shared: &Shared) -> Option<DrainedBatch> {
     let max_batch = shared.config.max_batch;
     let max_wait = Duration::from_micros(shared.config.max_wait_us);
-    let mut st = shared.state.lock().expect("serve queue poisoned");
+    let mut st = lock_recover(&shared.state);
     loop {
+        // Honour a kill that arrived while this worker slept on the condvar
+        // (fault injection cannot be outwaited by an idle pool) — but never
+        // during shutdown, when this loop is also the inline drain of last
+        // resort and must answer every remaining request.
+        if !st.shutdown && take_injected_kill(shared) {
+            return None;
+        }
         if st.depth == 0 {
             if st.shutdown {
                 return None;
             }
-            st = shared.work.wait(st).expect("serve queue poisoned");
+            st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             continue;
         }
         // Prefer a bucket that can already dispatch a full batch (oldest
@@ -419,14 +630,27 @@ fn next_batch(shared: &Shared) -> Option<DrainedBatch> {
         let waited = enqueued.elapsed();
         let ready = st.shutdown || is_full || waited >= max_wait;
         if !ready {
-            let (guard, _) =
-                shared.work.wait_timeout(st, max_wait - waited).expect("serve queue poisoned");
+            let (guard, _) = shared
+                .work
+                .wait_timeout(st, max_wait - waited)
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
             continue;
         }
         let take = st.queues[bucket].len().min(max_batch);
-        let requests: Vec<Request> = st.queues[bucket].drain(..take).collect();
-        st.depth -= requests.len();
+        st.depth -= take;
+        let now = Instant::now();
+        let mut requests = Vec::with_capacity(take);
+        for req in st.queues[bucket].drain(..take) {
+            if req.expired(now) {
+                shed_expired(shared, req);
+            } else {
+                requests.push(req);
+            }
+        }
+        if requests.is_empty() {
+            continue; // the whole drain expired; look for more work
+        }
         let padded_len = if shared.config.pad_to_bucket_boundary {
             shared.config.buckets[bucket]
         } else {
@@ -436,12 +660,20 @@ fn next_batch(shared: &Shared) -> Option<DrainedBatch> {
     }
 }
 
+/// Answers one expired request with [`ServeError::DeadlineExceeded`].
+fn shed_expired(shared: &Shared, req: Request) {
+    shared.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
+    let _ = req.resp.send(Err(ServeError::DeadlineExceeded));
+}
+
 /// Runs one drained batch through the session and fulfils its requests.
 ///
-/// A panicking forward pass (which admission-time validation should make
-/// impossible) fails only its own batch: the requests' response senders are
-/// dropped, so waiting clients observe [`ServeError::ServerStopped`] instead
-/// of blocking forever, and the worker stays alive for the next batch.
+/// A panicking batched forward pass fails no other request in the batch:
+/// the panic is counted in [`ServerStats::batch_panics`] and every request
+/// is retried in isolation — requests that panic even alone are answered
+/// [`ServeError::ModelPanicked`] (counted in [`ServerStats::failed`]), the
+/// rest get their predictions, and the worker stays alive for the next
+/// batch either way.
 fn run_batch(shared: &Shared, batch: DrainedBatch, scratch: &mut SessionScratch) {
     let t0 = Instant::now();
     let refs: Vec<&[usize]> = batch.requests.iter().map(|r| r.tokens.as_slice()).collect();
@@ -452,7 +684,8 @@ fn run_batch(shared: &Shared, batch: DrainedBatch, scratch: &mut SessionScratch)
     let logits = match forward {
         Ok(logits) => logits,
         Err(_) => {
-            shared.metrics.failed.fetch_add(batch.requests.len() as u64, Ordering::Relaxed);
+            shared.metrics.batch_panics.fetch_add(1, Ordering::Relaxed);
+            run_batch_isolated(shared, batch);
             return;
         }
     };
@@ -470,14 +703,98 @@ fn run_batch(shared: &Shared, batch: DrainedBatch, scratch: &mut SessionScratch)
         m.completed.fetch_add(1, Ordering::Relaxed);
         let class = fab_nn::argmax(&lg);
         // The client may have dropped its receiver; that is not an error.
-        let _ = req.resp.send(Prediction {
+        let _ = req.resp.send(Ok(Prediction {
             logits: lg,
             class,
             queue_wait_us,
             service_us,
             batch_size: n,
             padded_len: batch.padded_len,
-        });
+        }));
+    }
+}
+
+/// Fallback after a batched forward pass panicked: serve each request of
+/// the batch alone, so one poisonous input cannot take down its batchmates.
+fn run_batch_isolated(shared: &Shared, batch: DrainedBatch) {
+    let m = &shared.metrics;
+    for req in batch.requests {
+        let t0 = Instant::now();
+        let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.session.logits(&req.tokens)
+        }));
+        match forward {
+            Ok(lg) => {
+                let service_us = t0.elapsed().as_micros() as u64;
+                let queue_wait_us = t0.duration_since(req.enqueued).as_micros() as u64;
+                m.queue_wait.record(queue_wait_us);
+                m.latency.record(req.enqueued.elapsed().as_micros() as u64);
+                m.service.record(service_us);
+                m.batches.fetch_add(1, Ordering::Relaxed);
+                m.batched_examples.fetch_add(1, Ordering::Relaxed);
+                m.completed.fetch_add(1, Ordering::Relaxed);
+                let class = fab_nn::argmax(&lg);
+                let _ = req.resp.send(Ok(Prediction {
+                    logits: lg,
+                    class,
+                    queue_wait_us,
+                    service_us,
+                    batch_size: 1,
+                    padded_len: req.tokens.len(),
+                }));
+            }
+            Err(_) => {
+                m.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = req.resp.send(Err(ServeError::ModelPanicked));
+            }
+        }
+    }
+}
+
+/// Spawns the worker thread for registry slot `i`.
+fn spawn_worker(shared: &Arc<Shared>, i: usize) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("fab-serve-{i}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn serve worker")
+}
+
+/// The supervisor loop: detect dead worker threads (panicked beyond batch
+/// isolation, or killed by fault injection), join them, and respawn the
+/// slot after an exponential backoff so a hot-failing model cannot spin
+/// the pool. Exits on shutdown — [`Server::finish`] then joins the
+/// remaining workers and drains the queue inline if none survived.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    loop {
+        if lock_recover(&shared.state).shutdown {
+            return;
+        }
+        std::thread::sleep(SUPERVISE_EVERY);
+        let now = Instant::now();
+        let mut slots = lock_recover(&shared.workers);
+        for i in 0..slots.len() {
+            let slot = &mut slots[i];
+            if slot.handle.as_ref().is_some_and(|h| h.is_finished()) {
+                let _ = slot.handle.take().expect("checked above").join();
+                if lock_recover(&shared.state).shutdown {
+                    continue; // normal exit during drain, not a death
+                }
+                shared.metrics.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                slot.restarts += 1;
+                if now.duration_since(slot.spawned_at) >= HEALTHY_AFTER {
+                    slot.backoff = Duration::from_millis(shared.config.restart_backoff_ms);
+                }
+                slot.respawn_at = Some(now + slot.backoff);
+                slot.backoff = (slot.backoff * 2)
+                    .min(Duration::from_millis(shared.config.restart_backoff_max_ms));
+            }
+            if slot.handle.is_none() && slot.respawn_at.is_some_and(|at| now >= at) {
+                slot.handle = Some(spawn_worker(shared, i));
+                slot.respawn_at = None;
+                slot.spawned_at = Instant::now();
+            }
+        }
     }
 }
 
@@ -589,7 +906,7 @@ mod tests {
     }
 
     #[test]
-    fn admission_control_rejects_when_full() {
+    fn admission_control_rejects_when_full_with_retry_hint() {
         let (_model, session) = tiny_session();
         // One worker stuck behind a long max_wait with a tiny queue.
         let config = ServeConfig {
@@ -606,7 +923,13 @@ mod tests {
         for _ in 0..6 {
             match handle.submit(vec![1, 2, 3]) {
                 Ok(p) => pending.push(p),
-                Err(ServeError::Overloaded { .. }) => rejected += 1,
+                Err(ServeError::Overloaded { retry_after_ms, .. }) => {
+                    rejected += 1;
+                    assert!(
+                        (10..=5000).contains(&retry_after_ms),
+                        "retry hint {retry_after_ms}ms outside its clamp"
+                    );
+                }
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
@@ -672,6 +995,169 @@ mod tests {
         assert_eq!(long.padded_len, 16);
         assert_eq!(short.logits, model.predict(&[1; 3]));
         assert_eq!(long.logits, model.predict(&[1; 16]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_is_shed_at_submission() {
+        let (_model, session) = tiny_session();
+        let server = Server::start(session, ServeConfig::default());
+        let handle = server.handle();
+        assert_eq!(
+            handle
+                .submit_with_deadline(vec![1, 2, 3], Some(Duration::ZERO))
+                .map(|_| ())
+                .unwrap_err(),
+            ServeError::DeadlineExceeded
+        );
+        assert_eq!(server.stats().shed_expired, 1);
+        assert_eq!(server.stats().completed, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_before_the_forward_pass() {
+        let (_model, session) = tiny_session();
+        // One worker parked on a long batching wait, so queued requests
+        // expire before the batch forms.
+        let config = ServeConfig {
+            max_batch: 16,
+            max_wait_us: 150_000,
+            num_workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        let doomed: Vec<_> = (0..3)
+            .map(|_| {
+                handle
+                    .submit_with_deadline(vec![1, 2, 3], Some(Duration::from_millis(1)))
+                    .expect("admitted")
+            })
+            .collect();
+        let alive = handle.submit(vec![4, 5, 6]).expect("admitted");
+        for p in doomed {
+            assert_eq!(p.wait(), Err(ServeError::DeadlineExceeded));
+        }
+        alive.wait().expect("undeadlined request survives");
+        let stats = server.stats();
+        assert_eq!(stats.shed_expired, 3);
+        assert_eq!(stats.completed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn killed_workers_are_respawned_by_the_supervisor() {
+        let (model, session) = tiny_session();
+        let config = ServeConfig {
+            num_workers: 1,
+            restart_backoff_ms: 1,
+            max_wait_us: 100,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        handle.infer(vec![1, 2, 3]).expect("pre-kill request served");
+        server.inject_worker_exit();
+        // The (sole) worker dies; the supervisor must respawn it and the
+        // server must keep answering. Allow generous time for backoff.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut served = None;
+        while Instant::now() < deadline {
+            match handle.submit(vec![2, 3, 4]) {
+                Ok(p) => {
+                    if let Some(result) = p.wait_timeout(Duration::from_millis(500)) {
+                        served = Some(result.expect("respawned worker serves"));
+                        break;
+                    }
+                }
+                Err(e) => panic!("submission failed during respawn: {e}"),
+            }
+        }
+        let p = served.expect("supervisor never respawned the worker");
+        assert_eq!(p.logits, model.predict(&[2, 3, 4]));
+        assert!(server.stats().worker_restarts >= 1, "restart not counted");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_inline_when_every_worker_died() {
+        let (model, session) = tiny_session();
+        let config = ServeConfig {
+            num_workers: 2,
+            max_wait_us: 500_000,
+            // Keep dead workers down across the whole test: backoff starts
+            // beyond the test's lifetime, so only the inline drain can
+            // answer the queued requests.
+            restart_backoff_ms: 60_000,
+            restart_backoff_max_ms: 60_000,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        server.inject_worker_exit();
+        server.inject_worker_exit();
+        // Give the workers time to observe the kill and die.
+        std::thread::sleep(Duration::from_millis(50));
+        let pending: Vec<_> = (0..4).map(|_| handle.submit(vec![1, 2, 3]).unwrap()).collect();
+        server.shutdown();
+        for p in pending {
+            let served = p.wait().expect("inline drain answers queued requests");
+            assert_eq!(served.logits, model.predict(&[1, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn poisoned_queue_lock_recovers_instead_of_cascading() {
+        let (model, session) = tiny_session();
+        let server = Server::start(session, ServeConfig::default());
+        let handle = server.handle();
+        // Poison the queue mutex: a panicking producer mid-critical-section.
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the serve queue");
+        })
+        .join();
+        assert!(server.shared.state.is_poisoned(), "test failed to poison the lock");
+        // Every path that takes the lock must keep working.
+        let p = handle.infer(vec![1, 2, 3]).expect("request served on a poisoned lock");
+        assert_eq!(p.logits, model.predict(&[1, 2, 3]));
+        assert!(server.stats().completed >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_batch_spares_its_batchmates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Model::new(&ModelConfig::tiny_for_tests(), ModelKind::FabNet, &mut rng);
+        let marker = 7usize;
+        let session = InferenceSession::exact(&model).with_panic_on_token(marker);
+        let config = ServeConfig {
+            max_batch: 8,
+            max_wait_us: 100_000,
+            num_workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(session, config);
+        let handle = server.handle();
+        // One poisonous request plus healthy batchmates, all in one bucket.
+        let victims: Vec<_> = (0..4).map(|_| handle.submit(vec![1, 2, 3]).unwrap()).collect();
+        let poisonous = handle.submit(vec![1, marker, 3]).unwrap();
+        let mut batch_fill: Vec<_> =
+            (0..3).map(|_| handle.submit(vec![1, 2, 3]).unwrap()).collect();
+        // Healthy batchmates still get answers (served in isolation).
+        for p in victims.into_iter().chain(batch_fill.drain(..)) {
+            let served = p.wait().expect("batchmates survive the panic");
+            assert_eq!(served.logits, model.predict(&[1, 2, 3]));
+        }
+        // The poisonous request gets an explicit error, not a hang.
+        assert_eq!(poisonous.wait(), Err(ServeError::ModelPanicked));
+        let stats = server.stats();
+        assert!(stats.batch_panics >= 1, "panic not counted: {stats}");
+        assert_eq!(stats.failed, 1);
+        // The worker survived: a fresh request is served.
+        handle.infer(vec![4, 5, 6]).expect("worker keeps serving after the panic");
         server.shutdown();
     }
 }

@@ -52,6 +52,9 @@ enum SessionModel {
 #[derive(Debug, Clone)]
 pub struct InferenceSession {
     model: SessionModel,
+    /// Fault injection: a marker token id that makes any forward pass
+    /// containing it panic (see [`InferenceSession::with_panic_on_token`]).
+    panic_token: Option<usize>,
 }
 
 impl InferenceSession {
@@ -63,26 +66,50 @@ impl InferenceSession {
     /// bit-identity with the tape path, [`InferenceSession::quantized`] for
     /// the int8 path.
     pub fn new(model: &Model) -> Self {
-        Self { model: SessionModel::F32(model.freeze().with_fast_math(true)) }
+        Self { model: SessionModel::F32(model.freeze().with_fast_math(true)), panic_token: None }
     }
 
     /// Freezes `model` with the exact `libm` kernels: logits are
     /// bit-identical to [`Model::predict`](fab_nn::Model::predict), at
     /// roughly 40% lower single-core throughput than [`InferenceSession::new`].
     pub fn exact(model: &Model) -> Self {
-        Self { model: SessionModel::F32(model.freeze()) }
+        Self { model: SessionModel::F32(model.freeze()), panic_token: None }
     }
 
     /// Wraps an already-frozen model (honouring its fast-math setting).
     pub fn from_frozen(model: FrozenModel) -> Self {
-        Self { model: SessionModel::F32(model) }
+        Self { model: SessionModel::F32(model), panic_token: None }
     }
 
     /// Wraps a post-training-quantized model: the server then runs int8
     /// GEMMs on every dense linear layer (see [`fab_quant`] for the
     /// calibration workflow and accuracy policy).
     pub fn quantized(model: QuantModel) -> Self {
-        Self { model: SessionModel::Int8(model) }
+        Self { model: SessionModel::Int8(model), panic_token: None }
+    }
+
+    /// Fault injection for tests and benchmarks: any forward pass whose
+    /// input contains `token` panics, exercising the server's batch
+    /// isolation, `batch_panics` accounting, and worker supervision. Never
+    /// enable this on a production profile.
+    pub fn with_panic_on_token(mut self, token: usize) -> Self {
+        self.panic_token = Some(token);
+        self
+    }
+
+    /// The configured fault-injection marker token, if any.
+    pub fn panic_token(&self) -> Option<usize> {
+        self.panic_token
+    }
+
+    /// Trips the fault-injection panic when `tokens` carries the marker.
+    fn check_panic_token(&self, tokens: &[usize]) {
+        if let Some(marker) = self.panic_token {
+            assert!(
+                !tokens.contains(&marker),
+                "fault injection: marker token {marker} in the forward input"
+            );
+        }
     }
 
     /// Which forward path this session runs.
@@ -141,6 +168,7 @@ impl InferenceSession {
     /// Panics when `tokens` is empty, longer than `max_seq`, or contains an
     /// out-of-vocabulary id.
     pub fn logits(&self, tokens: &[usize]) -> Vec<f32> {
+        self.check_panic_token(tokens);
         match &self.model {
             SessionModel::F32(m) => m.logits(tokens),
             SessionModel::Int8(m) => m.logits(tokens),
@@ -176,6 +204,9 @@ impl InferenceSession {
         // set cache-resident. Either route produces bit-identical logits
         // (both model variants' padding-invariance guarantee), so this is
         // purely a throughput decision.
+        for tokens in batch {
+            self.check_panic_token(tokens);
+        }
         if rayon::current_num_threads() <= 1 {
             return batch.iter().map(|tokens| self.logits(tokens)).collect();
         }

@@ -155,3 +155,70 @@ fn fused_batch_is_pad_invariant_and_bit_exact() {
     }
     std::env::remove_var("RAYON_NUM_THREADS");
 }
+
+/// PR-6 drain property: a server shut down while requests are still queued
+/// answers every accepted request — with a prediction, or with an explicit
+/// error for requests whose deadline expired — across worker counts,
+/// bucket mixes and deadline mixes. Zero accepted requests dropped.
+mod drain {
+    use super::*;
+    use fab_serve::ServeError;
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn shutdown_while_queued_answers_every_accepted_request(
+            num_workers in 1usize..5,
+            batch_size in 1usize..48,
+            seed in 0u64..500,
+        ) {
+            let model = model_for(seed, ModelKind::FabNet);
+            let config = ModelConfig::tiny_for_tests();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xd5a1);
+            let batch = mixed_batch(&mut rng, batch_size, config.vocab_size, config.max_seq);
+            let serve_config = ServeConfig {
+                max_batch: 3,
+                max_wait_us: 200,
+                queue_capacity: 1024, // everything is accepted
+                num_workers,
+                ..ServeConfig::default()
+            };
+            let server = Server::start(InferenceSession::new(&model), serve_config);
+            let handle = server.handle();
+            // A mix of undeadlined requests and very tight deadlines, so the
+            // drain interleaves answering and shedding.
+            let pending: Vec<_> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, tokens)| {
+                    let deadline =
+                        (i % 3 == 2).then(|| Duration::from_micros(1 + (i as u64 % 50)));
+                    (
+                        deadline.is_some(),
+                        handle
+                            .submit_with_deadline(tokens.clone(), deadline)
+                            .expect("accepted"),
+                    )
+                })
+                .collect();
+            // Shut down immediately: most of the batch is still queued.
+            server.shutdown();
+            for (i, (had_deadline, p)) in pending.into_iter().enumerate() {
+                match p.wait_timeout(Duration::from_secs(30)) {
+                    Some(Ok(prediction)) => {
+                        prop_assert!(!prediction.logits.is_empty(), "request {i}: empty logits");
+                    }
+                    Some(Err(ServeError::DeadlineExceeded)) => {
+                        prop_assert!(had_deadline, "request {i} shed without a deadline");
+                    }
+                    Some(Err(e)) => {
+                        prop_assert!(false, "request {i}: unexpected explicit error {e}");
+                    }
+                    None => prop_assert!(false, "request {i} was dropped by the drain"),
+                }
+            }
+        }
+    }
+}
