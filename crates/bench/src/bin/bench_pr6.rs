@@ -380,6 +380,52 @@ fn main() {
         failures.push("shedding counters did not move".to_string());
     }
 
+    // --- Phase 2e: worker-count throughput points. -------------------------
+    // Closed-loop points at 2 and 4 workers on a fresh healthy daemon each
+    // (the main daemon has frozen supervisors and panic scars by now), so
+    // BENCH_PR6.json records how the worker pool scales on this host.
+    let mut worker_sweep: Vec<(usize, f64)> = Vec::new();
+    for workers in [2usize, 4] {
+        let mut sweep_profile = ProfileConfig::tiny("sweep", Precision::FastMath, 42);
+        sweep_profile.seq_len = seq_len;
+        sweep_profile.hidden = 32;
+        let sweep_config = DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            num_workers: workers,
+            max_connections: opts.threads * 4 + 16,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            drain_timeout_ms: 30_000,
+            profiles: vec![sweep_profile],
+            ..DaemonConfig::default()
+        };
+        let sweep_daemon = Daemon::start(sweep_config).expect("sweep daemon starts");
+        let sweep_addr = sweep_daemon.addr().to_string();
+        let n = (opts.requests / 2).max(40);
+        let s0 = Instant::now();
+        let sweep_handles: Vec<_> = (0..opts.threads)
+            .map(|t| {
+                let addr = sweep_addr.clone();
+                let per = n / opts.threads + usize::from(t < n % opts.threads);
+                let mut thread_rng = StdRng::seed_from_u64(7_000 + t as u64);
+                let tokens: Vec<Vec<usize>> =
+                    (0..per).map(|_| random_tokens(&mut thread_rng, marker, seq_len)).collect();
+                std::thread::spawn(move || {
+                    let mut client = no_retry_client(&addr, 200 + t as u64);
+                    tokens.iter().filter(|t| client.predict(None, t, None).is_ok()).count()
+                })
+            })
+            .collect();
+        let served: usize =
+            sweep_handles.into_iter().map(|h| h.join().expect("sweep sender")).sum();
+        let rps = served as f64 / s0.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "workers  : {workers} worker(s): {rps:8.1} req/s closed-loop ({served}/{n} served)"
+        );
+        worker_sweep.push((workers, rps));
+        sweep_daemon.shutdown();
+    }
+
     // --- Phase 3: graceful drain with stranded in-flight requests. ---------
     // Senders park requests in flight, then the daemon drains: every one
     // must come back answered (a result or an explicit error), zero lost.
@@ -411,6 +457,11 @@ fn main() {
         ));
     }
 
+    let worker_sweep_json = worker_sweep
+        .iter()
+        .map(|&(w, r)| format!("{{\"workers\": {w}, \"rps\": {r:.2}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"pr\": 6,\n  \"smoke\": {},\n  {host},\n  \"requests\": {},\n  \
          \"sender_threads\": {},\n  \"queue_capacity\": {queue_capacity},\n  \
@@ -428,6 +479,7 @@ fn main() {
          \"shed_expired_total\": {shed_expired}}},\n  \
          \"drain\": {{\"stranded\": {stranded_n}, \"answered\": {drain_answered}, \
          \"duration_s\": {drain_s:.3}}},\n  \
+         \"worker_sweep\": [{worker_sweep_json}],\n  \
          \"max_p99_ms_required\": {},\n  \"failures\": {:?}\n}}\n",
         opts.smoke,
         opts.requests,

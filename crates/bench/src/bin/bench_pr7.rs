@@ -1,0 +1,612 @@
+//! PR-7 fleet/QoS load test: boots one `fabd` daemon serving the full
+//! model fleet — every LRA-proxy task at every precision — then replays a
+//! mixed multi-tenant workload against it, hot-reloads a model mid-load,
+//! and sweeps the per-model worker count. Writes `BENCH_PR7.json` and
+//! exits non-zero when a gate fails.
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin bench_pr7 -- [--smoke]
+//!     [--requests N] [--threads N] [--duration-ms N]
+//!     [--max-p99-ms X] [--min-speedup X]
+//! ```
+//!
+//! Gates:
+//! - one process serves all 15 `<task>-<precision>` models; every model
+//!   answers with the task's class count
+//! - logits are bit-invariant to batch composition, scheduling order and
+//!   the request's tenant/priority labels
+//! - under background saturation, interactive requests all succeed with
+//!   p99 below `--max-p99-ms`, and background traffic still completes
+//!   (weighted-fair, not starved); quota overflow is shed with `429`,
+//!   nothing is dropped
+//! - a hot reload under load answers every in-flight request and the
+//!   same-seed retrain reproduces the exact pre-reload logits
+//! - worker counts 1/2/4 produce bit-identical logits, and the best
+//!   multi-worker throughput is at least `--min-speedup` times the
+//!   single-worker point
+
+use fab_lra::LraTask;
+use fabd::{
+    ClientError, Daemon, DaemonConfig, FabClient, Json, Precision, ProfileConfig, RetryPolicy,
+    TenantQuota,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    requests: usize,
+    threads: usize,
+    duration_ms: u64,
+    max_p99_ms: f64,
+    min_speedup: f64,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut opts = Self {
+            requests: 0,
+            threads: 4,
+            duration_ms: 0,
+            max_p99_ms: 10_000.0,
+            min_speedup: 1.0,
+            smoke: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("invalid {name}: {e}"))
+            };
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--requests" => opts.requests = value("--requests") as usize,
+                "--threads" => opts.threads = value("--threads") as usize,
+                "--duration-ms" => opts.duration_ms = value("--duration-ms") as u64,
+                "--max-p99-ms" => opts.max_p99_ms = value("--max-p99-ms"),
+                "--min-speedup" => opts.min_speedup = value("--min-speedup"),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        if opts.requests == 0 {
+            opts.requests = if opts.smoke { 80 } else { 400 };
+        }
+        if opts.duration_ms == 0 {
+            opts.duration_ms = if opts.smoke { 2_000 } else { 8_000 };
+        }
+        opts.threads = opts.threads.max(1);
+        opts
+    }
+}
+
+/// Exact percentile of sorted microsecond samples.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One request's outcome: HTTP status (0 = transport failure) + latency.
+#[derive(Clone, Copy)]
+struct Outcome {
+    status: u16,
+    us: u64,
+}
+
+fn no_retry_client(addr: &str, seed: u64) -> FabClient {
+    let policy = RetryPolicy { max_retries: 0, base_ms: 1, max_ms: 1 };
+    FabClient::with_policy(addr, policy, seed).with_timeout(Duration::from_secs(60))
+}
+
+fn status_of(result: &Result<Json, ClientError>) -> u16 {
+    match result {
+        Ok(_) => 200,
+        Err(ClientError::Status { status, .. }) => *status,
+        Err(_) => 0,
+    }
+}
+
+fn logits_of(v: &Json) -> Vec<f64> {
+    v.get("logits")
+        .and_then(Json::as_arr)
+        .expect("prediction has logits")
+        .iter()
+        .map(|l| l.as_f64().expect("numeric logit"))
+        .collect()
+}
+
+/// Deterministic probe tokens within `vocab`.
+fn probe_tokens(vocab: usize, len: usize) -> Vec<usize> {
+    (0..len).map(|i| (i * 7 + 1) % vocab).collect()
+}
+
+fn count(outcomes: &[Outcome], status: u16) -> usize {
+    outcomes.iter().filter(|o| o.status == status).count()
+}
+
+fn sorted_latencies(outcomes: &[Outcome]) -> Vec<u64> {
+    let mut us: Vec<u64> = outcomes.iter().map(|o| o.us).collect();
+    us.sort_unstable();
+    us
+}
+
+/// Closed-loop: `threads` senders share `total` requests to one model,
+/// returning every outcome plus the measured wall-clock throughput.
+fn run_closed_loop(addr: &str, model: &str, threads: usize, total: usize) -> (Vec<Outcome>, f64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_string();
+            let model = model.to_string();
+            let n = total / threads + usize::from(t < total % threads);
+            std::thread::spawn(move || {
+                let mut client = no_retry_client(&addr, 300 + t as u64);
+                let vocab = LraTask::Text.vocab_size();
+                (0..n)
+                    .map(|i| {
+                        let tokens = probe_tokens(vocab, 8 + (i + t) % 16);
+                        let r0 = Instant::now();
+                        let result = client.predict(Some(&model), &tokens, None);
+                        Outcome { status: status_of(&result), us: r0.elapsed().as_micros() as u64 }
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let outcomes: Vec<Outcome> =
+        handles.into_iter().flat_map(|h| h.join().expect("sender thread")).collect();
+    let rps = outcomes.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    (outcomes, rps)
+}
+
+/// Loops QoS-labelled requests against one model until `stop` flips.
+fn qos_sender(
+    addr: String,
+    model: String,
+    tenant: String,
+    priority: String,
+    pause: Duration,
+    seed: u64,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<Vec<Outcome>> {
+    std::thread::spawn(move || {
+        let mut client = no_retry_client(&addr, seed);
+        let vocab = LraTask::Text.vocab_size();
+        let mut outcomes = Vec::new();
+        let mut i = 0usize;
+        while !stop.load(Ordering::Acquire) {
+            let tokens = probe_tokens(vocab, 8 + i % 16);
+            let r0 = Instant::now();
+            let result =
+                client.predict_qos(Some(&model), &tokens, None, Some(&tenant), Some(&priority));
+            outcomes
+                .push(Outcome { status: status_of(&result), us: r0.elapsed().as_micros() as u64 });
+            i += 1;
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+        outcomes
+    })
+}
+
+fn json_num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn main() {
+    let opts = Options::parse();
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- Phase 1: the full fleet in one process. ---------------------------
+    // Every LRA-proxy task at every precision, plus three tenants with
+    // quotas for the QoS phase: two unconstrained paying tenants and one
+    // rate-limited background scavenger.
+    let unlimited = TenantQuota { rate_per_s: 1_000_000.0, burst: 1_000_000.0, weight: 1.0 };
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_connections: opts.threads * 8 + 48,
+        read_timeout_ms: 60_000,
+        write_timeout_ms: 60_000,
+        drain_timeout_ms: 60_000,
+        tenants: vec![
+            ("interactive-app".to_string(), TenantQuota { weight: 4.0, ..unlimited.clone() }),
+            ("batchy".to_string(), TenantQuota { weight: 2.0, ..unlimited }),
+            ("scavenger".to_string(), TenantQuota { rate_per_s: 200.0, burst: 50.0, weight: 1.0 }),
+        ],
+        ..DaemonConfig::full_fleet()
+    };
+    let fleet_size = config.profiles.len();
+    let t_train = Instant::now();
+    let daemon = Daemon::start(config).expect("fleet daemon starts");
+    let addr = daemon.addr().to_string();
+    let train_s = t_train.elapsed().as_secs_f64();
+    println!("bench_pr7: fabd on {addr} ({fleet_size} models trained in {train_s:.2}s)");
+
+    let mut client = no_retry_client(&addr, 1);
+    let listing = client.models_list().expect("models listing");
+    let ready: Vec<String> = listing
+        .get("models")
+        .and_then(Json::as_arr)
+        .expect("models array")
+        .iter()
+        .filter(|m| m.get("state").and_then(Json::as_str) == Some("ready"))
+        .filter_map(|m| m.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect();
+    println!("coverage : {} models ready: {}", ready.len(), ready.join(" "));
+    if ready.len() != fleet_size {
+        failures.push(format!("expected {fleet_size} ready models, listed {}", ready.len()));
+    }
+    let mut covered = 0usize;
+    for &task in &LraTask::ALL {
+        for suffix in ["f32", "fast", "int8"] {
+            let name = format!("{}-{suffix}", task.name().to_ascii_lowercase());
+            let tokens = probe_tokens(task.vocab_size(), 12);
+            match client.predict(Some(&name), &tokens, None) {
+                Ok(v) if logits_of(&v).len() == task.num_classes() => covered += 1,
+                Ok(v) => failures.push(format!(
+                    "{name}: {} logits, task has {} classes",
+                    logits_of(&v).len(),
+                    task.num_classes()
+                )),
+                Err(e) => failures.push(format!("{name}: predict failed: {e}")),
+            }
+        }
+    }
+    println!("coverage : {covered}/{fleet_size} models answered with the right class count");
+
+    // Bit-invariance: the probe's logits must not depend on what else is
+    // in flight (batch composition), the dequeue order, or the request's
+    // own tenant/priority labels.
+    let probe_model = "text-fast";
+    let probe = probe_tokens(LraTask::Text.vocab_size(), 12);
+    let baseline = logits_of(&client.predict(Some(probe_model), &probe, None).expect("solo probe"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let noise: Vec<_> = (0..4)
+        .map(|t| {
+            let models = ["listops-fast", "image-int8", "pathfinder-f32", "retrieval-fast"];
+            qos_sender(
+                addr.clone(),
+                models[t % models.len()].to_string(),
+                format!("noise-{t}"),
+                ["interactive", "batch", "background"][t % 3].to_string(),
+                Duration::ZERO,
+                400 + t as u64,
+                Arc::clone(&stop),
+            )
+        })
+        .collect();
+    let mut invariant_checks = 0usize;
+    let mut invariant_breaks = 0usize;
+    let rounds = if opts.smoke { 6 } else { 18 };
+    for i in 0..rounds {
+        let priority = ["interactive", "batch", "background"][i % 3];
+        let result = client
+            .predict_qos(Some(probe_model), &probe, None, Some("interactive-app"), Some(priority))
+            .expect("probe under load");
+        invariant_checks += 1;
+        if logits_of(&result) != baseline {
+            invariant_breaks += 1;
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for h in noise {
+        h.join().expect("noise sender");
+    }
+    println!(
+        "bitinv   : {invariant_checks} probes under mixed load, {invariant_breaks} diverged from the solo logits"
+    );
+    if invariant_breaks > 0 {
+        failures.push(format!(
+            "{invariant_breaks} of {invariant_checks} probes changed logits under load"
+        ));
+    }
+
+    // --- Phase 2: mixed multi-tenant workload on one model. ----------------
+    // All three tenants contend for `text-fast`: interactive trickles,
+    // batch runs closed-loop, background floods past its quota.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mix_model = "text-fast";
+    let spawn_class = |tenant: &str, priority: &str, threads: usize, pause: Duration, seed: u64| {
+        (0..threads)
+            .map(|t| {
+                qos_sender(
+                    addr.clone(),
+                    mix_model.to_string(),
+                    tenant.to_string(),
+                    priority.to_string(),
+                    pause,
+                    seed + t as u64,
+                    Arc::clone(&stop),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let interactive_senders =
+        spawn_class("interactive-app", "interactive", 2, Duration::from_millis(3), 500);
+    let batch_senders = spawn_class("batchy", "batch", 2, Duration::ZERO, 520);
+    let background_senders = spawn_class("scavenger", "background", 4, Duration::ZERO, 540);
+    std::thread::sleep(Duration::from_millis(opts.duration_ms));
+    stop.store(true, Ordering::Release);
+    let collect = |senders: Vec<std::thread::JoinHandle<Vec<Outcome>>>| -> Vec<Outcome> {
+        senders.into_iter().flat_map(|h| h.join().expect("class sender")).collect()
+    };
+    let interactive = collect(interactive_senders);
+    let batch = collect(batch_senders);
+    let background = collect(background_senders);
+
+    let int_us = sorted_latencies(&interactive);
+    let (int_p50, int_p99) = (exact_percentile(&int_us, 0.50), exact_percentile(&int_us, 0.99));
+    let bg_us = sorted_latencies(&background);
+    let bg_p99 = exact_percentile(&bg_us, 0.99);
+    let int_ok = count(&interactive, 200);
+    let batch_ok = count(&batch, 200);
+    let bg_ok = count(&background, 200);
+    let bg_shed = count(&background, 429);
+    let dropped = [&interactive, &batch, &background].iter().map(|o| count(o, 0)).sum::<usize>();
+    println!(
+        "mixed    : interactive {int_ok}/{} 200 p50 {int_p50}us p99 {int_p99}us | batch {batch_ok}/{} 200 | background {bg_ok} 200 + {bg_shed} shed-429 of {} p99 {bg_p99}us",
+        interactive.len(),
+        batch.len(),
+        background.len()
+    );
+    if int_ok != interactive.len() {
+        failures.push(format!(
+            "interactive: {} of {} requests not answered 200 under background saturation",
+            interactive.len() - int_ok,
+            interactive.len()
+        ));
+    }
+    if int_p99 as f64 / 1000.0 > opts.max_p99_ms {
+        failures.push(format!("interactive p99 {int_p99}us above the {}ms bound", opts.max_p99_ms));
+    }
+    if batch_ok != batch.len() {
+        failures.push(format!("batch: {} requests not answered 200", batch.len() - batch_ok));
+    }
+    if bg_ok == 0 {
+        failures.push("background starved: zero requests completed".to_string());
+    }
+    if bg_ok + bg_shed != background.len() {
+        failures.push(format!(
+            "background: {} requests neither served nor shed with 429",
+            background.len() - bg_ok - bg_shed
+        ));
+    }
+    if dropped > 0 {
+        failures.push(format!("{dropped} requests got no HTTP answer at all"));
+    }
+
+    // Server-side accounting must agree: the scavenger's rejections are
+    // quota rejections, and every class shows completions.
+    let stats = client.stats().expect("stats");
+    let tenant_row = |name: &str| -> Option<Json> {
+        stats
+            .get("tenants")
+            .and_then(Json::as_arr)?
+            .iter()
+            .find(|t| t.get("tenant").and_then(Json::as_str) == Some(name))
+            .cloned()
+    };
+    let scavenger_rejected = tenant_row("scavenger")
+        .and_then(|t| t.get("quota_rejected").and_then(Json::as_u64))
+        .unwrap_or(0);
+    if bg_shed > 0 && scavenger_rejected == 0 {
+        failures.push("scavenger got 429s but its quota_rejected counter never moved".to_string());
+    }
+    let class_completed: Vec<(String, u64)> = stats
+        .get("classes")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .map(|c| {
+                    (
+                        c.get("class").and_then(Json::as_str).unwrap_or("?").to_string(),
+                        c.get("completed").and_then(Json::as_u64).unwrap_or(0),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    println!(
+        "mixed    : scavenger quota_rejected {scavenger_rejected}; per-class completed {class_completed:?}"
+    );
+    if class_completed.iter().filter(|(_, n)| *n > 0).count() < 3 {
+        failures.push("not every priority class recorded completions".to_string());
+    }
+
+    // --- Phase 3: hot reload under load. -----------------------------------
+    // The same-seed retrain must reproduce the exact logits, the version
+    // must bump, and no request may be dropped while the swap happens.
+    let reload_model = "retrieval-fast";
+    let reload_probe = probe_tokens(LraTask::Retrieval.vocab_size(), 12);
+    let before =
+        logits_of(&client.predict(Some(reload_model), &reload_probe, None).expect("pre-reload"));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reload_senders: Vec<_> = (0..3)
+        .map(|t| {
+            qos_sender(
+                addr.clone(),
+                reload_model.to_string(),
+                "interactive-app".to_string(),
+                "interactive".to_string(),
+                Duration::ZERO,
+                600 + t as u64,
+                Arc::clone(&stop),
+            )
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    let r0 = Instant::now();
+    let reloaded = client.models_reload(reload_model).expect("reload succeeds");
+    let reload_s = r0.elapsed().as_secs_f64();
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, Ordering::Release);
+    let during: Vec<Outcome> =
+        reload_senders.into_iter().flat_map(|h| h.join().expect("reload sender")).collect();
+    let during_ok = count(&during, 200);
+    let new_version = reloaded.get("version").and_then(Json::as_u64).unwrap_or(0);
+    let after =
+        logits_of(&client.predict(Some(reload_model), &reload_probe, None).expect("post-reload"));
+    println!(
+        "reload   : {reload_model} v{new_version} swapped in {reload_s:.2}s; {during_ok}/{} in-flight 200; logits bit-equal: {}",
+        during.len(),
+        before == after
+    );
+    if during_ok != during.len() {
+        failures.push(format!(
+            "reload dropped {} of {} in-flight requests",
+            during.len() - during_ok,
+            during.len()
+        ));
+    }
+    if new_version < 2 {
+        failures.push(format!("reload did not bump the version (got {new_version})"));
+    }
+    if before != after {
+        failures.push("same-seed reload changed the served logits".to_string());
+    }
+    daemon.shutdown();
+
+    // --- Phase 4: worker-count sweep. --------------------------------------
+    // Same profile at 1/2/4 workers: logits must be bit-identical, and
+    // adding workers must not lose throughput below the gate.
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    let mut sweep_logits: Vec<Vec<f64>> = Vec::new();
+    let sweep_probe = probe_tokens(LraTask::Text.vocab_size(), 12);
+    for workers in [1usize, 2, 4] {
+        let mut profile = ProfileConfig::tiny("sweep", Precision::FastMath, 42);
+        profile.hidden = 32;
+        let config = DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            num_workers: workers,
+            max_connections: opts.threads * 4 + 16,
+            read_timeout_ms: 60_000,
+            write_timeout_ms: 60_000,
+            drain_timeout_ms: 60_000,
+            profiles: vec![profile],
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::start(config).expect("sweep daemon starts");
+        let sweep_addr = d.addr().to_string();
+        let mut c = no_retry_client(&sweep_addr, 7);
+        sweep_logits.push(logits_of(&c.predict(Some("sweep"), &sweep_probe, None).expect("probe")));
+        let (outcomes, rps) = run_closed_loop(&sweep_addr, "sweep", opts.threads, opts.requests);
+        let ok = count(&outcomes, 200);
+        println!(
+            "workers  : {workers} worker(s): {rps:8.1} req/s ({ok}/{} answered 200)",
+            outcomes.len()
+        );
+        if ok != outcomes.len() {
+            failures.push(format!(
+                "worker sweep at {workers}: {} requests failed",
+                outcomes.len() - ok
+            ));
+        }
+        sweep.push((workers, rps));
+        d.shutdown();
+    }
+    if sweep_logits.iter().any(|l| *l != sweep_logits[0]) {
+        failures.push("logits differ across worker counts".to_string());
+    }
+    let single = sweep[0].1;
+    let best = sweep.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    println!(
+        "workers  : best {best:8.1} req/s vs single-worker {single:8.1} ({:.2}x, gate {:.2}x)",
+        best / single.max(1e-9),
+        opts.min_speedup
+    );
+    if best < opts.min_speedup * single {
+        failures.push(format!(
+            "best multi-worker throughput {best:.1} req/s below {:.2}x the single-worker {single:.1}",
+            opts.min_speedup
+        ));
+    }
+
+    // --- Report. -----------------------------------------------------------
+    let obj = |pairs: Vec<(&str, Json)>| {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let report = obj(vec![
+        ("pr", json_num(7.0)),
+        ("smoke", Json::Bool(opts.smoke)),
+        (
+            "host",
+            Json::parse(&format!("{{{}}}", fab_bench::host_info_json()))
+                .expect("host info")
+                .get("host")
+                .cloned()
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "fleet",
+            obj(vec![
+                ("models", json_num(fleet_size as f64)),
+                ("train_s", json_num(train_s)),
+                ("covered", json_num(covered as f64)),
+                ("bit_invariance_checks", json_num(invariant_checks as f64)),
+                ("bit_invariance_breaks", json_num(invariant_breaks as f64)),
+            ]),
+        ),
+        (
+            "mixed_workload",
+            obj(vec![
+                ("duration_ms", json_num(opts.duration_ms as f64)),
+                ("interactive_total", json_num(interactive.len() as f64)),
+                ("interactive_200", json_num(int_ok as f64)),
+                ("interactive_p50_us", json_num(int_p50 as f64)),
+                ("interactive_p99_us", json_num(int_p99 as f64)),
+                ("batch_total", json_num(batch.len() as f64)),
+                ("batch_200", json_num(batch_ok as f64)),
+                ("background_total", json_num(background.len() as f64)),
+                ("background_200", json_num(bg_ok as f64)),
+                ("background_shed_429", json_num(bg_shed as f64)),
+                ("background_p99_us", json_num(bg_p99 as f64)),
+                ("scavenger_quota_rejected", json_num(scavenger_rejected as f64)),
+                ("dropped", json_num(dropped as f64)),
+            ]),
+        ),
+        (
+            "reload_under_load",
+            obj(vec![
+                ("model", Json::Str(reload_model.to_string())),
+                ("version", json_num(new_version as f64)),
+                ("swap_s", json_num(reload_s)),
+                ("in_flight_total", json_num(during.len() as f64)),
+                ("in_flight_200", json_num(during_ok as f64)),
+                ("logits_bit_equal", Json::Bool(before == after)),
+            ]),
+        ),
+        (
+            "worker_sweep",
+            Json::Arr(
+                sweep
+                    .iter()
+                    .map(|&(w, r)| {
+                        obj(vec![
+                            ("workers", json_num(w as f64)),
+                            ("rps", json_num((r * 100.0).round() / 100.0)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("min_speedup_required", json_num(opts.min_speedup)),
+        ("max_p99_ms_required", json_num(opts.max_p99_ms)),
+        ("failures", Json::Arr(failures.iter().map(|f| Json::Str(f.clone())).collect())),
+    ]);
+    std::fs::write("BENCH_PR7.json", format!("{report}\n")).expect("write BENCH_PR7.json");
+    println!("wrote BENCH_PR7.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all fleet/QoS gates passed");
+}

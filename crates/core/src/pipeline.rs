@@ -287,6 +287,42 @@ mod tests {
     }
 
     #[test]
+    fn image_and_pathfinder_freeze_and_quantize_end_to_end() {
+        // The two LRA tasks that joined the serving fleet last: both must
+        // survive the full train → freeze → quantize → serve pipeline.
+        for (task, seed) in [(LraTask::Image, 13u64), (LraTask::Pathfinder, 17u64)] {
+            let pipeline = TrainingPipeline::new(task, 32, seed).with_examples(8, 4).with_epochs(1);
+            let trained = pipeline.run(&tiny_config(), ModelKind::FabNet);
+            assert_eq!(trained.config.vocab_size, task.vocab_size());
+            assert_eq!(trained.config.num_classes, task.num_classes());
+            let tokens: Vec<usize> = (0..16).map(|i| i % task.vocab_size()).collect();
+            let reference = trained.model.predict(&tokens);
+            assert_eq!(reference.len(), task.num_classes());
+
+            // Same seed retrains the identical model, so the frozen session
+            // must land within the fast-math serving budget of the tape path.
+            let server = pipeline
+                .run(&tiny_config(), ModelKind::FabNet)
+                .serve(fab_serve::ServeConfig::default());
+            let served = server.handle().infer(tokens.clone()).expect("request served");
+            let max_diff = reference
+                .iter()
+                .zip(served.logits.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff <= 1e-5, "{task:?} served logits diverged by {max_diff}");
+            server.shutdown();
+
+            let session = pipeline.run(&tiny_config(), ModelKind::FabNet).into_quantized_session(8);
+            assert_eq!(session.kind(), fab_serve::SessionKind::Int8);
+            let qserver = fab_serve::Server::start(session, fab_serve::ServeConfig::default());
+            let qpred = qserver.handle().infer(tokens).expect("request served");
+            assert_eq!(qpred.logits.len(), task.num_classes());
+            qserver.shutdown();
+        }
+    }
+
+    #[test]
     fn reevaluation_matches_report_on_same_seed() {
         let pipeline =
             TrainingPipeline::new(LraTask::Retrieval, 32, 5).with_examples(12, 8).with_epochs(1);

@@ -16,8 +16,13 @@ commands:
   predict <t1,t2,...>   predict one token sequence
       [--model <name>]      profile to route to (server default otherwise)
       [--deadline-ms <ms>]  per-request deadline (504 when missed)
-  stats                 JSON stats for every model profile
-  models                list served model profiles
+      [--tenant <name>]     tenant the request is charged to (quota + fair share)
+      [--priority <class>]  interactive | batch | background (default interactive)
+  stats                 JSON stats: models, tenants, priority classes
+  models                list the model registry (names, versions, states)
+  models load <file>    train the profile JSON in <file> and hot-swap it in
+  models reload <name>  re-train a served profile and hot-swap it (version bump)
+  models unload <name>  remove a model; its current version drains
   metrics               Prometheus metrics dump
   ready                 exit 0 when ready, 1 while draining/unreachable
   drain                 start a graceful drain (POST /admin/shutdown)";
@@ -87,6 +92,8 @@ fn run(opts: Options) -> Result<(), String> {
             let mut tokens: Option<Vec<usize>> = None;
             let mut model: Option<String> = None;
             let mut deadline_ms: Option<u64> = None;
+            let mut tenant: Option<String> = None;
+            let mut priority: Option<String> = None;
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -100,12 +107,25 @@ fn run(opts: Options) -> Result<(), String> {
                                 .ok_or("--deadline-ms needs a number")?,
                         );
                     }
+                    "--tenant" => {
+                        tenant = Some(it.next().ok_or("--tenant needs a name")?.clone());
+                    }
+                    "--priority" => {
+                        priority = Some(it.next().ok_or("--priority needs a class")?.clone());
+                    }
                     spec => tokens = Some(parse_tokens(spec)?),
                 }
             }
             let tokens = tokens.ok_or(format!("predict needs a token list\n{USAGE}"))?;
-            let result =
-                client.predict(model.as_deref(), &tokens, deadline_ms).map_err(render_error)?;
+            let result = client
+                .predict_qos(
+                    model.as_deref(),
+                    &tokens,
+                    deadline_ms,
+                    tenant.as_deref(),
+                    priority.as_deref(),
+                )
+                .map_err(render_error)?;
             println!("{result}");
             Ok(())
         }
@@ -115,8 +135,28 @@ fn run(opts: Options) -> Result<(), String> {
             Ok(())
         }
         "models" => {
-            let models = client.request_json("GET", "/v1/models", b"").map_err(render_error)?;
-            println!("{models}");
+            let result = match rest.first().map(String::as_str) {
+                None => client.models_list(),
+                Some("load") => {
+                    let path = rest.get(1).ok_or("models load needs a profile JSON file")?;
+                    let text =
+                        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                    let profile = Json::parse(&text).map_err(|e| format!("profile JSON: {e}"))?;
+                    client.models_load(&profile)
+                }
+                Some("reload") => {
+                    let name = rest.get(1).ok_or("models reload needs a model name")?;
+                    client.models_reload(name)
+                }
+                Some("unload") => {
+                    let name = rest.get(1).ok_or("models unload needs a model name")?;
+                    client.models_unload(name)
+                }
+                Some(other) => {
+                    return Err(format!("unknown models action '{other}'\n{USAGE}"));
+                }
+            };
+            println!("{}", result.map_err(render_error)?);
             Ok(())
         }
         "metrics" => {

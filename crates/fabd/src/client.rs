@@ -227,6 +227,26 @@ impl FabClient {
         tokens: &[usize],
         deadline_ms: Option<u64>,
     ) -> Result<Json, ClientError> {
+        self.predict_qos(model, tokens, deadline_ms, None, None)
+    }
+
+    /// [`FabClient::predict`] with QoS labels: `tenant` fills the body's
+    /// `tenant` field (token-bucket admission), `priority` its `priority`
+    /// class (`interactive` / `batch` / `background`). A `429` — whether
+    /// from the tenant's bucket or the model's queue — is retried with the
+    /// server's own per-source `retry_after_ms` hint flooring the backoff.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::predict`].
+    pub fn predict_qos(
+        &mut self,
+        model: Option<&str>,
+        tokens: &[usize],
+        deadline_ms: Option<u64>,
+        tenant: Option<&str>,
+        priority: Option<&str>,
+    ) -> Result<Json, ClientError> {
         let mut obj = Vec::new();
         if let Some(model) = model {
             obj.push(("model".to_string(), Json::Str(model.to_string())));
@@ -238,8 +258,67 @@ impl FabClient {
         if let Some(ms) = deadline_ms {
             obj.push(("deadline_ms".to_string(), Json::Num(ms as f64)));
         }
+        if let Some(tenant) = tenant {
+            obj.push(("tenant".to_string(), Json::Str(tenant.to_string())));
+        }
+        if let Some(priority) = priority {
+            obj.push(("priority".to_string(), Json::Str(priority.to_string())));
+        }
         let body = Json::Obj(obj).to_string();
         self.request_json("POST", "/v1/predict", body.as_bytes())
+    }
+
+    /// `GET /v1/models`: the model registry (names, versions, states).
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn models_list(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/v1/models", b"")
+    }
+
+    /// `POST /admin/models {"action": "load"}`: train and hot-swap the
+    /// given profile definition (new name or new version of an old name).
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn models_load(&mut self, profile: &Json) -> Result<Json, ClientError> {
+        let body = Json::Obj(vec![
+            ("action".to_string(), Json::Str("load".to_string())),
+            ("profile".to_string(), profile.clone()),
+        ])
+        .to_string();
+        self.request_json("POST", "/admin/models", body.as_bytes())
+    }
+
+    /// `POST /admin/models {"action": "reload"}`: re-train the stored
+    /// profile for `name` and hot-swap it in (version bump).
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn models_reload(&mut self, name: &str) -> Result<Json, ClientError> {
+        self.model_action("reload", name)
+    }
+
+    /// `POST /admin/models {"action": "unload"}`: remove `name`; its
+    /// current version drains in the background.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn models_unload(&mut self, name: &str) -> Result<Json, ClientError> {
+        self.model_action("unload", name)
+    }
+
+    fn model_action(&mut self, action: &str, name: &str) -> Result<Json, ClientError> {
+        let body = Json::Obj(vec![
+            ("action".to_string(), Json::Str(action.to_string())),
+            ("model".to_string(), Json::Str(name.to_string())),
+        ])
+        .to_string();
+        self.request_json("POST", "/admin/models", body.as_bytes())
     }
 
     /// `GET /v1/stats` as JSON.

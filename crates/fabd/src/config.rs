@@ -6,6 +6,7 @@
 //! built-in default, so `{}` is a valid config.
 
 use crate::json::Json;
+use fab_fleet::{ClassWeights, FleetConfig, ModelSpec, SchedulerKind, TenantQuota};
 use fab_lra::LraTask;
 use fab_nn::{ModelConfig, ModelKind};
 use fab_serve::{InferenceSession, ServeConfig, Server};
@@ -55,6 +56,23 @@ fn parse_task(s: &str) -> Option<LraTask> {
     }
 }
 
+fn parse_arch(s: &str) -> Option<ModelKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "transformer" => Some(ModelKind::Transformer),
+        "fnet" => Some(ModelKind::FNet),
+        "fabnet" | "fab-net" | "fab_net" => Some(ModelKind::FabNet),
+        _ => None,
+    }
+}
+
+fn arch_name(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::Transformer => "transformer",
+        ModelKind::FNet => "fnet",
+        ModelKind::FabNet => "fabnet",
+    }
+}
+
 /// One named model profile: a tiny model trained at startup and served
 /// behind `/v1/predict` under `"model": "<name>"`.
 #[derive(Debug, Clone)]
@@ -63,6 +81,8 @@ pub struct ProfileConfig {
     pub name: String,
     /// LRA-proxy task the profile trains on.
     pub task: LraTask,
+    /// Encoder architecture the profile trains.
+    pub arch: ModelKind,
     /// Forward path served after training.
     pub precision: Precision,
     /// Sequence length trained and served at.
@@ -91,9 +111,15 @@ pub struct ProfileConfig {
 impl ProfileConfig {
     /// A tiny Text-task profile named after its precision.
     pub fn tiny(name: &str, precision: Precision, seed: u64) -> Self {
+        Self::tiny_task(name, LraTask::Text, precision, seed)
+    }
+
+    /// A tiny profile on any LRA-proxy task.
+    pub fn tiny_task(name: &str, task: LraTask, precision: Precision, seed: u64) -> Self {
         Self {
             name: name.to_string(),
-            task: LraTask::Text,
+            task,
+            arch: ModelKind::FabNet,
             precision,
             seq_len: 32,
             hidden: 16,
@@ -126,7 +152,7 @@ impl ProfileConfig {
         let pipeline = TrainingPipeline::new(self.task, self.seq_len, self.seed)
             .with_examples(self.train_examples, self.test_examples)
             .with_epochs(self.epochs);
-        let trained = pipeline.run(&config, ModelKind::FabNet);
+        let trained = pipeline.run(&config, self.arch);
         let session = match self.precision {
             Precision::Exact => InferenceSession::exact(&trained.model),
             Precision::FastMath => trained.into_session(),
@@ -143,7 +169,17 @@ impl ProfileConfig {
         Server::start(self.build_session(fault_injection), serve)
     }
 
-    fn from_json(v: &Json) -> Result<Self, String> {
+    /// The fleet-registry identity of this profile.
+    pub fn spec(&self) -> ModelSpec {
+        ModelSpec {
+            name: self.name.clone(),
+            task: self.task.name().to_ascii_lowercase(),
+            arch: arch_name(self.arch).to_string(),
+            precision: self.precision.name().to_string(),
+        }
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Result<Self, String> {
         let name = v
             .get("name")
             .and_then(Json::as_str)
@@ -152,6 +188,9 @@ impl ProfileConfig {
         let mut profile = ProfileConfig::tiny(&name, Precision::FastMath, 7);
         if let Some(s) = v.get("task").and_then(Json::as_str) {
             profile.task = parse_task(s).ok_or_else(|| format!("unknown task '{s}'"))?;
+        }
+        if let Some(s) = v.get("arch").and_then(Json::as_str) {
+            profile.arch = parse_arch(s).ok_or_else(|| format!("unknown arch '{s}'"))?;
         }
         if let Some(s) = v.get("precision").and_then(Json::as_str) {
             profile.precision =
@@ -181,10 +220,11 @@ impl ProfileConfig {
         Ok(profile)
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         let mut obj = vec![
             ("name".to_string(), Json::Str(self.name.clone())),
             ("task".to_string(), Json::Str(self.task.name().to_string())),
+            ("arch".to_string(), Json::Str(arch_name(self.arch).to_string())),
             ("precision".to_string(), Json::Str(self.precision.name().to_string())),
             ("seq_len".to_string(), Json::Num(self.seq_len as f64)),
             ("hidden".to_string(), Json::Num(self.hidden as f64)),
@@ -237,6 +277,19 @@ pub struct DaemonConfig {
     /// crash up to the serving layer's cap). Test rigs raise it to freeze
     /// respawns and observe the daemon with dead workers.
     pub restart_backoff_ms: u64,
+    /// Batch-formation policy installed in every model's server.
+    pub scheduler: SchedulerKind,
+    /// Relative dequeue shares of the priority classes.
+    pub class_weights: ClassWeights,
+    /// Quota for tenants not named in `tenants` (including anonymous
+    /// traffic). The daemon default is effectively unlimited so untagged
+    /// clients behave as before tenancy existed; declare tenants (or
+    /// lower this) to turn admission quotas on.
+    pub default_quota: TenantQuota,
+    /// Explicitly configured tenants.
+    pub tenants: Vec<(String, TenantQuota)>,
+    /// Bound on one tenant's queued requests per model (0 = none).
+    pub per_tenant_queue_cap: usize,
     /// The model profiles to train and serve.
     pub profiles: Vec<ProfileConfig>,
 }
@@ -257,6 +310,11 @@ impl Default for DaemonConfig {
             max_batch: 8,
             max_wait_us: 500,
             restart_backoff_ms: 10,
+            scheduler: SchedulerKind::WeightedFair,
+            class_weights: ClassWeights::default(),
+            default_quota: TenantQuota { rate_per_s: 1_000_000.0, burst: 1_000_000.0, weight: 1.0 },
+            tenants: Vec::new(),
+            per_tenant_queue_cap: 0,
             profiles: vec![
                 ProfileConfig::tiny("text-f32", Precision::Exact, 11),
                 ProfileConfig::tiny("text-fast", Precision::FastMath, 11),
@@ -277,6 +335,36 @@ impl DaemonConfig {
             restart_backoff_ms: self.restart_backoff_ms,
             ..ServeConfig::default()
         }
+    }
+
+    /// The [`FleetConfig`] the daemon's model fleet runs with.
+    pub fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            serve: self.serve_config(),
+            scheduler: self.scheduler,
+            class_weights: self.class_weights.clone(),
+            default_quota: self.default_quota.clone(),
+            tenants: self.tenants.clone(),
+            per_tenant_queue_cap: self.per_tenant_queue_cap,
+        }
+    }
+
+    /// The full-coverage fleet: every LRA-proxy task at every precision —
+    /// 15 profiles named `<task>-<f32|fast|int8>`, one process.
+    pub fn full_fleet() -> Self {
+        let precisions =
+            [(Precision::Exact, "f32"), (Precision::FastMath, "fast"), (Precision::Int8, "int8")];
+        let profiles = LraTask::ALL
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &task)| {
+                precisions.iter().map(move |&(precision, suffix)| {
+                    let name = format!("{}-{suffix}", task.name().to_ascii_lowercase());
+                    ProfileConfig::tiny_task(&name, task, precision, 11 + i as u64)
+                })
+            })
+            .collect();
+        Self { profiles, ..Self::default() }
     }
 
     /// Parses a JSON config document. Unknown fields are ignored; missing
@@ -323,6 +411,44 @@ impl DaemonConfig {
         if let Some(b) = v.get("fault_injection").and_then(Json::as_bool) {
             config.fault_injection = b;
         }
+        if let Some(s) = v.get("scheduler").and_then(Json::as_str) {
+            config.scheduler =
+                SchedulerKind::parse(s).ok_or_else(|| format!("unknown scheduler '{s}'"))?;
+        }
+        if let Some(w) = v.get("class_weights") {
+            let class: &mut [(&str, &mut f64)] = &mut [
+                ("interactive", &mut config.class_weights.interactive),
+                ("batch", &mut config.class_weights.batch),
+                ("background", &mut config.class_weights.background),
+            ];
+            for (key, slot) in class {
+                if let Some(n) = w.get(key).and_then(Json::as_f64) {
+                    **slot = n;
+                }
+            }
+        }
+        if let Some(q) = v.get("default_quota") {
+            config.default_quota = quota_from_json(q, &config.default_quota);
+        }
+        if let Some(n) = v.get("per_tenant_queue_cap").and_then(Json::as_usize) {
+            config.per_tenant_queue_cap = n;
+        }
+        if let Some(list) = v.get("tenants").and_then(Json::as_arr) {
+            // Configured tenants start from the library default quota, not
+            // the daemon's unlimited one: naming a tenant means limiting it.
+            let base = TenantQuota::default();
+            config.tenants = list
+                .iter()
+                .map(|t| {
+                    let name = t
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("tenant missing string field 'name'")?
+                        .to_string();
+                    Ok((name, quota_from_json(t, &base)))
+                })
+                .collect::<Result<_, String>>()?;
+        }
         if let Some(list) = v.get("profiles").and_then(Json::as_arr) {
             config.profiles =
                 list.iter().map(ProfileConfig::from_json).collect::<Result<_, _>>()?;
@@ -354,12 +480,52 @@ impl DaemonConfig {
             ("max_batch".to_string(), Json::Num(self.max_batch as f64)),
             ("max_wait_us".to_string(), Json::Num(self.max_wait_us as f64)),
             ("restart_backoff_ms".to_string(), Json::Num(self.restart_backoff_ms as f64)),
+            ("scheduler".to_string(), Json::Str(self.scheduler.name().to_string())),
+            (
+                "class_weights".to_string(),
+                Json::Obj(vec![
+                    ("interactive".to_string(), Json::Num(self.class_weights.interactive)),
+                    ("batch".to_string(), Json::Num(self.class_weights.batch)),
+                    ("background".to_string(), Json::Num(self.class_weights.background)),
+                ]),
+            ),
+            ("default_quota".to_string(), Json::Obj(quota_to_json(&self.default_quota))),
+            ("per_tenant_queue_cap".to_string(), Json::Num(self.per_tenant_queue_cap as f64)),
+            (
+                "tenants".to_string(),
+                Json::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|(name, q)| {
+                            let mut obj = vec![("name".to_string(), Json::Str(name.clone()))];
+                            obj.extend(quota_to_json(q));
+                            Json::Obj(obj)
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "profiles".to_string(),
                 Json::Arr(self.profiles.iter().map(ProfileConfig::to_json).collect()),
             ),
         ])
     }
+}
+
+fn quota_from_json(v: &Json, base: &TenantQuota) -> TenantQuota {
+    TenantQuota {
+        rate_per_s: v.get("rate_per_s").and_then(Json::as_f64).unwrap_or(base.rate_per_s),
+        burst: v.get("burst").and_then(Json::as_f64).unwrap_or(base.burst),
+        weight: v.get("weight").and_then(Json::as_f64).unwrap_or(base.weight),
+    }
+}
+
+fn quota_to_json(q: &TenantQuota) -> Vec<(String, Json)> {
+    vec![
+        ("rate_per_s".to_string(), Json::Num(q.rate_per_s)),
+        ("burst".to_string(), Json::Num(q.burst)),
+        ("weight".to_string(), Json::Num(q.weight)),
+    ]
 }
 
 impl fmt::Display for DaemonConfig {
@@ -413,6 +579,64 @@ mod tests {
         }
         assert_eq!(Precision::parse("F32"), Some(Precision::Exact));
         assert!(Precision::parse("bf16").is_none());
+    }
+
+    #[test]
+    fn full_fleet_covers_every_task_at_every_precision() {
+        let config = DaemonConfig::full_fleet();
+        assert_eq!(config.profiles.len(), 15);
+        let mut names: Vec<&str> = config.profiles.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15, "profile names must be unique");
+        for task in LraTask::ALL {
+            for precision in [Precision::Exact, Precision::FastMath, Precision::Int8] {
+                assert!(
+                    config.profiles.iter().any(|p| p.task == task && p.precision == precision),
+                    "missing {task:?} at {precision:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_knobs_round_trip_through_json() {
+        let text = r#"{
+            "scheduler": "length-bucket",
+            "class_weights": {"interactive": 8, "background": 2},
+            "default_quota": {"rate_per_s": 50, "burst": 10},
+            "per_tenant_queue_cap": 7,
+            "tenants": [
+                {"name": "alice", "rate_per_s": 20, "burst": 5, "weight": 3},
+                {"name": "bg", "weight": 0.5}
+            ],
+            "profiles": [{"name": "px", "task": "pathfinder", "arch": "fnet"}]
+        }"#;
+        let config = DaemonConfig::from_json_str(text).expect("parses");
+        assert_eq!(config.scheduler, SchedulerKind::LengthBucket);
+        assert_eq!(config.class_weights.interactive, 8.0);
+        assert_eq!(config.class_weights.batch, ClassWeights::default().batch);
+        assert_eq!(config.default_quota.rate_per_s, 50.0);
+        assert_eq!(config.per_tenant_queue_cap, 7);
+        assert_eq!(
+            config.tenants[0],
+            ("alice".to_string(), TenantQuota { rate_per_s: 20.0, burst: 5.0, weight: 3.0 },)
+        );
+        // An omitted tenant field falls back to the library default quota.
+        assert_eq!(config.tenants[1].1.rate_per_s, TenantQuota::default().rate_per_s);
+        assert_eq!(config.profiles[0].task, LraTask::Pathfinder);
+        assert_eq!(config.profiles[0].arch, ModelKind::FNet);
+        let spec = config.profiles[0].spec();
+        assert_eq!((spec.task.as_str(), spec.arch.as_str()), ("pathfinder", "fnet"));
+
+        let reparsed =
+            DaemonConfig::from_json_str(&config.to_json().to_string()).expect("round trip");
+        assert_eq!(reparsed.scheduler, config.scheduler);
+        assert_eq!(reparsed.tenants, config.tenants);
+        assert_eq!(reparsed.profiles[0].arch, config.profiles[0].arch);
+        assert!(DaemonConfig::from_json_str("{\"scheduler\": \"fifo\"}")
+            .expect_err("bad scheduler")
+            .contains("scheduler"));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The serving daemon: a `TcpListener` accept loop in front of one
-//! supervised [`fab_serve::Server`] per model profile.
+//! The serving daemon: a `TcpListener` accept loop in front of a
+//! [`fab_fleet::Fleet`] of supervised model servers.
 //!
 //! Robustness layers, outermost first:
 //!
@@ -8,22 +8,33 @@
 //!    an accept flood cannot exhaust threads.
 //! 2. **Socket timeouts** — every connection carries read/write timeouts; a
 //!    slow-loris peer is cut off with `408` when the read timeout fires.
-//! 3. **Queue admission** — per-profile bounded queues answer `429` with a
-//!    `Retry-After` hint derived from queue depth and observed drain rate.
-//! 4. **Deadlines** — `deadline_ms` (body field or `X-Deadline-Ms` header)
+//! 3. **Tenant quotas** — requests are charged against their tenant's
+//!    token bucket (`X-Tenant` header or body field); an empty bucket
+//!    answers `429` with a hint from the tenant's own refill rate.
+//! 4. **Queue admission** — per-model bounded queues answer `429` with a
+//!    `Retry-After` hint derived from that model's depth and observed
+//!    drain rate.
+//! 5. **Deadlines** — `deadline_ms` (body field or `X-Deadline-Ms` header)
 //!    sheds requests *before* a forward pass is spent on them; expired
 //!    requests get `504`.
-//! 5. **Supervision** — dead inference workers are respawned with fresh
+//! 6. **Supervision** — dead inference workers are respawned with fresh
 //!    scratch by the per-server supervisor; a panicking forward pass is
 //!    retried per-request so batchmates of a poison input still get answers.
-//! 6. **Graceful drain** — [`Daemon::initiate_drain`] flips `/readyz` to
+//! 7. **Graceful drain** — [`Daemon::initiate_drain`] flips `/readyz` to
 //!    `503`, stops accepting, lets in-flight connections finish, then drains
 //!    every queued request to completion. Zero accepted requests dropped.
+//!
+//! Inside the fleet, each model's server dequeues by priority class
+//! (`X-Priority`: interactive / batch / background) with weighted-fair
+//! shares across tenants, and `POST /admin/models` hot-loads, reloads, or
+//! unloads named models without dropping in-flight requests.
 
-use crate::config::DaemonConfig;
+use crate::config::{DaemonConfig, ProfileConfig};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::json::Json;
-use fab_serve::{Prediction, ServeError, Server, ServerHandle, ServerStats};
+use fab_fleet::{Fleet, FleetError, ModelInfo, ModelState};
+use fab_serve::{Prediction, Priority, ServeError, ServerStats};
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -33,15 +44,6 @@ use std::time::{Duration, Instant};
 
 /// How often the accept loop polls for new connections / the drain flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
-/// One served model profile.
-struct ModelEntry {
-    name: String,
-    /// Cheap cloneable submission handle.
-    handle: ServerHandle,
-    /// The owning server, taken out (and drained) exactly once at shutdown.
-    server: Mutex<Option<Server>>,
-}
 
 /// Daemon-level counters (the per-model ones live in [`ServerStats`]).
 #[derive(Default)]
@@ -67,7 +69,13 @@ impl HttpCounters {
 
 struct DaemonShared {
     config: DaemonConfig,
-    models: Vec<ModelEntry>,
+    fleet: Fleet,
+    /// Profile definitions by name; `/admin/models` reload re-trains from
+    /// here, and load/unload keep it in sync.
+    profiles: Mutex<HashMap<String, ProfileConfig>>,
+    /// Routing target for requests that name no model (the first
+    /// configured profile).
+    default_model: String,
     draining: AtomicBool,
     open_connections: AtomicUsize,
     /// Requests currently between "fully read" and "response written". The
@@ -131,23 +139,20 @@ impl Daemon {
         let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
         listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
 
-        let serve = config.serve_config();
-        let models = config
-            .profiles
-            .iter()
-            .map(|p| {
-                let server = p.start_server(serve.clone(), config.fault_injection);
-                ModelEntry {
-                    name: p.name.clone(),
-                    handle: server.handle(),
-                    server: Mutex::new(Some(server)),
-                }
-            })
-            .collect();
+        let fleet = Fleet::new(config.fleet_config());
+        for p in &config.profiles {
+            let session = p.build_session(config.fault_injection);
+            fleet.load(p.spec(), session).map_err(|e| format!("load profile {}: {e}", p.name))?;
+        }
+        let profiles =
+            config.profiles.iter().map(|p| (p.name.clone(), p.clone())).collect::<HashMap<_, _>>();
+        let default_model = config.profiles[0].name.clone();
 
         let shared = Arc::new(DaemonShared {
             config,
-            models,
+            fleet,
+            profiles: Mutex::new(profiles),
+            default_model,
             draining: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
             active_requests: AtomicUsize::new(0),
@@ -167,9 +172,15 @@ impl Daemon {
         self.addr
     }
 
-    /// Names of the served model profiles.
+    /// Names of the currently ready models, sorted.
     pub fn model_names(&self) -> Vec<String> {
-        self.shared.models.iter().map(|m| m.name.clone()).collect()
+        self.shared
+            .fleet
+            .models()
+            .into_iter()
+            .filter(|m| m.state == ModelState::Ready)
+            .map(|m| m.spec.name)
+            .collect()
     }
 
     /// Starts a graceful drain: `/readyz` flips to `503`, the accept loop
@@ -184,9 +195,9 @@ impl Daemon {
         self.shared.draining.load(Ordering::SeqCst)
     }
 
-    /// Per-model stats snapshots.
+    /// Per-model stats snapshots for every ready model.
     pub fn stats(&self) -> Vec<(String, ServerStats)> {
-        self.shared.models.iter().map(|m| (m.name.clone(), m.handle.stats())).collect()
+        self.shared.fleet.model_stats().into_iter().map(|(info, s)| (info.spec.name, s)).collect()
     }
 
     /// Waits for the drain to complete and stops every model server,
@@ -207,13 +218,9 @@ impl Daemon {
         // hasn't registered yet; anything slower gets an explicit
         // ServerStopped (503) answer rather than a hang.
         thread::sleep(ACCEPT_POLL.saturating_mul(4));
-        for entry in &self.shared.models {
-            let server = entry.server.lock().unwrap_or_else(PoisonError::into_inner).take();
-            if let Some(server) = server {
-                // Drains every queued request to an answer (zero-drop).
-                server.shutdown();
-            }
-        }
+        // Drains every queued request of every model to an answer
+        // (zero-drop), including versions still draining after a reload.
+        self.shared.fleet.shutdown();
     }
 
     /// `initiate_drain` + `join` in one call.
@@ -332,6 +339,21 @@ fn serve_error_response(err: &ServeError) -> Response {
     }
 }
 
+/// Maps a fleet-layer failure onto an HTTP response. The two `429` sources
+/// carry different hints: a quota rejection hints the tenant's own bucket
+/// refill, a queue rejection hints the model's own drain rate.
+fn fleet_error_response(err: &FleetError) -> Response {
+    match err {
+        FleetError::NoSuchModel(_) => error_response(404, &err.to_string(), None),
+        FleetError::ModelLoading(_) => error_response(503, &err.to_string(), None),
+        FleetError::AlreadyLoading(_) => error_response(409, &err.to_string(), None),
+        FleetError::QuotaExceeded { retry_after_ms, .. } => {
+            error_response(429, &err.to_string(), Some(*retry_after_ms))
+        }
+        FleetError::Serve(e) => serve_error_response(e),
+    }
+}
+
 fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
@@ -351,6 +373,7 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
             shared.draining.store(true, Ordering::SeqCst);
             Response::json(200, Json::Obj(vec![("draining".to_string(), Json::Bool(true))]))
         }
+        ("POST", "/admin/models") => admin_models(shared, request),
         ("POST", "/admin/inject_worker_exit") => inject_worker_exit(shared, request),
         (
             _,
@@ -362,23 +385,10 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
             | "/v1/predict"
             | "/v1/predict_batch"
             | "/admin/shutdown"
+            | "/admin/models"
             | "/admin/inject_worker_exit",
         ) => error_response(405, "method not allowed", None),
         _ => error_response(404, "no such route", None),
-    }
-}
-
-fn find_model<'a>(
-    shared: &'a DaemonShared,
-    name: Option<&str>,
-) -> Result<&'a ModelEntry, Response> {
-    match name {
-        None => Ok(&shared.models[0]),
-        Some(name) => {
-            shared.models.iter().find(|m| m.name == name).ok_or_else(|| {
-                error_response(404, &format!("no model profile named '{name}'"), None)
-            })
-        }
     }
 }
 
@@ -386,12 +396,11 @@ fn inject_worker_exit(shared: &DaemonShared, request: &Request) -> Response {
     if !shared.config.fault_injection {
         return error_response(403, "fault injection is disabled", None);
     }
-    let entry = match find_model(shared, request.query_param("model")) {
-        Ok(entry) => entry,
-        Err(resp) => return resp,
-    };
-    entry.handle.inject_worker_exit();
-    Response::json(200, Json::Obj(vec![("injected".to_string(), Json::Bool(true))]))
+    let name = request.query_param("model").unwrap_or(&shared.default_model);
+    match shared.fleet.inject_worker_exit(name) {
+        Ok(()) => Response::json(200, Json::Obj(vec![("injected".to_string(), Json::Bool(true))])),
+        Err(e) => fleet_error_response(&e),
+    }
 }
 
 /// Extracts the request deadline: `X-Deadline-Ms` header beats the body's
@@ -409,6 +418,30 @@ fn request_deadline(shared: &DaemonShared, request: &Request, body: &Json) -> Op
             (shared.config.default_deadline_ms > 0)
                 .then(|| Duration::from_millis(shared.config.default_deadline_ms))
         })
+}
+
+/// Extracts the request's QoS labels: tenant from the `X-Tenant` header or
+/// the body's `tenant` field, priority class from `X-Priority` or
+/// `priority` (header beats body, default interactive). An unknown
+/// priority name is a `400` — silently downgrading a typo'd
+/// `"interactive"` to a default would be a debugging trap.
+fn request_qos(request: &Request, body: &Json) -> Result<(Option<String>, Priority), Response> {
+    let tenant = request
+        .header("x-tenant")
+        .map(str::trim)
+        .or_else(|| body.get("tenant").and_then(Json::as_str))
+        .map(str::to_string)
+        .filter(|t| !t.is_empty());
+    let priority = match request
+        .header("x-priority")
+        .map(str::trim)
+        .or_else(|| body.get("priority").and_then(Json::as_str))
+    {
+        None => Priority::Interactive,
+        Some(s) => Priority::parse(&s.to_ascii_lowercase())
+            .ok_or_else(|| error_response(400, &format!("unknown priority '{s}'"), None))?,
+    };
+    Ok((tenant, priority))
 }
 
 fn parse_tokens(v: &Json) -> Result<Vec<usize>, Response> {
@@ -444,8 +477,9 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
         Ok(body) => body,
         Err(e) => return error_response(400, &format!("body JSON: {e}"), None),
     };
-    let entry = match find_model(shared, body.get("model").and_then(Json::as_str)) {
-        Ok(entry) => entry,
+    let model = body.get("model").and_then(Json::as_str).unwrap_or(&shared.default_model);
+    let (tenant, priority) = match request_qos(request, &body) {
+        Ok(qos) => qos,
         Err(resp) => return resp,
     };
     let deadline = request_deadline(shared, request, &body);
@@ -458,16 +492,20 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
             },
             None => return error_response(400, "missing 'tokens'", None),
         };
-        return match entry
-            .handle
-            .submit_with_deadline(tokens, deadline)
-            .and_then(|pending| pending.wait())
-        {
-            Ok(p) => Response::json(200, prediction_json(&entry.name, &p)),
-            Err(e) => serve_error_response(&e),
+        return match shared.fleet.submit(model, tenant.as_deref(), priority, tokens, deadline) {
+            Ok(pending) => match pending.wait() {
+                Ok(p) => Response::json(200, prediction_json(model, &p)),
+                Err(e) => serve_error_response(&e),
+            },
+            Err(e) => fleet_error_response(&e),
         };
     }
 
+    // A bad model name fails the whole batch up front (matching the
+    // single-predict 404); per-sequence failures stay inline below.
+    if let Err(e) = shared.fleet.get(model) {
+        return fleet_error_response(&e);
+    }
     let Some(sequences) = body.get("sequences").and_then(Json::as_arr) else {
         return error_response(400, "missing 'sequences' array", None);
     };
@@ -477,9 +515,9 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
     let pending: Vec<_> = sequences
         .iter()
         .map(|seq| match parse_tokens(seq) {
-            Ok(tokens) => entry
-                .handle
-                .submit_with_deadline(tokens, deadline)
+            Ok(tokens) => shared
+                .fleet
+                .submit(model, tenant.as_deref(), priority, tokens, deadline)
                 .map_err(|e| Json::Obj(vec![("error".to_string(), Json::Str(e.to_string()))])),
             Err(_) => Err(Json::Obj(vec![(
                 "error".to_string(),
@@ -490,7 +528,7 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
     let results: Vec<Json> = pending
         .into_iter()
         .map(|slot| match slot.map(|p| p.wait()) {
-            Ok(Ok(p)) => prediction_json(&entry.name, &p),
+            Ok(Ok(p)) => prediction_json(model, &p),
             Ok(Err(e)) => Json::Obj(vec![("error".to_string(), Json::Str(e.to_string()))]),
             Err(err_json) => err_json,
         })
@@ -498,24 +536,130 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
     Response::json(
         200,
         Json::Obj(vec![
-            ("model".to_string(), Json::Str(entry.name.clone())),
+            ("model".to_string(), Json::Str(model.to_string())),
             ("results".to_string(), Json::Arr(results)),
         ]),
     )
 }
 
+/// `POST /admin/models`: hot model lifecycle. Actions:
+///
+/// - `{"action": "load", "profile": {...}}` — train the given profile and
+///   swap it in as the new current version of its name (version 1 for a
+///   new name). In-flight requests against the old version keep their
+///   answers; the old version drains in the background.
+/// - `{"action": "reload", "model": "<name>"}` — re-train the stored
+///   profile definition and swap (version bump).
+/// - `{"action": "unload", "model": "<name>"}` — remove the name; its
+///   current version drains in the background. The profile definition is
+///   kept, so a later `reload` revives the name.
+fn admin_models(shared: &DaemonShared, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8", None),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return error_response(400, &format!("body JSON: {e}"), None),
+    };
+    let named = |body: &Json| -> Result<String, Response> {
+        body.get("model")
+            .or_else(|| body.get("name"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| error_response(400, "missing 'model' name", None))
+    };
+    match body.get("action").and_then(Json::as_str) {
+        Some("load") => {
+            let Some(profile_json) = body.get("profile") else {
+                return error_response(400, "load needs a 'profile' object", None);
+            };
+            match ProfileConfig::from_json(profile_json) {
+                Ok(profile) => load_profile(shared, profile),
+                Err(e) => error_response(400, &e, None),
+            }
+        }
+        Some("reload") => {
+            let name = match named(&body) {
+                Ok(name) => name,
+                Err(resp) => return resp,
+            };
+            let profile =
+                shared.profiles.lock().unwrap_or_else(PoisonError::into_inner).get(&name).cloned();
+            match profile {
+                Some(profile) => load_profile(shared, profile),
+                None => error_response(404, &format!("no profile named '{name}'"), None),
+            }
+        }
+        Some("unload") => {
+            let name = match named(&body) {
+                Ok(name) => name,
+                Err(resp) => return resp,
+            };
+            match shared.fleet.unload(&name) {
+                Ok(info) => Response::json(200, model_info_json(&info)),
+                Err(e) => fleet_error_response(&e),
+            }
+        }
+        Some(other) => error_response(400, &format!("unknown action '{other}'"), None),
+        None => error_response(400, "missing 'action' (load / reload / unload)", None),
+    }
+}
+
+/// Trains `profile` on the connection thread and commits it. The loading
+/// mark taken up front makes concurrent loads of the same name answer
+/// `409` instead of training twice; the previous version keeps serving
+/// throughout the (slow) training step.
+fn load_profile(shared: &DaemonShared, profile: ProfileConfig) -> Response {
+    let ticket = match shared.fleet.begin_load(profile.spec()) {
+        Ok(ticket) => ticket,
+        Err(e) => return fleet_error_response(&e),
+    };
+    let session = profile.build_session(shared.config.fault_injection);
+    let info = shared.fleet.commit(ticket, session);
+    shared
+        .profiles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(profile.name.clone(), profile);
+    Response::json(200, model_info_json(&info))
+}
+
+fn model_info_json(info: &ModelInfo) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(info.spec.name.clone())),
+        ("version".to_string(), Json::Num(info.version as f64)),
+        ("state".to_string(), Json::Str(info.state.name().to_string())),
+        ("task".to_string(), Json::Str(info.spec.task.clone())),
+        ("arch".to_string(), Json::Str(info.spec.arch.clone())),
+        ("precision".to_string(), Json::Str(info.spec.precision.clone())),
+    ])
+}
+
 fn list_models(shared: &DaemonShared) -> Response {
+    // Ready models carry live server stats; loading/draining/retired
+    // entries list identity and lifecycle state only.
+    let ready: HashMap<(String, u64), ServerStats> = shared
+        .fleet
+        .model_stats()
+        .into_iter()
+        .map(|(info, s)| ((info.spec.name, info.version), s))
+        .collect();
     let models: Vec<Json> = shared
-        .models
-        .iter()
-        .map(|m| {
-            let stats = m.handle.stats();
-            Json::Obj(vec![
-                ("name".to_string(), Json::Str(m.name.clone())),
-                ("kind".to_string(), Json::Str(stats.session_kind.to_string())),
-                ("workers".to_string(), Json::Num(stats.workers as f64)),
-                ("completed".to_string(), Json::Num(stats.completed as f64)),
-            ])
+        .fleet
+        .models()
+        .into_iter()
+        .map(|info| {
+            let mut obj = match model_info_json(&info) {
+                Json::Obj(obj) => obj,
+                _ => unreachable!("model_info_json returns an object"),
+            };
+            if let Some(stats) = ready.get(&(info.spec.name.clone(), info.version)) {
+                obj.push(("kind".to_string(), Json::Str(stats.session_kind.to_string())));
+                obj.push(("workers".to_string(), Json::Num(stats.workers as f64)));
+                obj.push(("completed".to_string(), Json::Num(stats.completed as f64)));
+            }
+            Json::Obj(obj)
         })
         .collect();
     Response::json(200, Json::Obj(vec![("models".to_string(), Json::Arr(models))]))
@@ -523,12 +667,16 @@ fn list_models(shared: &DaemonShared) -> Response {
 
 fn stats_json(shared: &DaemonShared) -> Response {
     let models: Vec<Json> = shared
-        .models
-        .iter()
-        .map(|m| {
-            let s = m.handle.stats();
+        .fleet
+        .model_stats()
+        .into_iter()
+        .map(|(info, s)| {
             Json::Obj(vec![
-                ("name".to_string(), Json::Str(m.name.clone())),
+                ("name".to_string(), Json::Str(info.spec.name.clone())),
+                ("version".to_string(), Json::Num(info.version as f64)),
+                ("state".to_string(), Json::Str(info.state.name().to_string())),
+                ("task".to_string(), Json::Str(info.spec.task.clone())),
+                ("precision".to_string(), Json::Str(info.spec.precision.clone())),
                 ("kind".to_string(), Json::Str(s.session_kind.to_string())),
                 ("submitted".to_string(), Json::Num(s.submitted as f64)),
                 ("completed".to_string(), Json::Num(s.completed as f64)),
@@ -544,6 +692,37 @@ fn stats_json(shared: &DaemonShared) -> Response {
                 ("latency_p95_us".to_string(), Json::Num(s.latency.p95_us as f64)),
                 ("latency_p99_us".to_string(), Json::Num(s.latency.p99_us as f64)),
                 ("latency_max_us".to_string(), Json::Num(s.latency.max_us as f64)),
+            ])
+        })
+        .collect();
+    let tenants: Vec<Json> = shared
+        .fleet
+        .tenant_stats()
+        .into_iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("tenant".to_string(), Json::Str(t.tenant)),
+                ("rate_per_s".to_string(), Json::Num(t.rate_per_s)),
+                ("weight".to_string(), Json::Num(t.weight)),
+                ("submitted".to_string(), Json::Num(t.submitted as f64)),
+                ("completed".to_string(), Json::Num(t.completed as f64)),
+                ("failed".to_string(), Json::Num(t.failed as f64)),
+                ("quota_rejected".to_string(), Json::Num(t.quota_rejected as f64)),
+                ("latency_p50_us".to_string(), Json::Num(t.latency.p50_us as f64)),
+                ("latency_p99_us".to_string(), Json::Num(t.latency.p99_us as f64)),
+            ])
+        })
+        .collect();
+    let classes: Vec<Json> = shared
+        .fleet
+        .class_latency()
+        .into_iter()
+        .map(|(class, l)| {
+            Json::Obj(vec![
+                ("class".to_string(), Json::Str(class.to_string())),
+                ("completed".to_string(), Json::Num(l.count as f64)),
+                ("latency_p50_us".to_string(), Json::Num(l.p50_us as f64)),
+                ("latency_p99_us".to_string(), Json::Num(l.p99_us as f64)),
             ])
         })
         .collect();
@@ -574,6 +753,8 @@ fn stats_json(shared: &DaemonShared) -> Response {
                 Json::Num(c.requests_total.load(Ordering::Relaxed) as f64),
             ),
             ("models".to_string(), Json::Arr(models)),
+            ("tenants".to_string(), Json::Arr(tenants)),
+            ("classes".to_string(), Json::Arr(classes)),
         ]),
     )
 }
@@ -642,8 +823,9 @@ fn render_metrics(shared: &DaemonShared) -> String {
         ("fabd_batch_panics_total", "Batched forward passes that panicked"),
         ("fabd_worker_restarts_total", "Worker threads respawned by the supervisor"),
     ];
-    let stats: Vec<(&str, ServerStats)> =
-        shared.models.iter().map(|m| (m.name.as_str(), m.handle.stats())).collect();
+    let model_stats = shared.fleet.model_stats();
+    let stats: Vec<(&str, &ServerStats)> =
+        model_stats.iter().map(|(info, s)| (info.spec.name.as_str(), s)).collect();
     for (name, help) in per_model {
         let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
         for (model, s) in &stats {
@@ -675,6 +857,45 @@ fn render_metrics(shared: &DaemonShared) -> String {
             [("0.5", s.latency.p50_us), ("0.95", s.latency.p95_us), ("0.99", s.latency.p99_us)]
         {
             let _ = writeln!(out, "fabd_latency_us{{model=\"{model}\",quantile=\"{q}\"}} {v}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_model_version Current registry version of each ready model\n\
+         # TYPE fabd_model_version gauge"
+    );
+    for (info, _) in &model_stats {
+        let _ =
+            writeln!(out, "fabd_model_version{{model=\"{}\"}} {}", info.spec.name, info.version);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_tenant_requests_total Per-tenant request outcomes\n\
+         # TYPE fabd_tenant_requests_total counter"
+    );
+    for t in shared.fleet.tenant_stats() {
+        for (outcome, value) in [
+            ("submitted", t.submitted),
+            ("completed", t.completed),
+            ("failed", t.failed),
+            ("quota_rejected", t.quota_rejected),
+        ] {
+            let _ = writeln!(
+                out,
+                "fabd_tenant_requests_total{{tenant=\"{}\",outcome=\"{outcome}\"}} {value}",
+                t.tenant
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_class_latency_us Fleet-wide latency quantiles per priority class\n\
+         # TYPE fabd_class_latency_us gauge"
+    );
+    for (class, l) in shared.fleet.class_latency() {
+        for (q, v) in [("0.5", l.p50_us), ("0.99", l.p99_us)] {
+            let _ =
+                writeln!(out, "fabd_class_latency_us{{class=\"{class}\",quantile=\"{q}\"}} {v}");
         }
     }
     out

@@ -1,11 +1,14 @@
 //! # fabd
 //!
-//! A fault-tolerant networked serving daemon in front of the [`fab_serve`]
-//! runtime: hand-rolled HTTP/1.1 over `std::net::TcpListener` (the
-//! workspace vendors no network or serialization crates), named model
-//! profiles at three precisions (`exact` f32, `fastmath` f32, `int8`), and
-//! the PR-6 robustness stack — per-request deadlines, layered
-//! load-shedding, supervised workers and graceful zero-drop drain.
+//! A fault-tolerant networked serving daemon in front of a
+//! [`fab_fleet::Fleet`] of [`fab_serve`] servers: hand-rolled HTTP/1.1
+//! over `std::net::TcpListener` (the workspace vendors no network or
+//! serialization crates), named model profiles across every LRA-proxy
+//! task and precision (`exact` f32, `fastmath` f32, `int8`), tenant-aware
+//! admission (token-bucket quotas) and weighted-fair priority scheduling,
+//! hot model reload, and the PR-6 robustness stack — per-request
+//! deadlines, layered load-shedding, supervised workers and graceful
+//! zero-drop drain.
 //!
 //! Modules, wire-inward:
 //!
@@ -22,11 +25,12 @@
 //!
 //! | Route | Semantics |
 //! |---|---|
-//! | `POST /v1/predict` | One sequence → logits/class; `429` + `Retry-After` when overloaded, `504` past deadline |
+//! | `POST /v1/predict` | One sequence → logits/class; takes `X-Tenant` / `X-Priority` (or body fields); `429` + `Retry-After` when over quota or overloaded, `504` past deadline |
 //! | `POST /v1/predict_batch` | Many sequences, per-sequence results/errors |
-//! | `GET /v1/models`, `GET /v1/stats` | Profile list / JSON stats |
+//! | `GET /v1/models`, `GET /v1/stats` | Model registry (name/version/state) / JSON stats incl. per-tenant and per-class |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `GET /healthz`, `GET /readyz` | Liveness / readiness (`503` while draining) |
+//! | `POST /admin/models` | Hot load / reload / unload a model (zero-drop swap) |
 //! | `POST /admin/shutdown` | Start a graceful drain |
 //! | `POST /admin/inject_worker_exit` | Kill a worker (fault-injection builds only) |
 
@@ -42,3 +46,6 @@ pub use client::{ClientError, FabClient, RetryPolicy};
 pub use config::{DaemonConfig, Precision, ProfileConfig};
 pub use daemon::Daemon;
 pub use json::Json;
+// Fleet knobs a `DaemonConfig` embeds, so configuring callers (tests,
+// benches) need not depend on `fab-fleet` directly.
+pub use fab_fleet::{ClassWeights, SchedulerKind, TenantQuota};

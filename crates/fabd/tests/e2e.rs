@@ -255,6 +255,152 @@ fn drain_flips_readyz_stops_accepting_and_join_completes() {
 }
 
 #[test]
+fn hot_reload_bumps_the_version_and_keeps_serving() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = client_for(&daemon);
+    client.predict(Some("fast"), &[1, 2, 3], None).expect("v1 serves");
+
+    let ack = client.models_reload("fast").expect("reload");
+    assert_eq!(ack.get("version").and_then(Json::as_u64), Some(2), "{ack}");
+    assert_eq!(ack.get("state").and_then(Json::as_str), Some("ready"), "{ack}");
+    client.predict(Some("fast"), &[1, 2, 3], None).expect("v2 serves");
+
+    // The registry lists v2 ready; v1 shows up as draining or retired.
+    let models = client.models_list().expect("models");
+    let listed = models.get("models").and_then(Json::as_arr).expect("array");
+    let state_of = |version: u64| {
+        listed
+            .iter()
+            .find(|m| {
+                m.get("name").and_then(Json::as_str) == Some("fast")
+                    && m.get("version").and_then(Json::as_u64) == Some(version)
+            })
+            .and_then(|m| m.get("state").and_then(Json::as_str).map(str::to_string))
+    };
+    assert_eq!(state_of(2).as_deref(), Some("ready"), "{models}");
+    let v1 = state_of(1).expect("v1 still listed");
+    assert!(v1 == "draining" || v1 == "retired", "v1 state {v1}");
+
+    // Reloading an unknown profile is a 404, not a train-from-nothing.
+    let err = client.models_reload("nope").expect_err("unknown profile");
+    assert!(matches!(err, ClientError::Status { status: 404, .. }), "{err}");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_model_version{model=\"fast\"} 2"), "{metrics}");
+    daemon.shutdown();
+}
+
+#[test]
+fn admin_models_load_unload_covers_new_tasks_end_to_end() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    // Hot-load an int8 Pathfinder profile into the running daemon.
+    let profile = Json::parse(
+        r#"{"name": "path-int8", "task": "pathfinder", "precision": "int8",
+            "seq_len": 16, "hidden": 16, "train_examples": 8, "test_examples": 4}"#,
+    )
+    .expect("profile JSON");
+    let ack = client.models_load(&profile).expect("load");
+    assert_eq!(ack.get("version").and_then(Json::as_u64), Some(1), "{ack}");
+    assert_eq!(ack.get("task").and_then(Json::as_str), Some("pathfinder"), "{ack}");
+
+    let result = client.predict(Some("path-int8"), &[1, 2, 3], None).expect("pathfinder serves");
+    // Pathfinder is binary classification.
+    assert_eq!(result.get("logits").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+
+    // Unload: the name 404s afterwards; reload from the stored profile
+    // revives it at the next version.
+    let ack = client.models_unload("path-int8").expect("unload");
+    assert_eq!(ack.get("state").and_then(Json::as_str), Some("draining"), "{ack}");
+    let err = client.predict(Some("path-int8"), &[1], None).expect_err("unloaded");
+    assert!(matches!(err, ClientError::Status { status: 404, .. }), "{err}");
+    let ack = client.models_reload("path-int8").expect("revive");
+    assert_eq!(ack.get("version").and_then(Json::as_u64), Some(2), "{ack}");
+    client.predict(Some("path-int8"), &[3, 2, 1], None).expect("revived");
+    daemon.shutdown();
+}
+
+#[test]
+fn tenant_quota_answers_429_with_the_tenant_own_refill_hint() {
+    use fab_fleet::TenantQuota;
+    let config = DaemonConfig {
+        tenants: vec![(
+            "capped".to_string(),
+            TenantQuota { rate_per_s: 0.5, burst: 3.0, weight: 1.0 },
+        )],
+        ..test_config()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let mut client = raw_client_for(&daemon);
+
+    for i in 0..3 {
+        client
+            .predict_qos(None, &[1, 2, 3], None, Some("capped"), None)
+            .unwrap_or_else(|e| panic!("burst request {i}: {e}"));
+    }
+    let err =
+        client.predict_qos(None, &[1, 2, 3], None, Some("capped"), None).expect_err("bucket empty");
+    match err {
+        ClientError::Status { status, body } => {
+            assert_eq!(status, 429, "{body}");
+            let parsed = Json::parse(&body).expect("JSON error body");
+            let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).expect("hint");
+            // 0.5 req/s refills one token in ~2 s — the hint is the
+            // tenant's own refill time, not a queue-depth guess.
+            assert!((1_000..=5_000).contains(&hint), "hint {hint}ms");
+            assert!(body.contains("capped"), "{body}");
+        }
+        other => panic!("expected 429, got {other}"),
+    }
+
+    // Other tenants (and anonymous traffic) are unaffected.
+    client.predict_qos(None, &[1, 2, 3], None, Some("other"), None).expect("other tenant");
+    client.predict(None, &[1, 2, 3], None).expect("anonymous");
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics
+            .contains("fabd_tenant_requests_total{tenant=\"capped\",outcome=\"quota_rejected\"} 1"),
+        "{metrics}"
+    );
+    let stats = client.stats().expect("stats");
+    let tenants = stats.get("tenants").and_then(Json::as_arr).expect("tenants");
+    let capped = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(Json::as_str) == Some("capped"))
+        .expect("capped listed");
+    assert_eq!(capped.get("completed").and_then(Json::as_u64), Some(3), "{capped}");
+    assert_eq!(capped.get("quota_rejected").and_then(Json::as_u64), Some(1), "{capped}");
+    daemon.shutdown();
+}
+
+#[test]
+fn priority_labels_are_validated_and_tracked_per_class() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    client
+        .predict_qos(None, &[1, 2, 3], None, Some("batcher"), Some("background"))
+        .expect("background request");
+    let err = client
+        .predict_qos(None, &[1, 2, 3], None, None, Some("urgent"))
+        .expect_err("unknown class");
+    assert!(matches!(err, ClientError::Status { status: 400, .. }), "{err}");
+
+    let stats = client.stats().expect("stats");
+    let classes = stats.get("classes").and_then(Json::as_arr).expect("classes");
+    let completed = |class: &str| {
+        classes
+            .iter()
+            .find(|c| c.get("class").and_then(Json::as_str) == Some(class))
+            .and_then(|c| c.get("completed").and_then(Json::as_u64))
+    };
+    assert_eq!(completed("background"), Some(1), "{stats}");
+    assert_eq!(completed("interactive"), Some(0), "{stats}");
+    daemon.shutdown();
+}
+
+#[test]
 fn connection_limit_sheds_excess_connections_with_503() {
     let config = DaemonConfig { max_connections: 1, ..test_config() };
     let daemon = Daemon::start(config).expect("daemon starts");

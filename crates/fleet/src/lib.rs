@@ -1,0 +1,370 @@
+//! # fab-fleet
+//!
+//! The model-fleet layer between `fab-serve` (one dynamic-batching server
+//! per model) and `fabd` (the network daemon): one process serving many
+//! named models — mixed tasks, architectures, and precisions — behind
+//! shared admission and scheduling policy.
+//!
+//! Three pieces compose the subsystem:
+//!
+//! - [`Registry`] — named, versioned, ref-counted model entries with a
+//!   loading → ready → draining → retired lifecycle and atomic swap:
+//!   hot load/unload/reload never drops an in-flight request (the PR-6
+//!   zero-drop drain invariant holds across a reload).
+//! - [`TenantTable`] — per-tenant token-bucket admission quotas, fair
+//!   -share weights, and serving counters; a tenant over its quota is
+//!   rejected with a hint derived from its own refill rate.
+//! - [`QosPolicy`] — a two-level weighted-fair (stride) scheduler over
+//!   `(priority class, tenant)` lanes, plugged into fab-serve's
+//!   [`BatchPolicy`](fab_serve::BatchPolicy) trait, so each model's
+//!   worker pool keeps all the PR-6 robustness machinery while dequeue
+//!   order follows QoS policy. Priority classes are weighted
+//!   (16 : 4 : 1 by default), not strict — a background tenant with a
+//!   nonzero weight is never starved.
+//!
+//! [`Fleet`] ties them together: `submit` resolves the model (pinning the
+//! version across the enqueue, after which the server's own drain
+//! guarantees the answer), charges the tenant's bucket, labels the
+//! request with [`RequestQos`], and returns a [`FleetPending`] that
+//! records per-tenant / per-class outcome metrics.
+//!
+//! Scheduling never changes results: logits stay bit-identical to the
+//! same session answering the request alone, whatever batch, order, or
+//! worker count the policy produces (fab-serve's padding invariance).
+
+#![warn(missing_docs)]
+
+pub mod qos;
+pub mod registry;
+pub mod scheduler;
+
+pub use qos::{TenantCounters, TenantQuota, TenantStats, TenantTable, DEFAULT_TENANT};
+pub use registry::{LoadTicket, ModelHandle, ModelInfo, ModelSpec, ModelState, Registry};
+pub use scheduler::{ClassWeights, QosPolicy};
+
+use fab_serve::{
+    HistogramSummary, InferenceSession, LatencyHistogram, Prediction, Priority, RequestQos,
+    ServeConfig, ServeError, Server, ServerStats,
+};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why the fleet could not take or finish a request or admin action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// No model is registered under this name.
+    NoSuchModel(String),
+    /// The name's first load has not finished yet.
+    ModelLoading(String),
+    /// A load of this name is already in progress.
+    AlreadyLoading(String),
+    /// The tenant's token bucket is empty.
+    QuotaExceeded {
+        /// The rejected tenant.
+        tenant: String,
+        /// Milliseconds until the tenant's bucket refills one token.
+        retry_after_ms: u64,
+    },
+    /// The model's server rejected or failed the request.
+    Serve(ServeError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoSuchModel(name) => write!(f, "no model named '{name}'"),
+            FleetError::ModelLoading(name) => write!(f, "model '{name}' is still loading"),
+            FleetError::AlreadyLoading(name) => {
+                write!(f, "a load of model '{name}' is already in progress")
+            }
+            FleetError::QuotaExceeded { tenant, retry_after_ms } => {
+                write!(f, "tenant '{tenant}' exceeded its quota; retry in {retry_after_ms}ms")
+            }
+            FleetError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+/// Which batch-formation policy each model's server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The tenant-aware weighted-fair [`QosPolicy`] (the default).
+    #[default]
+    WeightedFair,
+    /// fab-serve's plain length-bucket batcher (QoS labels are ignored).
+    LengthBucket,
+}
+
+impl SchedulerKind {
+    /// Canonical lowercase name (`weighted-fair` / `length-bucket`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::WeightedFair => "weighted-fair",
+            SchedulerKind::LengthBucket => "length-bucket",
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "weighted-fair" => Some(SchedulerKind::WeightedFair),
+            "length-bucket" => Some(SchedulerKind::LengthBucket),
+            _ => None,
+        }
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FleetConfig {
+    /// Per-model server knobs (pool size, queue capacity, batching delay).
+    pub serve: ServeConfig,
+    /// Scheduler installed in each model's server.
+    pub scheduler: SchedulerKind,
+    /// Relative dequeue shares of the priority classes.
+    pub class_weights: ClassWeights,
+    /// Quota applied to tenants not named in `tenants`.
+    pub default_quota: TenantQuota,
+    /// Explicitly configured tenants.
+    pub tenants: Vec<(String, TenantQuota)>,
+    /// Bound on one tenant's queued requests per model (0 = none).
+    pub per_tenant_queue_cap: usize,
+}
+
+/// The fleet facade: registry + tenants + per-class latency, one `submit`
+/// entry point. See the crate docs.
+pub struct Fleet {
+    config: FleetConfig,
+    registry: Registry,
+    tenants: Arc<TenantTable>,
+    /// End-to-end latency per priority class, fleet-wide.
+    class_latency: [Arc<LatencyHistogram>; 3],
+}
+
+impl Fleet {
+    /// An empty fleet; load models with [`Fleet::load`].
+    pub fn new(config: FleetConfig) -> Self {
+        let tenants =
+            Arc::new(TenantTable::new(config.default_quota.clone(), config.tenants.clone()));
+        Self {
+            config,
+            registry: Registry::new(),
+            tenants,
+            class_latency: std::array::from_fn(|_| Arc::new(LatencyHistogram::new())),
+        }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The tenant directory (for metric scrapes).
+    pub fn tenants(&self) -> &TenantTable {
+        &self.tenants
+    }
+
+    /// Marks `spec.name` as loading and returns the ticket to commit the
+    /// trained session with ([`Fleet::commit`]). A ready version of the
+    /// name keeps serving until the commit swaps it out.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::AlreadyLoading`].
+    pub fn begin_load(&self, spec: ModelSpec) -> Result<LoadTicket<'_>, FleetError> {
+        self.registry.begin_load(spec)
+    }
+
+    /// Builds a server around `session` (with this fleet's scheduler) and
+    /// commits it as the new current version of the ticket's name.
+    pub fn commit(&self, ticket: LoadTicket<'_>, session: InferenceSession) -> ModelInfo {
+        let max_seq = session.max_seq();
+        let server = match self.config.scheduler {
+            SchedulerKind::WeightedFair => {
+                let policy = QosPolicy::new(
+                    max_seq,
+                    Duration::from_micros(self.config.serve.max_wait_us),
+                    self.config.class_weights.clone(),
+                    self.config.per_tenant_queue_cap,
+                    Arc::clone(&self.tenants),
+                );
+                Server::start_with_policy(session, self.config.serve.clone(), Box::new(policy))
+            }
+            SchedulerKind::LengthBucket => Server::start(session, self.config.serve.clone()),
+        };
+        ticket.commit(server)
+    }
+
+    /// One-step [`Fleet::begin_load`] + [`Fleet::commit`] for callers that
+    /// already hold the session.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::AlreadyLoading`].
+    pub fn load(
+        &self,
+        spec: ModelSpec,
+        session: InferenceSession,
+    ) -> Result<ModelInfo, FleetError> {
+        let ticket = self.begin_load(spec)?;
+        Ok(self.commit(ticket, session))
+    }
+
+    /// Removes a name; its current version drains in the background
+    /// (answering everything it admitted).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchModel`].
+    pub fn unload(&self, name: &str) -> Result<ModelInfo, FleetError> {
+        self.registry.unload(name)
+    }
+
+    /// Resolves a name to a version-pinning handle.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchModel`] / [`FleetError::ModelLoading`].
+    pub fn get(&self, name: &str) -> Result<ModelHandle, FleetError> {
+        self.registry.get(name)
+    }
+
+    /// Submits one request: resolves the model, charges the tenant's
+    /// bucket (`None` = the shared [`DEFAULT_TENANT`]), and enqueues with
+    /// the tenant/priority labels the scheduler orders by.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchModel`] / [`FleetError::ModelLoading`],
+    /// [`FleetError::QuotaExceeded`], or [`FleetError::Serve`] for
+    /// validation and admission failures of the model's server.
+    pub fn submit(
+        &self,
+        model: &str,
+        tenant: Option<&str>,
+        priority: Priority,
+        tokens: Vec<usize>,
+        deadline: Option<Duration>,
+    ) -> Result<FleetPending, FleetError> {
+        let handle = self.registry.get(model)?;
+        let tenant = tenant.unwrap_or(DEFAULT_TENANT);
+        let counters = self.tenants.charge(tenant).map_err(|retry_after_ms| {
+            FleetError::QuotaExceeded { tenant: tenant.to_string(), retry_after_ms }
+        })?;
+        let qos = RequestQos { tenant: Some(tenant.to_string()), priority };
+        let pending = match handle.server().submit_with_qos(tokens, deadline, qos) {
+            Ok(p) => p,
+            Err(e) => {
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+                return Err(FleetError::Serve(e));
+            }
+        };
+        // The handle drops here, releasing the version: once the request
+        // is *enqueued*, the server's own shutdown drain guarantees the
+        // answer — pinning through the wait would deadlock a reaper
+        // against a request only that reaper's shutdown can answer.
+        drop(handle);
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(FleetPending {
+            pending,
+            counters,
+            class_latency: Arc::clone(&self.class_latency[priority.index()]),
+            submitted: Instant::now(),
+        })
+    }
+
+    /// Lists every known model entry (loading, ready, draining, recently
+    /// retired), sorted by name.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        self.registry.list()
+    }
+
+    /// Snapshots `(info, server stats)` for every ready model.
+    pub fn model_stats(&self) -> Vec<(ModelInfo, ServerStats)> {
+        self.registry
+            .ready_models()
+            .into_iter()
+            .map(|(info, handle)| {
+                let stats = handle.server().stats();
+                (info, stats)
+            })
+            .collect()
+    }
+
+    /// Snapshots every known tenant.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.tenants.snapshot()
+    }
+
+    /// Fleet-wide end-to-end latency per priority class, as
+    /// `(class name, summary)` in [`Priority::ALL`] order.
+    pub fn class_latency(&self) -> [(&'static str, HistogramSummary); 3] {
+        std::array::from_fn(|i| (Priority::ALL[i].name(), self.class_latency[i].summary()))
+    }
+
+    /// Fault injection: makes one worker of `name`'s current version exit.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchModel`] / [`FleetError::ModelLoading`].
+    pub fn inject_worker_exit(&self, name: &str) -> Result<(), FleetError> {
+        self.registry.get(name).map(|h| h.server().inject_worker_exit())
+    }
+
+    /// Unloads every model and waits for all drains: every admitted
+    /// request is answered before this returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.registry.shutdown();
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A submitted fleet request: fab-serve's pending prediction plus the
+/// tenant/class metric sinks. It holds no [`ModelHandle`] — an enqueued
+/// request is answered by its server's drain even after the version is
+/// swapped out, so the version needs pinning only during submission.
+pub struct FleetPending {
+    pending: fab_serve::PendingPrediction,
+    counters: Arc<TenantCounters>,
+    class_latency: Arc<LatencyHistogram>,
+    submitted: Instant,
+}
+
+impl FleetPending {
+    /// Blocks until the prediction (or its explicit error) arrives,
+    /// recording the outcome in the tenant's and class's metrics.
+    ///
+    /// # Errors
+    ///
+    /// The request's explicit [`ServeError`].
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        match self.pending.wait() {
+            Ok(p) => {
+                let us = self.submitted.elapsed().as_micros() as u64;
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                self.counters.latency.record(us);
+                self.class_latency.record(us);
+                Ok(p)
+            }
+            Err(e) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}

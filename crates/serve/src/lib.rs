@@ -11,11 +11,15 @@
 //!   workers, each of which stages batches through its own reusable
 //!   [`SessionScratch`] buffers.
 //! - [`Server`] — a bounded MPSC request queue with admission control,
-//!   drained into sequence-length-bucketed micro-batches (padded to the
-//!   longest sequence in the batch by default, to the bucket boundary with
-//!   `pad_to_bucket_boundary`) by a pool of std-thread workers; knobs live
+//!   drained into micro-batches by a pool of std-thread workers; knobs live
 //!   in [`ServeConfig`] (`max_batch`, `max_wait_us`, `queue_capacity`,
-//!   `num_workers`, `buckets`).
+//!   `num_workers`, `buckets`). Batch formation is a pluggable
+//!   [`BatchPolicy`]: [`Server::start`] installs the sequence-length
+//!   [`LengthBucketPolicy`] (padded to the longest sequence in the batch by
+//!   default, to the bucket boundary with `pad_to_bucket_boundary`), and
+//!   [`Server::start_with_policy`] accepts any other scheduler — e.g.
+//!   fab-fleet's tenant-aware weighted-fair policy over [`RequestQos`]
+//!   labels ([`ServerHandle::submit_with_qos`]).
 //! - [`ServerStats`] — aggregate metrics (throughput, p50/p95/p99 latency
 //!   histograms, queue depth, batch occupancy) plus per-request metrics on
 //!   every [`Prediction`].
@@ -69,9 +73,13 @@
 #![warn(missing_docs)]
 
 mod metrics;
+pub mod policy;
 mod server;
 mod session;
 
 pub use metrics::{HistogramSummary, LatencyHistogram, ServerStats};
+pub use policy::{
+    BatchDecision, BatchPolicy, LengthBucketPolicy, Priority, QueuedRequest, RequestQos,
+};
 pub use server::{PendingPrediction, Prediction, ServeConfig, ServeError, Server, ServerHandle};
 pub use session::{InferenceSession, SessionKind, SessionScratch};

@@ -3,7 +3,8 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Linear sub-buckets per power-of-two range, as `log2`: each octave is
 /// split into `2^SUB_BITS` equal-width buckets, bounding the quantile
@@ -170,7 +171,28 @@ pub(crate) struct Metrics {
     pub(crate) queue_wait: LatencyHistogram,
     /// Model time per dispatched batch.
     pub(crate) service: LatencyHistogram,
+    /// Sliding completion-rate window behind `retry_after_ms`.
+    drain_window: Mutex<DrainWindow>,
 }
+
+/// Recent completion-rate estimate: refreshed whenever `retry_after_ms`
+/// finds the window at least [`DRAIN_WINDOW`] old, so the hint tracks what
+/// this server is draining *now* rather than a lifetime average that an
+/// old burst (or a long idle stretch) would skew for minutes.
+#[derive(Debug)]
+struct DrainWindow {
+    /// When the window was last rolled.
+    at: Instant,
+    /// `completed` counter at the last roll.
+    completed: u64,
+    /// Completions per second over the last non-empty window; halved on
+    /// each stalled window so the hint of a wedged pool grows toward the
+    /// 5 s clamp instead of quoting a stale rate forever.
+    rate_rps: f64,
+}
+
+/// Minimum age before the drain-rate window rolls over.
+const DRAIN_WINDOW: Duration = Duration::from_millis(250);
 
 impl Metrics {
     pub(crate) fn new() -> Self {
@@ -190,22 +212,46 @@ impl Metrics {
             latency: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             service: LatencyHistogram::new(),
+            drain_window: Mutex::new(DrainWindow {
+                at: Instant::now(),
+                completed: 0,
+                rate_rps: 0.0,
+            }),
         }
     }
 
     /// Suggests how long an [`Overloaded`](crate::ServeError::Overloaded)
-    /// producer should wait before retrying: the time the server needs to
-    /// drain the current queue at its observed completion rate, clamped to
-    /// `[10 ms, 5 s]`. Before any request completes (no drain rate yet) the
-    /// hint is a flat 100 ms.
+    /// producer should wait before retrying: the time this server needs to
+    /// drain its current queue at its *recent* completion rate (a sliding
+    /// window of at least [`DRAIN_WINDOW`], decayed while completions
+    /// stall), clamped to `[10 ms, 5 s]`. The rate is observed per server
+    /// — one per model profile — so a saturated pool's hint never reflects
+    /// another pool's drain speed. Before any request completes the hint
+    /// is a flat 100 ms.
     pub(crate) fn retry_after_ms(&self, depth: usize) -> u64 {
         let completed = self.completed.load(Ordering::Relaxed);
-        let elapsed_s = self.started.elapsed().as_secs_f64();
-        if completed == 0 || elapsed_s <= 0.0 {
-            return 100;
+        let mut w = self.drain_window.lock().unwrap_or_else(PoisonError::into_inner);
+        let elapsed = w.at.elapsed();
+        if elapsed >= DRAIN_WINDOW {
+            let delta = completed.saturating_sub(w.completed);
+            if delta > 0 {
+                w.rate_rps = delta as f64 / elapsed.as_secs_f64();
+            } else {
+                w.rate_rps /= 2.0;
+            }
+            w.at = Instant::now();
+            w.completed = completed;
         }
-        let drain_rps = completed as f64 / elapsed_s;
-        ((depth as f64 / drain_rps) * 1000.0).round().clamp(10.0, 5000.0) as u64
+        if w.rate_rps <= f64::MIN_POSITIVE {
+            // No windowed rate yet: fall back to the lifetime average, or
+            // a flat 100 ms before the first completion.
+            let elapsed_s = self.started.elapsed().as_secs_f64();
+            if completed == 0 || elapsed_s <= 0.0 {
+                return 100;
+            }
+            w.rate_rps = completed as f64 / elapsed_s;
+        }
+        ((depth as f64 / w.rate_rps) * 1000.0).round().clamp(10.0, 5000.0) as u64
     }
 
     pub(crate) fn snapshot(
@@ -404,6 +450,31 @@ mod tests {
             (407_000..=407_000 + 407_000 / 16 + 1).contains(&p99.max(407_000)) && p99 <= 407_000,
             "p99 {p99} must clamp to the observed max"
         );
+    }
+
+    /// The retry hint tracks the *recent* completion rate, not the
+    /// lifetime average: after a fast burst, a long stall must grow the
+    /// hint (windowed decay) instead of quoting the stale burst rate.
+    #[test]
+    fn retry_hint_follows_the_recent_drain_rate() {
+        let m = Metrics::new();
+        // Before any completion: the flat fallback.
+        assert_eq!(m.retry_after_ms(50), 100);
+        // 200 completions land, then the first window rolls: the hint for
+        // a 100-deep queue reflects the recent (fast) rate — far below the
+        // 5 s clamp.
+        m.completed.store(200, Ordering::Relaxed);
+        std::thread::sleep(DRAIN_WINDOW);
+        let busy = m.retry_after_ms(100);
+        assert!((10..=1000).contains(&busy), "hint {busy}ms does not reflect a fast drain");
+        // The server then stalls completely: each stalled window halves
+        // the remembered rate, so the hint grows.
+        std::thread::sleep(DRAIN_WINDOW);
+        let s1 = m.retry_after_ms(100);
+        std::thread::sleep(DRAIN_WINDOW);
+        let s2 = m.retry_after_ms(100);
+        assert!(s1 >= busy && s2 >= s1 * 2 - 1, "stall must grow the hint: {busy} {s1} {s2}");
+        assert!(s2 <= 5000, "hint must stay clamped");
     }
 
     /// Bucket upper bounds are strictly monotonic and every value maps into

@@ -17,13 +17,13 @@
 //!        supervisor (respawns dead workers with exponential backoff)
 //! ```
 //!
-//! Batching policy: a worker first dispatches any bucket already holding a
-//! full `max_batch` (oldest head first among those); otherwise it picks the
-//! bucket whose head request is oldest (global FIFO across buckets) and
-//! dispatches it once that head has waited `max_wait_us` or the server is
-//! shutting down. An idle server therefore adds at most `max_wait_us` of
-//! batching delay, a saturated one runs full batches back to back, and a
-//! full batch never waits behind a stale request in another bucket.
+//! Batch formation is delegated to a pluggable [`BatchPolicy`]
+//! (see [`crate::policy`]): [`Server::start`] installs the PR-2
+//! [`LengthBucketPolicy`] (full bucket dispatches first, otherwise the
+//! globally-oldest head after `max_wait_us`), while
+//! [`Server::start_with_policy`] accepts any other scheduler — e.g.
+//! fab-fleet's tenant-aware weighted-fair policy — on top of the same
+//! worker pool, supervision, shedding, and drain machinery.
 //!
 //! # Robustness guarantees
 //!
@@ -45,8 +45,8 @@
 //!   the pool spin), counted in [`ServerStats::worker_restarts`].
 
 use crate::metrics::{Metrics, ServerStats};
+use crate::policy::{BatchDecision, BatchPolicy, LengthBucketPolicy, QueuedRequest, RequestQos};
 use crate::session::{InferenceSession, SessionScratch};
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -54,9 +54,9 @@ use std::time::{Duration, Instant};
 
 /// Locks a mutex, recovering from poisoning: a panic in one lock holder
 /// must not cascade-kill every other worker and caller. The queue state is
-/// a set of independently-valid `VecDeque`s plus counters, so observing a
+/// a set of independently-valid queues plus counters, so observing a
 /// poisoned-but-consistent snapshot is always safe.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -114,9 +114,9 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// Resolves defaults against a session: fills in worker count and
-    /// derives bucket boundaries when unset.
-    fn resolved(mut self, max_seq: usize) -> Self {
+    /// Validates the policy-independent knobs and fills in the worker
+    /// count.
+    fn resolved_core(mut self) -> Self {
         assert!(self.max_batch >= 1, "max_batch must be at least 1");
         assert!(self.queue_capacity >= 1, "queue_capacity must be at least 1");
         assert!(self.restart_backoff_ms >= 1, "restart_backoff_ms must be at least 1");
@@ -124,6 +124,13 @@ impl ServeConfig {
             self.num_workers =
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
         }
+        self
+    }
+
+    /// Resolves defaults against a session: fills in worker count and
+    /// derives bucket boundaries when unset.
+    fn resolved(mut self, max_seq: usize) -> Self {
+        self = self.resolved_core();
         if self.buckets.is_empty() {
             let mut b = 16usize;
             while b < max_seq {
@@ -149,10 +156,14 @@ pub enum ServeError {
     Overloaded {
         /// Queue depth at rejection time.
         depth: usize,
-        /// Suggested wait before retrying, in milliseconds: the time the
-        /// server needs to drain the current queue at its observed
-        /// completion rate (clamped to `[10 ms, 5 s]`). Surfaces as the
-        /// HTTP `Retry-After` hint and drives `fabctl`'s backoff.
+        /// Suggested wait before retrying, in milliseconds: the time
+        /// *this* server (one per model profile) needs to drain its
+        /// current queue at its recently-observed completion rate — a
+        /// sliding window, not a lifetime average, so a pool that just
+        /// slowed down or sped up hints accordingly and a saturated int8
+        /// pool never inflates the hint of an idle f32 pool (clamped to
+        /// `[10 ms, 5 s]`). Surfaces as the HTTP `Retry-After` hint and
+        /// drives `fabctl`'s backoff.
         retry_after_ms: u64,
     },
     /// The request's deadline expired before a forward pass was spent on
@@ -227,29 +238,10 @@ pub struct Prediction {
     pub padded_len: usize,
 }
 
-/// One queued request.
-struct Request {
-    tokens: Vec<usize>,
-    enqueued: Instant,
-    /// Absolute shed deadline; the request is answered
-    /// [`ServeError::DeadlineExceeded`] instead of entering a batch once
-    /// this instant passes.
-    deadline: Option<Instant>,
-    resp: mpsc::Sender<Result<Prediction, ServeError>>,
-}
-
-impl Request {
-    fn expired(&self, now: Instant) -> bool {
-        self.deadline.is_some_and(|d| now >= d)
-    }
-}
-
-/// Mutex-guarded queue state (the MPSC channel core).
-struct QueueState {
-    /// Per-bucket FIFO queues, aligned with the resolved bucket boundaries.
-    queues: Vec<VecDeque<Request>>,
-    /// Total requests across all buckets.
-    depth: usize,
+/// Mutex-guarded queue state (the MPSC channel core): the batch policy
+/// owning the queued requests, plus the shutdown latch.
+struct PolicyState {
+    policy: Box<dyn BatchPolicy>,
     /// Set once by [`Server::shutdown`]; workers drain and exit.
     shutdown: bool,
 }
@@ -269,9 +261,12 @@ struct WorkerSlot {
 }
 
 struct Shared {
-    state: Mutex<QueueState>,
+    state: Mutex<PolicyState>,
     work: Condvar,
     config: ServeConfig,
+    /// Longest sequence the installed policy accepts (bounds validation
+    /// and scratch sizing).
+    max_seq: usize,
     session: Arc<InferenceSession>,
     metrics: Metrics,
     /// Worker-thread registry, owned jointly by the supervisor (respawn)
@@ -303,14 +298,43 @@ impl Server {
     /// or a bucket boundary beyond the session's `max_seq`).
     pub fn start(session: InferenceSession, config: ServeConfig) -> Self {
         let config = config.resolved(session.max_seq());
+        let policy = LengthBucketPolicy::new(
+            config.buckets.clone(),
+            Duration::from_micros(config.max_wait_us),
+            config.pad_to_bucket_boundary,
+        );
+        Self::launch(session, config, Box::new(policy))
+    }
+
+    /// Like [`Server::start`], but with a caller-supplied [`BatchPolicy`]
+    /// instead of the default length-bucket batcher. `config.buckets` and
+    /// `config.pad_to_bucket_boundary` are ignored (batch formation
+    /// belongs to the policy); the pool, capacity, and supervision knobs
+    /// still apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` is invalid (zero `max_batch` /
+    /// `queue_capacity` / `restart_backoff_ms`).
+    pub fn start_with_policy(
+        session: InferenceSession,
+        config: ServeConfig,
+        policy: Box<dyn BatchPolicy>,
+    ) -> Self {
+        Self::launch(session, config.resolved_core(), policy)
+    }
+
+    fn launch(
+        session: InferenceSession,
+        config: ServeConfig,
+        policy: Box<dyn BatchPolicy>,
+    ) -> Self {
+        let max_seq = policy.max_seq_len().min(session.max_seq());
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                queues: (0..config.buckets.len()).map(|_| VecDeque::new()).collect(),
-                depth: 0,
-                shutdown: false,
-            }),
+            state: Mutex::new(PolicyState { policy, shutdown: false }),
             work: Condvar::new(),
             config: config.clone(),
+            max_seq,
             session: Arc::new(session),
             metrics: Metrics::new(),
             workers: Mutex::new(Vec::new()),
@@ -391,10 +415,8 @@ impl Server {
         // Every live worker drains the queue before exiting; this inline
         // drain only runs work when all workers died (e.g. fault injection
         // mid-shutdown) so admitted requests are still never dropped.
-        let mut scratch = SessionScratch::with_capacity(
-            self.shared.config.max_batch,
-            *self.shared.config.buckets.last().expect("at least one bucket"),
-        );
+        let mut scratch =
+            SessionScratch::with_capacity(self.shared.config.max_batch, self.shared.max_seq);
         while let Some(batch) = next_batch(&self.shared) {
             run_batch(&self.shared, batch, &mut scratch);
         }
@@ -446,11 +468,27 @@ impl ServerHandle {
         tokens: Vec<usize>,
         deadline: Option<Duration>,
     ) -> Result<PendingPrediction, ServeError> {
+        self.submit_with_qos(tokens, deadline, RequestQos::default())
+    }
+
+    /// Enqueues a request carrying explicit QoS labels (tenant and
+    /// priority class), which QoS-aware batch policies (fab-fleet's
+    /// weighted-fair scheduler) use for ordering; the default
+    /// [`LengthBucketPolicy`] ignores them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerHandle::submit_with_deadline`].
+    pub fn submit_with_qos(
+        &self,
+        tokens: Vec<usize>,
+        deadline: Option<Duration>,
+        qos: RequestQos,
+    ) -> Result<PendingPrediction, ServeError> {
         if tokens.is_empty() {
             return Err(ServeError::EmptySequence);
         }
-        let buckets = &self.shared.config.buckets;
-        let max = *buckets.last().expect("at least one bucket");
+        let max = self.shared.max_seq;
         if tokens.len() > max {
             return Err(ServeError::SequenceTooLong { len: tokens.len(), max });
         }
@@ -462,10 +500,6 @@ impl ServerHandle {
             self.shared.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::DeadlineExceeded);
         }
-        let bucket = buckets
-            .iter()
-            .position(|&b| tokens.len() <= b)
-            .expect("length is covered by the last bucket");
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         {
@@ -473,22 +507,34 @@ impl ServerHandle {
             if st.shutdown {
                 return Err(ServeError::ServerStopped);
             }
-            if st.depth >= self.shared.config.queue_capacity {
+            let depth = st.policy.depth();
+            if depth >= self.shared.config.queue_capacity {
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::Overloaded {
-                    depth: st.depth,
-                    retry_after_ms: self.shared.metrics.retry_after_ms(st.depth),
+                    depth,
+                    retry_after_ms: self.shared.metrics.retry_after_ms(depth),
                 });
             }
-            st.queues[bucket].push_back(Request {
+            let req = QueuedRequest {
                 tokens,
                 enqueued: now,
                 deadline: deadline.map(|d| now + d),
+                qos,
                 resp: tx,
-            });
-            st.depth += 1;
+            };
+            if st.policy.admit(req).is_err() {
+                // Policy-internal bound (e.g. a per-tenant queue cap).
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    depth,
+                    retry_after_ms: self.shared.metrics.retry_after_ms(depth),
+                });
+            }
             self.shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-            self.shared.metrics.peak_queue_depth.fetch_max(st.depth as u64, Ordering::Relaxed);
+            self.shared
+                .metrics
+                .peak_queue_depth
+                .fetch_max(st.policy.depth() as u64, Ordering::Relaxed);
         }
         self.shared.work.notify_all();
         Ok(PendingPrediction { rx })
@@ -506,7 +552,7 @@ impl ServerHandle {
 
     /// Snapshots the aggregate serving metrics.
     pub fn stats(&self) -> ServerStats {
-        let depth = lock_recover(&self.shared.state).depth;
+        let depth = lock_recover(&self.shared.state).policy.depth();
         self.shared.metrics.snapshot(
             depth,
             self.shared.config.num_workers,
@@ -557,17 +603,14 @@ impl PendingPrediction {
 
 /// A batch drained from the queue, ready for one session call.
 struct DrainedBatch {
-    requests: Vec<Request>,
+    requests: Vec<QueuedRequest>,
     padded_len: usize,
 }
 
 /// The worker loop: form a batch (blocking on the condvar while the queue
 /// is empty or the head batch is still filling), run the session, respond.
 fn worker_loop(shared: &Shared) {
-    let mut scratch = SessionScratch::with_capacity(
-        shared.config.max_batch,
-        *shared.config.buckets.last().expect("at least one bucket"),
-    );
+    let mut scratch = SessionScratch::with_capacity(shared.config.max_batch, shared.max_seq);
     loop {
         if take_injected_kill(shared) {
             return; // fault injection: this worker "dies" without cleanup
@@ -593,7 +636,6 @@ fn take_injected_kill(shared: &Shared) -> bool {
 /// a forward pass.
 fn next_batch(shared: &Shared) -> Option<DrainedBatch> {
     let max_batch = shared.config.max_batch;
-    let max_wait = Duration::from_micros(shared.config.max_wait_us);
     let mut st = lock_recover(&shared.state);
     loop {
         // Honour a kill that arrived while this worker slept on the condvar
@@ -603,65 +645,46 @@ fn next_batch(shared: &Shared) -> Option<DrainedBatch> {
         if !st.shutdown && take_injected_kill(shared) {
             return None;
         }
-        if st.depth == 0 {
-            if st.shutdown {
-                return None;
+        let rush = st.shutdown;
+        match st.policy.next_batch(max_batch, Instant::now(), rush) {
+            BatchDecision::Dispatch { requests, pad_to } => {
+                // Shed requests whose deadline expired while queued —
+                // answered without spending a forward pass on them.
+                let now = Instant::now();
+                let mut live = Vec::with_capacity(requests.len());
+                for req in requests {
+                    if req.expired(now) {
+                        shed_expired(shared, req);
+                    } else {
+                        live.push(req);
+                    }
+                }
+                if live.is_empty() {
+                    continue; // the whole batch expired; look for more work
+                }
+                let padded_len = pad_to.unwrap_or_else(|| {
+                    live.iter().map(|r| r.tokens.len()).max().expect("non-empty batch")
+                });
+                return Some(DrainedBatch { requests: live, padded_len });
             }
-            st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
-            continue;
-        }
-        // Prefer a bucket that can already dispatch a full batch (oldest
-        // head first among those) — a full batch must never wait behind a
-        // lone stale request in another bucket. With no full bucket, fall
-        // back to the bucket whose head has waited longest (global FIFO)
-        // and dispatch it once its deadline expires.
-        let heads =
-            || st.queues.iter().enumerate().filter_map(|(b, q)| q.front().map(|r| (b, r.enqueued)));
-        let full_bucket =
-            heads().filter(|&(b, _)| st.queues[b].len() >= max_batch).min_by_key(|&(_, e)| e);
-        let (bucket, enqueued, is_full) = match full_bucket {
-            Some((b, e)) => (b, e, true),
-            None => {
-                let (b, e) =
-                    heads().min_by_key(|&(_, e)| e).expect("depth > 0 implies a non-empty bucket");
-                (b, e, false)
+            BatchDecision::Idle => {
+                if st.shutdown {
+                    return None;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
-        };
-        let waited = enqueued.elapsed();
-        let ready = st.shutdown || is_full || waited >= max_wait;
-        if !ready {
-            let (guard, _) = shared
-                .work
-                .wait_timeout(st, max_wait - waited)
-                .unwrap_or_else(PoisonError::into_inner);
-            st = guard;
-            continue;
-        }
-        let take = st.queues[bucket].len().min(max_batch);
-        st.depth -= take;
-        let now = Instant::now();
-        let mut requests = Vec::with_capacity(take);
-        for req in st.queues[bucket].drain(..take) {
-            if req.expired(now) {
-                shed_expired(shared, req);
-            } else {
-                requests.push(req);
+            BatchDecision::WaitUntil(at) => {
+                let timeout = at.saturating_duration_since(Instant::now());
+                let (guard, _) =
+                    shared.work.wait_timeout(st, timeout).unwrap_or_else(PoisonError::into_inner);
+                st = guard;
             }
         }
-        if requests.is_empty() {
-            continue; // the whole drain expired; look for more work
-        }
-        let padded_len = if shared.config.pad_to_bucket_boundary {
-            shared.config.buckets[bucket]
-        } else {
-            requests.iter().map(|r| r.tokens.len()).max().expect("non-empty batch")
-        };
-        return Some(DrainedBatch { requests, padded_len });
     }
 }
 
 /// Answers one expired request with [`ServeError::DeadlineExceeded`].
-fn shed_expired(shared: &Shared, req: Request) {
+fn shed_expired(shared: &Shared, req: QueuedRequest) {
     shared.metrics.shed_expired.fetch_add(1, Ordering::Relaxed);
     let _ = req.resp.send(Err(ServeError::DeadlineExceeded));
 }
