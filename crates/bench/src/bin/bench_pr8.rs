@@ -1,0 +1,416 @@
+//! PR-8 snapshot/warm-start bench: measures cold-train vs warm-start boot
+//! for a whole `fabd` fleet, crash-recovers a SIGKILLed daemon from its
+//! snapshots, and proves that injected corruption costs a fallback, never
+//! a bad model or a dead daemon. Writes `BENCH_PR8.json` and exits
+//! non-zero when a gate fails.
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin bench_pr8 -- [--smoke]
+//!     [--min-speedup X]
+//! ```
+//!
+//! Gates:
+//! - a warm-start boot of the fleet is at least `--min-speedup` times
+//!   faster than the cold train-everything boot, and every profile's
+//!   logits are bit-identical to the cold-trained daemon's
+//! - a daemon killed with SIGKILL mid-training loses nothing that was
+//!   snapshotted: the restart warm-starts every model with a snapshot on
+//!   disk and retrains only the rest
+//! - with the newest snapshot of one model bit-flipped and every snapshot
+//!   of another deleted, the daemon still becomes ready: the first model
+//!   falls back to the previous good version (bit-identical logits), the
+//!   second retrains
+//!
+//! The hidden `--child-daemon <config.json>` mode runs a daemon for the
+//! crash phase; the parent re-execs this binary and SIGKILLs it.
+
+use fabd::{Daemon, DaemonConfig, FabClient, Json, RetryPolicy};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+struct Options {
+    min_speedup: f64,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut smoke = false;
+        let mut min_speedup: Option<f64> = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                "--min-speedup" => {
+                    min_speedup = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--min-speedup needs a number"),
+                    );
+                }
+                "--child-daemon" => {
+                    let path = args.next().expect("--child-daemon needs a config file");
+                    run_child_daemon(&path);
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        // Smoke trains 3 tiny profiles where absolute training time is
+        // small, so the default gate is looser than the full fleet's.
+        Self { min_speedup: min_speedup.unwrap_or(if smoke { 2.0 } else { 5.0 }), smoke }
+    }
+}
+
+/// The crash-phase child: start the daemon described by `path` and idle
+/// until the parent SIGKILLs us (training happens inside `Daemon::start`,
+/// so the kill usually lands mid-training).
+fn run_child_daemon(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).expect("read child config");
+    let config = DaemonConfig::from_json_str(&text).expect("parse child config");
+    let daemon = Daemon::start(config).expect("child daemon starts");
+    println!("child daemon ready on {}", daemon.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn client_for(addr: &str) -> FabClient {
+    let policy = RetryPolicy { max_retries: 0, base_ms: 1, max_ms: 1 };
+    FabClient::with_policy(addr, policy, 8).with_timeout(Duration::from_secs(60))
+}
+
+fn logits_of(v: &Json) -> Vec<f64> {
+    v.get("logits")
+        .and_then(Json::as_arr)
+        .expect("prediction has logits")
+        .iter()
+        .map(|l| l.as_f64().expect("numeric logit"))
+        .collect()
+}
+
+fn probe_tokens(vocab: usize, len: usize) -> Vec<usize> {
+    (0..len).map(|i| (i * 3 + 1) % vocab).collect()
+}
+
+/// `(name, source)` for every ready model, sorted by name.
+fn sources_of(client: &mut FabClient) -> Vec<(String, String)> {
+    let listed = client.models_list().expect("models listing");
+    let mut out: Vec<(String, String)> = listed
+        .get("models")
+        .and_then(Json::as_arr)
+        .expect("models array")
+        .iter()
+        .filter(|m| m.get("state").and_then(Json::as_str) == Some("ready"))
+        .map(|m| {
+            (
+                m.get("name").and_then(Json::as_str).expect("name").to_string(),
+                m.get("source").and_then(Json::as_str).expect("source").to_string(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Model names with at least one complete snapshot under `root`. A
+/// `v*.fsnap` only appears via atomic rename after fsync, so presence
+/// means complete even after SIGKILL; in-flight `.tmp` files don't count.
+fn snapshotted_models(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else { return out };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let has_snapshot = std::fs::read_dir(&path).ok().is_some_and(|d| {
+            d.flatten().any(|f| {
+                let name = f.file_name().to_string_lossy().into_owned();
+                !name.starts_with('.') && name.ends_with(".fsnap")
+            })
+        });
+        if has_snapshot {
+            out.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    out.sort();
+    out
+}
+
+fn fleet_config(smoke: bool, snapshot_dir: &Path) -> DaemonConfig {
+    let base = if smoke { DaemonConfig::default() } else { DaemonConfig::full_fleet() };
+    DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout_ms: 60_000,
+        write_timeout_ms: 60_000,
+        drain_timeout_ms: 10_000,
+        snapshot_dir: Some(snapshot_dir.to_string_lossy().into_owned()),
+        ..base
+    }
+}
+
+fn json_num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+fn main() {
+    let opts = Options::parse();
+    let mut failures: Vec<String> = Vec::new();
+    let scratch = std::env::temp_dir().join(format!("bench-pr8-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    // --- Phase 1: cold train vs warm start, bit-identical logits. ----------
+    let warm_dir = scratch.join("warm");
+    let config = fleet_config(opts.smoke, &warm_dir);
+    let fleet_size = config.profiles.len();
+    let model_names: Vec<String> = config.profiles.iter().map(|p| p.name.clone()).collect();
+    let probes: BTreeMap<String, Vec<usize>> = config
+        .profiles
+        .iter()
+        .map(|p| (p.name.clone(), probe_tokens(p.task.vocab_size(), 12)))
+        .collect();
+
+    let t0 = Instant::now();
+    let daemon = Daemon::start(config.clone()).expect("cold boot");
+    let cold_s = t0.elapsed().as_secs_f64();
+    let mut client = client_for(&daemon.addr().to_string());
+    let mut cold_logits: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for name in &model_names {
+        let v = client.predict(Some(name), &probes[name], None).expect("cold predict");
+        cold_logits.insert(name.clone(), logits_of(&v));
+    }
+    let cold_sources = sources_of(&mut client);
+    if !cold_sources.iter().all(|(_, s)| s == "trained") {
+        failures.push(format!("cold boot sources not all 'trained': {cold_sources:?}"));
+    }
+    // A second snapshot version per model, so the corruption phase has a
+    // previous-good version to fall back to.
+    let ack = client.snapshot_trigger().expect("snapshot trigger");
+    let saved = ack.get("saved").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+    if saved != fleet_size {
+        failures.push(format!("snapshot trigger saved {saved} of {fleet_size} models"));
+    }
+    daemon.shutdown();
+
+    let t0 = Instant::now();
+    let daemon = Daemon::start(config.clone()).expect("warm boot");
+    let warm_s = t0.elapsed().as_secs_f64();
+    let mut client = client_for(&daemon.addr().to_string());
+    let warm_sources = sources_of(&mut client);
+    let warm_count = warm_sources.iter().filter(|(_, s)| s == "warm").count();
+    if warm_count != fleet_size {
+        failures.push(format!(
+            "warm boot: {warm_count} of {fleet_size} models warm-started: {warm_sources:?}"
+        ));
+    }
+    let mut drifted = 0usize;
+    for name in &model_names {
+        let v = client.predict(Some(name), &probes[name], None).expect("warm predict");
+        if logits_of(&v) != cold_logits[name] {
+            drifted += 1;
+            failures.push(format!("{name}: warm-start logits differ from cold-trained"));
+        }
+    }
+    daemon.shutdown();
+    let speedup = cold_s / warm_s.max(1e-9);
+    println!(
+        "warmstart: cold {cold_s:.2}s vs warm {warm_s:.3}s for {fleet_size} models \
+         ({speedup:.1}x, gate {:.1}x); {drifted} drifted",
+        opts.min_speedup
+    );
+    if speedup < opts.min_speedup {
+        failures.push(format!(
+            "warm start {speedup:.1}x faster than cold, below the {:.1}x gate",
+            opts.min_speedup
+        ));
+    }
+
+    // --- Phase 2: SIGKILL mid-training, restart recovers snapshots. --------
+    let crash_dir = scratch.join("crash");
+    let crash_config = fleet_config(opts.smoke, &crash_dir);
+    let config_path = scratch.join("crash-config.json");
+    std::fs::write(&config_path, format!("{}\n", crash_config.to_json()))
+        .expect("write crash config");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(&exe)
+        .arg("--child-daemon")
+        .arg(&config_path)
+        .spawn()
+        .expect("spawn child daemon");
+    // Wait until some (not all) models are snapshotted, then SIGKILL the
+    // child — usually mid-training of the next profile.
+    let threshold = if opts.smoke { 1 } else { 5 };
+    let poll_deadline = Instant::now() + Duration::from_secs(300);
+    let killed_with = loop {
+        let have = snapshotted_models(&crash_dir).len();
+        if have >= threshold {
+            break have;
+        }
+        if Instant::now() > poll_deadline {
+            break have;
+        }
+        if child.try_wait().expect("child poll").is_some() {
+            break snapshotted_models(&crash_dir).len();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+    let survivors = snapshotted_models(&crash_dir);
+    println!(
+        "crash    : SIGKILL with {killed_with}+ snapshots on disk; {} of {fleet_size} models \
+         survived the crash",
+        survivors.len()
+    );
+    if survivors.is_empty() {
+        failures.push("no snapshots survived the SIGKILL".to_string());
+    }
+
+    let daemon =
+        Daemon::start(fleet_config(opts.smoke, &crash_dir)).expect("restart after SIGKILL");
+    let mut client = client_for(&daemon.addr().to_string());
+    let sources = sources_of(&mut client);
+    if sources.len() != fleet_size {
+        failures.push(format!("restart: {} of {fleet_size} models ready", sources.len()));
+    }
+    let mut recovered = 0usize;
+    for name in &survivors {
+        match sources.iter().find(|(n, _)| n == name).map(|(_, s)| s.as_str()) {
+            Some("warm") => recovered += 1,
+            other => failures.push(format!(
+                "{name}: snapshotted before the crash but restarted as {other:?}, not warm"
+            )),
+        }
+    }
+    let retrained =
+        sources.iter().filter(|(n, s)| s == "trained" && !survivors.contains(n)).count();
+    println!(
+        "crash    : restart recovered {recovered}/{} snapshotted models warm, retrained \
+         {retrained} unsnapshotted",
+        survivors.len()
+    );
+    for name in &model_names {
+        client.predict(Some(name), &probes[name], None).expect("post-crash predict");
+    }
+    daemon.shutdown();
+
+    // --- Phase 3: corruption costs a fallback, never readiness. ------------
+    // Bit-flip the newest snapshot of the first model (an older good
+    // version exists from the trigger above) and delete every snapshot of
+    // the second; the daemon must come up with fallback + trained.
+    let victim_fallback = &model_names[0];
+    let victim_retrain = &model_names[1];
+    let newest = std::fs::read_dir(warm_dir.join(victim_fallback))
+        .expect("victim dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fsnap"))
+        .max()
+        .expect("a snapshot to corrupt");
+    let mut bytes = std::fs::read(&newest).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("write corrupted snapshot");
+    std::fs::remove_dir_all(warm_dir.join(victim_retrain)).expect("delete snapshots");
+
+    let daemon = Daemon::start(config).expect("boot despite corruption");
+    let mut client = client_for(&daemon.addr().to_string());
+    let sources = sources_of(&mut client);
+    let source_of = |name: &str| {
+        sources.iter().find(|(n, _)| n == name).map(|(_, s)| s.clone()).unwrap_or_default()
+    };
+    let fallback_count = sources.iter().filter(|(_, s)| s == "fallback").count();
+    println!(
+        "corrupt  : {victim_fallback} source {}, {victim_retrain} source {}, {} of {fleet_size} \
+         ready",
+        source_of(victim_fallback),
+        source_of(victim_retrain),
+        sources.len()
+    );
+    if source_of(victim_fallback) != "fallback" {
+        failures.push(format!(
+            "{victim_fallback}: corrupt newest should fall back, got '{}'",
+            source_of(victim_fallback)
+        ));
+    }
+    if source_of(victim_retrain) != "trained" {
+        failures.push(format!(
+            "{victim_retrain}: all snapshots gone should retrain, got '{}'",
+            source_of(victim_retrain)
+        ));
+    }
+    if sources.len() != fleet_size {
+        failures
+            .push(format!("corruption took models down: {} of {fleet_size} ready", sources.len()));
+    }
+    let v =
+        client.predict(Some(victim_fallback), &probes[victim_fallback], None).expect("fallback");
+    if logits_of(&v) != cold_logits[victim_fallback] {
+        failures.push(format!("{victim_fallback}: fallback logits differ from cold-trained"));
+    }
+    let metrics = client.metrics().expect("metrics");
+    if !metrics.contains(&format!(
+        "fabd_model_source{{model=\"{victim_fallback}\",source=\"fallback\"}} 1"
+    )) {
+        failures.push("fabd_model_source fallback row missing from /metrics".to_string());
+    }
+    daemon.shutdown();
+
+    // --- Report. -----------------------------------------------------------
+    let obj = |pairs: Vec<(&str, Json)>| {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let report = obj(vec![
+        ("pr", json_num(8.0)),
+        ("smoke", Json::Bool(opts.smoke)),
+        (
+            "host",
+            Json::parse(&format!("{{{}}}", fab_bench::host_info_json()))
+                .expect("host info")
+                .get("host")
+                .cloned()
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "warm_start",
+            obj(vec![
+                ("models", json_num(fleet_size as f64)),
+                ("cold_s", json_num(cold_s)),
+                ("warm_s", json_num(warm_s)),
+                ("speedup", json_num((speedup * 100.0).round() / 100.0)),
+                ("min_speedup_required", json_num(opts.min_speedup)),
+                ("logits_drifted", json_num(drifted as f64)),
+            ]),
+        ),
+        (
+            "crash_recovery",
+            obj(vec![
+                ("snapshots_at_kill", json_num(killed_with as f64)),
+                ("survivors", json_num(survivors.len() as f64)),
+                ("recovered_warm", json_num(recovered as f64)),
+                ("retrained", json_num(retrained as f64)),
+            ]),
+        ),
+        (
+            "corruption",
+            obj(vec![
+                ("fallback_model", Json::Str(victim_fallback.clone())),
+                ("retrain_model", Json::Str(victim_retrain.clone())),
+                ("fallback_count", json_num(fallback_count as f64)),
+            ]),
+        ),
+        ("failures", Json::Arr(failures.iter().map(|f| Json::Str(f.clone())).collect())),
+    ]);
+    std::fs::write("BENCH_PR8.json", format!("{report}\n")).expect("write BENCH_PR8.json");
+    println!("wrote BENCH_PR8.json");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all snapshot/warm-start gates passed");
+}

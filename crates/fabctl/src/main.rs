@@ -9,8 +9,12 @@ use fabd::{ClientError, FabClient, Json, RetryPolicy};
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str =
-    "usage: fabctl [--addr <host:port>] [--retries <n>] [--timeout-ms <ms>] <command>
+const USAGE: &str = "usage: fabctl [--addr <host:port>] [--retries <n>] [--timeout-ms <ms>] \
+[--wait-ready <ms>] <command>
+
+options:
+  --wait-ready <ms>     poll /readyz (jittered backoff) until the daemon is
+                        ready or <ms> elapse before running the command
 
 commands:
   predict <t1,t2,...>   predict one token sequence
@@ -24,13 +28,16 @@ commands:
   models reload <name>  re-train a served profile and hot-swap it (version bump)
   models unload <name>  remove a model; its current version drains
   metrics               Prometheus metrics dump
-  ready                 exit 0 when ready, 1 while draining/unreachable
+  ready                 exit 0 when ready, 1 while loading/draining/unreachable
+  snapshot              persist every loaded model to the snapshot store now
+  snapshot list         list snapshot versions on disk
   drain                 start a graceful drain (POST /admin/shutdown)";
 
 struct Options {
     addr: String,
     retries: u32,
     timeout_ms: u64,
+    wait_ready_ms: Option<u64>,
     command: Vec<String>,
 }
 
@@ -39,6 +46,7 @@ fn parse_options() -> Result<Options, String> {
         addr: "127.0.0.1:4270".to_string(),
         retries: 5,
         timeout_ms: 10_000,
+        wait_ready_ms: None,
         command: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -54,6 +62,13 @@ fn parse_options() -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--timeout-ms needs a number")?;
+            }
+            "--wait-ready" => {
+                opts.wait_ready_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--wait-ready needs a number")?,
+                );
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -85,6 +100,11 @@ fn run(opts: Options) -> Result<(), String> {
     // retrying against the same overloaded daemon spread out.
     let mut client = FabClient::with_policy(&opts.addr, policy, u64::from(std::process::id()))
         .with_timeout(Duration::from_millis(opts.timeout_ms.max(1)));
+    if let Some(ms) = opts.wait_ready_ms {
+        client
+            .wait_ready(Duration::from_millis(ms))
+            .map_err(|e| format!("waiting for ready: {}", render_error(e)))?;
+    }
     let command = opts.command[0].as_str();
     let rest = &opts.command[1..];
     match command {
@@ -169,9 +189,20 @@ fn run(opts: Options) -> Result<(), String> {
                 println!("ready");
                 Ok(())
             }
-            Ok(false) => Err("draining".to_string()),
+            Ok(false) => Err("not ready".to_string()),
             Err(e) => Err(render_error(e)),
         },
+        "snapshot" => {
+            let result = match rest.first().map(String::as_str) {
+                None => client.snapshot_trigger(),
+                Some("list") => client.snapshot_list(),
+                Some(other) => {
+                    return Err(format!("unknown snapshot action '{other}'\n{USAGE}"));
+                }
+            };
+            println!("{}", result.map_err(render_error)?);
+            Ok(())
+        }
         "drain" => {
             let ack = client.drain().map_err(render_error)?;
             println!("{ack}");

@@ -360,6 +360,56 @@ impl FabClient {
     pub fn ready(&mut self) -> Result<bool, ClientError> {
         Ok(self.request("GET", "/readyz", b"")?.status == 200)
     }
+
+    /// `POST /admin/snapshot`: persist every loaded model to the snapshot
+    /// store now (no retraining).
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`]; a daemon running without a
+    /// `snapshot_dir` answers `503`.
+    pub fn snapshot_trigger(&mut self) -> Result<Json, ClientError> {
+        self.request_json("POST", "/admin/snapshot", b"")
+    }
+
+    /// `GET /admin/snapshot`: every snapshot version on disk.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn snapshot_list(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/admin/snapshot", b"")
+    }
+
+    /// Polls `/readyz` until the daemon answers `200` or `timeout`
+    /// elapses, reusing the client's jittered backoff between polls (a
+    /// warm-starting or still-training daemon answers `503 loading`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Status`] with the last `/readyz` status on timeout;
+    /// connection errors keep being polled until the deadline.
+    pub fn wait_ready(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut attempt = 0u32;
+        let mut last_status;
+        loop {
+            match self.exchange("GET", "/readyz", b"") {
+                Ok(resp) if resp.status == 200 => return Ok(()),
+                Ok(resp) => last_status = resp.status,
+                Err(_) => last_status = 0,
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ClientError::Status {
+                    status: last_status,
+                    body: "daemon not ready before timeout".to_string(),
+                });
+            }
+            let delay = self.retry.delay(attempt, None, &mut self.rng);
+            thread::sleep(delay);
+            attempt = attempt.saturating_add(1);
+        }
+    }
 }
 
 /// Extracts the server's retry hint from a 429: the JSON body's

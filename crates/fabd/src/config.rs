@@ -7,9 +7,10 @@
 
 use crate::json::Json;
 use fab_fleet::{ClassWeights, FleetConfig, ModelSpec, SchedulerKind, TenantQuota};
-use fab_lra::LraTask;
+use fab_lra::{LraTask, TaskConfig};
 use fab_nn::{ModelConfig, ModelKind};
 use fab_serve::{InferenceSession, ServeConfig, Server};
+use fab_store::ModelArtifact;
 use fabnet::pipeline::TrainingPipeline;
 use std::fmt;
 
@@ -134,12 +135,9 @@ impl ProfileConfig {
         }
     }
 
-    /// Trains this profile and freezes it into an [`InferenceSession`].
-    ///
-    /// `fault_injection` gates the `panic_token` marker: a production daemon
-    /// never arms it, no matter what the config file says.
-    pub fn build_session(&self, fault_injection: bool) -> InferenceSession {
-        let config = ModelConfig {
+    /// The model hyper-parameters this profile trains with.
+    fn model_config(&self) -> ModelConfig {
+        ModelConfig {
             hidden: self.hidden,
             ffn_ratio: 2,
             num_layers: self.layers,
@@ -148,20 +146,88 @@ impl ProfileConfig {
             vocab_size: self.task.vocab_size(),
             max_seq: self.seq_len,
             num_classes: self.task.num_classes(),
-        };
+        }
+    }
+
+    /// A string capturing every knob that changes what this profile trains
+    /// and serves. Stored in snapshots; a mismatch at load time means the
+    /// snapshot describes a *different* model (stale config) and must not
+    /// be warm-started.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "v1/task={}/arch={}/precision={}/seq={}/hidden={}/layers={}/heads={}/epochs={}/\
+             train={}/test={}/seed={}/calib={}",
+            self.task.name(),
+            arch_name(self.arch),
+            self.precision.name(),
+            self.seq_len,
+            self.hidden,
+            self.layers,
+            self.heads,
+            self.epochs,
+            self.train_examples,
+            self.test_examples,
+            self.seed,
+            self.calibration_samples,
+        )
+    }
+
+    /// Trains this profile and freezes it into a persistable
+    /// [`ModelArtifact`] — exactly the model [`ProfileConfig::build_session`]
+    /// would serve, in storable form.
+    pub fn build_artifact(&self) -> ModelArtifact {
         let pipeline = TrainingPipeline::new(self.task, self.seq_len, self.seed)
             .with_examples(self.train_examples, self.test_examples)
             .with_epochs(self.epochs);
-        let trained = pipeline.run(&config, self.arch);
-        let session = match self.precision {
-            Precision::Exact => InferenceSession::exact(&trained.model),
-            Precision::FastMath => trained.into_session(),
-            Precision::Int8 => trained.into_quantized_session(self.calibration_samples),
+        let trained = pipeline.run(&self.model_config(), self.arch);
+        match self.precision {
+            Precision::Exact => ModelArtifact::Frozen(trained.model.freeze()),
+            Precision::FastMath => {
+                ModelArtifact::Frozen(trained.model.freeze().with_fast_math(true))
+            }
+            Precision::Int8 => {
+                // Mirrors `TrainedFabNet::into_quantized_session` step for
+                // step so the artifact path serves bit-identical logits.
+                let frozen = trained.model.freeze().with_fast_math(true);
+                let calib = self.task.calibration_batches(
+                    &TaskConfig { seq_len: self.seq_len },
+                    self.seed,
+                    self.calibration_samples,
+                );
+                let tokens: Vec<&[usize]> = calib.iter().map(|s| s.tokens.as_slice()).collect();
+                ModelArtifact::Quant(fab_quant::quantize_frozen(
+                    &frozen,
+                    &tokens,
+                    &fab_quant::CalibrationConfig::default(),
+                ))
+            }
+        }
+    }
+
+    /// Wraps an artifact (fresh-trained or snapshot-restored) into the
+    /// [`InferenceSession`] this profile serves, re-arming the
+    /// `panic_token` marker when `fault_injection` allows it.
+    pub fn session_from_artifact(
+        &self,
+        artifact: &ModelArtifact,
+        fault_injection: bool,
+    ) -> InferenceSession {
+        let session = match artifact {
+            ModelArtifact::Frozen(m) => InferenceSession::from_frozen(m.clone()),
+            ModelArtifact::Quant(m) => InferenceSession::quantized(m.clone()),
         };
         match self.panic_token {
             Some(token) if fault_injection => session.with_panic_on_token(token),
             _ => session,
         }
+    }
+
+    /// Trains this profile and freezes it into an [`InferenceSession`].
+    ///
+    /// `fault_injection` gates the `panic_token` marker: a production daemon
+    /// never arms it, no matter what the config file says.
+    pub fn build_session(&self, fault_injection: bool) -> InferenceSession {
+        self.session_from_artifact(&self.build_artifact(), fault_injection)
     }
 
     /// Starts a supervised serving worker pool for this profile.
@@ -290,6 +356,13 @@ pub struct DaemonConfig {
     pub tenants: Vec<(String, TenantQuota)>,
     /// Bound on one tenant's queued requests per model (0 = none).
     pub per_tenant_queue_cap: usize,
+    /// Snapshot store root. When set the daemon warm-starts from the last
+    /// good snapshot of every profile and persists freshly trained models;
+    /// when `None` every boot trains from scratch (pre-snapshot behavior).
+    pub snapshot_dir: Option<String>,
+    /// Snapshot versions kept per model by post-save garbage collection
+    /// (floor of 1: the last-good snapshot is never collected).
+    pub snapshot_keep: usize,
     /// The model profiles to train and serve.
     pub profiles: Vec<ProfileConfig>,
 }
@@ -315,6 +388,8 @@ impl Default for DaemonConfig {
             default_quota: TenantQuota { rate_per_s: 1_000_000.0, burst: 1_000_000.0, weight: 1.0 },
             tenants: Vec::new(),
             per_tenant_queue_cap: 0,
+            snapshot_dir: None,
+            snapshot_keep: 2,
             profiles: vec![
                 ProfileConfig::tiny("text-f32", Precision::Exact, 11),
                 ProfileConfig::tiny("text-fast", Precision::FastMath, 11),
@@ -449,24 +524,50 @@ impl DaemonConfig {
                 })
                 .collect::<Result<_, String>>()?;
         }
+        if let Some(s) = v.get("snapshot_dir").and_then(Json::as_str) {
+            config.snapshot_dir = Some(s.to_string());
+        }
+        if let Some(n) = v.get("snapshot_keep").and_then(Json::as_usize) {
+            config.snapshot_keep = n;
+        }
         if let Some(list) = v.get("profiles").and_then(Json::as_arr) {
             config.profiles =
                 list.iter().map(ProfileConfig::from_json).collect::<Result<_, _>>()?;
         }
-        let mut names: Vec<&str> = config.profiles.iter().map(|p| p.name.as_str()).collect();
-        names.sort_unstable();
-        if names.windows(2).any(|w| w[0] == w[1]) {
-            return Err("duplicate profile names in config".to_string());
-        }
-        if config.profiles.is_empty() {
+        config.validate_profiles()?;
+        Ok(config)
+    }
+
+    /// Structural checks shared by the JSON parser and [`Self::validate`]:
+    /// at least one profile, no duplicate names.
+    fn validate_profiles(&self) -> Result<(), String> {
+        if self.profiles.is_empty() {
             return Err("config must declare at least one profile".to_string());
         }
-        Ok(config)
+        let mut names: Vec<&str> = self.profiles.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(pair) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate profile names in config: '{}'", pair[0]));
+        }
+        Ok(())
+    }
+
+    /// Full startup validation: profile structure plus a snapshot-store
+    /// probe. Opening the store creates `snapshot_dir` if missing and
+    /// write-probes it, so an unwritable root fails here — at boot, with a
+    /// clear message — instead of after minutes of training.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_profiles()?;
+        if let Some(dir) = &self.snapshot_dir {
+            fab_store::Store::open(std::path::Path::new(dir))
+                .map_err(|e| format!("snapshot_dir '{dir}' is unusable: {e}"))?;
+        }
+        Ok(())
     }
 
     /// Serializes the full effective configuration (for `--print-config`).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut obj = vec![
             ("addr".to_string(), Json::Str(self.addr.clone())),
             ("max_connections".to_string(), Json::Num(self.max_connections as f64)),
             ("read_timeout_ms".to_string(), Json::Num(self.read_timeout_ms as f64)),
@@ -491,6 +592,7 @@ impl DaemonConfig {
             ),
             ("default_quota".to_string(), Json::Obj(quota_to_json(&self.default_quota))),
             ("per_tenant_queue_cap".to_string(), Json::Num(self.per_tenant_queue_cap as f64)),
+            ("snapshot_keep".to_string(), Json::Num(self.snapshot_keep as f64)),
             (
                 "tenants".to_string(),
                 Json::Arr(
@@ -508,7 +610,11 @@ impl DaemonConfig {
                 "profiles".to_string(),
                 Json::Arr(self.profiles.iter().map(ProfileConfig::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(dir) = &self.snapshot_dir {
+            obj.push(("snapshot_dir".to_string(), Json::Str(dir.clone())));
+        }
+        Json::Obj(obj)
     }
 }
 
@@ -570,6 +676,58 @@ mod tests {
             let err = DaemonConfig::from_json_str(text).expect_err(text);
             assert!(err.contains(needle), "{text}: {err}");
         }
+    }
+
+    #[test]
+    fn snapshot_knobs_round_trip_through_json() {
+        let config =
+            DaemonConfig::from_json_str(r#"{"snapshot_dir": "/tmp/snaps", "snapshot_keep": 5}"#)
+                .expect("parses");
+        assert_eq!(config.snapshot_dir.as_deref(), Some("/tmp/snaps"));
+        assert_eq!(config.snapshot_keep, 5);
+        let text = config.to_json().to_string();
+        let reparsed = DaemonConfig::from_json_str(&text).expect("round trip");
+        assert_eq!(reparsed.snapshot_dir.as_deref(), Some("/tmp/snaps"));
+        assert_eq!(reparsed.snapshot_keep, 5);
+        // Absent knobs keep the defaults: no persistence, keep 2.
+        let config = DaemonConfig::from_json_str("{}").expect("defaults");
+        assert_eq!(config.snapshot_dir, None);
+        assert_eq!(config.snapshot_keep, 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_training_knob() {
+        let base = ProfileConfig::tiny("a", Precision::FastMath, 7);
+        let mut seeded = base.clone();
+        seeded.seed += 1;
+        let mut deeper = base.clone();
+        deeper.layers += 1;
+        let mut requantized = base.clone();
+        requantized.calibration_samples += 1;
+        let prints: Vec<String> =
+            [&base, &seeded, &deeper, &requantized].iter().map(|p| p.fingerprint()).collect();
+        let mut unique = prints.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), prints.len(), "fingerprint collision: {prints:?}");
+        // The name is identity, not training input: two names with the
+        // same recipe may share snapshots' fingerprints.
+        let mut renamed = base.clone();
+        renamed.name = "b".to_string();
+        assert_eq!(renamed.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn validate_rejects_unusable_snapshot_dir() {
+        let file = std::env::temp_dir().join(format!("fabd-config-notadir-{}", std::process::id()));
+        std::fs::write(&file, b"occupied").expect("create file");
+        let config = DaemonConfig {
+            snapshot_dir: Some(file.join("nested").to_string_lossy().into_owned()),
+            ..DaemonConfig::default()
+        };
+        let err = config.validate().expect_err("path under a file");
+        assert!(err.contains("snapshot_dir"), "{err}");
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

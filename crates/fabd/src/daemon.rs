@@ -32,11 +32,13 @@
 use crate::config::{DaemonConfig, ProfileConfig};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::json::Json;
-use fab_fleet::{Fleet, FleetError, ModelInfo, ModelState};
+use fab_fleet::{Fleet, FleetError, ModelInfo, ModelSource, ModelState};
 use fab_serve::{Prediction, Priority, ServeError, ServerStats};
+use fab_store::{ModelArtifact, Store, FINGERPRINT_KEY};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
@@ -76,6 +78,21 @@ struct DaemonShared {
     /// Routing target for requests that name no model (the first
     /// configured profile).
     default_model: String,
+    /// Snapshot store; `None` runs the daemon without persistence
+    /// (every boot trains from scratch, exactly as before fab-store).
+    store: Option<Store>,
+    /// Flips true once every configured profile is committed; `/readyz`
+    /// answers `503 loading` until then so orchestrators never route to a
+    /// daemon that would 404 half its models.
+    ready: AtomicBool,
+    /// Wall-clock seconds from boot to all profiles ready, stored as f64
+    /// bits (written once by the boot thread, read by `/metrics`).
+    warm_start_seconds: AtomicU64,
+    /// Last persisted snapshot version per model name.
+    snapshot_versions: Mutex<HashMap<String, u64>>,
+    /// The storable artifact behind each loaded model, kept so
+    /// `POST /admin/snapshot` can re-persist without retraining.
+    artifacts: Mutex<HashMap<String, ModelArtifact>>,
     draining: AtomicBool,
     open_connections: AtomicUsize,
     /// Requests currently between "fully read" and "response written". The
@@ -123,27 +140,36 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// Trains every configured profile, binds the listener and starts the
-    /// accept loop.
+    /// Validates the config, binds the listener, then brings every
+    /// configured profile up — warm-starting from the last good snapshot
+    /// when `snapshot_dir` is set and the stored fingerprint matches,
+    /// training from scratch otherwise (and persisting the result).
+    ///
+    /// The accept loop runs *during* model loading so probes get answers:
+    /// `/healthz` is up immediately, `/readyz` stays `503 loading` until
+    /// every profile is ready. `start` itself still blocks until the
+    /// daemon is fully ready (or failed).
     ///
     /// # Errors
     ///
-    /// Returns a message when the address cannot be bound or the config has
-    /// no profiles.
+    /// Returns a message when the config is invalid (no profiles,
+    /// duplicate names, unusable `snapshot_dir`), the address cannot be
+    /// bound, or a profile fails to load.
     pub fn start(config: DaemonConfig) -> Result<Self, String> {
-        if config.profiles.is_empty() {
-            return Err("no model profiles configured".to_string());
-        }
+        config.validate()?;
+        let store = match &config.snapshot_dir {
+            Some(dir) => Some(
+                Store::open(Path::new(dir))
+                    .map_err(|e| format!("snapshot_dir '{dir}' is unusable: {e}"))?,
+            ),
+            None => None,
+        };
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
         let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
         listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
 
         let fleet = Fleet::new(config.fleet_config());
-        for p in &config.profiles {
-            let session = p.build_session(config.fault_injection);
-            fleet.load(p.spec(), session).map_err(|e| format!("load profile {}: {e}", p.name))?;
-        }
         let profiles =
             config.profiles.iter().map(|p| (p.name.clone(), p.clone())).collect::<HashMap<_, _>>();
         let default_model = config.profiles[0].name.clone();
@@ -153,6 +179,11 @@ impl Daemon {
             fleet,
             profiles: Mutex::new(profiles),
             default_model,
+            store,
+            ready: AtomicBool::new(false),
+            warm_start_seconds: AtomicU64::new(0),
+            snapshot_versions: Mutex::new(HashMap::new()),
+            artifacts: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
             active_requests: AtomicUsize::new(0),
@@ -164,6 +195,19 @@ impl Daemon {
             .name("fabd-accept".to_string())
             .spawn(move || accept_loop(listener, accept_shared))
             .map_err(|e| format!("spawn accept loop: {e}"))?;
+
+        let boot = Instant::now();
+        for p in shared.config.profiles.clone() {
+            if let Err(e) = boot_profile(&shared, &p) {
+                // Tear the half-started daemon down cleanly: stop the
+                // accept loop before reporting the failure.
+                shared.draining.store(true, Ordering::SeqCst);
+                let _ = accept_thread.join();
+                return Err(e);
+            }
+        }
+        shared.warm_start_seconds.store(boot.elapsed().as_secs_f64().to_bits(), Ordering::Relaxed);
+        shared.ready.store(true, Ordering::SeqCst);
         Ok(Daemon { shared, accept_thread: Some(accept_thread), addr })
     }
 
@@ -228,6 +272,68 @@ impl Daemon {
         self.initiate_drain();
         self.join();
     }
+}
+
+/// Brings one profile up at boot: last-good snapshot when available and
+/// fingerprint-matched (`warm`, or `fallback` when an older version had to
+/// stand in for a corrupt newest), fresh training otherwise (`trained`,
+/// persisted for the next boot).
+fn boot_profile(shared: &Arc<DaemonShared>, profile: &ProfileConfig) -> Result<(), String> {
+    let ticket = shared
+        .fleet
+        .begin_load(profile.spec())
+        .map_err(|e| format!("load profile {}: {e}", profile.name))?;
+    let fingerprint = profile.fingerprint();
+    let (artifact, source) = match &shared.store {
+        Some(store) => match store.load_last_good(&profile.name, Some(&fingerprint)) {
+            Ok(rec) => {
+                let source = if rec.fallback { ModelSource::Fallback } else { ModelSource::Warm };
+                shared
+                    .snapshot_versions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(profile.name.clone(), rec.version);
+                (rec.artifact, source)
+            }
+            // No snapshot, stale fingerprint, or every version corrupt:
+            // retrain and persist the result.
+            Err(_) => {
+                let artifact = profile.build_artifact();
+                persist_artifact(shared, &profile.name, &artifact, &fingerprint);
+                (artifact, ModelSource::Trained)
+            }
+        },
+        None => (profile.build_artifact(), ModelSource::Trained),
+    };
+    let session = profile.session_from_artifact(&artifact, shared.config.fault_injection);
+    shared.fleet.commit_with_source(ticket, session, source);
+    shared
+        .artifacts
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(profile.name.clone(), artifact);
+    Ok(())
+}
+
+/// Best-effort snapshot persistence. A full disk or yanked volume must
+/// never take serving down, so save failures are swallowed here; they
+/// surface as a missing `snapshot_version` in `/v1/models`.
+fn persist_artifact(
+    shared: &DaemonShared,
+    model: &str,
+    artifact: &ModelArtifact,
+    fingerprint: &str,
+) -> Option<u64> {
+    let store = shared.store.as_ref()?;
+    let meta = vec![(FINGERPRINT_KEY.to_string(), fingerprint.to_string())];
+    let version = store.save(model, artifact, &meta).ok()?;
+    let _ = store.gc(shared.config.snapshot_keep);
+    shared
+        .snapshot_versions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(model.to_string(), version);
+    Some(version)
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
@@ -360,6 +466,8 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
         ("GET", "/readyz") => {
             if shared.draining.load(Ordering::SeqCst) {
                 Response::text(503, "draining\n")
+            } else if !shared.ready.load(Ordering::SeqCst) {
+                Response::text(503, "loading\n")
             } else {
                 Response::text(200, "ready\n")
             }
@@ -374,6 +482,8 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
             Response::json(200, Json::Obj(vec![("draining".to_string(), Json::Bool(true))]))
         }
         ("POST", "/admin/models") => admin_models(shared, request),
+        ("POST", "/admin/snapshot") => snapshot_all(shared),
+        ("GET", "/admin/snapshot") => snapshot_list(shared),
         ("POST", "/admin/inject_worker_exit") => inject_worker_exit(shared, request),
         (
             _,
@@ -386,6 +496,7 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
             | "/v1/predict_batch"
             | "/admin/shutdown"
             | "/admin/models"
+            | "/admin/snapshot"
             | "/admin/inject_worker_exit",
         ) => error_response(405, "method not allowed", None),
         _ => error_response(404, "no such route", None),
@@ -597,7 +708,18 @@ fn admin_models(shared: &DaemonShared, request: &Request) -> Response {
                 Err(resp) => return resp,
             };
             match shared.fleet.unload(&name) {
-                Ok(info) => Response::json(200, model_info_json(&info)),
+                Ok(info) => {
+                    // The name is gone from the fleet; stop re-snapshotting
+                    // it. Snapshots on disk stay, so a later reload can
+                    // still warm-start manually via the store.
+                    shared.artifacts.lock().unwrap_or_else(PoisonError::into_inner).remove(&name);
+                    shared
+                        .snapshot_versions
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&name);
+                    Response::json(200, model_info_json(shared, &info))
+                }
                 Err(e) => fleet_error_response(&e),
             }
         }
@@ -609,31 +731,115 @@ fn admin_models(shared: &DaemonShared, request: &Request) -> Response {
 /// Trains `profile` on the connection thread and commits it. The loading
 /// mark taken up front makes concurrent loads of the same name answer
 /// `409` instead of training twice; the previous version keeps serving
-/// throughout the (slow) training step.
+/// throughout the (slow) training step. The freshly trained model is
+/// persisted to the snapshot store so the next boot warm-starts it.
 fn load_profile(shared: &DaemonShared, profile: ProfileConfig) -> Response {
     let ticket = match shared.fleet.begin_load(profile.spec()) {
         Ok(ticket) => ticket,
         Err(e) => return fleet_error_response(&e),
     };
-    let session = profile.build_session(shared.config.fault_injection);
-    let info = shared.fleet.commit(ticket, session);
+    let artifact = profile.build_artifact();
+    let session = profile.session_from_artifact(&artifact, shared.config.fault_injection);
+    let info = shared.fleet.commit_with_source(ticket, session, ModelSource::Trained);
+    persist_artifact(shared, &profile.name, &artifact, &profile.fingerprint());
+    shared
+        .artifacts
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(profile.name.clone(), artifact);
     shared
         .profiles
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .insert(profile.name.clone(), profile);
-    Response::json(200, model_info_json(&info))
+    Response::json(200, model_info_json(shared, &info))
 }
 
-fn model_info_json(info: &ModelInfo) -> Json {
-    Json::Obj(vec![
+/// `POST /admin/snapshot`: re-persists every loaded model's artifact as a
+/// fresh snapshot version, without retraining anything.
+fn snapshot_all(shared: &DaemonShared) -> Response {
+    if shared.store.is_none() {
+        return error_response(503, "no snapshot_dir configured", None);
+    }
+    // Clone out of the locks before the (slow) encode + fsync work.
+    let artifacts: Vec<(String, ModelArtifact)> = shared
+        .artifacts
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(name, a)| (name.clone(), a.clone()))
+        .collect();
+    let fingerprints: HashMap<String, String> = shared
+        .profiles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(name, p)| (name.clone(), p.fingerprint()))
+        .collect();
+    let mut saved = Vec::new();
+    let mut failed = Vec::new();
+    for (name, artifact) in artifacts {
+        let fingerprint = fingerprints.get(&name).cloned().unwrap_or_default();
+        match persist_artifact(shared, &name, &artifact, &fingerprint) {
+            Some(version) => saved.push(Json::Obj(vec![
+                ("model".to_string(), Json::Str(name)),
+                ("version".to_string(), Json::Num(version as f64)),
+            ])),
+            None => failed.push(Json::Str(name)),
+        }
+    }
+    Response::json(
+        200,
+        Json::Obj(vec![
+            ("saved".to_string(), Json::Arr(saved)),
+            ("failed".to_string(), Json::Arr(failed)),
+        ]),
+    )
+}
+
+/// `GET /admin/snapshot`: lists every snapshot version on disk.
+fn snapshot_list(shared: &DaemonShared) -> Response {
+    let Some(store) = &shared.store else {
+        return error_response(503, "no snapshot_dir configured", None);
+    };
+    match store.list() {
+        Ok(infos) => Response::json(
+            200,
+            Json::Obj(vec![(
+                "snapshots".to_string(),
+                Json::Arr(
+                    infos
+                        .into_iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("model".to_string(), Json::Str(s.model)),
+                                ("version".to_string(), Json::Num(s.version as f64)),
+                                ("bytes".to_string(), Json::Num(s.bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )]),
+        ),
+        Err(e) => error_response(500, &e.to_string(), None),
+    }
+}
+
+fn model_info_json(shared: &DaemonShared, info: &ModelInfo) -> Json {
+    let mut obj = vec![
         ("name".to_string(), Json::Str(info.spec.name.clone())),
         ("version".to_string(), Json::Num(info.version as f64)),
         ("state".to_string(), Json::Str(info.state.name().to_string())),
         ("task".to_string(), Json::Str(info.spec.task.clone())),
         ("arch".to_string(), Json::Str(info.spec.arch.clone())),
         ("precision".to_string(), Json::Str(info.spec.precision.clone())),
-    ])
+        ("source".to_string(), Json::Str(info.source.name().to_string())),
+    ];
+    let versions = shared.snapshot_versions.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(v) = versions.get(&info.spec.name) {
+        obj.push(("snapshot_version".to_string(), Json::Num(*v as f64)));
+    }
+    Json::Obj(obj)
 }
 
 fn list_models(shared: &DaemonShared) -> Response {
@@ -650,7 +856,7 @@ fn list_models(shared: &DaemonShared) -> Response {
         .models()
         .into_iter()
         .map(|info| {
-            let mut obj = match model_info_json(&info) {
+            let mut obj = match model_info_json(shared, &info) {
                 Json::Obj(obj) => obj,
                 _ => unreachable!("model_info_json returns an object"),
             };
@@ -765,18 +971,24 @@ fn render_metrics(shared: &DaemonShared) -> String {
     let mut out = String::with_capacity(4096);
     let c = &shared.counters;
     let draining = shared.draining.load(Ordering::SeqCst);
+    let ready = shared.ready.load(Ordering::SeqCst) && !draining;
     let mut gauge = |name: &str, help: &str, value: f64| {
         let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}");
     };
     gauge(
         "fabd_ready",
-        "1 while accepting traffic, 0 while draining",
-        f64::from(u8::from(!draining)),
+        "1 while accepting traffic, 0 while loading or draining",
+        f64::from(u8::from(ready)),
     );
     gauge(
         "fabd_up_seconds",
         "Seconds since the daemon started",
         shared.started.elapsed().as_secs_f64(),
+    );
+    gauge(
+        "fabd_warm_start_seconds",
+        "Wall-clock seconds from boot to every profile ready",
+        f64::from_bits(shared.warm_start_seconds.load(Ordering::Relaxed)),
     );
     gauge(
         "fabd_connections_open",
@@ -867,6 +1079,20 @@ fn render_metrics(shared: &DaemonShared) -> String {
     for (info, _) in &model_stats {
         let _ =
             writeln!(out, "fabd_model_version{{model=\"{}\"}} {}", info.spec.name, info.version);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_model_source How each ready model was obtained \
+         (warm = snapshot, trained = fresh training, fallback = older snapshot)\n\
+         # TYPE fabd_model_source gauge"
+    );
+    for (info, _) in &model_stats {
+        let _ = writeln!(
+            out,
+            "fabd_model_source{{model=\"{}\",source=\"{}\"}} 1",
+            info.spec.name,
+            info.source.name()
+        );
     }
     let _ = writeln!(
         out,

@@ -8,7 +8,10 @@
 //! admission (token-bucket quotas) and weighted-fair priority scheduling,
 //! hot model reload, and the PR-6 robustness stack — per-request
 //! deadlines, layered load-shedding, supervised workers and graceful
-//! zero-drop drain.
+//! zero-drop drain. With a `snapshot_dir` configured the daemon persists
+//! every trained model to a [`fab_store`] snapshot store and warm-starts
+//! from the last good snapshot at boot, retraining only on a miss, stale
+//! fingerprint, or corruption.
 //!
 //! Modules, wire-inward:
 //!
@@ -29,8 +32,9 @@
 //! | `POST /v1/predict_batch` | Many sequences, per-sequence results/errors |
 //! | `GET /v1/models`, `GET /v1/stats` | Model registry (name/version/state) / JSON stats incl. per-tenant and per-class |
 //! | `GET /metrics` | Prometheus text exposition |
-//! | `GET /healthz`, `GET /readyz` | Liveness / readiness (`503` while draining) |
+//! | `GET /healthz`, `GET /readyz` | Liveness / readiness (`503` while loading or draining) |
 //! | `POST /admin/models` | Hot load / reload / unload a model (zero-drop swap) |
+//! | `POST /admin/snapshot` | Re-persist every loaded model to the snapshot store; `GET` lists snapshots on disk |
 //! | `POST /admin/shutdown` | Start a graceful drain |
 //! | `POST /admin/inject_worker_exit` | Kill a worker (fault-injection builds only) |
 

@@ -400,6 +400,134 @@ fn priority_labels_are_validated_and_tracked_per_class() {
     daemon.shutdown();
 }
 
+/// Cold boot trains and persists; a restart on the same `snapshot_dir`
+/// warm-starts every profile with bit-identical logits; corrupting the
+/// newest snapshot falls back to the previous good version.
+#[test]
+fn warm_start_restores_identical_logits_and_corruption_falls_back() {
+    let dir = std::env::temp_dir().join(format!("fabd-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_timeout_ms: 500,
+        snapshot_dir: Some(dir.to_string_lossy().into_owned()),
+        ..DaemonConfig::default()
+    };
+    let models = ["text-f32", "text-fast", "text-int8"];
+    let logits_of = |client: &mut FabClient, model: &str| -> Vec<f64> {
+        let result = client.predict(Some(model), &[5, 4, 3, 2, 1], None).expect("predict");
+        result
+            .get("logits")
+            .and_then(Json::as_arr)
+            .expect("logits")
+            .iter()
+            .map(|l| l.as_f64().expect("number"))
+            .collect()
+    };
+    let sources_of = |client: &mut FabClient| -> Vec<(String, String)> {
+        let listed = client.models_list().expect("models");
+        let mut out: Vec<(String, String)> = listed
+            .get("models")
+            .and_then(Json::as_arr)
+            .expect("array")
+            .iter()
+            .filter(|m| m.get("state").and_then(Json::as_str) == Some("ready"))
+            .map(|m| {
+                (
+                    m.get("name").and_then(Json::as_str).expect("name").to_string(),
+                    m.get("source").and_then(Json::as_str).expect("source").to_string(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    };
+
+    // Cold boot: everything trains, persists, and reports `trained`.
+    let daemon = Daemon::start(config()).expect("cold boot");
+    let mut client = client_for(&daemon);
+    assert!(sources_of(&mut client).iter().all(|(_, s)| s == "trained"));
+    let listed = client.snapshot_list().expect("snapshot list");
+    let snaps = listed.get("snapshots").and_then(Json::as_arr).expect("snapshots");
+    assert_eq!(snaps.len(), 3, "{listed}");
+    // A second version per model, so the fallback leg below has somewhere
+    // to fall back to.
+    let ack = client.snapshot_trigger().expect("snapshot trigger");
+    assert_eq!(ack.get("saved").and_then(Json::as_arr).map(<[Json]>::len), Some(3), "{ack}");
+    assert_eq!(ack.get("failed").and_then(Json::as_arr).map(<[Json]>::len), Some(0), "{ack}");
+    let cold: Vec<Vec<f64>> = models.iter().map(|m| logits_of(&mut client, m)).collect();
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_model_source{model=\"text-int8\",source=\"trained\"} 1"));
+    assert!(metrics.contains("fabd_warm_start_seconds"), "{metrics}");
+    daemon.shutdown();
+
+    // Warm boot: every profile restores from its snapshot, logits
+    // bit-identical to the cold-trained daemon's.
+    let daemon = Daemon::start(config()).expect("warm boot");
+    let mut client = client_for(&daemon);
+    assert!(
+        sources_of(&mut client).iter().all(|(_, s)| s == "warm"),
+        "{:?}",
+        sources_of(&mut client)
+    );
+    for (model, cold_logits) in models.iter().zip(&cold) {
+        assert_eq!(&logits_of(&mut client, model), cold_logits, "{model} drifted");
+    }
+    daemon.shutdown();
+
+    // Corrupt the newest snapshot of one model: the daemon must come up
+    // anyway, serving that model from the previous good version.
+    let newest = std::fs::read_dir(dir.join("text-fast"))
+        .expect("model dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fsnap"))
+        .max()
+        .expect("a snapshot");
+    let mut bytes = std::fs::read(&newest).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("corrupt snapshot");
+    let daemon = Daemon::start(config()).expect("boot despite corruption");
+    let mut client = client_for(&daemon);
+    let sources = sources_of(&mut client);
+    let of = |name: &str| sources.iter().find(|(n, _)| n == name).map(|(_, s)| s.as_str());
+    assert_eq!(of("text-fast"), Some("fallback"), "{sources:?}");
+    assert_eq!(of("text-f32"), Some("warm"), "{sources:?}");
+    let fast_idx = models.iter().position(|&m| m == "text-fast").unwrap();
+    assert_eq!(&logits_of(&mut client, "text-fast"), &cold[fast_idx], "fallback drifted");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_configs_are_rejected_at_startup_with_clear_errors() {
+    let start_err = |config: DaemonConfig, what: &str| match Daemon::start(config) {
+        Err(e) => e,
+        Ok(d) => {
+            d.shutdown();
+            panic!("{what}: daemon started despite invalid config")
+        }
+    };
+    let mut config = test_config();
+    config.profiles.push(ProfileConfig::tiny("fast", Precision::FastMath, 8));
+    let err = start_err(config, "duplicate profile names");
+    assert!(err.contains("duplicate") && err.contains("fast"), "{err}");
+
+    let config = DaemonConfig { profiles: vec![], ..test_config() };
+    let err = start_err(config, "no profiles");
+    assert!(err.contains("at least one profile"), "{err}");
+
+    let file = std::env::temp_dir().join(format!("fabd-e2e-notadir-{}", std::process::id()));
+    std::fs::write(&file, b"occupied").expect("create file");
+    let config = DaemonConfig {
+        snapshot_dir: Some(file.join("nested").to_string_lossy().into_owned()),
+        ..test_config()
+    };
+    let err = start_err(config, "unwritable snapshot_dir");
+    assert!(err.contains("snapshot_dir"), "{err}");
+    let _ = std::fs::remove_file(&file);
+}
+
 #[test]
 fn connection_limit_sheds_excess_connections_with_503() {
     let config = DaemonConfig { max_connections: 1, ..test_config() };

@@ -39,7 +39,9 @@ pub mod registry;
 pub mod scheduler;
 
 pub use qos::{TenantCounters, TenantQuota, TenantStats, TenantTable, DEFAULT_TENANT};
-pub use registry::{LoadTicket, ModelHandle, ModelInfo, ModelSpec, ModelState, Registry};
+pub use registry::{
+    LoadTicket, ModelHandle, ModelInfo, ModelSource, ModelSpec, ModelState, Registry,
+};
 pub use scheduler::{ClassWeights, QosPolicy};
 
 use fab_serve::{
@@ -186,8 +188,20 @@ impl Fleet {
     }
 
     /// Builds a server around `session` (with this fleet's scheduler) and
-    /// commits it as the new current version of the ticket's name.
+    /// commits it as the new current version of the ticket's name, recorded
+    /// as [`ModelSource::Trained`].
     pub fn commit(&self, ticket: LoadTicket<'_>, session: InferenceSession) -> ModelInfo {
+        self.commit_with_source(ticket, session, ModelSource::Trained)
+    }
+
+    /// [`Fleet::commit`] with an explicit provenance tag — warm starts and
+    /// snapshot fallbacks record where the version came from.
+    pub fn commit_with_source(
+        &self,
+        ticket: LoadTicket<'_>,
+        session: InferenceSession,
+        source: ModelSource,
+    ) -> ModelInfo {
         let max_seq = session.max_seq();
         let server = match self.config.scheduler {
             SchedulerKind::WeightedFair => {
@@ -202,7 +216,7 @@ impl Fleet {
             }
             SchedulerKind::LengthBucket => Server::start(session, self.config.serve.clone()),
         };
-        ticket.commit(server)
+        ticket.commit_with_source(server, source)
     }
 
     /// One-step [`Fleet::begin_load`] + [`Fleet::commit`] for callers that

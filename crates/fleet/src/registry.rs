@@ -67,6 +67,36 @@ impl fmt::Display for ModelState {
     }
 }
 
+/// Where a committed model version came from — operators watch this to spot
+/// snapshot-corruption (fallback) and retrain-on-miss events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSource {
+    /// Restored from the newest valid snapshot (warm start).
+    Warm,
+    /// Trained in-process (cold start, hot reload, or snapshot miss).
+    Trained,
+    /// Restored from an *older* snapshot after the newest was rejected as
+    /// corrupt or stale.
+    Fallback,
+}
+
+impl ModelSource {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelSource::Warm => "warm",
+            ModelSource::Trained => "trained",
+            ModelSource::Fallback => "fallback",
+        }
+    }
+}
+
+impl fmt::Display for ModelSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Identity of a fleet model: what it is, not how it is doing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelSpec {
@@ -84,6 +114,7 @@ pub struct ModelSpec {
 struct ModelEntry {
     spec: ModelSpec,
     version: u64,
+    source: ModelSource,
     state: Mutex<ModelState>,
     /// The running server; taken (consumed) by the reaper at drain time.
     server: Mutex<Option<Server>>,
@@ -114,6 +145,11 @@ impl ModelHandle {
         self.entry.version
     }
 
+    /// Where this version came from (warm / trained / fallback).
+    pub fn source(&self) -> ModelSource {
+        self.entry.source
+    }
+
     /// The serving handle for submitting requests.
     pub fn server(&self) -> &ServerHandle {
         &self.entry.handle
@@ -127,6 +163,8 @@ pub struct ModelInfo {
     pub spec: ModelSpec,
     /// Version number (1-based; a reload bumps it).
     pub version: u64,
+    /// Where this version came from (warm / trained / fallback).
+    pub source: ModelSource,
     /// Lifecycle state at snapshot time.
     pub state: ModelState,
 }
@@ -216,8 +254,12 @@ impl Registry {
             .unwrap_or_else(PoisonError::into_inner)
             .remove(name)
             .ok_or_else(|| FleetError::NoSuchModel(name.to_string()))?;
-        let info =
-            ModelInfo { spec: old.spec.clone(), version: old.version, state: ModelState::Draining };
+        let info = ModelInfo {
+            spec: old.spec.clone(),
+            version: old.version,
+            source: old.source,
+            state: ModelState::Draining,
+        };
         self.retire(old);
         Ok(info)
     }
@@ -248,6 +290,7 @@ impl Registry {
                     log.push(ModelInfo {
                         spec: entry.spec.clone(),
                         version: entry.version,
+                        source: entry.source,
                         state: ModelState::Retired,
                     });
                     let overflow = log.len().saturating_sub(RETIRED_HISTORY);
@@ -268,7 +311,12 @@ impl Registry {
     pub fn list(&self) -> Vec<ModelInfo> {
         let mut out: Vec<ModelInfo> = Vec::new();
         for spec in lock_recover(&self.loading).values() {
-            out.push(ModelInfo { spec: spec.clone(), version: 0, state: ModelState::Loading });
+            out.push(ModelInfo {
+                spec: spec.clone(),
+                version: 0,
+                source: ModelSource::Trained,
+                state: ModelState::Loading,
+            });
         }
         {
             let ready = self.ready.read().unwrap_or_else(PoisonError::into_inner);
@@ -276,6 +324,7 @@ impl Registry {
                 out.push(ModelInfo {
                     spec: entry.spec.clone(),
                     version: entry.version,
+                    source: entry.source,
                     state: *lock_recover(&entry.state),
                 });
             }
@@ -286,6 +335,7 @@ impl Registry {
             let info = ModelInfo {
                 spec: entry.spec.clone(),
                 version: entry.version,
+                source: entry.source,
                 state: *lock_recover(&entry.state),
             };
             if !out.iter().any(|m| m.spec.name == info.spec.name && m.version == info.version) {
@@ -307,6 +357,7 @@ impl Registry {
                     ModelInfo {
                         spec: entry.spec.clone(),
                         version: entry.version,
+                        source: entry.source,
                         state: *lock_recover(&entry.state),
                     },
                     ModelHandle { entry: Arc::clone(entry) },
@@ -350,8 +401,16 @@ impl LoadTicket<'_> {
 
     /// Installs `server` as the new current version of the name: assigns
     /// the next version number, swaps it in atomically, and sends any
-    /// previous version to drain in the background.
-    pub fn commit(mut self, server: Server) -> ModelInfo {
+    /// previous version to drain in the background. The version is recorded
+    /// as [`ModelSource::Trained`]; snapshot restores use
+    /// [`LoadTicket::commit_with_source`].
+    pub fn commit(self, server: Server) -> ModelInfo {
+        self.commit_with_source(server, ModelSource::Trained)
+    }
+
+    /// [`LoadTicket::commit`] with an explicit provenance tag (warm /
+    /// trained / fallback), surfaced in listings, stats and metrics.
+    pub fn commit_with_source(mut self, server: Server, source: ModelSource) -> ModelInfo {
         let spec = self.spec.take().expect("ticket not yet consumed");
         let registry = self.registry;
         let version = {
@@ -363,6 +422,7 @@ impl LoadTicket<'_> {
         let entry = Arc::new(ModelEntry {
             spec: spec.clone(),
             version,
+            source,
             state: Mutex::new(ModelState::Ready),
             handle: server.handle(),
             server: Mutex::new(Some(server)),
@@ -376,7 +436,7 @@ impl LoadTicket<'_> {
         if let Some(old) = old {
             registry.retire(old);
         }
-        ModelInfo { spec, version, state: ModelState::Ready }
+        ModelInfo { spec, version, source, state: ModelState::Ready }
     }
 }
 

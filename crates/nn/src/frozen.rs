@@ -105,6 +105,19 @@ pub struct FrozenLayerNorm {
 }
 
 impl FrozenLayerNorm {
+    /// Reassembles a frozen layer norm from its parts (the inverse of the
+    /// accessors, used by snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` and `beta` differ in length or `eps` is not
+    /// finite and positive.
+    pub fn new(gamma: Tensor, beta: Tensor, eps: f32) -> Self {
+        assert_eq!(gamma.len(), beta.len(), "layer norm gamma/beta length mismatch");
+        assert!(eps.is_finite() && eps > 0.0, "layer norm epsilon must be finite and positive");
+        Self { gamma, beta, eps }
+    }
+
     /// Learned per-feature scale.
     pub fn gamma(&self) -> &Tensor {
         &self.gamma
@@ -140,6 +153,11 @@ pub struct FrozenFeedForward {
 }
 
 impl FrozenFeedForward {
+    /// Reassembles a frozen FFN from its two linear maps (snapshot restore).
+    pub fn new(lin1: FrozenLinear, lin2: FrozenLinear) -> Self {
+        Self { lin1, lin2 }
+    }
+
     /// The expanding linear map (`hidden → ffn`).
     pub fn lin1(&self) -> &FrozenLinear {
         &self.lin1
@@ -172,6 +190,27 @@ pub struct FrozenAttention {
 }
 
 impl FrozenAttention {
+    /// Reassembles frozen attention from its four projections (snapshot
+    /// restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_heads` does not divide `dim`.
+    pub fn new(
+        wq: FrozenLinear,
+        wk: FrozenLinear,
+        wv: FrozenLinear,
+        wo: FrozenLinear,
+        dim: usize,
+        num_heads: usize,
+    ) -> Self {
+        assert!(
+            num_heads > 0 && dim.is_multiple_of(num_heads),
+            "heads must divide the feature dimension"
+        );
+        Self { wq, wk, wv, wo, dim, num_heads }
+    }
+
     /// The query projection.
     pub fn wq(&self) -> &FrozenLinear {
         &self.wq
@@ -313,6 +352,16 @@ pub struct FrozenBlock {
 }
 
 impl FrozenBlock {
+    /// Reassembles a frozen block from its halves (snapshot restore).
+    pub fn new(
+        mixing: FrozenMixing,
+        ffn: FrozenFeedForward,
+        ln1: FrozenLayerNorm,
+        ln2: FrozenLayerNorm,
+    ) -> Self {
+        Self { mixing, ffn, ln1, ln2 }
+    }
+
     /// The token-mixing half of the block.
     pub fn mixing(&self) -> &FrozenMixing {
         &self.mixing
@@ -401,6 +450,39 @@ pub struct FrozenModel {
 }
 
 impl FrozenModel {
+    /// Reassembles a frozen model from its parts — the inverse of the
+    /// component accessors, used by snapshot restore. A model rebuilt from
+    /// the exact tensors of a [`Model::freeze`](crate::Model::freeze)
+    /// snapshot produces bit-identical logits. Fast math starts disabled;
+    /// chain [`FrozenModel::with_fast_math`] to re-enable it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the embedding tables disagree with `config`
+    /// (`[vocab_size, hidden]` / `[max_seq, hidden]`) or the block count
+    /// differs from `config.num_layers`.
+    pub fn from_parts(
+        config: ModelConfig,
+        kind: ModelKind,
+        tok_table: Tensor,
+        pos_table: Tensor,
+        blocks: Vec<FrozenBlock>,
+        head: FrozenLinear,
+    ) -> Self {
+        assert_eq!(
+            tok_table.shape(),
+            &[config.vocab_size, config.hidden],
+            "token table shape mismatch"
+        );
+        assert_eq!(
+            pos_table.shape(),
+            &[config.max_seq, config.hidden],
+            "positional table shape mismatch"
+        );
+        assert_eq!(blocks.len(), config.num_layers, "block count mismatch");
+        Self { config, kind, tok_table, pos_table, blocks, head, fast_math: false }
+    }
+
     /// The configuration of the model this snapshot was frozen from.
     pub fn config(&self) -> &ModelConfig {
         &self.config

@@ -63,4 +63,4 @@ mod qmodel;
 pub use calibrate::{calibrate, quantize_frozen, ActivationScales, BlockScales, CalibrationConfig};
 pub use observer::{Observer, ObserverKind};
 pub use qlinear::{MaybeQuantLinear, QuantEmbedding, QuantLinear};
-pub use qmodel::QuantModel;
+pub use qmodel::{QuantAttention, QuantBlock, QuantFeedForward, QuantMixing, QuantModel};

@@ -77,6 +77,33 @@ impl QuantLinear {
         Self { qw, w_scale, combined, bias: b.as_slice().to_vec(), in_scale, d_in, d_out }
     }
 
+    /// Reassembles a quantized linear from its stored parts (snapshot
+    /// restore): `[d_out, d_in]` transposed int8 weights, `[d_out]` per-row
+    /// weight scales and bias, and the calibrated input scale. The derived
+    /// dequantization multipliers are recomputed, never persisted, so a
+    /// restored layer is field-for-field identical to the freshly-quantized
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths are inconsistent or `in_scale` is not
+    /// positive.
+    pub fn from_parts(
+        qw: Vec<i8>,
+        w_scale: Vec<f32>,
+        bias: Vec<f32>,
+        in_scale: f32,
+        d_in: usize,
+        d_out: usize,
+    ) -> Self {
+        assert!(in_scale > 0.0, "input scale must be positive");
+        assert_eq!(qw.len(), d_out * d_in, "quantized weight length mismatch");
+        assert_eq!(w_scale.len(), d_out, "weight scale length mismatch");
+        assert_eq!(bias.len(), d_out, "bias length mismatch");
+        let combined: Vec<f32> = w_scale.iter().map(|&s| s * in_scale).collect();
+        Self { qw, w_scale, combined, bias, in_scale, d_in, d_out }
+    }
+
     /// Input feature dimension.
     pub fn d_in(&self) -> usize {
         self.d_in
@@ -95,6 +122,16 @@ impl QuantLinear {
     /// Per-output-row weight scales.
     pub fn w_scales(&self) -> &[f32] {
         &self.w_scale
+    }
+
+    /// `[d_out, d_in]` transposed int8 weights (snapshot serialization).
+    pub fn qw(&self) -> &[i8] {
+        &self.qw
+    }
+
+    /// `[d_out]` f32 bias (snapshot serialization).
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
     }
 
     /// Applies the quantized map to a `[rows, d_in]` tensor, optionally
@@ -238,6 +275,18 @@ impl QuantEmbedding {
         Self { q, scale, rows, cols }
     }
 
+    /// Reassembles a quantized embedding table from its stored parts
+    /// (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths are inconsistent.
+    pub fn from_parts(q: Vec<i8>, scale: Vec<f32>, rows: usize, cols: usize) -> Self {
+        assert_eq!(q.len(), rows * cols, "quantized table length mismatch");
+        assert_eq!(scale.len(), rows, "table scale length mismatch");
+        Self { q, scale, rows, cols }
+    }
+
     /// Number of table rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -260,6 +309,16 @@ impl QuantEmbedding {
         for (d, &qv) in dst.iter_mut().zip(self.q[r * self.cols..(r + 1) * self.cols].iter()) {
             *d += qv as f32 * s;
         }
+    }
+
+    /// `[rows, cols]` raw int8 table values (snapshot serialization).
+    pub fn q(&self) -> &[i8] {
+        &self.q
+    }
+
+    /// Per-row dequantization scales (snapshot serialization).
+    pub fn scales(&self) -> &[f32] {
+        &self.scale
     }
 
     /// Bytes of int8 table storage.

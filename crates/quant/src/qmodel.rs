@@ -14,7 +14,7 @@ const PAR_MIN_ELEMS: usize = 1 << 14;
 /// Quantized multi-head self-attention: int8 projections around the f32
 /// `softmax(QKᵀ)·V` core.
 #[derive(Debug, Clone)]
-pub(crate) struct QuantAttention {
+pub struct QuantAttention {
     wq: MaybeQuantLinear,
     wk: MaybeQuantLinear,
     wv: MaybeQuantLinear,
@@ -24,6 +24,57 @@ pub(crate) struct QuantAttention {
 }
 
 impl QuantAttention {
+    /// Reassembles quantized attention from its four projections (snapshot
+    /// restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_heads` does not divide `dim`.
+    pub fn new(
+        wq: MaybeQuantLinear,
+        wk: MaybeQuantLinear,
+        wv: MaybeQuantLinear,
+        wo: MaybeQuantLinear,
+        dim: usize,
+        num_heads: usize,
+    ) -> Self {
+        assert!(
+            num_heads > 0 && dim.is_multiple_of(num_heads),
+            "heads must divide the feature dimension"
+        );
+        Self { wq, wk, wv, wo, dim, num_heads }
+    }
+
+    /// The query projection.
+    pub fn wq(&self) -> &MaybeQuantLinear {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &MaybeQuantLinear {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &MaybeQuantLinear {
+        &self.wv
+    }
+
+    /// The output projection.
+    pub fn wo(&self) -> &MaybeQuantLinear {
+        &self.wo
+    }
+
+    /// Model (embedding) dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
     /// Applies self-attention to a flat `[B * pad_to, dim]` batch; the
     /// projections run int8 over the whole batch, the attention core runs
     /// f32 per example on its true-length segment (padding rows never
@@ -83,7 +134,7 @@ impl QuantAttention {
 
 /// The token-mixing half of a quantized block.
 #[derive(Debug, Clone)]
-pub(crate) enum QuantMixing {
+pub enum QuantMixing {
     /// int8-projected attention.
     Attention(Box<QuantAttention>),
     /// Parameter-free f32 Fourier mixing.
@@ -93,12 +144,28 @@ pub(crate) enum QuantMixing {
 /// Quantized feed-forward: `lin2(gelu(lin1(x)))` with the GELU fused into
 /// `lin1`'s dequantization epilogue.
 #[derive(Debug, Clone)]
-pub(crate) struct QuantFeedForward {
+pub struct QuantFeedForward {
     lin1: MaybeQuantLinear,
     lin2: MaybeQuantLinear,
 }
 
 impl QuantFeedForward {
+    /// Reassembles a quantized FFN from its two linear maps (snapshot
+    /// restore).
+    pub fn new(lin1: MaybeQuantLinear, lin2: MaybeQuantLinear) -> Self {
+        Self { lin1, lin2 }
+    }
+
+    /// The expanding linear map (`hidden → ffn`).
+    pub fn lin1(&self) -> &MaybeQuantLinear {
+        &self.lin1
+    }
+
+    /// The contracting linear map (`ffn → hidden`).
+    pub fn lin2(&self) -> &MaybeQuantLinear {
+        &self.lin2
+    }
+
     fn forward(&self, x: &Tensor) -> Tensor {
         let a = self.lin1.forward(x, true);
         self.lin2.forward(&a, false)
@@ -108,7 +175,7 @@ impl QuantFeedForward {
 /// One quantized encoder block: int8 GEMMs with f32 layer norms at the
 /// residual boundaries.
 #[derive(Debug, Clone)]
-pub(crate) struct QuantBlock {
+pub struct QuantBlock {
     mixing: QuantMixing,
     ffn: QuantFeedForward,
     ln1: FrozenLayerNorm,
@@ -116,6 +183,36 @@ pub(crate) struct QuantBlock {
 }
 
 impl QuantBlock {
+    /// Reassembles a quantized block from its halves (snapshot restore).
+    pub fn new(
+        mixing: QuantMixing,
+        ffn: QuantFeedForward,
+        ln1: FrozenLayerNorm,
+        ln2: FrozenLayerNorm,
+    ) -> Self {
+        Self { mixing, ffn, ln1, ln2 }
+    }
+
+    /// The token-mixing half of the block.
+    pub fn mixing(&self) -> &QuantMixing {
+        &self.mixing
+    }
+
+    /// The feed-forward half of the block.
+    pub fn ffn(&self) -> &QuantFeedForward {
+        &self.ffn
+    }
+
+    /// Layer norm wrapping the mixing residual.
+    pub fn ln1(&self) -> &FrozenLayerNorm {
+        &self.ln1
+    }
+
+    /// Layer norm wrapping the FFN residual.
+    pub fn ln2(&self) -> &FrozenLayerNorm {
+        &self.ln2
+    }
+
     fn forward_batch(&self, x: &Tensor, pad_to: usize, lengths: &[usize]) -> Tensor {
         let m = match &self.mixing {
             QuantMixing::Attention(a) => a.forward_batch(x, pad_to, lengths),
@@ -233,9 +330,60 @@ impl QuantModel {
         }
     }
 
+    /// Reassembles a quantized model from its parts — the inverse of the
+    /// component accessors, used by snapshot restore. A model rebuilt from
+    /// the exact stored values of a [`QuantModel::quantize`] result produces
+    /// bit-identical logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the embedding tables disagree with `config` or the block
+    /// count differs from `config.num_layers`.
+    pub fn from_parts(
+        config: ModelConfig,
+        kind: ModelKind,
+        tok: QuantEmbedding,
+        pos: QuantEmbedding,
+        blocks: Vec<QuantBlock>,
+        head: MaybeQuantLinear,
+    ) -> Self {
+        assert_eq!(
+            (tok.rows(), tok.cols()),
+            (config.vocab_size, config.hidden),
+            "token table shape mismatch"
+        );
+        assert_eq!(
+            (pos.rows(), pos.cols()),
+            (config.max_seq, config.hidden),
+            "positional table shape mismatch"
+        );
+        assert_eq!(blocks.len(), config.num_layers, "block count mismatch");
+        Self { config, kind, tok, pos, blocks, head }
+    }
+
     /// The configuration of the model this snapshot was quantized from.
     pub fn config(&self) -> &ModelConfig {
         &self.config
+    }
+
+    /// The int8 token-embedding table.
+    pub fn tok(&self) -> &QuantEmbedding {
+        &self.tok
+    }
+
+    /// The int8 positional-embedding table.
+    pub fn pos(&self) -> &QuantEmbedding {
+        &self.pos
+    }
+
+    /// The quantized encoder blocks, in execution order.
+    pub fn blocks(&self) -> &[QuantBlock] {
+        &self.blocks
+    }
+
+    /// The (possibly quantized) classifier head.
+    pub fn head(&self) -> &MaybeQuantLinear {
+        &self.head
     }
 
     /// Which architecture the snapshot instantiates.

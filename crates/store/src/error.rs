@@ -1,0 +1,95 @@
+//! The typed failure taxonomy of the snapshot store.
+
+use std::fmt;
+
+/// Why a snapshot could not be written, read, or trusted.
+///
+/// Every corruption mode a paranoid reader can detect has its own variant so
+/// callers (and tests) can distinguish "the file is damaged" from "the file
+/// describes a different model" from "the disk failed". None of these are
+/// ever allowed to surface as a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file ends before the structure it promises (torn write or
+    /// truncation).
+    Truncated {
+        /// What the reader was decoding when the bytes ran out.
+        context: &'static str,
+    },
+    /// The whole-body checksum does not match the header.
+    BodyChecksum,
+    /// One section's payload checksum does not match.
+    SectionChecksum(String),
+    /// A structurally malformed snapshot (bad lengths, non-UTF-8 names,
+    /// unknown dtype tags, dimension/payload mismatches).
+    Malformed(String),
+    /// A required section is absent.
+    MissingSection(String),
+    /// A section exists but holds the wrong dtype or shape.
+    BadSection {
+        /// The offending section.
+        section: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The snapshot decodes cleanly but describes a different profile
+    /// (fingerprint mismatch) — stale, not corrupt.
+    StaleFingerprint {
+        /// Fingerprint recorded in the snapshot.
+        found: String,
+        /// Fingerprint the caller expected.
+        expected: String,
+    },
+    /// No valid snapshot exists for the model.
+    NoSnapshot(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, err } => write!(f, "io error at {path}: {err}"),
+            StoreError::BadMagic => write!(f, "not a fab-store snapshot (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            StoreError::BodyChecksum => write!(f, "snapshot body checksum mismatch"),
+            StoreError::SectionChecksum(name) => {
+                write!(f, "checksum mismatch in section '{name}'")
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            StoreError::MissingSection(name) => write!(f, "missing section '{name}'"),
+            StoreError::BadSection { section, reason } => {
+                write!(f, "bad section '{section}': {reason}")
+            }
+            StoreError::StaleFingerprint { found, expected } => {
+                write!(f, "snapshot fingerprint '{found}' does not match expected '{expected}'")
+            }
+            StoreError::NoSnapshot(model) => {
+                write!(f, "no valid snapshot for model '{model}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Convenience constructor for [`StoreError::Io`].
+    pub(crate) fn io(path: &std::path::Path, err: std::io::Error) -> Self {
+        StoreError::Io { path: path.display().to_string(), err }
+    }
+}

@@ -1,0 +1,298 @@
+//! PR-8 property tests: snapshot round trips must be logit-bit-identical for
+//! every architecture at every precision, and no corruption of the on-disk
+//! bytes — truncation at any boundary, bit flips anywhere, torn renames,
+//! stale manifests — may ever panic the reader or hand back a half-read
+//! model.
+
+use fab_nn::{Model, ModelConfig, ModelKind};
+use fab_quant::{quantize_frozen, CalibrationConfig};
+use fab_store::{
+    decode_artifact, encode_artifact, section_offsets, ModelArtifact, Snapshot, Store, StoreError,
+    FINGERPRINT_KEY,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::PathBuf;
+
+const KINDS: [ModelKind; 3] = [ModelKind::Transformer, ModelKind::FNet, ModelKind::FabNet];
+
+fn tiny() -> ModelConfig {
+    ModelConfig::tiny_for_tests()
+}
+
+fn calib_samples(n: usize, len: usize, vocab: usize) -> Vec<Vec<usize>> {
+    (0..n).map(|i| (0..len).map(|j| (i * 5 + j * 11 + 1) % vocab).collect()).collect()
+}
+
+/// Builds one artifact per precision (exact f32, fast-math f32, int8) for a
+/// seeded model of the given architecture.
+fn artifacts(seed: u64, kind: ModelKind) -> Vec<ModelArtifact> {
+    let config = tiny();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = Model::new(&config, kind, &mut rng);
+    let exact = model.freeze();
+    let fast = model.freeze().with_fast_math(true);
+    let samples = calib_samples(8, config.max_seq.min(8), config.vocab_size);
+    let quant = quantize_frozen(&fast, &samples, &CalibrationConfig::default());
+    vec![ModelArtifact::Frozen(exact), ModelArtifact::Frozen(fast), ModelArtifact::Quant(quant)]
+}
+
+fn logits_of(artifact: &ModelArtifact, tokens: &[usize]) -> Vec<f32> {
+    match artifact {
+        ModelArtifact::Frozen(m) => m.logits(tokens),
+        ModelArtifact::Quant(m) => m.logits(tokens),
+    }
+}
+
+fn probe_batches(vocab: usize, max_seq: usize) -> Vec<Vec<usize>> {
+    vec![
+        vec![1 % vocab],
+        (0..max_seq).map(|j| (j * 7 + 3) % vocab).collect(),
+        (0..max_seq / 2).map(|j| (j * 13 + 1) % vocab).collect(),
+    ]
+}
+
+fn temp_root(test: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("fab-store-{test}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+#[test]
+fn encode_decode_is_logit_bit_identical_for_all_archs_and_precisions() {
+    for (seed, kind) in KINDS.iter().copied().enumerate() {
+        for (p, artifact) in artifacts(seed as u64 + 40, kind).iter().enumerate() {
+            let meta = vec![(FINGERPRINT_KEY.to_string(), format!("fp-{p}"))];
+            let bytes = encode_artifact(artifact, &meta);
+            let (restored, meta_back) = decode_artifact(&bytes).expect("decode");
+            assert_eq!(meta_back, meta, "{kind:?} precision {p}");
+            for tokens in probe_batches(tiny().vocab_size, tiny().max_seq) {
+                assert_eq!(
+                    logits_of(artifact, &tokens),
+                    logits_of(&restored, &tokens),
+                    "{kind:?} precision {p} tokens {tokens:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Random seeds, architectures and probe sequences: the restored model's
+    // logits equal the original's bit for bit at every precision.
+    #[test]
+    fn snapshot_round_trip_preserves_logits(
+        seed in 0u64..1000,
+        kind_ix in 0usize..3,
+        len in 1usize..16,
+        salt in 0usize..100,
+    ) {
+        let kind = KINDS[kind_ix];
+        let config = tiny();
+        let tokens: Vec<usize> =
+            (0..len).map(|j| (j * 31 + salt * 7 + 1) % config.vocab_size).collect();
+        for artifact in artifacts(seed, kind) {
+            let bytes = encode_artifact(&artifact, &[]);
+            let (restored, _) = decode_artifact(&bytes).expect("decode");
+            prop_assert_eq!(logits_of(&artifact, &tokens), logits_of(&restored, &tokens));
+        }
+    }
+
+    // Bit flips at random positions are always detected — decode returns a
+    // typed error, never a model and never a panic.
+    #[test]
+    fn random_bit_flips_never_yield_a_model(
+        seed in 0u64..1000,
+        kind_ix in 0usize..3,
+        pos_salt in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let artifact = artifacts(seed, KINDS[kind_ix]).remove(2);
+        let mut bytes = encode_artifact(&artifact, &[]);
+        let pos = pos_salt % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(decode_artifact(&bytes).is_err());
+    }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_a_typed_error() {
+    let artifact = artifacts(7, ModelKind::FabNet).remove(0);
+    let bytes = encode_artifact(&artifact, &[(FINGERPRINT_KEY.to_string(), "fp".to_string())]);
+    let offsets = section_offsets(&bytes).expect("offsets");
+    // Every section boundary, plus the header edges (the final offset is
+    // the end of the intact file, which decodes — skip it).
+    let mut cuts: Vec<usize> = offsets;
+    cuts.extend([0, 4, 8, 12, 20, bytes.len() - 1]);
+    cuts.retain(|&c| c < bytes.len());
+    for cut in cuts {
+        let err = decode_artifact(&bytes[..cut]).expect_err("must fail");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::BodyChecksum
+                    | StoreError::BadMagic
+                    | StoreError::Malformed(_)
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn header_blob_and_crc_byte_flips_are_all_detected() {
+    let artifact = artifacts(8, ModelKind::Transformer).remove(1);
+    let bytes = encode_artifact(&artifact, &[]);
+    let offsets = section_offsets(&bytes).expect("offsets");
+    // Flip bytes in: the magic, the version, body_len, body_crc, the first
+    // section's header, a payload byte deep inside, and a section CRC (the
+    // last 4 bytes of each section record).
+    let mut positions = vec![0, 9, 13, 21, offsets[0], offsets[0] + 3];
+    for w in offsets.windows(2) {
+        positions.push(w[1] - 2); // inside that section's trailing CRC
+        positions.push((w[0] + w[1]) / 2); // somewhere in the payload
+    }
+    for pos in positions {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x20;
+        assert!(decode_artifact(&corrupt).is_err(), "flip at {pos} went undetected");
+    }
+}
+
+#[test]
+fn store_save_load_round_trips_and_versions_accumulate() {
+    let root = temp_root("versions");
+    let store = Store::open(&root).expect("open");
+    let artifact = artifacts(9, ModelKind::FNet).remove(2);
+    let meta = vec![(FINGERPRINT_KEY.to_string(), "fp-a".to_string())];
+    assert_eq!(store.save("m", &artifact, &meta).expect("save 1"), 1);
+    assert_eq!(store.save("m", &artifact, &meta).expect("save 2"), 2);
+    assert_eq!(store.versions("m").expect("versions"), vec![1, 2]);
+    let rec = store.load_last_good("m", Some("fp-a")).expect("load");
+    assert_eq!(rec.version, 2);
+    assert!(!rec.fallback);
+    let tokens = vec![1usize, 3, 5];
+    assert_eq!(logits_of(&artifact, &tokens), logits_of(&rec.artifact, &tokens));
+    assert_eq!(store.manifest().get("m"), Some(&2));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_newest_falls_back_to_previous_last_good() {
+    let root = temp_root("fallback");
+    let store = Store::open(&root).expect("open");
+    let artifact = artifacts(10, ModelKind::FabNet).remove(0);
+    store.save("m", &artifact, &[]).expect("save 1");
+    store.save("m", &artifact, &[]).expect("save 2");
+    // Flip a byte in the newest snapshot.
+    let newest = store.snapshot_path("m", 2);
+    let mut bytes = fs::read(&newest).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&newest, &bytes).expect("write corruption");
+    let rec = store.load_last_good("m", None).expect("load");
+    assert_eq!(rec.version, 1);
+    assert!(rec.fallback, "must be flagged as a fallback load");
+    // Corrupt the survivor too: now nothing is loadable.
+    let v1 = store.snapshot_path("m", 1);
+    fs::write(&v1, b"FABSNAP1 definitely not a snapshot").expect("write corruption");
+    assert!(matches!(store.load_last_good("m", None), Err(StoreError::NoSnapshot(_))));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stale_fingerprint_is_skipped_and_torn_tmp_files_are_ignored() {
+    let root = temp_root("stale");
+    let store = Store::open(&root).expect("open");
+    let artifact = artifacts(11, ModelKind::Transformer).remove(1);
+    let old = vec![(FINGERPRINT_KEY.to_string(), "fp-old".to_string())];
+    let new = vec![(FINGERPRINT_KEY.to_string(), "fp-new".to_string())];
+    store.save("m", &artifact, &new).expect("save 1");
+    store.save("m", &artifact, &old).expect("save 2");
+    // A torn rename leaves a .tmp file behind; readers must ignore it.
+    let bytes = encode_artifact(&artifact, &new);
+    fs::write(root.join("m").join(".v00000003.fsnap.tmp"), &bytes[..bytes.len() / 3])
+        .expect("write torn tmp");
+    // Newest (v2) has the old fingerprint → skipped; v1 matches.
+    let rec = store.load_last_good("m", Some("fp-new")).expect("load");
+    assert_eq!(rec.version, 1);
+    assert!(rec.fallback);
+    // No version matches a future fingerprint.
+    assert!(store.load_last_good("m", Some("fp-future")).is_err());
+    assert_eq!(store.versions("m").expect("versions"), vec![1, 2], "tmp file leaked in");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn gc_keeps_newest_versions_and_sweeps_tmp_files() {
+    let root = temp_root("gc");
+    let store = Store::open(&root).expect("open");
+    let artifact = artifacts(12, ModelKind::FNet).remove(0);
+    for _ in 0..5 {
+        store.save("m", &artifact, &[]).expect("save");
+    }
+    fs::write(root.join("m").join(".v00000099.fsnap.tmp"), b"torn").expect("tmp");
+    let removed = store.gc(2).expect("gc");
+    assert_eq!(removed, 4, "3 old versions + 1 tmp file");
+    assert_eq!(store.versions("m").expect("versions"), vec![4, 5]);
+    // gc never removes the last copy.
+    assert_eq!(store.gc(0).expect("gc floor"), 1);
+    assert_eq!(store.versions("m").expect("versions"), vec![5]);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_manifest_lines_are_ignored_not_trusted() {
+    let root = temp_root("manifest");
+    let store = Store::open(&root).expect("open");
+    let artifact = artifacts(13, ModelKind::FabNet).remove(0);
+    store.save("good", &artifact, &[]).expect("save");
+    // Rewrite the manifest with one valid line, one checksum-corrupted line,
+    // and one garbage line: only the valid one survives, and loads ignore
+    // the manifest entirely.
+    let valid = fs::read_to_string(root.join("manifest.txt")).expect("manifest");
+    fs::write(root.join("manifest.txt"), format!("{valid}phantom\t7\t12345\nnot a line at all\n"))
+        .expect("write manifest");
+    let manifest = store.manifest();
+    assert_eq!(manifest.len(), 1);
+    assert_eq!(manifest.get("good"), Some(&1));
+    assert!(store.load_last_good("good", None).is_ok());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn open_rejects_unwritable_roots_and_hostile_model_names() {
+    let root = temp_root("unwritable");
+    fs::create_dir_all(&root).expect("mkdir");
+    let file_path = root.join("not-a-dir");
+    fs::write(&file_path, b"x").expect("file");
+    // A path under a regular file cannot be created.
+    assert!(matches!(Store::open(&file_path.join("sub")), Err(StoreError::Io { .. })));
+    let store = Store::open(&root).expect("open");
+    let artifact = artifacts(14, ModelKind::FNet).remove(0);
+    for name in ["", "../escape", "a/b", ".hidden", "semi;colon"] {
+        assert!(store.save(name, &artifact, &[]).is_err(), "name '{name}' accepted");
+        assert!(store.load_last_good(name, None).is_err());
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn snapshot_format_surface_is_stable() {
+    // The store's own format handles arbitrary sections; sanity-check the
+    // public surface the daemon relies on.
+    let mut s = Snapshot::new();
+    s.push_str("meta/note", "hello");
+    let bytes = s.encode();
+    assert_eq!(&bytes[..8], fab_store::MAGIC);
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+        fab_store::FORMAT_VERSION
+    );
+    assert_eq!(Snapshot::decode(&bytes).expect("decode").str("meta/note").expect("note"), "hello");
+}
