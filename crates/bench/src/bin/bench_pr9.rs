@@ -1,0 +1,510 @@
+//! PR-9 overload gauntlet: drives a real `fabd` daemon at 4x its measured
+//! capacity with deterministic chaos armed, and checks that the adaptive
+//! overload stack degrades gracefully instead of falling off a cliff —
+//! precision degradation walks down the ladder monotonically and recovers,
+//! circuit breakers fast-fail a panicking model and close again after a
+//! probe, and every accepted request is answered.
+//!
+//! ```text
+//! cargo run --release -p fab-bench --bin bench_pr9 -- [--smoke]
+//!     [--requests N] [--threads N] [--max-p99-ms X]
+//! ```
+//!
+//! Legs and gates:
+//! - baseline (overload stack OFF) at 4x capacity: informational cliff
+//!   recording, zero transport-dropped requests
+//! - adaptive (AIMD + degrade ON, chaos `slow_forward` armed) at 4x:
+//!   ≥ 99% of admitted requests answered `200`, p99 below `--max-p99-ms`,
+//!   some requests served degraded, the degrade level moves monotonically
+//!   (bounded direction changes) and returns to 0 after the load stops,
+//!   zero requests unanswered
+//! - circuit: chaos `panic_forward` trips the breaker to fast-fail `503`
+//!   within the failure threshold, and a half-open probe closes it after
+//!   the fault clears
+//! - forced degrade: pinning a rung serves bit-identical logits to asking
+//!   the rung directly, and releasing the pin restores the primary
+
+use fab_serve::AimdConfig;
+use fabd::{
+    ClientError, Daemon, DaemonConfig, FabClient, Json, OverloadConfig, Precision, ProfileConfig,
+    RetryPolicy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const PRIMARY: &str = "gauntlet-f32";
+const RUNGS: [&str; 2] = ["gauntlet-fast", "gauntlet-int8"];
+const SEQ_LEN: usize = 32;
+
+struct Options {
+    requests: usize,
+    threads: usize,
+    max_p99_ms: f64,
+    smoke: bool,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut opts = Self { requests: 0, threads: 8, max_p99_ms: 10_000.0, smoke: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("invalid {name}: {e}"))
+            };
+            match arg.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--requests" => opts.requests = value("--requests") as usize,
+                "--threads" => opts.threads = value("--threads") as usize,
+                "--max-p99-ms" => opts.max_p99_ms = value("--max-p99-ms"),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        if opts.requests == 0 {
+            opts.requests = if opts.smoke { 120 } else { 600 };
+        }
+        opts.threads = opts.threads.max(2);
+        opts
+    }
+}
+
+/// Exact percentile of sorted microsecond samples.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One request's outcome: HTTP status (0 = transport failure), latency,
+/// and whether a ladder rung served it.
+#[derive(Clone, Copy)]
+struct Outcome {
+    status: u16,
+    us: u64,
+    degraded: bool,
+}
+
+fn no_retry_client(addr: &str, seed: u64) -> FabClient {
+    let policy = RetryPolicy { max_retries: 0, base_ms: 1, max_ms: 1 };
+    FabClient::with_policy(addr, policy, seed).with_timeout(Duration::from_secs(60))
+}
+
+fn random_tokens(rng: &mut StdRng, vocab_cap: usize) -> Vec<usize> {
+    let len = rng.gen_range(4..=SEQ_LEN);
+    (0..len).map(|_| rng.gen_range(1..vocab_cap)).collect()
+}
+
+fn outcome_of(result: &Result<Json, ClientError>, us: u64) -> Outcome {
+    match result {
+        Ok(body) => Outcome {
+            status: 200,
+            us,
+            degraded: body.get("degraded").and_then(Json::as_bool) == Some(true),
+        },
+        Err(ClientError::Status { status, .. }) => Outcome { status: *status, us, degraded: false },
+        Err(_) => Outcome { status: 0, us, degraded: false },
+    }
+}
+
+/// Fires `schedule.len()` requests at the primary model open-loop (each
+/// thread sleeps to its arrival times) and returns every outcome.
+fn run_open_loop(addr: &str, threads: usize, schedule: &[(Vec<usize>, Duration)]) -> Vec<Outcome> {
+    let shards: Vec<Vec<(Vec<usize>, Duration)>> =
+        (0..threads).map(|t| schedule.iter().skip(t).step_by(threads).cloned().collect()).collect();
+    let t0 = Instant::now();
+    let handles: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(t, shard)| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = no_retry_client(&addr, t as u64 + 1);
+                let mut outcomes = Vec::with_capacity(shard.len());
+                for (tokens, at) in shard {
+                    let mut now = t0.elapsed();
+                    while now < at {
+                        std::thread::sleep((at - now).min(Duration::from_micros(500)));
+                        now = t0.elapsed();
+                    }
+                    let r0 = Instant::now();
+                    let result = client.predict(Some(PRIMARY), &tokens, None);
+                    outcomes.push(outcome_of(&result, r0.elapsed().as_micros() as u64));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    handles.into_iter().flat_map(|h| h.join().expect("sender thread")).collect()
+}
+
+/// The primary model's current (adaptive or forced) degrade rung.
+fn degrade_level(client: &mut FabClient) -> usize {
+    client
+        .circuits()
+        .ok()
+        .and_then(|c| {
+            c.get("circuits").and_then(Json::as_arr).and_then(|rows| {
+                rows.iter()
+                    .find(|r| r.get("model").and_then(Json::as_str) == Some(PRIMARY))
+                    .and_then(|r| r.get("degrade_level").and_then(Json::as_usize))
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The primary model's breaker state as reported by `/v1/circuits`.
+fn circuit_state(client: &mut FabClient) -> String {
+    client
+        .circuits()
+        .ok()
+        .and_then(|c| {
+            c.get("circuits").and_then(Json::as_arr).and_then(|rows| {
+                rows.iter()
+                    .find(|r| r.get("model").and_then(Json::as_str) == Some(PRIMARY))
+                    .and_then(|r| r.get("circuit").and_then(Json::as_str).map(str::to_string))
+            })
+        })
+        .unwrap_or_default()
+}
+
+fn logits_of(result: &Json) -> Vec<f64> {
+    result
+        .get("logits")
+        .and_then(Json::as_arr)
+        .expect("logits")
+        .iter()
+        .map(|l| l.as_f64().expect("number"))
+        .collect()
+}
+
+/// Three profiles of the same task at descending precision: the primary
+/// and its two ladder rungs.
+fn gauntlet_profiles() -> Vec<ProfileConfig> {
+    [(PRIMARY, Precision::Exact), (RUNGS[0], Precision::FastMath), (RUNGS[1], Precision::Int8)]
+        .into_iter()
+        .map(|(name, precision)| {
+            let mut p = ProfileConfig::tiny(name, precision, 42);
+            p.seq_len = SEQ_LEN;
+            p.hidden = 32;
+            p
+        })
+        .collect()
+}
+
+fn gauntlet_config(threads: usize, overload: OverloadConfig) -> DaemonConfig {
+    DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        fault_injection: true,
+        num_workers: 2,
+        queue_capacity: 64,
+        max_connections: threads * 4 + 16,
+        read_timeout_ms: 30_000,
+        write_timeout_ms: 30_000,
+        drain_timeout_ms: 30_000,
+        overload,
+        profiles: gauntlet_profiles(),
+        ..DaemonConfig::default()
+    }
+}
+
+/// Counts direction changes in the level trace (up-run → down-run or
+/// back). A hysteretic controller under one overload episode escalates,
+/// plateaus, then recovers: very few flips.
+fn direction_changes(levels: &[usize]) -> usize {
+    let mut flips = 0usize;
+    let mut dir = 0i8;
+    for w in levels.windows(2) {
+        let step = match w[1].cmp(&w[0]) {
+            std::cmp::Ordering::Greater => 1i8,
+            std::cmp::Ordering::Less => -1i8,
+            std::cmp::Ordering::Equal => continue,
+        };
+        if dir != 0 && step != dir {
+            flips += 1;
+        }
+        dir = step;
+    }
+    flips
+}
+
+fn main() {
+    let opts = Options::parse();
+    let mut rng = StdRng::seed_from_u64(20260808);
+    let mut failures: Vec<String> = Vec::new();
+    let vocab_cap = fab_lra::LraTask::Text.vocab_size() - 1;
+
+    // --- Capacity estimate on a plain daemon (overload stack off). ---------
+    let t_train = Instant::now();
+    let baseline_daemon = Daemon::start(gauntlet_config(opts.threads, OverloadConfig::default()))
+        .expect("baseline daemon starts");
+    let baseline_addr = baseline_daemon.addr().to_string();
+    println!(
+        "bench_pr9: fabd on {baseline_addr} ({} requests, {} sender threads, trained in {:.2}s)",
+        opts.requests,
+        opts.threads,
+        t_train.elapsed().as_secs_f64()
+    );
+    let mut warm = no_retry_client(&baseline_addr, 99);
+    let w0 = Instant::now();
+    let warmup = 20;
+    for _ in 0..warmup {
+        let tokens = random_tokens(&mut rng, vocab_cap);
+        warm.predict(Some(PRIMARY), &tokens, None).expect("warmup request");
+    }
+    let base_rps = warmup as f64 / w0.elapsed().as_secs_f64();
+    println!("capacity : {base_rps:8.1} req/s closed-loop (1 connection)");
+
+    // 4x-capacity Poisson arrival schedule, reused for both overload legs
+    // so the comparison is apples-to-apples.
+    let lambda = 4.0 * base_rps;
+    let mut at = 0.0f64;
+    let schedule: Vec<(Vec<usize>, Duration)> = (0..opts.requests)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            at += -u.ln() / lambda;
+            (random_tokens(&mut rng, vocab_cap), Duration::from_secs_f64(at))
+        })
+        .collect();
+
+    // --- Leg 1: baseline cliff (overload stack off). ------------------------
+    let baseline = run_open_loop(&baseline_addr, opts.threads, &schedule);
+    let baseline_ok = baseline.iter().filter(|o| o.status == 200).count();
+    let baseline_shed = baseline.iter().filter(|o| matches!(o.status, 429 | 503 | 504)).count();
+    let baseline_lost = baseline.iter().filter(|o| o.status == 0).count();
+    let mut baseline_us: Vec<u64> =
+        baseline.iter().filter(|o| o.status == 200).map(|o| o.us).collect();
+    baseline_us.sort_unstable();
+    let baseline_p99 = exact_percentile(&baseline_us, 0.99);
+    println!(
+        "baseline : {baseline_ok}/{} answered 200, {baseline_shed} shed, p99 {baseline_p99}us (stack off)",
+        baseline.len()
+    );
+    if baseline_lost > 0 {
+        failures.push(format!("baseline leg: {baseline_lost} requests got no HTTP answer at all"));
+    }
+    baseline_daemon.shutdown();
+
+    // --- Leg 2: adaptive overload with chaos slow_forward. ------------------
+    // Tight AIMD limits so 4x overload actually exercises the ladder, a
+    // short dwell/recovery so the run observes a full degrade+recover arc.
+    let overload = OverloadConfig {
+        adaptive: true,
+        degrade: true,
+        aimd: AimdConfig {
+            initial_limit: 2,
+            min_limit: 1,
+            max_limit: 64,
+            slo_us: 20_000,
+            increase_every: 8,
+            decrease_pct: 70,
+            cooldown_ms: 50,
+        },
+        degrade_dwell_ms: 100,
+        recover_after_ms: 400,
+        breaker_failures: 5,
+        breaker_open_ms: 500,
+        breaker_probes: 2,
+    };
+    let daemon =
+        Daemon::start(gauntlet_config(opts.threads, overload)).expect("adaptive daemon starts");
+    let addr = daemon.addr().to_string();
+    let mut admin = no_retry_client(&addr, 98);
+    admin.chaos_configure("slow_forward", 4, 10).expect("arm slow_forward");
+
+    // Sample the primary's degrade level through the overload episode and
+    // the recovery window that follows.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let levels: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let addr = addr.clone();
+        let sampling = Arc::clone(&sampling);
+        let levels = Arc::clone(&levels);
+        std::thread::spawn(move || {
+            let mut client = no_retry_client(&addr, 97);
+            while sampling.load(Ordering::Acquire) {
+                let level = degrade_level(&mut client);
+                levels.lock().expect("sampler lock").push(level);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    let adaptive = run_open_loop(&addr, opts.threads, &schedule);
+    admin.chaos_reset().expect("disarm chaos");
+
+    // Recovery: with the load gone the controller must walk back to the
+    // primary within the recovery window (plus generous slack).
+    let r0 = Instant::now();
+    let mut recovered = false;
+    let mut probe = no_retry_client(&addr, 96);
+    while r0.elapsed() < Duration::from_secs(10) {
+        let _ = probe.predict(Some(PRIMARY), &[1, 2, 3], None);
+        if degrade_level(&mut probe) == 0 {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    sampling.store(false, Ordering::Release);
+    sampler.join().expect("sampler thread");
+    let level_trace = levels.lock().expect("trace lock").clone();
+    let max_level = level_trace.iter().copied().max().unwrap_or(0);
+    let flips = direction_changes(&level_trace);
+
+    let adaptive_ok = adaptive.iter().filter(|o| o.status == 200).count();
+    let adaptive_shed = adaptive.iter().filter(|o| matches!(o.status, 429 | 503 | 504)).count();
+    let adaptive_lost = adaptive.iter().filter(|o| o.status == 0).count();
+    let adaptive_other = adaptive.len() - adaptive_ok - adaptive_shed - adaptive_lost;
+    let degraded_served = adaptive.iter().filter(|o| o.degraded).count();
+    let mut adaptive_us: Vec<u64> =
+        adaptive.iter().filter(|o| o.status == 200).map(|o| o.us).collect();
+    adaptive_us.sort_unstable();
+    let (p50, p99) = (exact_percentile(&adaptive_us, 0.50), exact_percentile(&adaptive_us, 0.99));
+    let admitted = adaptive.len() - adaptive_shed;
+    let availability = if admitted == 0 { 0.0 } else { adaptive_ok as f64 / admitted as f64 };
+    println!(
+        "adaptive : {adaptive_ok}/{} answered 200 ({degraded_served} degraded), {adaptive_shed} shed, \
+         availability {:.2}% of admitted, p50 {p50}us p99 {p99}us",
+        adaptive.len(),
+        availability * 100.0
+    );
+    println!(
+        "degrade  : max level {max_level}, {flips} direction changes over {} samples, recovered to 0: {recovered}",
+        level_trace.len()
+    );
+    if adaptive_lost > 0 {
+        failures.push(format!("adaptive leg: {adaptive_lost} requests got no HTTP answer at all"));
+    }
+    if availability < 0.99 {
+        failures.push(format!(
+            "availability {:.2}% of admitted requests below the 99% gate \
+             ({adaptive_other} answered an unexpected error status)",
+            availability * 100.0
+        ));
+    }
+    if p99 as f64 / 1000.0 > opts.max_p99_ms {
+        failures.push(format!("adaptive p99 {p99}us above the {}ms bound", opts.max_p99_ms));
+    }
+    if degraded_served == 0 {
+        failures.push("no request was served by a ladder rung under 4x overload".to_string());
+    }
+    if flips > 6 {
+        failures
+            .push(format!("degrade level flapped: {flips} direction changes in {level_trace:?}"));
+    }
+    if !recovered {
+        failures.push("degrade level never recovered to 0 after the load stopped".to_string());
+    }
+
+    // --- Leg 3: circuit breaker under chaos panic_forward. ------------------
+    // Every forward panics; within the failure threshold the breaker must
+    // flip requests from slow 500s to instant 503s.
+    println!("circuit  : arming panic_forward (panic backtraces below are injected)");
+    admin.chaos_configure("panic_forward", 1, 0).expect("arm panic_forward");
+    let mut tripped_after = None;
+    let mut breaker_client = no_retry_client(&addr, 95);
+    for i in 0..50 {
+        match breaker_client.predict(Some(PRIMARY), &[1, 2, 3], None) {
+            Err(ClientError::Status { status: 503, body }) if body.contains("circuit") => {
+                tripped_after = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let open_state = circuit_state(&mut breaker_client);
+    match tripped_after {
+        Some(n) => println!("circuit  : open after {n} requests (state '{open_state}')"),
+        None => failures.push("circuit never opened across 50 panicking requests".to_string()),
+    }
+    admin.chaos_reset().expect("disarm panic_forward");
+    std::thread::sleep(Duration::from_millis(600));
+    let mut closed_after = None;
+    for i in 0..10 {
+        if breaker_client.predict(Some(PRIMARY), &[1, 2, 3], None).is_ok() {
+            closed_after = Some(i);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let closed_state = circuit_state(&mut breaker_client);
+    match closed_after {
+        Some(n) => {
+            println!("circuit  : serving again after {n} probe attempts (state '{closed_state}')")
+        }
+        None => failures.push("circuit never recovered after the fault cleared".to_string()),
+    }
+    if closed_after.is_some() && closed_state != "closed" {
+        failures.push(format!("circuit served a probe but reports '{closed_state}', not closed"));
+    }
+
+    // --- Leg 4: forced degrade serves the rung's exact logits. --------------
+    let tokens = [5, 4, 3, 2, 1];
+    let mut pin = no_retry_client(&addr, 94);
+    let direct =
+        logits_of(&pin.predict(Some(RUNGS[0]), &tokens, None).expect("direct rung predict"));
+    pin.degrade(PRIMARY, Some(1)).expect("pin rung 1");
+    let forced = pin.predict(Some(PRIMARY), &tokens, None).expect("forced predict");
+    let served_by = forced.get("served_by").and_then(Json::as_str).unwrap_or("").to_string();
+    let forced_match = logits_of(&forced) == direct;
+    pin.degrade(PRIMARY, None).expect("release pin");
+    let released = pin.predict(Some(PRIMARY), &tokens, None).expect("released predict");
+    let released_by = released.get("served_by").and_then(Json::as_str).unwrap_or("").to_string();
+    println!(
+        "forced   : pinned rung served by '{served_by}' (bit-match {forced_match}), released → '{released_by}'"
+    );
+    if served_by != RUNGS[0] || !forced_match {
+        failures.push(format!(
+            "forced degrade: served by '{served_by}' (want {}), bit-match {forced_match}",
+            RUNGS[0]
+        ));
+    }
+    if released_by != PRIMARY {
+        failures.push(format!("released pin still serving via '{released_by}'"));
+    }
+
+    daemon.shutdown();
+
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"smoke\": {},\n  {host},\n  \"requests\": {},\n  \
+         \"sender_threads\": {},\n  \"capacity_closed_loop_rps\": {base_rps:.2},\n  \
+         \"baseline\": {{\"answered_200\": {baseline_ok}, \"shed\": {baseline_shed}, \
+         \"p99_us\": {baseline_p99}}},\n  \
+         \"adaptive\": {{\"answered_200\": {adaptive_ok}, \"degraded\": {degraded_served}, \
+         \"shed\": {adaptive_shed}, \"availability_of_admitted\": {availability:.4}, \
+         \"p50_us\": {p50}, \"p99_us\": {p99}}},\n  \
+         \"degrade_trace\": {{\"max_level\": {max_level}, \"direction_changes\": {flips}, \
+         \"samples\": {}, \"recovered\": {recovered}}},\n  \
+         \"circuit\": {{\"tripped_after\": {}, \"closed_after_probes\": {}, \
+         \"final_state\": \"{closed_state}\"}},\n  \
+         \"forced\": {{\"served_by\": \"{served_by}\", \"bit_match\": {forced_match}, \
+         \"released_to\": \"{released_by}\"}},\n  \
+         \"max_p99_ms_required\": {},\n  \"failures\": {:?}\n}}\n",
+        opts.smoke,
+        opts.requests,
+        opts.threads,
+        level_trace.len(),
+        tripped_after.map_or(-1i64, |n| n as i64),
+        closed_after.map_or(-1i64, |n| n as i64),
+        opts.max_p99_ms,
+        failures,
+        host = fab_bench::host_info_json(),
+    );
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    println!("wrote BENCH_PR9.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all overload gates passed");
+}

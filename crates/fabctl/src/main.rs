@@ -29,6 +29,14 @@ commands:
   models unload <name>  remove a model; its current version drains
   metrics               Prometheus metrics dump
   ready                 exit 0 when ready, 1 while loading/draining/unreachable
+  circuits              per-model breaker state, admission limit, degrade ladder
+  degrade <model> <n>   pin <model> to degrade rung <n> (0 = primary)
+  degrade <model> off   return <model> to adaptive control
+  chaos                 show chaos sites (rates and fire counts)
+  chaos set <site> <every> [param_ms]
+                        arm a chaos site (fault-injection daemons only;
+                        every=0 disables, every=1 fires on each draw)
+  chaos reset           disarm every chaos site
   snapshot              persist every loaded model to the snapshot store now
   snapshot list         list snapshot versions on disk
   drain                 start a graceful drain (POST /admin/shutdown)";
@@ -198,6 +206,47 @@ fn run(opts: Options) -> Result<(), String> {
                 Some("list") => client.snapshot_list(),
                 Some(other) => {
                     return Err(format!("unknown snapshot action '{other}'\n{USAGE}"));
+                }
+            };
+            println!("{}", result.map_err(render_error)?);
+            Ok(())
+        }
+        "circuits" => {
+            let circuits = client.circuits().map_err(render_error)?;
+            println!("{circuits}");
+            Ok(())
+        }
+        "degrade" => {
+            let model = rest.first().ok_or(format!("degrade needs a model name\n{USAGE}"))?;
+            let level = match rest.get(1).map(String::as_str) {
+                Some("off") => None,
+                Some(n) => {
+                    Some(n.parse::<usize>().map_err(|_| format!("bad degrade level '{n}'"))?)
+                }
+                None => return Err(format!("degrade needs a level or 'off'\n{USAGE}")),
+            };
+            let ack = client.degrade(model, level).map_err(render_error)?;
+            println!("{ack}");
+            Ok(())
+        }
+        "chaos" => {
+            let result = match rest.first().map(String::as_str) {
+                None => client.chaos_status(),
+                Some("reset") => client.chaos_reset(),
+                Some("set") => {
+                    let site = rest.get(1).ok_or("chaos set needs a site name")?;
+                    let every = rest
+                        .get(2)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("chaos set needs an 'every' rate")?;
+                    let param_ms = match rest.get(3) {
+                        Some(v) => v.parse().map_err(|_| format!("bad param_ms '{v}'"))?,
+                        None => 0,
+                    };
+                    client.chaos_configure(site, every, param_ms)
+                }
+                Some(other) => {
+                    return Err(format!("unknown chaos action '{other}'\n{USAGE}"));
                 }
             };
             println!("{}", result.map_err(render_error)?);

@@ -177,14 +177,22 @@ impl FabClient {
                     let hint = retry_hint_ms(&resp);
                     (true, hint, Ok(resp))
                 }
+                // A 503 carrying a retry hint is an explicit "come back
+                // later" (connection cap, open circuit, model loading). A
+                // bare 503 is a statement about this endpoint, not a
+                // promise it clears — surface it immediately.
+                Ok(resp) if resp.status == 503 => {
+                    let hint = retry_hint_ms(&resp);
+                    (hint.is_some(), hint, Ok(resp))
+                }
                 Ok(resp) => (false, None, Ok(resp)),
                 Err(ClientError::Io(e)) => (true, None, Err(ClientError::Io(e))),
                 Err(e) => (false, None, Err(e)),
             };
             if !retryable || attempt >= self.retry.max_retries {
                 return match result {
-                    Ok(resp) if resp.status == 429 => {
-                        Err(ClientError::Status { status: 429, body: resp.body_text() })
+                    Ok(resp) if retryable => {
+                        Err(ClientError::Status { status: resp.status, body: resp.body_text() })
                     }
                     other => other,
                 };
@@ -379,6 +387,80 @@ impl FabClient {
     /// See [`FabClient::request_json`].
     pub fn snapshot_list(&mut self) -> Result<Json, ClientError> {
         self.request_json("GET", "/admin/snapshot", b"")
+    }
+
+    /// `GET /v1/circuits`: per-model breaker state, admission limiter and
+    /// degrade ladder.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn circuits(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/v1/circuits", b"")
+    }
+
+    /// `POST /admin/degrade`: pin `model` to degrade rung `level`, or
+    /// return it to adaptive control with `None`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn degrade(&mut self, model: &str, level: Option<usize>) -> Result<Json, ClientError> {
+        let body = Json::Obj(vec![
+            ("model".to_string(), Json::Str(model.to_string())),
+            (
+                "level".to_string(),
+                match level {
+                    Some(l) => Json::Num(l as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+        .to_string();
+        self.request_json("POST", "/admin/degrade", body.as_bytes())
+    }
+
+    /// `GET /admin/chaos`: per-site injection rates and fire counts.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`].
+    pub fn chaos_status(&mut self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/admin/chaos", b"")
+    }
+
+    /// `POST /admin/chaos`: arm one chaos site (`every` = 0 disables it).
+    /// Needs the daemon booted with `fault_injection`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`]; `403` without `fault_injection`.
+    pub fn chaos_configure(
+        &mut self,
+        site: &str,
+        every: u64,
+        param_ms: u64,
+    ) -> Result<Json, ClientError> {
+        let body = Json::Obj(vec![(
+            "sites".to_string(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("site".to_string(), Json::Str(site.to_string())),
+                ("every".to_string(), Json::Num(every as f64)),
+                ("param_ms".to_string(), Json::Num(param_ms as f64)),
+            ])]),
+        )])
+        .to_string();
+        self.request_json("POST", "/admin/chaos", body.as_bytes())
+    }
+
+    /// `POST /admin/chaos {"reset": true}`: disarm every chaos site.
+    ///
+    /// # Errors
+    ///
+    /// See [`FabClient::request_json`]; `403` without `fault_injection`.
+    pub fn chaos_reset(&mut self) -> Result<Json, ClientError> {
+        let body = Json::Obj(vec![("reset".to_string(), Json::Bool(true))]).to_string();
+        self.request_json("POST", "/admin/chaos", body.as_bytes())
     }
 
     /// Polls `/readyz` until the daemon answers `200` or `timeout`

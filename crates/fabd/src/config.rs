@@ -6,7 +6,8 @@
 //! built-in default, so `{}` is a valid config.
 
 use crate::json::Json;
-use fab_fleet::{ClassWeights, FleetConfig, ModelSpec, SchedulerKind, TenantQuota};
+use fab_chaos::ChaosSite;
+use fab_fleet::{ClassWeights, FleetConfig, ModelSpec, OverloadConfig, SchedulerKind, TenantQuota};
 use fab_lra::{LraTask, TaskConfig};
 use fab_nn::{ModelConfig, ModelKind};
 use fab_serve::{InferenceSession, ServeConfig, Server};
@@ -363,6 +364,14 @@ pub struct DaemonConfig {
     /// Snapshot versions kept per model by post-save garbage collection
     /// (floor of 1: the last-good snapshot is never collected).
     pub snapshot_keep: usize,
+    /// Adaptive admission, precision degradation, and circuit breakers
+    /// (all off by default; JSON section `"overload"`).
+    pub overload: OverloadConfig,
+    /// Seed of the deterministic chaos injector (JSON section `"chaos"`).
+    pub chaos_seed: u64,
+    /// Chaos sites armed at boot as `(site, every, param_ms)`. Requires
+    /// `fault_injection`; a production daemon refuses to start with any.
+    pub chaos_sites: Vec<(ChaosSite, u64, u64)>,
     /// The model profiles to train and serve.
     pub profiles: Vec<ProfileConfig>,
 }
@@ -390,6 +399,9 @@ impl Default for DaemonConfig {
             per_tenant_queue_cap: 0,
             snapshot_dir: None,
             snapshot_keep: 2,
+            overload: OverloadConfig::default(),
+            chaos_seed: 0,
+            chaos_sites: Vec::new(),
             profiles: vec![
                 ProfileConfig::tiny("text-f32", Precision::Exact, 11),
                 ProfileConfig::tiny("text-fast", Precision::FastMath, 11),
@@ -421,6 +433,7 @@ impl DaemonConfig {
             default_quota: self.default_quota.clone(),
             tenants: self.tenants.clone(),
             per_tenant_queue_cap: self.per_tenant_queue_cap,
+            overload: self.overload.clone(),
         }
     }
 
@@ -530,6 +543,30 @@ impl DaemonConfig {
         if let Some(n) = v.get("snapshot_keep").and_then(Json::as_usize) {
             config.snapshot_keep = n;
         }
+        if let Some(o) = v.get("overload") {
+            config.overload = overload_from_json(o, &config.overload)?;
+        }
+        if let Some(c) = v.get("chaos") {
+            if let Some(n) = c.get("seed").and_then(Json::as_u64) {
+                config.chaos_seed = n;
+            }
+            if let Some(list) = c.get("sites").and_then(Json::as_arr) {
+                config.chaos_sites = list
+                    .iter()
+                    .map(|s| {
+                        let name = s
+                            .get("site")
+                            .and_then(Json::as_str)
+                            .ok_or("chaos site missing string field 'site'")?;
+                        let site = ChaosSite::parse(name)
+                            .ok_or_else(|| format!("unknown chaos site '{name}'"))?;
+                        let every = s.get("every").and_then(Json::as_u64).unwrap_or(0);
+                        let param_ms = s.get("param_ms").and_then(Json::as_u64).unwrap_or(0);
+                        Ok((site, every, param_ms))
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
+        }
         if let Some(list) = v.get("profiles").and_then(Json::as_arr) {
             config.profiles =
                 list.iter().map(ProfileConfig::from_json).collect::<Result<_, _>>()?;
@@ -562,6 +599,13 @@ impl DaemonConfig {
             fab_store::Store::open(std::path::Path::new(dir))
                 .map_err(|e| format!("snapshot_dir '{dir}' is unusable: {e}"))?;
         }
+        if !self.chaos_sites.is_empty() && !self.fault_injection {
+            return Err(
+                "chaos sites are configured but fault_injection is off; a production daemon \
+                 refuses to boot with fault injection armed"
+                    .to_string(),
+            );
+        }
         Ok(())
     }
 
@@ -593,6 +637,28 @@ impl DaemonConfig {
             ("default_quota".to_string(), Json::Obj(quota_to_json(&self.default_quota))),
             ("per_tenant_queue_cap".to_string(), Json::Num(self.per_tenant_queue_cap as f64)),
             ("snapshot_keep".to_string(), Json::Num(self.snapshot_keep as f64)),
+            ("overload".to_string(), overload_to_json(&self.overload)),
+            (
+                "chaos".to_string(),
+                Json::Obj(vec![
+                    ("seed".to_string(), Json::Num(self.chaos_seed as f64)),
+                    (
+                        "sites".to_string(),
+                        Json::Arr(
+                            self.chaos_sites
+                                .iter()
+                                .map(|(site, every, param_ms)| {
+                                    Json::Obj(vec![
+                                        ("site".to_string(), Json::Str(site.name().to_string())),
+                                        ("every".to_string(), Json::Num(*every as f64)),
+                                        ("param_ms".to_string(), Json::Num(*param_ms as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
             (
                 "tenants".to_string(),
                 Json::Arr(
@@ -616,6 +682,69 @@ impl DaemonConfig {
         }
         Json::Obj(obj)
     }
+}
+
+fn overload_from_json(v: &Json, base: &OverloadConfig) -> Result<OverloadConfig, String> {
+    let mut o = base.clone();
+    if let Some(b) = v.get("adaptive").and_then(Json::as_bool) {
+        o.adaptive = b;
+    }
+    if let Some(b) = v.get("degrade").and_then(Json::as_bool) {
+        o.degrade = b;
+    }
+    // The admission SLO is configured in milliseconds (like every other
+    // daemon latency knob) and stored in microseconds.
+    if let Some(n) = v.get("slo_ms").and_then(Json::as_u64) {
+        o.aimd.slo_us = n.saturating_mul(1_000);
+    }
+    let fields: &mut [(&str, &mut u64)] = &mut [
+        ("initial_limit", &mut o.aimd.initial_limit),
+        ("min_limit", &mut o.aimd.min_limit),
+        ("max_limit", &mut o.aimd.max_limit),
+        ("increase_every", &mut o.aimd.increase_every),
+        ("decrease_pct", &mut o.aimd.decrease_pct),
+        ("cooldown_ms", &mut o.aimd.cooldown_ms),
+        ("degrade_dwell_ms", &mut o.degrade_dwell_ms),
+        ("recover_after_ms", &mut o.recover_after_ms),
+        ("breaker_open_ms", &mut o.breaker_open_ms),
+    ];
+    for (key, slot) in fields {
+        if let Some(n) = v.get(key).and_then(Json::as_u64) {
+            **slot = n;
+        }
+    }
+    if let Some(n) = v.get("breaker_failures").and_then(Json::as_u64) {
+        o.breaker_failures = u32::try_from(n).map_err(|_| "breaker_failures too large")?;
+    }
+    if let Some(n) = v.get("breaker_probes").and_then(Json::as_u64) {
+        o.breaker_probes = u32::try_from(n).map_err(|_| "breaker_probes too large")?;
+    }
+    if o.aimd.decrease_pct == 0 || o.aimd.decrease_pct >= 100 {
+        return Err(format!(
+            "overload decrease_pct must be in [1, 99], got {}",
+            o.aimd.decrease_pct
+        ));
+    }
+    Ok(o)
+}
+
+fn overload_to_json(o: &OverloadConfig) -> Json {
+    Json::Obj(vec![
+        ("adaptive".to_string(), Json::Bool(o.adaptive)),
+        ("initial_limit".to_string(), Json::Num(o.aimd.initial_limit as f64)),
+        ("min_limit".to_string(), Json::Num(o.aimd.min_limit as f64)),
+        ("max_limit".to_string(), Json::Num(o.aimd.max_limit as f64)),
+        ("slo_ms".to_string(), Json::Num((o.aimd.slo_us / 1_000) as f64)),
+        ("increase_every".to_string(), Json::Num(o.aimd.increase_every as f64)),
+        ("decrease_pct".to_string(), Json::Num(o.aimd.decrease_pct as f64)),
+        ("cooldown_ms".to_string(), Json::Num(o.aimd.cooldown_ms as f64)),
+        ("degrade".to_string(), Json::Bool(o.degrade)),
+        ("degrade_dwell_ms".to_string(), Json::Num(o.degrade_dwell_ms as f64)),
+        ("recover_after_ms".to_string(), Json::Num(o.recover_after_ms as f64)),
+        ("breaker_failures".to_string(), Json::Num(o.breaker_failures as f64)),
+        ("breaker_open_ms".to_string(), Json::Num(o.breaker_open_ms as f64)),
+        ("breaker_probes".to_string(), Json::Num(o.breaker_probes as f64)),
+    ])
 }
 
 fn quota_from_json(v: &Json, base: &TenantQuota) -> TenantQuota {
@@ -795,6 +924,72 @@ mod tests {
         assert!(DaemonConfig::from_json_str("{\"scheduler\": \"fifo\"}")
             .expect_err("bad scheduler")
             .contains("scheduler"));
+    }
+
+    #[test]
+    fn overload_and_chaos_knobs_round_trip_through_json() {
+        let text = r#"{
+            "fault_injection": true,
+            "overload": {
+                "adaptive": true, "initial_limit": 16, "min_limit": 2, "max_limit": 128,
+                "slo_ms": 80, "increase_every": 4, "decrease_pct": 60, "cooldown_ms": 50,
+                "degrade": true, "degrade_dwell_ms": 120, "recover_after_ms": 900,
+                "breaker_failures": 3, "breaker_open_ms": 700, "breaker_probes": 2
+            },
+            "chaos": {
+                "seed": 42,
+                "sites": [
+                    {"site": "slow_forward", "every": 3, "param_ms": 40},
+                    {"site": "panic_forward", "every": 10}
+                ]
+            }
+        }"#;
+        let config = DaemonConfig::from_json_str(text).expect("parses");
+        assert!(config.overload.adaptive);
+        assert!(config.overload.degrade);
+        assert_eq!(config.overload.aimd.initial_limit, 16);
+        assert_eq!(config.overload.aimd.slo_us, 80_000);
+        assert_eq!(config.overload.aimd.decrease_pct, 60);
+        assert_eq!(config.overload.degrade_dwell_ms, 120);
+        assert_eq!(config.overload.breaker_failures, 3);
+        assert_eq!(config.chaos_seed, 42);
+        assert_eq!(
+            config.chaos_sites,
+            vec![(ChaosSite::SlowForward, 3, 40), (ChaosSite::PanicForward, 10, 0)]
+        );
+        config.validate().expect("chaos allowed under fault_injection");
+
+        let reparsed =
+            DaemonConfig::from_json_str(&config.to_json().to_string()).expect("round trip");
+        assert_eq!(reparsed.overload, config.overload);
+        assert_eq!(reparsed.chaos_seed, config.chaos_seed);
+        assert_eq!(reparsed.chaos_sites, config.chaos_sites);
+
+        // Defaults: everything off.
+        let config = DaemonConfig::from_json_str("{}").expect("defaults");
+        assert!(!config.overload.adaptive);
+        assert!(!config.overload.degrade);
+        assert_eq!(config.overload.breaker_failures, 0);
+        assert!(config.chaos_sites.is_empty());
+
+        // Bad knobs are rejected with messages.
+        for (text, needle) in [
+            (r#"{"overload": {"decrease_pct": 0}}"#, "decrease_pct"),
+            (r#"{"overload": {"decrease_pct": 100}}"#, "decrease_pct"),
+            (r#"{"chaos": {"sites": [{"site": "meteor"}]}}"#, "chaos site"),
+            (r#"{"chaos": {"sites": [{"every": 3}]}}"#, "site"),
+        ] {
+            let err = DaemonConfig::from_json_str(text).expect_err(text);
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn chaos_sites_require_fault_injection_to_boot() {
+        let text = r#"{"chaos": {"sites": [{"site": "slow_forward", "every": 2}]}}"#;
+        let config = DaemonConfig::from_json_str(text).expect("parses");
+        let err = config.validate().expect_err("chaos without fault_injection");
+        assert!(err.contains("fault_injection"), "{err}");
     }
 
     #[test]

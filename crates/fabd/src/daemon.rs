@@ -32,8 +32,9 @@
 use crate::config::{DaemonConfig, ProfileConfig};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::json::Json;
-use fab_fleet::{Fleet, FleetError, ModelInfo, ModelSource, ModelState};
-use fab_serve::{Prediction, Priority, ServeError, ServerStats};
+use fab_chaos::{ChaosInjector, ChaosSite};
+use fab_fleet::{Fleet, FleetError, GuardStats, ModelInfo, ModelSource, ModelState};
+use fab_serve::{InferenceSession, Prediction, Priority, ServeError, ServerStats};
 use fab_store::{ModelArtifact, Store, FINGERPRINT_KEY};
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -93,6 +94,10 @@ struct DaemonShared {
     /// The storable artifact behind each loaded model, kept so
     /// `POST /admin/snapshot` can re-persist without retraining.
     artifacts: Mutex<HashMap<String, ModelArtifact>>,
+    /// The deterministic fault injector. Always present but inert unless
+    /// sites are armed — via config (requires `fault_injection`) or
+    /// `POST /admin/chaos` (403 without `fault_injection`).
+    chaos: Arc<ChaosInjector>,
     draining: AtomicBool,
     open_connections: AtomicUsize,
     /// Requests currently between "fully read" and "response written". The
@@ -173,6 +178,10 @@ impl Daemon {
         let profiles =
             config.profiles.iter().map(|p| (p.name.clone(), p.clone())).collect::<HashMap<_, _>>();
         let default_model = config.profiles[0].name.clone();
+        let chaos = Arc::new(ChaosInjector::new(config.chaos_seed));
+        for &(site, every, param_ms) in &config.chaos_sites {
+            chaos.configure(site, every, param_ms);
+        }
 
         let shared = Arc::new(DaemonShared {
             config,
@@ -184,6 +193,7 @@ impl Daemon {
             warm_start_seconds: AtomicU64::new(0),
             snapshot_versions: Mutex::new(HashMap::new()),
             artifacts: Mutex::new(HashMap::new()),
+            chaos,
             draining: AtomicBool::new(false),
             open_connections: AtomicUsize::new(0),
             active_requests: AtomicUsize::new(0),
@@ -305,7 +315,10 @@ fn boot_profile(shared: &Arc<DaemonShared>, profile: &ProfileConfig) -> Result<(
         },
         None => (profile.build_artifact(), ModelSource::Trained),
     };
-    let session = profile.session_from_artifact(&artifact, shared.config.fault_injection);
+    let session = attach_chaos(
+        shared,
+        profile.session_from_artifact(&artifact, shared.config.fault_injection),
+    );
     shared.fleet.commit_with_source(ticket, session, source);
     shared
         .artifacts
@@ -313,6 +326,16 @@ fn boot_profile(shared: &Arc<DaemonShared>, profile: &ProfileConfig) -> Result<(
         .unwrap_or_else(PoisonError::into_inner)
         .insert(profile.name.clone(), artifact);
     Ok(())
+}
+
+/// Wires the daemon's chaos injector into a session's forward path. Only
+/// fault-injection builds get the hook; production sessions never carry it.
+fn attach_chaos(shared: &DaemonShared, session: InferenceSession) -> InferenceSession {
+    if shared.config.fault_injection {
+        session.with_chaos(Arc::clone(&shared.chaos))
+    } else {
+        session
+    }
 }
 
 /// Best-effort snapshot persistence. A full disk or yanked volume must
@@ -325,6 +348,12 @@ fn persist_artifact(
     fingerprint: &str,
 ) -> Option<u64> {
     let store = shared.store.as_ref()?;
+    // Chaos `snapshot_save` simulates the disk vanishing mid-save: the
+    // attempt is counted as injected and reported exactly like a real
+    // store failure.
+    if shared.chaos.fires(ChaosSite::SnapshotSave) {
+        return None;
+    }
     let meta = vec![(FINGERPRINT_KEY.to_string(), fingerprint.to_string())];
     let version = store.save(model, artifact, &meta).ok()?;
     let _ = store.gc(shared.config.snapshot_keep);
@@ -341,6 +370,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
         if shared.draining.load(Ordering::SeqCst) {
             return;
         }
+        // Chaos `accept_stall` freezes the accept loop for the configured
+        // delay, backing up the listen queue exactly like a wedged accept
+        // thread would.
+        if let Some(delay) = shared.chaos.stall(ChaosSite::AcceptStall) {
+            thread::sleep(delay);
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.counters.connections_total.fetch_add(1, Ordering::Relaxed);
@@ -349,8 +384,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
                 if open > shared.config.max_connections {
                     shared.counters.connections_rejected.fetch_add(1, Ordering::Relaxed);
                     // Best-effort 503 before closing; the guard drops the
-                    // gauge either way.
-                    let resp = error_response(503, "connection limit reached", None);
+                    // gauge either way. The hint tells well-behaved clients
+                    // to back off instead of hammering the full listener.
+                    let resp = error_response(503, "connection limit reached", Some(1000));
                     let mut stream = stream;
                     let _ = stream.set_write_timeout(Some(Duration::from_millis(
                         shared.config.write_timeout_ms.max(1),
@@ -441,7 +477,8 @@ fn serve_error_response(err: &ServeError) -> Response {
         | ServeError::EmptySequence
         | ServeError::InvalidToken { .. } => error_response(400, &err.to_string(), None),
         ServeError::ModelPanicked => error_response(500, &err.to_string(), None),
-        ServeError::ServerStopped => error_response(503, &err.to_string(), None),
+        // Retryable: another replica (or this one post-restart) can serve.
+        ServeError::ServerStopped => error_response(503, &err.to_string(), Some(1000)),
     }
 }
 
@@ -451,10 +488,14 @@ fn serve_error_response(err: &ServeError) -> Response {
 fn fleet_error_response(err: &FleetError) -> Response {
     match err {
         FleetError::NoSuchModel(_) => error_response(404, &err.to_string(), None),
-        FleetError::ModelLoading(_) => error_response(503, &err.to_string(), None),
+        // Retryable: the model is training/loading and will be ready soon.
+        FleetError::ModelLoading(_) => error_response(503, &err.to_string(), Some(1000)),
         FleetError::AlreadyLoading(_) => error_response(409, &err.to_string(), None),
         FleetError::QuotaExceeded { retry_after_ms, .. } => {
             error_response(429, &err.to_string(), Some(*retry_after_ms))
+        }
+        FleetError::CircuitOpen { retry_after_ms, .. } => {
+            error_response(503, &err.to_string(), Some(*retry_after_ms))
         }
         FleetError::Serve(e) => serve_error_response(e),
     }
@@ -475,6 +516,7 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
         ("GET", "/metrics") => Response::text(200, render_metrics(shared)),
         ("GET", "/v1/models") => list_models(shared),
         ("GET", "/v1/stats") => stats_json(shared),
+        ("GET", "/v1/circuits") => circuits_json(shared),
         ("POST", "/v1/predict") => predict(shared, request, false),
         ("POST", "/v1/predict_batch") => predict(shared, request, true),
         ("POST", "/admin/shutdown") => {
@@ -485,6 +527,9 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
         ("POST", "/admin/snapshot") => snapshot_all(shared),
         ("GET", "/admin/snapshot") => snapshot_list(shared),
         ("POST", "/admin/inject_worker_exit") => inject_worker_exit(shared, request),
+        ("POST", "/admin/degrade") => admin_degrade(shared, request),
+        ("POST", "/admin/chaos") => admin_chaos(shared, request),
+        ("GET", "/admin/chaos") => chaos_status(shared),
         (
             _,
             "/healthz"
@@ -492,12 +537,15 @@ fn route(shared: &Arc<DaemonShared>, request: &Request) -> Response {
             | "/metrics"
             | "/v1/models"
             | "/v1/stats"
+            | "/v1/circuits"
             | "/v1/predict"
             | "/v1/predict_batch"
             | "/admin/shutdown"
             | "/admin/models"
             | "/admin/snapshot"
-            | "/admin/inject_worker_exit",
+            | "/admin/inject_worker_exit"
+            | "/admin/degrade"
+            | "/admin/chaos",
         ) => error_response(405, "method not allowed", None),
         _ => error_response(404, "no such route", None),
     }
@@ -512,6 +560,135 @@ fn inject_worker_exit(shared: &DaemonShared, request: &Request) -> Response {
         Ok(()) => Response::json(200, Json::Obj(vec![("injected".to_string(), Json::Bool(true))])),
         Err(e) => fleet_error_response(&e),
     }
+}
+
+/// `GET /v1/circuits`: overload posture of every ready model — breaker
+/// state, admission limiter, degrade ladder and current rung.
+fn circuits_json(shared: &DaemonShared) -> Response {
+    let circuits: Vec<Json> = shared
+        .fleet
+        .guard_stats()
+        .into_iter()
+        .map(|(name, g)| {
+            let ladder = shared.fleet.ladder(&name).unwrap_or_default();
+            Json::Obj(vec![
+                ("model".to_string(), Json::Str(name)),
+                ("circuit".to_string(), Json::Str(g.circuit.name().to_string())),
+                ("breaker_enabled".to_string(), Json::Bool(g.breaker_enabled)),
+                ("consecutive_failures".to_string(), Json::Num(g.consecutive_failures as f64)),
+                ("breaker_rejected".to_string(), Json::Num(g.breaker_rejected as f64)),
+                ("adaptive".to_string(), Json::Bool(g.adaptive)),
+                ("admission_limit".to_string(), Json::Num(g.limit as f64)),
+                ("inflight".to_string(), Json::Num(g.inflight as f64)),
+                ("limiter_rejected".to_string(), Json::Num(g.limiter_rejected as f64)),
+                ("degrade_level".to_string(), Json::Num(g.degrade_level as f64)),
+                (
+                    "forced_level".to_string(),
+                    match g.forced_level {
+                        Some(l) => Json::Num(l as f64),
+                        None => Json::Null,
+                    },
+                ),
+                ("degraded_total".to_string(), Json::Num(g.degraded_total as f64)),
+                ("ladder".to_string(), Json::Arr(ladder.into_iter().map(Json::Str).collect())),
+            ])
+        })
+        .collect();
+    Response::json(200, Json::Obj(vec![("circuits".to_string(), Json::Arr(circuits))]))
+}
+
+/// `POST /admin/degrade`: pins or releases a model's degrade rung. Body:
+/// `{"model": "...", "level": N}` forces rung N (0 = primary), `"level":
+/// null` (or `"off"`) returns control to the adaptive controller. This is
+/// an operator brownout control, not a fault injector, so it works without
+/// `fault_injection`.
+fn admin_degrade(shared: &DaemonShared, request: &Request) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8", None),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return error_response(400, &format!("body JSON: {e}"), None),
+    };
+    let model = body
+        .get("model")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| shared.default_model.clone());
+    let level = match body.get("level") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) if s == "off" => None,
+        Some(v) => match v.as_usize() {
+            Some(l) => Some(l),
+            None => {
+                return error_response(400, "'level' must be a non-negative integer or null", None)
+            }
+        },
+    };
+    match shared.fleet.force_degrade(&model, level) {
+        Ok(effective) => Response::json(
+            200,
+            Json::Obj(vec![
+                ("model".to_string(), Json::Str(model)),
+                ("forced".to_string(), Json::Bool(level.is_some())),
+                ("level".to_string(), Json::Num(effective as f64)),
+            ]),
+        ),
+        Err(e) => fleet_error_response(&e),
+    }
+}
+
+fn chaos_site_json(s: &fab_chaos::SiteStatus) -> Json {
+    Json::Obj(vec![
+        ("site".to_string(), Json::Str(s.site.name().to_string())),
+        ("every".to_string(), Json::Num(s.every as f64)),
+        ("param_ms".to_string(), Json::Num(s.param_ms as f64)),
+        ("injected".to_string(), Json::Num(s.injected as f64)),
+    ])
+}
+
+/// `GET /admin/chaos`: current per-site injection rates and fire counts.
+/// Read-only, so it answers even without `fault_injection` (all-off).
+fn chaos_status(shared: &DaemonShared) -> Response {
+    let sites: Vec<Json> = shared.chaos.status().iter().map(chaos_site_json).collect();
+    Response::json(200, Json::Obj(vec![("sites".to_string(), Json::Arr(sites))]))
+}
+
+/// `POST /admin/chaos`: arms or clears chaos sites at runtime. Body:
+/// `{"reset": true}` disarms everything; `{"sites": [{"site": "...",
+/// "every": N, "param_ms": M}, ...]}` reconfigures the listed sites.
+/// Gated on `fault_injection` exactly like `inject_worker_exit` — a
+/// production daemon cannot be armed over HTTP.
+fn admin_chaos(shared: &DaemonShared, request: &Request) -> Response {
+    if !shared.config.fault_injection {
+        return error_response(403, "fault injection is disabled", None);
+    }
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(400, "body is not UTF-8", None),
+    };
+    let body = match Json::parse(text) {
+        Ok(body) => body,
+        Err(e) => return error_response(400, &format!("body JSON: {e}"), None),
+    };
+    if body.get("reset").and_then(Json::as_bool) == Some(true) {
+        shared.chaos.reset();
+    }
+    if let Some(sites) = body.get("sites").and_then(Json::as_arr) {
+        for entry in sites {
+            let Some(name) = entry.get("site").and_then(Json::as_str) else {
+                return error_response(400, "each chaos site needs a 'site' name", None);
+            };
+            let Some(site) = ChaosSite::parse(name) else {
+                return error_response(400, &format!("unknown chaos site '{name}'"), None);
+            };
+            let every = entry.get("every").and_then(Json::as_u64).unwrap_or(0);
+            let param_ms = entry.get("param_ms").and_then(Json::as_u64).unwrap_or(0);
+            shared.chaos.configure(site, every, param_ms);
+        }
+    }
+    chaos_status(shared)
 }
 
 /// Extracts the request deadline: `X-Deadline-Ms` header beats the body's
@@ -565,9 +742,11 @@ fn parse_tokens(v: &Json) -> Result<Vec<usize>, Response> {
         .collect()
 }
 
-fn prediction_json(model: &str, p: &Prediction) -> Json {
+fn prediction_json(model: &str, served_by: &str, degraded: bool, p: &Prediction) -> Json {
     Json::Obj(vec![
         ("model".to_string(), Json::Str(model.to_string())),
+        ("served_by".to_string(), Json::Str(served_by.to_string())),
+        ("degraded".to_string(), Json::Bool(degraded)),
         ("class".to_string(), Json::Num(p.class as f64)),
         (
             "logits".to_string(),
@@ -604,10 +783,14 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
             None => return error_response(400, "missing 'tokens'", None),
         };
         return match shared.fleet.submit(model, tenant.as_deref(), priority, tokens, deadline) {
-            Ok(pending) => match pending.wait() {
-                Ok(p) => Response::json(200, prediction_json(model, &p)),
-                Err(e) => serve_error_response(&e),
-            },
+            Ok(pending) => {
+                let served_by = pending.served_by().to_string();
+                let degraded = pending.degraded();
+                match pending.wait() {
+                    Ok(p) => Response::json(200, prediction_json(model, &served_by, degraded, &p)),
+                    Err(e) => serve_error_response(&e),
+                }
+            }
             Err(e) => fleet_error_response(&e),
         };
     }
@@ -638,10 +821,20 @@ fn predict(shared: &DaemonShared, request: &Request, batch: bool) -> Response {
         .collect();
     let results: Vec<Json> = pending
         .into_iter()
-        .map(|slot| match slot.map(|p| p.wait()) {
-            Ok(Ok(p)) => prediction_json(model, &p),
-            Ok(Err(e)) => Json::Obj(vec![("error".to_string(), Json::Str(e.to_string()))]),
-            Err(err_json) => err_json,
+        .map(|slot| {
+            match slot.map(|p| {
+                let served_by = p.served_by().to_string();
+                let degraded = p.degraded();
+                (served_by, degraded, p.wait())
+            }) {
+                Ok((served_by, degraded, Ok(p))) => {
+                    prediction_json(model, &served_by, degraded, &p)
+                }
+                Ok((_, _, Err(e))) => {
+                    Json::Obj(vec![("error".to_string(), Json::Str(e.to_string()))])
+                }
+                Err(err_json) => err_json,
+            }
         })
         .collect();
     Response::json(
@@ -739,7 +932,10 @@ fn load_profile(shared: &DaemonShared, profile: ProfileConfig) -> Response {
         Err(e) => return fleet_error_response(&e),
     };
     let artifact = profile.build_artifact();
-    let session = profile.session_from_artifact(&artifact, shared.config.fault_injection);
+    let session = attach_chaos(
+        shared,
+        profile.session_from_artifact(&artifact, shared.config.fault_injection),
+    );
     let info = shared.fleet.commit_with_source(ticket, session, ModelSource::Trained);
     persist_artifact(shared, &profile.name, &artifact, &profile.fingerprint());
     shared
@@ -851,6 +1047,7 @@ fn list_models(shared: &DaemonShared) -> Response {
         .into_iter()
         .map(|(info, s)| ((info.spec.name, info.version), s))
         .collect();
+    let guards: HashMap<String, GuardStats> = shared.fleet.guard_stats().into_iter().collect();
     let models: Vec<Json> = shared
         .fleet
         .models()
@@ -865,6 +1062,10 @@ fn list_models(shared: &DaemonShared) -> Response {
                 obj.push(("workers".to_string(), Json::Num(stats.workers as f64)));
                 obj.push(("completed".to_string(), Json::Num(stats.completed as f64)));
             }
+            if let Some(g) = guards.get(&info.spec.name) {
+                obj.push(("circuit".to_string(), Json::Str(g.circuit.name().to_string())));
+                obj.push(("degrade_level".to_string(), Json::Num(g.degrade_level as f64)));
+            }
             Json::Obj(obj)
         })
         .collect();
@@ -872,12 +1073,14 @@ fn list_models(shared: &DaemonShared) -> Response {
 }
 
 fn stats_json(shared: &DaemonShared) -> Response {
+    let guards: HashMap<String, GuardStats> = shared.fleet.guard_stats().into_iter().collect();
     let models: Vec<Json> = shared
         .fleet
         .model_stats()
         .into_iter()
         .map(|(info, s)| {
-            Json::Obj(vec![
+            let g = guards.get(&info.spec.name);
+            let mut obj = vec![
                 ("name".to_string(), Json::Str(info.spec.name.clone())),
                 ("version".to_string(), Json::Num(info.version as f64)),
                 ("state".to_string(), Json::Str(info.state.name().to_string())),
@@ -898,7 +1101,17 @@ fn stats_json(shared: &DaemonShared) -> Response {
                 ("latency_p95_us".to_string(), Json::Num(s.latency.p95_us as f64)),
                 ("latency_p99_us".to_string(), Json::Num(s.latency.p99_us as f64)),
                 ("latency_max_us".to_string(), Json::Num(s.latency.max_us as f64)),
-            ])
+            ];
+            if let Some(g) = g {
+                obj.push(("circuit".to_string(), Json::Str(g.circuit.name().to_string())));
+                obj.push(("degrade_level".to_string(), Json::Num(g.degrade_level as f64)));
+                obj.push(("admission_limit".to_string(), Json::Num(g.limit as f64)));
+                obj.push(("inflight".to_string(), Json::Num(g.inflight as f64)));
+                obj.push(("degraded_total".to_string(), Json::Num(g.degraded_total as f64)));
+                obj.push(("limiter_rejected".to_string(), Json::Num(g.limiter_rejected as f64)));
+                obj.push(("breaker_rejected".to_string(), Json::Num(g.breaker_rejected as f64)));
+            }
+            Json::Obj(obj)
         })
         .collect();
     let tenants: Vec<Json> = shared
@@ -1123,6 +1336,61 @@ fn render_metrics(shared: &DaemonShared) -> String {
             let _ =
                 writeln!(out, "fabd_class_latency_us{{class=\"{class}\",quantile=\"{q}\"}} {v}");
         }
+    }
+    let guards = shared.fleet.guard_stats();
+    let _ = writeln!(
+        out,
+        "# HELP fabd_circuit_state Per-model breaker state \
+         (0 = closed, 1 = half-open, 2 = open)\n# TYPE fabd_circuit_state gauge"
+    );
+    for (model, g) in &guards {
+        let _ = writeln!(out, "fabd_circuit_state{{model=\"{model}\"}} {}", g.circuit.gauge());
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_admission_limit Current AIMD concurrency limit per model\n\
+         # TYPE fabd_admission_limit gauge"
+    );
+    for (model, g) in &guards {
+        let _ = writeln!(out, "fabd_admission_limit{{model=\"{model}\"}} {}", g.limit);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_degrade_level Current precision-degrade rung per model \
+         (0 = primary)\n# TYPE fabd_degrade_level gauge"
+    );
+    for (model, g) in &guards {
+        let _ = writeln!(out, "fabd_degrade_level{{model=\"{model}\"}} {}", g.degrade_level);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_degraded_requests_total Requests answered by a lower-precision rung\n\
+         # TYPE fabd_degraded_requests_total counter"
+    );
+    for (model, g) in &guards {
+        let _ =
+            writeln!(out, "fabd_degraded_requests_total{{model=\"{model}\"}} {}", g.degraded_total);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_breaker_rejected_total Requests fast-failed by an open circuit\n\
+         # TYPE fabd_breaker_rejected_total counter"
+    );
+    for (model, g) in &guards {
+        let _ = writeln!(
+            out,
+            "fabd_breaker_rejected_total{{model=\"{model}\"}} {}",
+            g.breaker_rejected
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP fabd_chaos_injected_total Faults fired per chaos site since boot\n\
+         # TYPE fabd_chaos_injected_total counter"
+    );
+    for s in shared.chaos.status() {
+        let _ =
+            writeln!(out, "fabd_chaos_injected_total{{site=\"{}\"}} {}", s.site.name(), s.injected);
     }
     out
 }

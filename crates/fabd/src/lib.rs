@@ -11,7 +11,11 @@
 //! zero-drop drain. With a `snapshot_dir` configured the daemon persists
 //! every trained model to a [`fab_store`] snapshot store and warm-starts
 //! from the last good snapshot at boot, retraining only on a miss, stale
-//! fingerprint, or corruption.
+//! fingerprint, or corruption. The PR-9 overload stack layers on top:
+//! per-model AIMD admission limits, graceful precision degradation down a
+//! same-task ladder (`exact → fastmath → int8`), per-model circuit
+//! breakers, and a deterministic chaos harness ([`fab_chaos`]) gated on
+//! `fault_injection`.
 //!
 //! Modules, wire-inward:
 //!
@@ -31,12 +35,15 @@
 //! | `POST /v1/predict` | One sequence → logits/class; takes `X-Tenant` / `X-Priority` (or body fields); `429` + `Retry-After` when over quota or overloaded, `504` past deadline |
 //! | `POST /v1/predict_batch` | Many sequences, per-sequence results/errors |
 //! | `GET /v1/models`, `GET /v1/stats` | Model registry (name/version/state) / JSON stats incl. per-tenant and per-class |
+//! | `GET /v1/circuits` | Per-model breaker state, AIMD admission limit, degrade ladder and rung |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `GET /healthz`, `GET /readyz` | Liveness / readiness (`503` while loading or draining) |
 //! | `POST /admin/models` | Hot load / reload / unload a model (zero-drop swap) |
 //! | `POST /admin/snapshot` | Re-persist every loaded model to the snapshot store; `GET` lists snapshots on disk |
 //! | `POST /admin/shutdown` | Start a graceful drain |
+//! | `POST /admin/degrade` | Pin a model to a degrade rung (`level`) or release it (`null`) |
 //! | `POST /admin/inject_worker_exit` | Kill a worker (fault-injection builds only) |
+//! | `POST /admin/chaos` | Arm/clear chaos sites (fault-injection builds only); `GET` reports per-site fire counts |
 
 #![warn(missing_docs)]
 
@@ -52,4 +59,5 @@ pub use daemon::Daemon;
 pub use json::Json;
 // Fleet knobs a `DaemonConfig` embeds, so configuring callers (tests,
 // benches) need not depend on `fab-fleet` directly.
-pub use fab_fleet::{ClassWeights, SchedulerKind, TenantQuota};
+pub use fab_chaos::ChaosSite;
+pub use fab_fleet::{ClassWeights, OverloadConfig, SchedulerKind, TenantQuota};

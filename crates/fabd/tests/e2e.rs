@@ -5,7 +5,8 @@
 //! milliseconds), so tests run in parallel without port or state sharing.
 
 use fabd::{
-    ClientError, Daemon, DaemonConfig, FabClient, Json, Precision, ProfileConfig, RetryPolicy,
+    ClientError, Daemon, DaemonConfig, FabClient, Json, OverloadConfig, Precision, ProfileConfig,
+    RetryPolicy,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -537,14 +538,226 @@ fn connection_limit_sheds_excess_connections_with_503() {
     let mut held = client_for(&daemon);
     held.predict(None, &[1, 2, 3], None).expect("holds the slot");
 
-    // The next connection is shed at accept time.
+    // The next connection is shed at accept time — with a Retry-After, so
+    // a well-behaved client backs off instead of hammering the listener.
     let mut stream = TcpStream::connect(daemon.addr()).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let mut out = String::new();
     let _ = stream.read_to_string(&mut out);
     assert!(out.starts_with("HTTP/1.1 503"), "expected connection shed, got: {out}");
+    let retry_after: u64 = out
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .expect("Retry-After header on the connection-cap 503")
+        .trim()
+        .parse()
+        .expect("whole seconds");
+    assert!(retry_after >= 1);
+    let body = Json::parse(out.split("\r\n\r\n").nth(1).expect("body")).expect("JSON body");
+    assert!(body.get("retry_after_ms").and_then(Json::as_u64).is_some(), "{out}");
 
     // The held connection keeps working.
     held.predict(None, &[1, 2, 3], None).expect("slot holder unaffected");
     daemon.shutdown();
+}
+
+/// Repeated hard failures (chaos `panic_forward`) trip the requested
+/// model's circuit breaker: requests fast-fail `503` with a retry hint
+/// instead of queueing onto a failing model, `/v1/circuits` and the
+/// metrics report the open state, and once the fault clears a half-open
+/// probe closes the circuit again.
+#[test]
+fn circuit_opens_on_repeated_panics_fast_fails_then_recovers() {
+    let config = DaemonConfig {
+        fault_injection: true,
+        overload: OverloadConfig {
+            breaker_failures: 3,
+            breaker_open_ms: 300,
+            breaker_probes: 2,
+            ..OverloadConfig::default()
+        },
+        ..test_config()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let mut client = raw_client_for(&daemon);
+    client.predict(None, &[1, 2, 3], None).expect("healthy before chaos");
+
+    // Every forward pass — batched and isolated retry — now panics.
+    client.chaos_configure("panic_forward", 1, 0).expect("arm chaos");
+    for i in 0..3 {
+        let err = client.predict(None, &[1, 2, 3], None).expect_err("panicking forward");
+        assert!(matches!(err, ClientError::Status { status: 500, .. }), "request {i}: {err}");
+    }
+
+    // Threshold reached: the next request is rejected before the fleet
+    // spends anything on it, with both hint forms present.
+    let err = client.predict(None, &[1, 2, 3], None).expect_err("circuit open");
+    match err {
+        ClientError::Status { status, body } => {
+            assert_eq!(status, 503, "{body}");
+            assert!(body.contains("circuit"), "{body}");
+            let parsed = Json::parse(&body).expect("JSON error body");
+            let hint = parsed.get("retry_after_ms").and_then(Json::as_u64).expect("hint");
+            assert!(hint > 0 && hint <= 300, "hint {hint}ms outside the open window");
+        }
+        other => panic!("expected 503, got {other}"),
+    }
+    let circuits = client.circuits().expect("circuits");
+    let fast = circuits
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .expect("array")
+        .iter()
+        .find(|c| c.get("model").and_then(Json::as_str) == Some("fast"))
+        .cloned()
+        .expect("fast listed");
+    assert_eq!(fast.get("circuit").and_then(Json::as_str), Some("open"), "{fast}");
+    assert_eq!(fast.get("breaker_enabled").and_then(Json::as_bool), Some(true), "{fast}");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_circuit_state{model=\"fast\"} 2"), "{metrics}");
+    assert!(metrics.contains("fabd_breaker_rejected_total{model=\"fast\"} 1"), "{metrics}");
+    assert!(metrics.contains("fabd_chaos_injected_total{site=\"panic_forward\"}"), "{metrics}");
+
+    // Clear the fault, wait out the open window: the next request runs as
+    // a half-open probe, succeeds, and closes the circuit.
+    client.chaos_reset().expect("disarm chaos");
+    std::thread::sleep(Duration::from_millis(350));
+    client.predict(None, &[1, 2, 3], None).expect("probe succeeds");
+    let circuits = client.circuits().expect("circuits after recovery");
+    let fast = circuits
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .expect("array")
+        .iter()
+        .find(|c| c.get("model").and_then(Json::as_str) == Some("fast"))
+        .cloned()
+        .expect("fast listed");
+    assert_eq!(fast.get("circuit").and_then(Json::as_str), Some("closed"), "{fast}");
+    client.predict(None, &[1, 2, 3], None).expect("serving normally again");
+    daemon.shutdown();
+}
+
+/// `POST /admin/degrade` pins a model to a rung of its precision ladder:
+/// requests for the primary are served by the rung's model (bit-identical
+/// to asking for it directly), the response says so via `served_by` /
+/// `degraded`, and releasing the pin restores primary serving.
+#[test]
+fn forced_degrade_reroutes_down_the_ladder_and_releases() {
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_timeout_ms: 500,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let mut client = client_for(&daemon);
+    let tokens = [5, 4, 3, 2, 1];
+    let logits_of = |result: &Json| -> Vec<f64> {
+        result
+            .get("logits")
+            .and_then(Json::as_arr)
+            .expect("logits")
+            .iter()
+            .map(|l| l.as_f64().expect("number"))
+            .collect()
+    };
+    let direct: Vec<Vec<f64>> = ["text-f32", "text-fast", "text-int8"]
+        .iter()
+        .map(|m| logits_of(&client.predict(Some(m), &tokens, None).expect(m)))
+        .collect();
+
+    for (level, rung) in [(1usize, "text-fast"), (2usize, "text-int8")] {
+        let ack = client.degrade("text-f32", Some(level)).expect("pin rung");
+        assert_eq!(ack.get("level").and_then(Json::as_usize), Some(level), "{ack}");
+        assert_eq!(ack.get("forced").and_then(Json::as_bool), Some(true), "{ack}");
+        let result = client.predict(Some("text-f32"), &tokens, None).expect("degraded predict");
+        assert_eq!(result.get("served_by").and_then(Json::as_str), Some(rung), "{result}");
+        assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(true), "{result}");
+        assert_eq!(logits_of(&result), direct[level], "level {level} logits drifted from {rung}");
+    }
+
+    // The overload surfaces report the pinned rung and the ladder.
+    let circuits = client.circuits().expect("circuits");
+    let f32_row = circuits
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .expect("array")
+        .iter()
+        .find(|c| c.get("model").and_then(Json::as_str) == Some("text-f32"))
+        .cloned()
+        .expect("text-f32 listed");
+    assert_eq!(f32_row.get("degrade_level").and_then(Json::as_usize), Some(2), "{f32_row}");
+    assert_eq!(f32_row.get("forced_level").and_then(Json::as_usize), Some(2), "{f32_row}");
+    let ladder: Vec<&str> = f32_row
+        .get("ladder")
+        .and_then(Json::as_arr)
+        .expect("ladder")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(ladder, ["text-fast", "text-int8"], "{f32_row}");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_degraded_requests_total{model=\"text-f32\"} 2"), "{metrics}");
+    assert!(metrics.contains("fabd_degrade_level{model=\"text-f32\"} 2"), "{metrics}");
+
+    // Releasing the pin restores primary serving, bit-identical again.
+    let ack = client.degrade("text-f32", None).expect("release");
+    assert_eq!(ack.get("forced").and_then(Json::as_bool), Some(false), "{ack}");
+    let result = client.predict(Some("text-f32"), &tokens, None).expect("primary again");
+    assert_eq!(result.get("served_by").and_then(Json::as_str), Some("text-f32"), "{result}");
+    assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(false), "{result}");
+    assert_eq!(logits_of(&result), direct[0], "primary logits drifted after release");
+
+    // Pinning an unknown model is a 404, not a silent no-op.
+    let err = client.degrade("nope", Some(1)).expect_err("unknown model");
+    assert!(matches!(err, ClientError::Status { status: 404, .. }), "{err}");
+    daemon.shutdown();
+}
+
+/// Chaos arming over HTTP needs `fault_injection`, exactly like
+/// `inject_worker_exit`; the read-only status stays available either way.
+#[test]
+fn chaos_admin_is_gated_on_fault_injection() {
+    let daemon = Daemon::start(test_config()).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    let err = client.chaos_configure("slow_forward", 1, 10).expect_err("gated");
+    assert!(matches!(err, ClientError::Status { status: 403, .. }), "{err}");
+    let status = client.chaos_status().expect("status readable without fault_injection");
+    let sites = status.get("sites").and_then(Json::as_arr).expect("sites");
+    assert_eq!(sites.len(), 4, "{status}");
+    assert!(
+        sites.iter().all(|s| s.get("every").and_then(Json::as_u64) == Some(0)),
+        "armed without fault_injection: {status}"
+    );
+    daemon.shutdown();
+}
+
+/// Chaos `snapshot_save` makes persistence fail exactly like a dead disk:
+/// `POST /admin/snapshot` reports the failure per model, serving is
+/// unaffected, and disarming restores saves.
+#[test]
+fn snapshot_save_chaos_fails_saves_like_a_dead_disk() {
+    let dir = std::env::temp_dir().join(format!("fabd-chaos-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DaemonConfig {
+        fault_injection: true,
+        snapshot_dir: Some(dir.to_string_lossy().into_owned()),
+        ..test_config()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let mut client = client_for(&daemon);
+
+    client.chaos_configure("snapshot_save", 1, 0).expect("arm chaos");
+    let ack = client.snapshot_trigger().expect("trigger answers");
+    assert_eq!(ack.get("saved").and_then(Json::as_arr).map(<[Json]>::len), Some(0), "{ack}");
+    assert_eq!(ack.get("failed").and_then(Json::as_arr).map(<[Json]>::len), Some(1), "{ack}");
+    client.predict(None, &[1, 2, 3], None).expect("serving unaffected");
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("fabd_chaos_injected_total{site=\"snapshot_save\"} 1"), "{metrics}");
+
+    client.chaos_reset().expect("disarm");
+    let ack = client.snapshot_trigger().expect("trigger after disarm");
+    assert_eq!(ack.get("saved").and_then(Json::as_arr).map(<[Json]>::len), Some(1), "{ack}");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

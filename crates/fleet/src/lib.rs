@@ -34,10 +34,15 @@
 
 #![warn(missing_docs)]
 
+pub mod overload;
 pub mod qos;
 pub mod registry;
 pub mod scheduler;
 
+pub use overload::{
+    CircuitBreaker, CircuitDecision, CircuitState, DegradeController, GuardStats, ModelGuard,
+    OverloadConfig,
+};
 pub use qos::{TenantCounters, TenantQuota, TenantStats, TenantTable, DEFAULT_TENANT};
 pub use registry::{
     LoadTicket, ModelHandle, ModelInfo, ModelSource, ModelSpec, ModelState, Registry,
@@ -48,9 +53,10 @@ use fab_serve::{
     HistogramSummary, InferenceSession, LatencyHistogram, Prediction, Priority, RequestQos,
     ServeConfig, ServeError, Server, ServerStats,
 };
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Why the fleet could not take or finish a request or admin action.
@@ -69,6 +75,15 @@ pub enum FleetError {
         /// Milliseconds until the tenant's bucket refills one token.
         retry_after_ms: u64,
     },
+    /// The model's circuit breaker is open: recent requests hard-failed
+    /// and the fleet is fast-failing instead of queueing onto a broken
+    /// server.
+    CircuitOpen {
+        /// The model whose circuit tripped.
+        model: String,
+        /// Milliseconds until the breaker will admit probe requests.
+        retry_after_ms: u64,
+    },
     /// The model's server rejected or failed the request.
     Serve(ServeError),
 }
@@ -83,6 +98,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::QuotaExceeded { tenant, retry_after_ms } => {
                 write!(f, "tenant '{tenant}' exceeded its quota; retry in {retry_after_ms}ms")
+            }
+            FleetError::CircuitOpen { model, retry_after_ms } => {
+                write!(f, "model '{model}' circuit is open; retry in {retry_after_ms}ms")
             }
             FleetError::Serve(e) => write!(f, "{e}"),
         }
@@ -141,6 +159,9 @@ pub struct FleetConfig {
     pub tenants: Vec<(String, TenantQuota)>,
     /// Bound on one tenant's queued requests per model (0 = none).
     pub per_tenant_queue_cap: usize,
+    /// Adaptive admission, precision degradation, and circuit breakers
+    /// (all off by default; see [`OverloadConfig`]).
+    pub overload: OverloadConfig,
 }
 
 /// The fleet facade: registry + tenants + per-class latency, one `submit`
@@ -151,6 +172,12 @@ pub struct Fleet {
     tenants: Arc<TenantTable>,
     /// End-to-end latency per priority class, fleet-wide.
     class_latency: [Arc<LatencyHistogram>; 3],
+    /// Overload-control state per model name (created on first use; kept
+    /// across reloads so a hot swap does not reset breaker history).
+    guards: Mutex<HashMap<String, Arc<ModelGuard>>>,
+    /// Set once any model has a forced degrade level, so the default
+    /// all-off config never pays the guard-map lock on the submit path.
+    forced_any: AtomicBool,
 }
 
 impl Fleet {
@@ -163,6 +190,8 @@ impl Fleet {
             registry: Registry::new(),
             tenants,
             class_latency: std::array::from_fn(|_| Arc::new(LatencyHistogram::new())),
+            guards: Mutex::new(HashMap::new()),
+            forced_any: AtomicBool::new(false),
         }
     }
 
@@ -253,15 +282,18 @@ impl Fleet {
         self.registry.get(name)
     }
 
-    /// Submits one request: resolves the model, charges the tenant's
-    /// bucket (`None` = the shared [`DEFAULT_TENANT`]), and enqueues with
-    /// the tenant/priority labels the scheduler orders by.
+    /// Submits one request: resolves the model, consults its circuit
+    /// breaker, charges the tenant's bucket (`None` = the shared
+    /// [`DEFAULT_TENANT`]), routes through the overload controls (which
+    /// may reroute to a cheaper precision of the same task), and enqueues
+    /// with the tenant/priority labels the scheduler orders by.
     ///
     /// # Errors
     ///
     /// [`FleetError::NoSuchModel`] / [`FleetError::ModelLoading`],
-    /// [`FleetError::QuotaExceeded`], or [`FleetError::Serve`] for
-    /// validation and admission failures of the model's server.
+    /// [`FleetError::CircuitOpen`], [`FleetError::QuotaExceeded`], or
+    /// [`FleetError::Serve`] for validation and admission failures of the
+    /// model's server (including the adaptive admission limit).
     pub fn submit(
         &self,
         model: &str,
@@ -271,14 +303,48 @@ impl Fleet {
         deadline: Option<Duration>,
     ) -> Result<FleetPending, FleetError> {
         let handle = self.registry.get(model)?;
+        let overload = &self.config.overload;
+        // The default all-off config takes the static path untouched: no
+        // guard map, no extra locks, byte-for-byte the pre-overload flow.
+        let use_guards = overload.adaptive
+            || overload.degrade
+            || overload.breaker_failures > 0
+            || self.forced_any.load(Ordering::Relaxed);
+        let guard = use_guards.then(|| self.guard(model));
+        let now = Instant::now();
+        if let Some(guard) = &guard {
+            if let CircuitDecision::Reject { retry_after_ms } = guard.admit_circuit(now) {
+                return Err(FleetError::CircuitOpen { model: model.to_string(), retry_after_ms });
+            }
+        }
         let tenant = tenant.unwrap_or(DEFAULT_TENANT);
         let counters = self.tenants.charge(tenant).map_err(|retry_after_ms| {
             FleetError::QuotaExceeded { tenant: tenant.to_string(), retry_after_ms }
         })?;
+        let (serving, serving_guard) = match &guard {
+            Some(g) => match self.route(handle, g, now) {
+                Ok(r) => r,
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            },
+            None => (handle, None),
+        };
+        let degraded = serving.spec().name != model;
+        let served_by = serving.spec().name.clone();
+        if degraded {
+            if let Some(g) = &guard {
+                g.count_degraded();
+            }
+        }
         let qos = RequestQos { tenant: Some(tenant.to_string()), priority };
-        let pending = match handle.server().submit_with_qos(tokens, deadline, qos) {
+        let pending = match serving.server().submit_with_qos(tokens, deadline, qos) {
             Ok(p) => p,
             Err(e) => {
+                if let Some(sg) = &serving_guard {
+                    sg.limiter().release_failure();
+                }
                 counters.failed.fetch_add(1, Ordering::Relaxed);
                 return Err(FleetError::Serve(e));
             }
@@ -287,14 +353,146 @@ impl Fleet {
         // is *enqueued*, the server's own shutdown drain guarantees the
         // answer — pinning through the wait would deadlock a reaper
         // against a request only that reaper's shutdown can answer.
-        drop(handle);
+        drop(serving);
         counters.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(FleetPending {
             pending,
             counters,
             class_latency: Arc::clone(&self.class_latency[priority.index()]),
             submitted: Instant::now(),
+            served_by,
+            degraded,
+            serving_guard,
+            primary_guard: guard,
+            slo_us: overload.aimd.slo_us,
         })
+    }
+
+    /// Picks the model that actually serves this request and, when
+    /// adaptive admission is on, takes a limiter slot on it.
+    ///
+    /// The chain tried is `primary, ladder[0], ladder[1], ...` starting at
+    /// the current degrade level — routing never moves *up* the ladder,
+    /// so an escalated level is honored by every request until the
+    /// controller itself recovers. Each acquire failure feeds one
+    /// pressure event into the primary's degrade controller; exhausting
+    /// the chain is an [`ServeError::Overloaded`] rejection whose hint is
+    /// derived from the admission SLO.
+    fn route(
+        &self,
+        handle: ModelHandle,
+        guard: &Arc<ModelGuard>,
+        now: Instant,
+    ) -> Result<(ModelHandle, Option<Arc<ModelGuard>>), FleetError> {
+        let overload = &self.config.overload;
+        if !overload.adaptive && guard.degrade_level() == 0 {
+            return Ok((handle, None));
+        }
+        let ladder = self.ladder_for(handle.spec());
+        let mut level = guard.degrade_level().min(ladder.len());
+        let mut primary = Some(handle);
+        loop {
+            let candidate = if level == 0 {
+                Some((primary.take().expect("level 0 is visited at most once"), Arc::clone(guard)))
+            } else {
+                let name = &ladder[level - 1];
+                // A rung can vanish between the ladder snapshot and here
+                // (hot unload); skip it rather than fail the request.
+                self.registry.get(name).ok().map(|h| (h, self.guard(name)))
+            };
+            if let Some((cand_handle, cand_guard)) = candidate {
+                if !overload.adaptive {
+                    // Forced degrade without adaptive admission: route
+                    // straight to the pinned rung, no limiter slot.
+                    return Ok((cand_handle, None));
+                }
+                if cand_guard.limiter().try_acquire() {
+                    return Ok((cand_handle, Some(cand_guard)));
+                }
+                // This rung is out of capacity — the pressure signal the
+                // primary's degrade controller keys off.
+                guard.pressure(now);
+            }
+            if level >= ladder.len() {
+                break;
+            }
+            level += 1;
+        }
+        let retry_after_ms = (overload.aimd.slo_us / 1_000).clamp(10, 5_000);
+        Err(FleetError::Serve(ServeError::Overloaded { depth: 0, retry_after_ms }))
+    }
+
+    /// The overload-control guard for `name`, created on first use.
+    fn guard(&self, name: &str) -> Arc<ModelGuard> {
+        let mut guards = self.guards.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            guards
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(ModelGuard::new(self.config.overload.clone()))),
+        )
+    }
+
+    /// The degradation ladder below `spec`: ready models of the same task
+    /// at strictly cheaper precisions, most precise first. Models whose
+    /// precision has no rank (see [`overload::precision_rank`]) never
+    /// participate.
+    fn ladder_for(&self, spec: &ModelSpec) -> Vec<String> {
+        let Some(primary_rank) = overload::precision_rank(&spec.precision) else {
+            return Vec::new();
+        };
+        let mut rungs: Vec<(usize, String)> = self
+            .registry
+            .ready_models()
+            .into_iter()
+            .filter_map(|(info, _)| {
+                if info.spec.name == spec.name || info.spec.task != spec.task {
+                    return None;
+                }
+                let rank = overload::precision_rank(&info.spec.precision)?;
+                (rank > primary_rank).then_some((rank, info.spec.name))
+            })
+            .collect();
+        rungs.sort();
+        rungs.into_iter().map(|(_, name)| name).collect()
+    }
+
+    /// The degradation ladder below `model`, in routing order.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchModel`] / [`FleetError::ModelLoading`].
+    pub fn ladder(&self, model: &str) -> Result<Vec<String>, FleetError> {
+        let handle = self.registry.get(model)?;
+        Ok(self.ladder_for(handle.spec()))
+    }
+
+    /// Pins `model`'s degrade level (clamped to its ladder), or releases
+    /// the pin with `None`; returns the effective level.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoSuchModel`] / [`FleetError::ModelLoading`].
+    pub fn force_degrade(&self, model: &str, level: Option<usize>) -> Result<usize, FleetError> {
+        let handle = self.registry.get(model)?;
+        let ladder = self.ladder_for(handle.spec());
+        drop(handle);
+        if level.is_some() {
+            self.forced_any.store(true, Ordering::Relaxed);
+        }
+        Ok(self.guard(model).force_level(level, ladder.len()))
+    }
+
+    /// Overload-control snapshots for every ready model, sorted by name.
+    pub fn guard_stats(&self) -> Vec<(String, GuardStats)> {
+        let now = Instant::now();
+        self.registry
+            .ready_models()
+            .into_iter()
+            .map(|(info, _)| {
+                let stats = self.guard(&info.spec.name).stats(now);
+                (info.spec.name, stats)
+            })
+            .collect()
     }
 
     /// Lists every known model entry (loading, ready, draining, recently
@@ -357,11 +555,38 @@ pub struct FleetPending {
     counters: Arc<TenantCounters>,
     class_latency: Arc<LatencyHistogram>,
     submitted: Instant,
+    /// Name of the model actually serving the request (the requested one
+    /// unless degradation rerouted it).
+    served_by: String,
+    degraded: bool,
+    /// Limiter slot to release on completion: the guard of the *serving*
+    /// model, present only when adaptive admission took a slot.
+    serving_guard: Option<Arc<ModelGuard>>,
+    /// Feedback target for breaker/degrade signals: the guard of the
+    /// *requested* model.
+    primary_guard: Option<Arc<ModelGuard>>,
+    slo_us: u64,
 }
 
 impl FleetPending {
+    /// Name of the model actually serving this request.
+    pub fn served_by(&self) -> &str {
+        &self.served_by
+    }
+
+    /// Whether overload control rerouted this request to a cheaper
+    /// precision than the one requested.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Blocks until the prediction (or its explicit error) arrives,
-    /// recording the outcome in the tenant's and class's metrics.
+    /// recording the outcome in the tenant's and class's metrics and
+    /// feeding it back into the overload controls: the serving model's
+    /// limiter slot is released with the observed latency, and the
+    /// requested model's breaker hears hard failures (forward panics,
+    /// dead servers) while its degrade controller hears on-SLO
+    /// completions as calm.
     ///
     /// # Errors
     ///
@@ -373,10 +598,31 @@ impl FleetPending {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
                 self.counters.latency.record(us);
                 self.class_latency.record(us);
+                if let Some(sg) = &self.serving_guard {
+                    sg.limiter().release(us);
+                }
+                if let Some(pg) = &self.primary_guard {
+                    let now = Instant::now();
+                    pg.circuit_outcome(now, false);
+                    // Calm = on-SLO completion while the primary's own
+                    // limiter has headroom: recovery probes the primary's
+                    // capacity, not the rung currently absorbing traffic.
+                    let limiter = pg.limiter();
+                    if us <= self.slo_us && limiter.inflight() < limiter.limit() {
+                        pg.calm(now);
+                    }
+                }
                 Ok(p)
             }
             Err(e) => {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                if let Some(sg) = &self.serving_guard {
+                    sg.limiter().release_failure();
+                }
+                if let Some(pg) = &self.primary_guard {
+                    let hard = matches!(e, ServeError::ModelPanicked | ServeError::ServerStopped);
+                    pg.circuit_outcome(Instant::now(), hard);
+                }
                 Err(e)
             }
         }

@@ -276,3 +276,208 @@ fn tenant_and_class_metrics_record_outcomes() {
     assert_eq!(classes[Priority::Interactive.index()].1.count, 0);
     fleet.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// PR-9 overload-control properties.
+// ---------------------------------------------------------------------------
+
+use fab_fleet::{CircuitBreaker, CircuitDecision, CircuitState, DegradeController};
+use fab_quant::{quantize_frozen, CalibrationConfig};
+
+fn spec_p(name: &str, precision: &str) -> ModelSpec {
+    ModelSpec {
+        name: name.to_string(),
+        task: "text".to_string(),
+        arch: "fabnet".to_string(),
+        precision: precision.to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The degradation controller is hysteretic and monotone under any
+    // event sequence: a pressure event never lowers the level and a calm
+    // event never raises it, the level moves at most one step per event,
+    // two level changes are never closer than the dwell, and a recovery
+    // only ever happens after `recover_after` of uninterrupted calm.
+    // Afterwards, sustained calm always brings the level back to 0.
+    #[test]
+    fn degradation_is_hysteretic_and_monotone(
+        dwell_ms in 1u64..200,
+        recover_ms in 1u64..500,
+        seed in 0u64..10_000,
+    ) {
+        let base = Instant::now();
+        let mut c = DegradeController::new(
+            Duration::from_millis(dwell_ms),
+            Duration::from_millis(recover_ms),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now_ms = 0u64;
+        let mut last_change_ms: Option<u64> = None;
+        let mut last_pressure_ms: Option<u64> = None;
+        let mut prev_level = c.level();
+        for _ in 0..300 {
+            now_ms += rng.gen_range(0..100u64);
+            let now = base + Duration::from_millis(now_ms);
+            let pressure = rng.gen_bool(0.5);
+            let changed = if pressure {
+                last_pressure_ms = Some(now_ms);
+                c.on_pressure(now)
+            } else {
+                c.on_calm(now)
+            };
+            let level = c.level();
+            if pressure {
+                prop_assert!(level >= prev_level, "pressure lowered the level");
+                prop_assert!(level - prev_level <= 1, "pressure skipped a level");
+            } else {
+                prop_assert!(level <= prev_level, "calm raised the level");
+                prop_assert!(prev_level - level <= 1, "calm skipped a level");
+            }
+            prop_assert_eq!(changed, level != prev_level);
+            if changed {
+                if let Some(last) = last_change_ms {
+                    prop_assert!(
+                        now_ms - last >= dwell_ms,
+                        "changes at {last}ms and {now_ms}ms violate dwell {dwell_ms}ms"
+                    );
+                }
+                if !pressure {
+                    if let Some(lp) = last_pressure_ms {
+                        prop_assert!(
+                            now_ms - lp >= recover_ms,
+                            "recovered {}ms after pressure (< {recover_ms}ms)",
+                            now_ms - lp
+                        );
+                    }
+                }
+                last_change_ms = Some(now_ms);
+            }
+            prev_level = level;
+        }
+        // Pressure cleared: calm alone must walk the level back to 0,
+        // one rung per recovery window.
+        let mut steps = 0;
+        let max_steps = c.level() + 2;
+        while c.level() > 0 {
+            now_ms += recover_ms.max(dwell_ms) + 1;
+            c.on_calm(base + Duration::from_millis(now_ms));
+            steps += 1;
+            prop_assert!(steps < max_steps, "sustained calm never recovered to level 0");
+        }
+    }
+
+    // The breaker's decisions always agree with its externally visible
+    // state: Admit only while closed, Probe only while half-open, Reject
+    // never while closed and always with a hint in (0, open_ms]; and a
+    // closed breaker's failure streak never silently reaches the
+    // threshold without the circuit opening.
+    #[test]
+    fn breaker_decisions_agree_with_its_state(
+        threshold in 1u32..6,
+        open_ms in 1u64..300,
+        probes in 1u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let base = Instant::now();
+        let mut b = CircuitBreaker::new(threshold, Duration::from_millis(open_ms), probes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now_ms = 0u64;
+        for _ in 0..400 {
+            now_ms += rng.gen_range(0..=open_ms);
+            let now = base + Duration::from_millis(now_ms);
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let before = b.state(now);
+                    match b.admit(now) {
+                        CircuitDecision::Admit => {
+                            prop_assert_eq!(before, CircuitState::Closed);
+                        }
+                        CircuitDecision::Probe => {
+                            prop_assert_eq!(before, CircuitState::HalfOpen);
+                        }
+                        CircuitDecision::Reject { retry_after_ms } => {
+                            prop_assert!(before != CircuitState::Closed, "reject while closed");
+                            prop_assert!(
+                                retry_after_ms >= 1 && retry_after_ms <= open_ms.max(1),
+                                "reject hint {retry_after_ms}ms outside (0, {open_ms}]"
+                            );
+                        }
+                    }
+                }
+                1 => b.on_failure(now),
+                _ => b.on_success(now),
+            }
+            if b.state(base + Duration::from_millis(now_ms)) == CircuitState::Closed {
+                prop_assert!(
+                    b.consecutive_failures() < threshold,
+                    "streak reached the threshold without opening"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Forced degradation reroutes to the expected rung of the precision
+    // ladder and never invents numerics: the degraded answer is
+    // bit-identical to the rung's own directly-served logits, and
+    // releasing the pin restores the requested precision exactly.
+    #[test]
+    fn forced_degradation_reroutes_and_logits_bit_match_the_rung(
+        n in 1usize..6,
+        num_workers in 1usize..3,
+        seed in 0u64..200,
+    ) {
+        let config = ModelConfig::tiny_for_tests();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab);
+        let model = model_for(seed);
+        let frozen = model.freeze().with_fast_math(true);
+        let calib: Vec<Vec<usize>> = (0..8)
+            .map(|i| (0..8).map(|j| (i * 5 + j * 3 + 1) % config.vocab_size).collect())
+            .collect();
+        let quant = quantize_frozen(&frozen, &calib, &CalibrationConfig::default());
+        let fleet = Fleet::new(fleet_config(num_workers));
+        fleet.load(spec_p("m-f32", "f32"), InferenceSession::exact(&model)).expect("f32");
+        fleet.load(spec_p("m-fast", "fastmath"), InferenceSession::new(&model)).expect("fast");
+        fleet.load(spec_p("m-int8", "int8"), InferenceSession::quantized(quant)).expect("int8");
+        prop_assert_eq!(
+            fleet.ladder("m-f32").unwrap(),
+            vec!["m-fast".to_string(), "m-int8".to_string()]
+        );
+
+        let batch = mixed_batch(&mut rng, n, config.vocab_size, config.max_seq);
+        for (level, rung) in [(1usize, "m-fast"), (2, "m-int8")] {
+            prop_assert_eq!(fleet.force_degrade("m-f32", Some(level)).unwrap(), level);
+            for tokens in &batch {
+                let pending = fleet
+                    .submit("m-f32", None, Priority::Interactive, tokens.clone(), None)
+                    .expect("admitted while degraded");
+                prop_assert!(pending.degraded());
+                prop_assert_eq!(pending.served_by(), rung);
+                let degraded = pending.wait().expect("degraded request answered");
+                let direct = fleet
+                    .submit(rung, None, Priority::Interactive, tokens.clone(), None)
+                    .expect("direct submit")
+                    .wait()
+                    .expect("direct request answered");
+                prop_assert!(
+                    degraded.logits == direct.logits,
+                    "level {level} logits diverge from {rung}'s own"
+                );
+            }
+        }
+        prop_assert_eq!(fleet.force_degrade("m-f32", None).unwrap(), 0);
+        let p = fleet
+            .submit("m-f32", None, Priority::Interactive, vec![1, 2, 3], None)
+            .expect("admitted after the pin is released");
+        prop_assert!(!p.degraded());
+        prop_assert_eq!(p.served_by(), "m-f32");
+        prop_assert_eq!(&p.wait().expect("answered").logits, &model.predict(&[1, 2, 3]));
+        fleet.shutdown();
+    }
+}

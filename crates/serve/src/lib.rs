@@ -72,11 +72,13 @@
 
 #![warn(missing_docs)]
 
+mod limiter;
 mod metrics;
 pub mod policy;
 mod server;
 mod session;
 
+pub use limiter::{AimdConfig, AimdLimiter};
 pub use metrics::{HistogramSummary, LatencyHistogram, ServerStats};
 pub use policy::{
     BatchDecision, BatchPolicy, LengthBucketPolicy, Priority, QueuedRequest, RequestQos,

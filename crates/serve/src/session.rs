@@ -1,8 +1,10 @@
 //! Preallocated inference sessions: a frozen (f32) or quantized (int8)
 //! model plus per-worker reusable scratch buffers.
 
+use fab_chaos::{ChaosInjector, ChaosSite};
 use fab_nn::{FrozenModel, Model};
 use fab_quant::QuantModel;
+use std::sync::Arc;
 
 /// Which forward path a session runs — reported by
 /// [`ServerStats`](crate::ServerStats) so operators can tell which numeric
@@ -55,6 +57,9 @@ pub struct InferenceSession {
     /// Fault injection: a marker token id that makes any forward pass
     /// containing it panic (see [`InferenceSession::with_panic_on_token`]).
     panic_token: Option<usize>,
+    /// Fault injection: the shared chaos schedule consulted at the top of
+    /// every forward pass (see [`InferenceSession::with_chaos`]).
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl InferenceSession {
@@ -66,26 +71,30 @@ impl InferenceSession {
     /// bit-identity with the tape path, [`InferenceSession::quantized`] for
     /// the int8 path.
     pub fn new(model: &Model) -> Self {
-        Self { model: SessionModel::F32(model.freeze().with_fast_math(true)), panic_token: None }
+        Self {
+            model: SessionModel::F32(model.freeze().with_fast_math(true)),
+            panic_token: None,
+            chaos: None,
+        }
     }
 
     /// Freezes `model` with the exact `libm` kernels: logits are
     /// bit-identical to [`Model::predict`](fab_nn::Model::predict), at
     /// roughly 40% lower single-core throughput than [`InferenceSession::new`].
     pub fn exact(model: &Model) -> Self {
-        Self { model: SessionModel::F32(model.freeze()), panic_token: None }
+        Self { model: SessionModel::F32(model.freeze()), panic_token: None, chaos: None }
     }
 
     /// Wraps an already-frozen model (honouring its fast-math setting).
     pub fn from_frozen(model: FrozenModel) -> Self {
-        Self { model: SessionModel::F32(model), panic_token: None }
+        Self { model: SessionModel::F32(model), panic_token: None, chaos: None }
     }
 
     /// Wraps a post-training-quantized model: the server then runs int8
     /// GEMMs on every dense linear layer (see [`fab_quant`] for the
     /// calibration workflow and accuracy policy).
     pub fn quantized(model: QuantModel) -> Self {
-        Self { model: SessionModel::Int8(model), panic_token: None }
+        Self { model: SessionModel::Int8(model), panic_token: None, chaos: None }
     }
 
     /// Fault injection for tests and benchmarks: any forward pass whose
@@ -100,6 +109,29 @@ impl InferenceSession {
     /// The configured fault-injection marker token, if any.
     pub fn panic_token(&self) -> Option<usize> {
         self.panic_token
+    }
+
+    /// Fault injection for tests and benchmarks: consult `chaos`'s seeded
+    /// schedule at the top of every forward pass — a `slow_forward` fire
+    /// stretches the pass by the configured delay, a `panic_forward` fire
+    /// panics it (exercising batch isolation and circuit breakers). Like
+    /// [`InferenceSession::with_panic_on_token`], never enable this on a
+    /// production profile.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Draws the forward-pass chaos sites: one `slow_forward` and one
+    /// `panic_forward` decision per forward entry (single or batched).
+    fn chaos_forward(&self) {
+        let Some(chaos) = &self.chaos else { return };
+        if let Some(delay) = chaos.stall(ChaosSite::SlowForward) {
+            std::thread::sleep(delay);
+        }
+        if chaos.fires(ChaosSite::PanicForward) {
+            panic!("fault injection: chaos panic_forward fired");
+        }
     }
 
     /// Trips the fault-injection panic when `tokens` carries the marker.
@@ -168,7 +200,16 @@ impl InferenceSession {
     /// Panics when `tokens` is empty, longer than `max_seq`, or contains an
     /// out-of-vocabulary id.
     pub fn logits(&self, tokens: &[usize]) -> Vec<f32> {
+        self.chaos_forward();
         self.check_panic_token(tokens);
+        self.logits_raw(tokens)
+    }
+
+    /// The forward pass itself, with no fault-injection draws — shared by
+    /// [`InferenceSession::logits`] and the per-example fallback of
+    /// [`InferenceSession::logits_batch`] so a batch draws the chaos
+    /// schedule exactly once whichever route serves it.
+    fn logits_raw(&self, tokens: &[usize]) -> Vec<f32> {
         match &self.model {
             SessionModel::F32(m) => m.logits(tokens),
             SessionModel::Int8(m) => m.logits(tokens),
@@ -204,11 +245,12 @@ impl InferenceSession {
         // set cache-resident. Either route produces bit-identical logits
         // (both model variants' padding-invariance guarantee), so this is
         // purely a throughput decision.
+        self.chaos_forward();
         for tokens in batch {
             self.check_panic_token(tokens);
         }
         if rayon::current_num_threads() <= 1 {
-            return batch.iter().map(|tokens| self.logits(tokens)).collect();
+            return batch.iter().map(|tokens| self.logits_raw(tokens)).collect();
         }
         scratch.stage(batch, pad_to);
         match &self.model {

@@ -247,6 +247,49 @@ fn gc_keeps_newest_versions_and_sweeps_tmp_files() {
 }
 
 #[test]
+fn gc_after_every_save_bounds_history_and_newest_good_survives() {
+    // Mirrors the daemon's persist path — `save` immediately followed by
+    // `gc(keep)` — across many snapshot cycles: the on-disk history must
+    // stay bounded at `keep` versions, every load must pick the newest,
+    // and corrupting that newest must fall back to the *surviving* older
+    // version, never to one gc already pruned.
+    let root = temp_root("gc-loop");
+    let store = Store::open(&root).expect("open");
+    let keep = 2usize;
+    let all = artifacts(13, ModelKind::FabNet);
+    let probe: Vec<usize> =
+        (0..tiny().max_seq / 2).map(|j| (j * 3 + 2) % tiny().vocab_size).collect();
+    for cycle in 0..6u64 {
+        // Alternate artifacts so versions are distinguishable by logits.
+        let artifact = &all[(cycle as usize) % all.len()];
+        let version = store.save("m", artifact, &[]).expect("save");
+        assert_eq!(version, cycle + 1);
+        store.gc(keep).expect("gc after save");
+        let versions = store.versions("m").expect("versions");
+        assert!(versions.len() <= keep, "history grew past keep: {versions:?}");
+        assert_eq!(*versions.last().expect("non-empty"), version, "newest survives gc");
+        let rec = store.load_last_good("m", None).expect("newest loads after gc");
+        assert_eq!(rec.version, version);
+        assert!(!rec.fallback);
+        assert_eq!(logits_of(&rec.artifact, &probe), logits_of(artifact, &probe));
+    }
+    // Versions 1..=4 were pruned; 5 and 6 remain. Corrupt the newest:
+    // the fallback must be the surviving version 5, bit-identical to
+    // what was saved as cycle 4's artifact.
+    assert_eq!(store.versions("m").expect("versions"), vec![5, 6]);
+    let newest = store.snapshot_path("m", 6);
+    let mut bytes = fs::read(&newest).expect("read newest");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&newest, &bytes).expect("corrupt newest");
+    let rec = store.load_last_good("m", None).expect("fallback survives the gc loop");
+    assert_eq!(rec.version, 5);
+    assert!(rec.fallback);
+    assert_eq!(logits_of(&rec.artifact, &probe), logits_of(&all[4 % all.len()], &probe));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn corrupt_manifest_lines_are_ignored_not_trusted() {
     let root = temp_root("manifest");
     let store = Store::open(&root).expect("open");
